@@ -1,0 +1,79 @@
+//! Criterion benchmarks at the suite level: a complete time-to-train
+//! run for the fastest benchmark, plus the methodology machinery whose
+//! cost the rules assume negligible (log rendering/parsing, compliance
+//! checking, aggregation, submission simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_core::aggregate::{olympic_mean, stability_fraction};
+use mlperf_core::benchmarks::NcfBenchmark;
+use mlperf_core::compliance::check_log;
+use mlperf_core::harness::run_benchmark;
+use mlperf_core::mllog::MlLogger;
+use mlperf_core::timing::RealClock;
+use mlperf_distsim::{best_overall, Round, SimBenchmark, Vendor};
+use std::hint::black_box;
+
+fn bench_ncf_time_to_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("ncf_time_to_train", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            let mut bench = NcfBenchmark::new();
+            let clock = RealClock::new();
+            seed += 1;
+            run_benchmark(&mut bench, seed, &clock)
+        })
+    });
+    group.finish();
+}
+
+fn bench_log_machinery(c: &mut Criterion) {
+    // A realistic run log to exercise render/parse/compliance.
+    let mut bench = NcfBenchmark::new();
+    let clock = RealClock::new();
+    let result = run_benchmark(&mut bench, 1, &clock);
+    let text = result.log.render();
+    c.bench_function("mllog_render", |b| b.iter(|| black_box(&result.log).render()));
+    c.bench_function("mllog_parse", |b| {
+        b.iter(|| MlLogger::parse(black_box(&text)).expect("parses"))
+    });
+    c.bench_function("compliance_check", |b| {
+        b.iter(|| check_log(black_box(result.log.entries())))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let times: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
+    c.bench_function("olympic_mean_10", |b| b.iter(|| olympic_mean(black_box(&times))));
+    c.bench_function("stability_mc_500", |b| {
+        b.iter(|| stability_fraction(black_box(&times), 5, 500, 0.05, 7))
+    });
+}
+
+fn bench_submission_simulation(c: &mut Criterion) {
+    let vendors = Vendor::fleet();
+    let suite = SimBenchmark::round_comparison_suite();
+    c.bench_function("distsim_best_overall_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for bench in &suite {
+                for round in Round::ALL {
+                    total += best_overall(black_box(&vendors), round, bench, 1)
+                        .expect("feasible")
+                        .minutes;
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ncf_time_to_train,
+    bench_log_machinery,
+    bench_aggregation,
+    bench_submission_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion benchmarks of one training step (forward + backward +
+//! optimizer update) for each reference model — the throughput quantity
+//! the paper contrasts with time-to-train (§2.2.1: throughput alone
+//! cannot rank systems, but it is still what each step costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlperf_data::{
+    reference_games, GoDataset, ImageNetConfig, ShapesConfig, SyntheticCf, SyntheticImageNet,
+    SyntheticShapes, SyntheticTranslation, CfConfig, TranslationConfig,
+};
+use mlperf_models::{
+    GnmtConfig, GnmtMini, MiniGoConfig, MiniGoNet, Ncf, NcfConfig, ResNetConfig, ResNetMini,
+    SsdConfig, SsdMini, TransformerConfig, TransformerMini,
+};
+use mlperf_nn::Module;
+use mlperf_optim::{Adam, Optimizer, SgdTorch};
+use mlperf_tensor::TensorRng;
+use std::hint::black_box;
+
+fn bench_resnet_step(c: &mut Criterion) {
+    let mut rng = TensorRng::new(0);
+    let data = SyntheticImageNet::generate(ImageNetConfig::default(), 0);
+    let model = ResNetMini::new(ResNetConfig::default(), &mut rng);
+    let mut opt = SgdTorch::new(model.params(), 0.9, 0.0);
+    let (images, labels) = data.train.batch(&(0..32).collect::<Vec<_>>());
+    c.bench_function("step/resnet_b32", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            model.loss(black_box(&images), black_box(&labels)).backward();
+            opt.step(0.05);
+        })
+    });
+}
+
+fn bench_ssd_step(c: &mut Criterion) {
+    let mut rng = TensorRng::new(1);
+    let data = SyntheticShapes::generate(ShapesConfig::default(), 1);
+    let model = SsdMini::new(SsdConfig::default(), &mut rng);
+    let mut opt = Adam::with_defaults(model.params());
+    let samples: Vec<_> = data.train.iter().take(16).collect();
+    c.bench_function("step/ssd_b16", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            model.loss(black_box(&samples)).backward();
+            opt.step(0.004);
+        })
+    });
+}
+
+fn bench_transformer_step(c: &mut Criterion) {
+    let mut rng = TensorRng::new(2);
+    let data_cfg = TranslationConfig::default();
+    let data = SyntheticTranslation::generate(data_cfg, 2);
+    let model = TransformerMini::new(
+        TransformerConfig { vocab: data_cfg.vocab, max_len: data_cfg.max_len + 2, ..Default::default() },
+        &mut rng,
+    );
+    let mut opt = Adam::with_defaults(model.params());
+    let pairs: Vec<_> = data.train.iter().take(32).collect();
+    let batch = SyntheticTranslation::pad_batch(&pairs, data_cfg.max_len);
+    c.bench_function("step/transformer_b32", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            model.loss(black_box(&batch)).backward();
+            opt.step(0.01);
+        })
+    });
+}
+
+fn bench_gnmt_step(c: &mut Criterion) {
+    let mut rng = TensorRng::new(3);
+    let data_cfg = TranslationConfig::default();
+    let data = SyntheticTranslation::generate(data_cfg, 3);
+    let model = GnmtMini::new(
+        GnmtConfig { vocab: data_cfg.vocab, max_len: data_cfg.max_len + 2, ..Default::default() },
+        &mut rng,
+    );
+    let mut opt = Adam::with_defaults(model.params());
+    let pairs: Vec<_> = data.train.iter().take(32).collect();
+    let batch = SyntheticTranslation::pad_batch(&pairs, data_cfg.max_len);
+    c.bench_function("step/gnmt_b32", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            model.loss(black_box(&batch)).backward();
+            opt.step(0.01);
+        })
+    });
+}
+
+fn bench_ncf_step(c: &mut Criterion) {
+    let mut rng = TensorRng::new(4);
+    let cf_cfg = CfConfig::default();
+    let data = SyntheticCf::generate(cf_cfg, 4);
+    let model = Ncf::new(
+        NcfConfig { users: cf_cfg.users, items: cf_cfg.items, ..Default::default() },
+        &mut rng,
+    );
+    let mut opt = Adam::with_defaults(model.params());
+    let triples: Vec<_> = data.training_triples(2, &mut rng).into_iter().take(64).collect();
+    c.bench_function("step/ncf_b64", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            model.loss(black_box(&triples)).backward();
+            opt.step(0.01);
+        })
+    });
+}
+
+fn bench_minigo_step(c: &mut Criterion) {
+    let mut rng = TensorRng::new(5);
+    let ds = GoDataset::from_games(&reference_games(2, 9, 5));
+    let model = MiniGoNet::new(MiniGoConfig::default(), &mut rng);
+    let mut opt = Adam::with_defaults(model.params());
+    let idx: Vec<usize> = (0..32.min(ds.len())).collect();
+    let (features, moves, outcomes) = ds.batch(&idx);
+    c.bench_function("step/minigo_b32", |b| {
+        b.iter(|| {
+            opt.zero_grad();
+            model
+                .loss(black_box(&features), black_box(&moves), black_box(&outcomes))
+                .backward();
+            opt.step(0.005);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_resnet_step, bench_ssd_step, bench_transformer_step,
+              bench_gnmt_step, bench_ncf_step, bench_minigo_step
+}
+criterion_main!(benches);

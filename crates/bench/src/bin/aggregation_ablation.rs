@@ -1,0 +1,95 @@
+//! **Ablation** — the drop-min/max ("olympic") aggregation of §3.2.2
+//! versus plain mean and median.
+//!
+//! DESIGN.md calls this design choice out for ablation: the olympic
+//! mean buys robustness to stragglers/outliers that the plain mean
+//! lacks, while keeping more sample efficiency than the median. This
+//! harness measures all three estimators' stability and outlier
+//! sensitivity over a real empirical time-to-train distribution.
+
+use mlperf_bench::{mean, std_dev, write_json};
+use mlperf_core::aggregate::olympic_mean;
+use mlperf_core::benchmarks::NcfBenchmark;
+use mlperf_core::harness::run_benchmark;
+use mlperf_core::timing::RealClock;
+use serde::Serialize;
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn plain_mean(xs: &[f64]) -> f64 {
+    mean(xs)
+}
+
+#[derive(Serialize)]
+struct EstimatorStats {
+    estimator: String,
+    spread_clean: f64,
+    outlier_shift: f64,
+}
+
+fn main() {
+    let seeds = 24usize;
+    println!("Aggregation ablation: olympic mean vs plain mean vs median\n");
+    println!("measuring {seeds} NCF time-to-train runs…");
+    let times: Vec<f64> = (0..seeds as u64)
+        .map(|seed| {
+            let mut bench = NcfBenchmark::new();
+            let clock = RealClock::new();
+            run_benchmark(&mut bench, seed, &clock).time_to_train.as_secs_f64()
+        })
+        .collect();
+    println!("empirical cv: {:.1}%\n", 100.0 * std_dev(&times) / mean(&times));
+
+    type Estimator = fn(&[f64]) -> f64;
+    let estimators: Vec<(&str, Estimator)> = vec![
+        ("olympic", olympic_mean as Estimator),
+        ("mean", plain_mean),
+        ("median", median),
+    ];
+    // Bootstrap 5-run results; then inject a 10x straggler into each
+    // draw and measure the estimator shift.
+    let mut state = 0x1234_5678u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let draws: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..5).map(|_| times[(next() % times.len() as u64) as usize]).collect())
+        .collect();
+    println!(
+        "{:<10} {:>22} {:>22}",
+        "estimator", "spread (cv of result)", "10x-straggler shift"
+    );
+    let mut rows = Vec::new();
+    for (name, est) in estimators {
+        let clean: Vec<f64> = draws.iter().map(|d| est(d)).collect();
+        let spread = std_dev(&clean) / mean(&clean);
+        let shifted: Vec<f64> = draws
+            .iter()
+            .map(|d| {
+                let mut with_outlier = d.clone();
+                with_outlier[0] *= 10.0;
+                (est(&with_outlier) - est(d)).abs() / est(d)
+            })
+            .collect();
+        let shift = mean(&shifted);
+        println!("{name:<10} {:>21.1}% {:>21.1}%", 100.0 * spread, 100.0 * shift);
+        rows.push(EstimatorStats {
+            estimator: name.to_string(),
+            spread_clean: spread,
+            outlier_shift: shift,
+        });
+    }
+    println!(
+        "\nthe olympic mean should sit between the others: tighter than the plain mean \
+         under outliers, more sample-efficient than the median on clean draws"
+    );
+    let path = write_json("aggregation_ablation", &rows);
+    println!("wrote {}", path.display());
+}

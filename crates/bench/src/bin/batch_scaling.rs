@@ -1,0 +1,81 @@
+//! **§2.2.2** — the effect of minibatch scale on epochs-to-target:
+//! "MLPerf v0.5 ResNet-50 takes around 64 epochs to reach the target
+//! top-1 accuracy … at a minibatch size of 4K, while a minibatch size
+//! of 16K can require over 80 epochs … a 30% increase in computation."
+//!
+//! Two reproductions:
+//!
+//! 1. the `distsim` convergence model calibrated to the paper's own
+//!    data points (prints the 4K/16K numbers exactly);
+//! 2. an *empirical* sweep on the miniaturized ResNet benchmark —
+//!    batch 16 → 256 with the linear learning-rate scaling rule —
+//!    showing the same shape at laptop scale: epochs-to-target grows
+//!    with batch size past the critical region.
+
+use mlperf_bench::write_json;
+use mlperf_core::benchmarks::ResNetBenchmark;
+use mlperf_core::harness::run_benchmark;
+use mlperf_core::timing::RealClock;
+use mlperf_distsim::ConvergenceModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ModelRow {
+    batch: usize,
+    epochs: f64,
+}
+
+#[derive(Serialize)]
+struct EmpiricalRow {
+    batch: usize,
+    epochs_per_seed: Vec<usize>,
+    mean_epochs: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    paper_model: Vec<ModelRow>,
+    empirical: Vec<EmpiricalRow>,
+}
+
+fn main() {
+    println!("Batch-size scaling study (paper §2.2.2)\n");
+
+    // Part 1: the calibrated analytic model.
+    let m = ConvergenceModel::resnet_paper();
+    println!("convergence model (calibrated to the paper's ResNet-50 data):");
+    println!("{:>8} {:>10}", "batch", "epochs");
+    let mut paper_model = Vec::new();
+    for batch in [256usize, 1024, 4096, 8192, 16384, 32768, 65536] {
+        let e = m.epochs(batch);
+        println!("{batch:>8} {e:>10.1}");
+        paper_model.push(ModelRow { batch, epochs: e });
+    }
+    let inflation = m.epochs(16384) / m.epochs(4096);
+    println!("4K -> 16K computation increase: {:.0}%  (paper: ~30%)\n", 100.0 * (inflation - 1.0));
+
+    // Part 2: empirical mini-study with linear LR scaling.
+    println!("empirical ResNetMini sweep (linear LR scaling rule, 3 seeds):");
+    println!("{:>8} {:>14} {:>12}", "batch", "epochs/seed", "mean");
+    let mut empirical = Vec::new();
+    for batch in [16usize, 32, 64, 128, 256] {
+        let mut per_seed = Vec::new();
+        for seed in [5u64, 6, 7] {
+            let mut bench = ResNetBenchmark::with_batch_size(batch);
+            let clock = RealClock::new();
+            let result = run_benchmark(&mut bench, seed, &clock);
+            per_seed.push(result.epochs);
+        }
+        let mean = per_seed.iter().sum::<usize>() as f64 / per_seed.len() as f64;
+        println!("{batch:>8} {:>14} {mean:>12.1}", format!("{per_seed:?}"));
+        empirical.push(EmpiricalRow { batch, epochs_per_seed: per_seed, mean_epochs: mean });
+    }
+    let small = empirical.first().expect("rows").mean_epochs;
+    let large = empirical.last().expect("rows").mean_epochs;
+    println!(
+        "\nsmallest -> largest batch epoch inflation: {:.2}x (expected > 1)",
+        large / small
+    );
+    let path = write_json("batch_scaling", &Output { paper_model, empirical });
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,39 @@
+//! Calibration helper: runs one benchmark and prints the quality curve
+//! per epoch. Not part of the published experiment set; used to tune
+//! the miniaturized workloads so every Table 1 threshold is reachable.
+
+use mlperf_core::benchmarks::build;
+use mlperf_core::harness::run_benchmark;
+use mlperf_core::suite::BenchmarkId;
+use mlperf_core::timing::RealClock;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    for id in BenchmarkId::ALL {
+        if which != "all" && id.slug() != which {
+            continue;
+        }
+        let mut bench = build(id);
+        let clock = RealClock::new();
+        let start = std::time::Instant::now();
+        let result = run_benchmark(bench.as_mut(), seed, &clock);
+        println!(
+            "{:<12} target {:>7.3} reached={} epochs={} quality={:.4} ttt={:.2}s wall={:.2}s",
+            id.slug(),
+            bench.target(),
+            result.reached_target,
+            result.epochs,
+            result.quality,
+            result.time_to_train.as_secs_f64(),
+            start.elapsed().as_secs_f64(),
+        );
+        let curve: Vec<String> = result
+            .quality_history
+            .iter()
+            .map(|q| format!("{q:.3}"))
+            .collect();
+        println!("  curve: {}", curve.join(" "));
+    }
+}

@@ -1,0 +1,86 @@
+//! **Figure 1** — validation error over epochs under different weight
+//! representations (the AlexNet/ImageNet precision study of Zhu et al.,
+//! 2016, reprinted by the paper to show that precision effects are only
+//! visible late in training).
+//!
+//! Trains the same AlexNet-style network from the same seed under each
+//! simulated precision (weights rounded to the format's grid after
+//! every optimizer step) and prints the validation-error series. The
+//! expected shape: curves overlap early, separate after many epochs,
+//! and the coarsest formats never reach the fp32 error.
+
+use mlperf_bench::{render_series, write_json};
+use mlperf_core::suite::BenchmarkId;
+use mlperf_data::{epoch_batches, ImageNetConfig, SyntheticImageNet};
+use mlperf_models::AlexNetMini;
+use mlperf_nn::Module;
+use mlperf_optim::{Optimizer, SgdTorch};
+use mlperf_tensor::{Precision, TensorRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    precision: String,
+    bits: u32,
+    val_error: Vec<f64>,
+    final_error: f64,
+}
+
+fn main() {
+    let epochs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let seed = 2024u64;
+    let data = SyntheticImageNet::generate(ImageNetConfig::default(), 0xF16);
+    let _ = BenchmarkId::ImageClassification; // context: same task family as Table 1 row 1
+    println!("Figure 1: validation error vs epoch under simulated weight precision");
+    println!("(AlexNetMini on synthetic ImageNet, identical seed {seed}, {epochs} epochs)\n");
+
+    let mut all = Vec::new();
+    for precision in Precision::ALL {
+        let mut rng = TensorRng::new(seed);
+        let cfg = data.config();
+        let net = AlexNetMini::new(cfg.channels, cfg.image_size, cfg.classes, &mut rng);
+        let mut opt = SgdTorch::new(net.params(), 0.9, 0.0);
+        let mut data_rng = rng.split();
+        let mut errors = Vec::with_capacity(epochs);
+        for _epoch in 0..epochs {
+            for batch in epoch_batches(data.train.len(), 32, &mut data_rng).iter() {
+                let (images, labels) = data.train.batch(batch);
+                opt.zero_grad();
+                net.loss(&images, &labels).backward();
+                opt.step(0.03);
+                // The precision simulation: weights live on the
+                // format's grid.
+                net.quantize_weights(precision);
+            }
+            let acc = net.accuracy(data.val.images(), data.val.labels());
+            errors.push(1.0 - acc as f64);
+        }
+        println!("{}", render_series(&precision.to_string(), &errors, 3));
+        all.push(Series {
+            precision: precision.to_string(),
+            bits: precision.bits(),
+            final_error: *errors.last().expect("epochs > 0"),
+            val_error: errors,
+        });
+    }
+
+    // The figure's qualitative claims, checked numerically.
+    let fp32_final = all[0].final_error;
+    let ternary_final = all.last().expect("non-empty").final_error;
+    let early_spread = spread(&all, 1);
+    let late_spread = spread(&all, all[0].val_error.len() - 1);
+    println!("\nearly-epoch spread {early_spread:.3} vs late-epoch spread {late_spread:.3}");
+    println!("fp32 final error {fp32_final:.3}; ternary final error {ternary_final:.3}");
+    let path = write_json("fig1_precision", &all);
+    println!("wrote {}", path.display());
+}
+
+fn spread(all: &[Series], epoch: usize) -> f64 {
+    let vals: Vec<f64> = all.iter().map(|s| s.val_error[epoch]).collect();
+    let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+    let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+    max - min
+}

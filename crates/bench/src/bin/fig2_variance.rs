@@ -1,0 +1,67 @@
+//! **Figure 2** — run-to-run variation: epochs to reach the quality
+//! target across many repetitions with identical hyperparameters and
+//! different seeds, for NCF (top) and MiniGo (bottom).
+//!
+//! The paper uses this figure to motivate the multiple-run timing rule
+//! (§3.2.2). The expected shape: a spread of several epochs for NCF and
+//! a substantially wider relative spread for MiniGo (whose data comes
+//! from game generation, so seed effects compound).
+
+use mlperf_bench::{mean, render_histogram, std_dev, write_json};
+use mlperf_core::benchmarks::{MiniGoBenchmark, NcfBenchmark};
+use mlperf_core::harness::{run_benchmark_set, Benchmark};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct VarianceResult {
+    benchmark: String,
+    seeds: usize,
+    epochs: Vec<usize>,
+    mean_epochs: f64,
+    std_epochs: f64,
+    relative_spread: f64,
+}
+
+fn study(
+    name: &str,
+    make: impl Fn() -> Box<dyn Benchmark> + Sync,
+    seeds: usize,
+) -> VarianceResult {
+    let seed_list: Vec<u64> = (0..seeds as u64).collect();
+    // Runs that exhaust the budget are recorded at the budget — visible
+    // as the right-edge bucket, like the paper's outliers.
+    let epochs: Vec<usize> = run_benchmark_set(make, &seed_list)
+        .into_iter()
+        .map(|r| r.epochs)
+        .collect();
+    let as_f64: Vec<f64> = epochs.iter().map(|&e| e as f64).collect();
+    let m = mean(&as_f64);
+    let s = std_dev(&as_f64);
+    println!("--- {name}: epochs to target across {seeds} seeds ---");
+    println!("{}", render_histogram(&epochs));
+    println!("mean {m:.2} epochs, std {s:.2}, relative spread {:.1}%\n", 100.0 * s / m);
+    VarianceResult {
+        benchmark: name.to_string(),
+        seeds,
+        epochs,
+        mean_epochs: m,
+        std_epochs: s,
+        relative_spread: s / m,
+    }
+}
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    println!("Figure 2: run-to-run variation in epochs-to-target\n");
+    let ncf = study("NCF", || Box::new(NcfBenchmark::new()), seeds);
+    let minigo = study("MiniGo", || Box::new(MiniGoBenchmark::new()), seeds);
+    println!(
+        "MiniGo relative spread {:.2}x the NCF relative spread",
+        minigo.relative_spread / ncf.relative_spread.max(1e-9)
+    );
+    let path = write_json("fig2_variance", &vec![ncf, minigo]);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,58 @@
+//! **Figure 5** — growth in the number of chips used by the system
+//! producing the fastest overall score, v0.5 → v0.6. The paper reports
+//! an average increase of ~5.5×, enabled by rule changes (LARS for
+//! large-batch ResNet), maturing software stacks, and larger fielded
+//! systems.
+//!
+//! Reproduced on the `distsim` simulator by sweeping every vendor's
+//! feasible power-of-two scales in each round and taking the fastest.
+
+use mlperf_bench::write_json;
+use mlperf_distsim::{best_overall, Round, SimBenchmark, Vendor};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScaleRow {
+    benchmark: String,
+    v05_chips: usize,
+    v06_chips: usize,
+    v05_minutes: f64,
+    v06_minutes: f64,
+    v05_batch: usize,
+    v06_batch: usize,
+    growth: f64,
+}
+
+fn main() {
+    let seed = 2u64;
+    let vendors = Vendor::fleet();
+    println!("Figure 5: chips in the fastest overall entry, v0.5 -> v0.6\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}  {:>11} {:>11}",
+        "benchmark", "v0.5 chips", "v0.6 chips", "growth", "v0.5 (min)", "v0.6 (min)"
+    );
+    let mut rows = Vec::new();
+    for bench in SimBenchmark::round_comparison_suite() {
+        let v05 = best_overall(&vendors, Round::V05, &bench, seed).expect("v0.5 entry");
+        let v06 = best_overall(&vendors, Round::V06, &bench, seed).expect("v0.6 entry");
+        let growth = v06.chips as f64 / v05.chips as f64;
+        println!(
+            "{:<16} {:>10} {:>10} {:>7.1}x  {:>11.1} {:>11.1}",
+            bench.name, v05.chips, v06.chips, growth, v05.minutes, v06.minutes
+        );
+        rows.push(ScaleRow {
+            benchmark: bench.name.clone(),
+            v05_chips: v05.chips,
+            v06_chips: v06.chips,
+            v05_minutes: v05.minutes,
+            v06_minutes: v06.minutes,
+            v05_batch: v05.batch,
+            v06_batch: v06.batch,
+            growth,
+        });
+    }
+    let avg = rows.iter().map(|r| r.growth).sum::<f64>() / rows.len() as f64;
+    println!("\naverage scale growth: {avg:.1}x  (paper: ~5.5x)");
+    let path = write_json("fig5_scale", &rows);
+    println!("wrote {}", path.display());
+}

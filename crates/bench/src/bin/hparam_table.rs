@@ -1,0 +1,38 @@
+//! **§6 (future work)** — "Producing a table that maps system scale and
+//! precision to recommended hyperparameters for each benchmark."
+//!
+//! Prints that table for the reproduction's suite: per benchmark and
+//! scale-up factor, the recommended global batch, peak learning rate
+//! (linear scaling for SGD workloads, √-scaling for Adam workloads),
+//! warmup length, and optimizer — including the SGD→LARS switch at
+//! large batch that the v0.6 rules enabled.
+
+use mlperf_bench::write_json;
+use mlperf_core::recommend::recommendation_table;
+
+fn main() {
+    let scales = [1usize, 4, 16, 64, 256];
+    let table = recommendation_table(&scales);
+    println!("Recommended hyperparameters by system scale (paper §6 future work)\n");
+    println!(
+        "{:<12} {:>9} {:>14} {:>14} {:>14}",
+        "benchmark", "batch", "peak lr", "warmup (ep)", "optimizer"
+    );
+    let mut last = None;
+    for row in &table {
+        if last != Some(row.benchmark) {
+            println!("{}", "-".repeat(68));
+            last = Some(row.benchmark);
+        }
+        println!(
+            "{:<12} {:>9} {:>14.5} {:>14.1} {:>14}",
+            row.benchmark.slug(),
+            row.batch,
+            row.learning_rate,
+            row.warmup_epochs,
+            row.optimizer.to_string()
+        );
+    }
+    let path = write_json("hparam_table", &table);
+    println!("\nwrote {}", path.display());
+}

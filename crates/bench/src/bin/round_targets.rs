@@ -1,0 +1,81 @@
+//! **§6 / Figure 4 context** — what raising the quality targets costs.
+//!
+//! Figure 4 reports that v0.6 entries got faster "despite the higher
+//! quality targets". This harness measures the other side of that
+//! trade on the *real* miniaturized benchmarks: training the same
+//! workload to the v0.5 threshold and then to the raised v0.6
+//! threshold, and reporting the epoch inflation the raised target
+//! alone causes.
+
+use mlperf_bench::{mean, write_json};
+use mlperf_core::benchmarks::{ResNetBenchmark, SsdBenchmark};
+use mlperf_core::harness::{run_benchmark_set, Benchmark};
+use mlperf_core::suite::SuiteVersion;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RoundRow {
+    benchmark: String,
+    version: String,
+    target: f64,
+    epochs_per_seed: Vec<usize>,
+    reached: Vec<bool>,
+    mean_epochs: f64,
+}
+
+fn measure(
+    name: &str,
+    make: impl Fn() -> Box<dyn Benchmark> + Sync,
+    version: SuiteVersion,
+    seeds: &[u64],
+) -> RoundRow {
+    let target = make().target();
+    let results = run_benchmark_set(make, seeds);
+    let epochs: Vec<usize> = results.iter().map(|r| r.epochs).collect();
+    let reached: Vec<bool> = results.iter().map(|r| r.reached_target).collect();
+    let mean_epochs = mean(&epochs.iter().map(|&e| e as f64).collect::<Vec<_>>());
+    println!(
+        "{name:<8} {version}  target {target:>6.3}  epochs {epochs:?}  mean {mean_epochs:.1}  all-reached {}",
+        reached.iter().all(|&r| r)
+    );
+    RoundRow {
+        benchmark: name.to_string(),
+        version: version.to_string(),
+        target,
+        epochs_per_seed: epochs,
+        reached,
+        mean_epochs,
+    }
+}
+
+fn main() {
+    let seeds = [3u64, 4, 5];
+    println!("Raised-quality-target study: the same workloads to v0.5 vs v0.6 thresholds\n");
+    let mut rows = Vec::new();
+    for version in [SuiteVersion::V05, SuiteVersion::V06] {
+        rows.push(measure(
+            "resnet",
+            || Box::new(ResNetBenchmark::new().with_version(version)),
+            version,
+            &seeds,
+        ));
+        rows.push(measure(
+            "ssd",
+            || Box::new(SsdBenchmark::new().with_version(version)),
+            version,
+            &seeds,
+        ));
+    }
+    for name in ["resnet", "ssd"] {
+        let v05 = rows.iter().find(|r| r.benchmark == name && r.version == "v0.5").expect("row");
+        let v06 = rows.iter().find(|r| r.benchmark == name && r.version == "v0.6").expect("row");
+        println!(
+            "\n{name}: raised target costs {:.2}x the epochs ({:.1} -> {:.1})",
+            v06.mean_epochs / v05.mean_epochs,
+            v05.mean_epochs,
+            v06.mean_epochs
+        );
+    }
+    let path = write_json("round_targets", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,99 @@
+//! **Table 1** — the MLPerf Training v0.5 benchmark suite.
+//!
+//! Prints the suite definition (area, dataset, model, quality
+//! threshold) and, for each row, actually trains the miniaturized
+//! reference implementation to its threshold, reporting the measured
+//! epochs and time-to-train. Pass `--full` to run each benchmark the
+//! §3.2.2-required number of times (5 vision / 10 other) and report the
+//! official aggregated score.
+
+use mlperf_bench::write_json;
+use mlperf_core::aggregate::{aggregate_runs, RunSummary};
+use mlperf_core::benchmarks::build;
+use mlperf_core::harness::run_benchmark;
+use mlperf_core::suite::BenchmarkId;
+use mlperf_core::timing::RealClock;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: &'static str,
+    area: &'static str,
+    dataset: &'static str,
+    model: &'static str,
+    metric: &'static str,
+    threshold: f64,
+    runs: usize,
+    epochs: Vec<usize>,
+    quality: Vec<f64>,
+    seconds: Vec<f64>,
+    aggregated_seconds: Option<f64>,
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!("MLPerf Training v0.5 benchmark suite (Table 1), reproduced\n");
+    println!(
+        "{:<12} {:<9} {:<34} {:<30} {:<20} {:>9} {:>6} {:>8} {:>9}",
+        "benchmark", "area", "dataset", "model", "metric", "threshold", "runs", "epochs", "ttt(s)"
+    );
+    let mut rows = Vec::new();
+    for id in BenchmarkId::ALL {
+        let spec = id.spec();
+        let runs = if full { id.runs_required() } else { 1 };
+        let mut epochs = Vec::new();
+        let mut quality = Vec::new();
+        let mut seconds = Vec::new();
+        let mut summaries = Vec::new();
+        for run in 0..runs {
+            let mut bench = build(id);
+            let clock = RealClock::new();
+            let result = run_benchmark(bench.as_mut(), 1000 + run as u64, &clock);
+            assert!(
+                result.reached_target,
+                "{id} failed to reach its threshold on run {run}"
+            );
+            epochs.push(result.epochs);
+            quality.push(result.quality);
+            seconds.push(result.time_to_train.as_secs_f64());
+            summaries.push(RunSummary {
+                seconds: result.time_to_train.as_secs_f64(),
+                reached_target: true,
+            });
+        }
+        let aggregated_seconds = if full {
+            Some(aggregate_runs(id, &summaries).expect("aggregation succeeds"))
+        } else {
+            None
+        };
+        let mean_epochs = epochs.iter().sum::<usize>() as f64 / epochs.len() as f64;
+        let mean_secs = seconds.iter().sum::<f64>() / seconds.len() as f64;
+        println!(
+            "{:<12} {:<9} {:<34} {:<30} {:<20} {:>9.3} {:>6} {:>8.1} {:>9.2}",
+            id.slug(),
+            spec.area,
+            spec.dataset,
+            spec.model,
+            spec.quality.metric,
+            spec.quality.value,
+            runs,
+            mean_epochs,
+            aggregated_seconds.unwrap_or(mean_secs),
+        );
+        rows.push(Row {
+            benchmark: id.slug(),
+            area: spec.area,
+            dataset: spec.dataset,
+            model: spec.model,
+            metric: spec.quality.metric,
+            threshold: spec.quality.value,
+            runs,
+            epochs,
+            quality,
+            seconds,
+            aggregated_seconds,
+        });
+    }
+    let path = write_json("table1", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,94 @@
+//! Shared plumbing for the experiment harnesses in `src/bin/`: the
+//! output directory, machine-readable result dumps, and small
+//! text-rendering helpers (series and histograms) used to print the
+//! tables and figure data the paper reports.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Directory where harnesses drop machine-readable results.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a serializable result as pretty JSON under
+/// `target/experiments/<name>.json` and returns the path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("results serialize");
+    std::fs::write(&path, json).expect("write experiment results");
+    path
+}
+
+/// Renders a labelled numeric series as one line: `label: v v v …`.
+pub fn render_series(label: &str, values: &[f64], precision: usize) -> String {
+    let mut out = format!("{label:>10}:");
+    for v in values {
+        write!(out, " {v:.precision$}").expect("string write");
+    }
+    out
+}
+
+/// Renders an ASCII histogram of integer-valued observations
+/// (e.g. epochs-to-target per seed, Figure 2's quantity).
+pub fn render_histogram(values: &[usize]) -> String {
+    if values.is_empty() {
+        return String::from("(no data)");
+    }
+    let lo = *values.iter().min().expect("non-empty");
+    let hi = *values.iter().max().expect("non-empty");
+    let mut out = String::new();
+    for bucket in lo..=hi {
+        let count = values.iter().filter(|&&v| v == bucket).count();
+        writeln!(out, "{bucket:>4} | {}", "#".repeat(count)).expect("string write");
+    }
+    out
+}
+
+/// Mean of a slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_buckets() {
+        let h = render_histogram(&[3, 3, 4, 6]);
+        assert!(h.contains("   3 | ##"));
+        assert!(h.contains("   4 | #"));
+        assert!(h.contains("   6 | #"));
+    }
+
+    #[test]
+    fn series_formats() {
+        let s = render_series("acc", &[0.5, 0.75], 2);
+        assert!(s.ends_with("0.50 0.75"));
+    }
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+}

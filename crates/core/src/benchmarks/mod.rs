@@ -1,0 +1,60 @@
+//! The seven concrete benchmark implementations — Table 1 wired into
+//! the [`crate::harness::Benchmark`] trait.
+//!
+//! Each follows the same lifecycle: `prepare` generates the (seeded,
+//! fixed) synthetic dataset and performs the one-time reformatting,
+//! `create_model` builds the reference model from the *run* seed, and
+//! `train_epoch`/`evaluate` run the reference training procedure until
+//! the Table 1 quality threshold is reached.
+//!
+//! Dataset seeds are fixed constants — the dataset plays the role of
+//! ImageNet/COCO/WMT: identical for every run and every submitter. The
+//! run seed controls weight initialization and data traversal only,
+//! exactly the stochasticity §2.2.3 studies.
+
+mod gnmt;
+mod maskrcnn;
+mod minigo;
+mod ncf;
+mod resnet;
+mod ssd;
+mod transformer;
+
+pub use gnmt::GnmtBenchmark;
+pub use maskrcnn::MaskRcnnBenchmark;
+pub use minigo::MiniGoBenchmark;
+pub use ncf::NcfBenchmark;
+pub use resnet::ResNetBenchmark;
+pub use ssd::SsdBenchmark;
+pub use transformer::TransformerBenchmark;
+
+use crate::harness::Benchmark;
+use crate::suite::BenchmarkId;
+
+/// Builds the default-scale implementation of any suite benchmark.
+pub fn build(id: BenchmarkId) -> Box<dyn Benchmark> {
+    match id {
+        BenchmarkId::ImageClassification => Box::new(ResNetBenchmark::new()),
+        BenchmarkId::ObjectDetection => Box::new(SsdBenchmark::new()),
+        BenchmarkId::InstanceSegmentation => Box::new(MaskRcnnBenchmark::new()),
+        BenchmarkId::TranslationRecurrent => Box::new(GnmtBenchmark::new()),
+        BenchmarkId::TranslationNonRecurrent => Box::new(TransformerBenchmark::new()),
+        BenchmarkId::Recommendation => Box::new(NcfBenchmark::new()),
+        BenchmarkId::ReinforcementLearning => Box::new(MiniGoBenchmark::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_covers_all_ids() {
+        for id in BenchmarkId::ALL {
+            let b = build(id);
+            assert_eq!(b.id(), id);
+            assert!(b.target() > 0.0);
+            assert!(b.max_epochs() > 0);
+        }
+    }
+}

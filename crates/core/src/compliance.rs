@@ -1,0 +1,203 @@
+//! The compliance checker run over submission logs during peer review
+//! (§4.1): verifies that a run log contains the required structured
+//! events in a legal order before results are published.
+
+use crate::mllog::{keys, LogEntry};
+use serde_json::Value;
+use std::fmt;
+
+/// A compliance problem found in a submission log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComplianceIssue {
+    /// A required key never appears.
+    MissingKey(&'static str),
+    /// Events appear out of lifecycle order.
+    OutOfOrder {
+        /// The key that appeared too early.
+        early: &'static str,
+        /// The key it must follow.
+        late: &'static str,
+    },
+    /// `run_stop` exists but does not carry a status.
+    RunStopWithoutStatus,
+    /// Log timestamps go backwards.
+    NonMonotonicTimestamps,
+    /// No evaluation results between run start and stop.
+    NoEvaluations,
+}
+
+impl fmt::Display for ComplianceIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComplianceIssue::MissingKey(k) => write!(f, "required key `{k}` missing"),
+            ComplianceIssue::OutOfOrder { early, late } => {
+                write!(f, "`{early}` appears before `{late}`")
+            }
+            ComplianceIssue::RunStopWithoutStatus => {
+                write!(f, "`run_stop` has no status field")
+            }
+            ComplianceIssue::NonMonotonicTimestamps => write!(f, "timestamps go backwards"),
+            ComplianceIssue::NoEvaluations => {
+                write!(f, "no eval_accuracy entries inside the timed region")
+            }
+        }
+    }
+}
+
+/// Checks a run log for rule compliance; returns all problems found
+/// (empty = compliant).
+pub fn check_log(entries: &[LogEntry]) -> Vec<ComplianceIssue> {
+    let mut issues = Vec::new();
+    let pos = |key: &str| entries.iter().position(|e| e.key == key);
+
+    for required in [
+        keys::SUBMISSION_BENCHMARK,
+        keys::SEED,
+        keys::QUALITY_TARGET,
+        keys::RUN_START,
+        keys::RUN_STOP,
+    ] {
+        if pos(required).is_none() {
+            issues.push(ComplianceIssue::MissingKey(required));
+        }
+    }
+
+    // Ordering constraints over present keys.
+    let order_pairs = [
+        (keys::INIT_START, keys::RUN_START),
+        (keys::RUN_START, keys::RUN_STOP),
+        (keys::RUN_START, keys::EPOCH_START),
+        (keys::EPOCH_START, keys::EPOCH_STOP),
+    ];
+    for (first, second) in order_pairs {
+        if let (Some(a), Some(b)) = (pos(first), pos(second)) {
+            if a > b {
+                issues.push(ComplianceIssue::OutOfOrder { early: second, late: first });
+            }
+        }
+    }
+
+    if let Some(stop) = entries.iter().find(|e| e.key == keys::RUN_STOP) {
+        match &stop.value {
+            Value::Object(map) if map.contains_key("status") => {}
+            _ => issues.push(ComplianceIssue::RunStopWithoutStatus),
+        }
+    }
+
+    if entries.windows(2).any(|w| w[1].time_ms < w[0].time_ms) {
+        issues.push(ComplianceIssue::NonMonotonicTimestamps);
+    }
+
+    if let (Some(start), Some(stop)) = (pos(keys::RUN_START), pos(keys::RUN_STOP)) {
+        let evals = entries[start..=stop.min(entries.len() - 1)]
+            .iter()
+            .filter(|e| e.key == keys::EVAL_ACCURACY)
+            .count();
+        if evals == 0 {
+            issues.push(ComplianceIssue::NoEvaluations);
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_benchmark, Benchmark};
+    use crate::suite::BenchmarkId;
+    use crate::timing::SimClock;
+    use serde_json::json;
+
+    fn entry(time_ms: u64, key: &str, value: Value) -> LogEntry {
+        LogEntry { time_ms, key: key.to_string(), value }
+    }
+
+    fn minimal_valid() -> Vec<LogEntry> {
+        vec![
+            entry(0, keys::SUBMISSION_BENCHMARK, json!("ncf")),
+            entry(0, keys::SEED, json!(1)),
+            entry(0, keys::QUALITY_TARGET, json!(0.635)),
+            entry(1, keys::INIT_START, json!(null)),
+            entry(5, keys::RUN_START, json!(null)),
+            entry(6, keys::EPOCH_START, json!(0)),
+            entry(9, keys::EPOCH_STOP, json!(0)),
+            entry(10, keys::EVAL_ACCURACY, json!(0.7)),
+            entry(11, keys::RUN_STOP, json!({"status": "success"})),
+        ]
+    }
+
+    #[test]
+    fn valid_log_passes() {
+        assert!(check_log(&minimal_valid()).is_empty());
+    }
+
+    #[test]
+    fn missing_seed_flagged() {
+        let log: Vec<LogEntry> = minimal_valid()
+            .into_iter()
+            .filter(|e| e.key != keys::SEED)
+            .collect();
+        assert!(check_log(&log).contains(&ComplianceIssue::MissingKey(keys::SEED)));
+    }
+
+    #[test]
+    fn out_of_order_flagged() {
+        let mut log = minimal_valid();
+        log.swap(3, 4); // run_start before init_start
+        assert!(check_log(&log)
+            .iter()
+            .any(|i| matches!(i, ComplianceIssue::OutOfOrder { .. })));
+    }
+
+    #[test]
+    fn run_stop_without_status_flagged() {
+        let mut log = minimal_valid();
+        log.last_mut().unwrap().value = json!(null);
+        assert!(check_log(&log).contains(&ComplianceIssue::RunStopWithoutStatus));
+    }
+
+    #[test]
+    fn backwards_timestamps_flagged() {
+        let mut log = minimal_valid();
+        log[6].time_ms = 2; // earlier than its predecessor
+        assert!(check_log(&log).contains(&ComplianceIssue::NonMonotonicTimestamps));
+    }
+
+    #[test]
+    fn no_evals_flagged() {
+        let log: Vec<LogEntry> = minimal_valid()
+            .into_iter()
+            .filter(|e| e.key != keys::EVAL_ACCURACY)
+            .collect();
+        assert!(check_log(&log).contains(&ComplianceIssue::NoEvaluations));
+    }
+
+    /// The harness's own logs must pass the compliance checker — the
+    /// property that ties §3.2 and §4.1 together.
+    #[test]
+    fn harness_output_is_compliant() {
+        struct Instant0;
+        impl Benchmark for Instant0 {
+            fn id(&self) -> BenchmarkId {
+                BenchmarkId::Recommendation
+            }
+            fn prepare(&mut self) {}
+            fn create_model(&mut self, _seed: u64) {}
+            fn train_epoch(&mut self, _epoch: usize) {}
+            fn evaluate(&mut self) -> f64 {
+                1.0
+            }
+            fn target(&self) -> f64 {
+                0.5
+            }
+            fn max_epochs(&self) -> usize {
+                3
+            }
+        }
+        let clock = SimClock::new();
+        let result = run_benchmark(&mut Instant0, 1, &clock);
+        let issues = check_log(result.log.entries());
+        assert!(issues.is_empty(), "harness log non-compliant: {issues:?}");
+    }
+}

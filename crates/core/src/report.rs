@@ -1,0 +1,152 @@
+//! Result reporting (§4.2): per-benchmark time-to-train scores with
+//! division, category, system type and scale — and deliberately *no*
+//! summary score across benchmarks (§4.2.4 explains why: no universal
+//! weighting exists and submissions may omit benchmarks).
+
+use crate::rules::{Category, Division, SystemType};
+use crate::suite::BenchmarkId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The system description accompanying a submission (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemDescription {
+    /// Submitting organization.
+    pub submitter: String,
+    /// Marketing name of the system.
+    pub system_name: String,
+    /// Number of accelerator chips.
+    pub accelerators: usize,
+    /// Accelerator model name.
+    pub accelerator_model: String,
+    /// Host processor count.
+    pub host_processors: usize,
+    /// Software stack description (framework + versions).
+    pub software: String,
+}
+
+/// One benchmark's reported score within a submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkScore {
+    /// Which benchmark.
+    pub benchmark: BenchmarkId,
+    /// The aggregated time-to-train in minutes (olympic mean of the
+    /// required runs).
+    pub minutes: f64,
+    /// Number of timed runs behind the score.
+    pub runs: usize,
+}
+
+/// A complete submission entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// System details.
+    pub system: SystemDescription,
+    /// Closed or Open.
+    pub division: Division,
+    /// Available / Preview / Research.
+    pub category: Category,
+    /// On-premise or cloud.
+    pub system_type: SystemType,
+    /// Scores for the benchmarks this submission ran (omissions are
+    /// legal — §4.2.4).
+    pub scores: Vec<BenchmarkScore>,
+}
+
+impl Submission {
+    /// The score for one benchmark, if submitted.
+    pub fn score_for(&self, id: BenchmarkId) -> Option<&BenchmarkScore> {
+        self.scores.iter().find(|s| s.benchmark == id)
+    }
+}
+
+/// Renders a results table in the style of the published MLPerf
+/// results pages: one row per submission, one column per benchmark,
+/// blank cells for omitted benchmarks, and *no* summary column.
+pub fn render_results_table(submissions: &[Submission]) -> String {
+    let mut out = String::new();
+    write!(out, "{:<24} {:<8} {:<10} {:>6}", "system", "div", "category", "chips").unwrap();
+    for id in BenchmarkId::ALL {
+        write!(out, " {:>12}", id.slug()).unwrap();
+    }
+    writeln!(out).unwrap();
+    for s in submissions {
+        write!(
+            out,
+            "{:<24} {:<8} {:<10} {:>6}",
+            s.system.system_name, s.division, s.category, s.system.accelerators
+        )
+        .unwrap();
+        for id in BenchmarkId::ALL {
+            match s.score_for(id) {
+                Some(score) => write!(out, " {:>12.2}", score.minutes).unwrap(),
+                None => write!(out, " {:>12}", "-").unwrap(),
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submission(name: &str, scores: Vec<BenchmarkScore>) -> Submission {
+        Submission {
+            system: SystemDescription {
+                submitter: "TestOrg".into(),
+                system_name: name.into(),
+                accelerators: 8,
+                accelerator_model: "A900".into(),
+                host_processors: 2,
+                software: "mlperf-suite 0.1".into(),
+            },
+            division: Division::Closed,
+            category: Category::Available,
+            system_type: SystemType::OnPremise,
+            scores,
+        }
+    }
+
+    #[test]
+    fn omitted_benchmarks_render_blank() {
+        let s = submission(
+            "node-a",
+            vec![BenchmarkScore { benchmark: BenchmarkId::ImageClassification, minutes: 12.5, runs: 5 }],
+        );
+        let table = render_results_table(&[s]);
+        assert!(table.contains("12.50"));
+        // Six omitted benchmarks rendered as dashes.
+        assert_eq!(table.matches(" -").count(), 6, "table:\n{table}");
+    }
+
+    #[test]
+    fn table_has_no_summary_column() {
+        let s = submission("node-a", vec![]);
+        let table = render_results_table(&[s]);
+        let header = table.lines().next().unwrap();
+        assert!(!header.to_lowercase().contains("summary"));
+        assert!(!header.to_lowercase().contains("overall"));
+        // Exactly the 7 benchmark columns plus the 4 metadata columns.
+        assert_eq!(header.split_whitespace().count(), 4 + 7);
+    }
+
+    #[test]
+    fn score_lookup() {
+        let s = submission(
+            "node-b",
+            vec![BenchmarkScore { benchmark: BenchmarkId::Recommendation, minutes: 3.0, runs: 10 }],
+        );
+        assert!(s.score_for(BenchmarkId::Recommendation).is_some());
+        assert!(s.score_for(BenchmarkId::ObjectDetection).is_none());
+    }
+
+    #[test]
+    fn submissions_serialize() {
+        let s = submission("node-c", vec![]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Submission = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

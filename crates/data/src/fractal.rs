@@ -1,0 +1,223 @@
+//! Fractal expansion of interaction datasets (Belletti et al., 2019 —
+//! cited in §3.1.5 as the method MLPerf adopted for v0.7 to replace
+//! MovieLens-20M with a synthetic dataset "while retaining
+//! characteristics of the original data").
+//!
+//! The core idea is a Kronecker self-product: a small seed
+//! user × item affinity matrix `M` is expanded to `M ⊗ M`, whose
+//! `(u₁·n + u₂, i₁·m + i₂)` entry multiplies the seed affinities of its
+//! two index components. Sampling interactions from the expanded
+//! probabilities yields a dataset whose sparsity structure, popularity
+//! skew and block self-similarity mirror the seed at a much larger
+//! scale.
+
+use crate::cf::InteractionSet;
+use mlperf_tensor::TensorRng;
+
+/// A user × item affinity matrix with entries in `[0, 1]`
+/// (interaction probabilities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffinityMatrix {
+    users: usize,
+    items: usize,
+    probs: Vec<f64>,
+}
+
+impl AffinityMatrix {
+    /// Creates a matrix from row-major probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length mismatches or any probability is
+    /// outside `[0, 1]`.
+    pub fn new(users: usize, items: usize, probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), users * items, "probability buffer size mismatch");
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must lie in [0, 1]"
+        );
+        AffinityMatrix { users, items, probs }
+    }
+
+    /// Estimates a seed affinity matrix from observed interactions:
+    /// smoothed per-(user, item) empirical frequencies.
+    pub fn from_interactions(sets: &[InteractionSet], items: usize) -> Self {
+        let users = sets.len();
+        let mut probs = vec![0.08f64; users * items]; // smoothing floor
+        for (u, set) in sets.iter().enumerate() {
+            for &i in set.positives.iter().chain([&set.held_out]) {
+                probs[u * items + i] = 0.9;
+            }
+        }
+        AffinityMatrix { users, items, probs }
+    }
+
+    /// User count.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Item count.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// The interaction probability for a user/item pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn prob(&self, user: usize, item: usize) -> f64 {
+        assert!(user < self.users && item < self.items, "index out of bounds");
+        self.probs[user * self.items + item]
+    }
+
+    /// Mean interaction probability (the expected density).
+    pub fn density(&self) -> f64 {
+        self.probs.iter().sum::<f64>() / self.probs.len() as f64
+    }
+
+    /// The Kronecker self-product: a `(users², items²)` matrix whose
+    /// entries are products of seed entries — one fractal expansion
+    /// level.
+    pub fn kronecker_square(&self) -> AffinityMatrix {
+        let nu = self.users * self.users;
+        let ni = self.items * self.items;
+        let mut probs = vec![0.0f64; nu * ni];
+        for u1 in 0..self.users {
+            for u2 in 0..self.users {
+                for i1 in 0..self.items {
+                    for i2 in 0..self.items {
+                        let u = u1 * self.users + u2;
+                        let i = i1 * self.items + i2;
+                        probs[u * ni + i] = self.prob(u1, i1) * self.prob(u2, i2);
+                    }
+                }
+            }
+        }
+        AffinityMatrix { users: nu, items: ni, probs }
+    }
+
+    /// Samples a binary interaction matrix from the probabilities;
+    /// returns, per user, the interacted item list.
+    pub fn sample(&self, rng: &mut TensorRng) -> Vec<Vec<usize>> {
+        (0..self.users)
+            .map(|u| {
+                (0..self.items)
+                    .filter(|&i| (rng.unit_f64()) < self.prob(u, i))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cf::{CfConfig, SyntheticCf};
+
+    fn seed_matrix() -> AffinityMatrix {
+        AffinityMatrix::new(
+            2,
+            2,
+            vec![
+                0.9, 0.2, //
+                0.3, 0.7,
+            ],
+        )
+    }
+
+    #[test]
+    fn kronecker_dimensions_square() {
+        let m = seed_matrix().kronecker_square();
+        assert_eq!(m.users(), 4);
+        assert_eq!(m.items(), 4);
+    }
+
+    #[test]
+    fn kronecker_entries_are_products() {
+        let seed = seed_matrix();
+        let big = seed.kronecker_square();
+        // (u1,u2)=(0,1), (i1,i2)=(1,0): prob = M[0,1] * M[1,0].
+        let expected = seed.prob(0, 1) * seed.prob(1, 0);
+        assert!((big.prob(1, 2) - expected).abs() < 1e-12);
+        // Corner block reproduces the seed scaled by M[0,0].
+        for u in 0..2 {
+            for i in 0..2 {
+                let expected = seed.prob(0, 0) * seed.prob(u, i);
+                assert!((big.prob(u, i) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn density_squares_under_expansion() {
+        // E[M⊗M] = E[M]² for the mean taken over all entries.
+        let seed = seed_matrix();
+        let big = seed.kronecker_square();
+        assert!((big.density() - seed.density() * seed.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_preserves_popularity_skew() {
+        // The most popular seed item's expansion blocks stay the most
+        // popular — the "retains characteristics" property.
+        let seed = seed_matrix();
+        let big = seed.kronecker_square();
+        let item_popularity = |m: &AffinityMatrix, i: usize| -> f64 {
+            (0..m.users()).map(|u| m.prob(u, i)).sum()
+        };
+        // Seed: item 0 (0.9 + 0.3) beats item 1 (0.2 + 0.7).
+        assert!(item_popularity(&seed, 0) > item_popularity(&seed, 1));
+        // Expanded: block-0 items (0, 1) collectively beat block-1.
+        let block0: f64 = (0..2).map(|i| item_popularity(&big, i)).sum();
+        let block1: f64 = (2..4).map(|i| item_popularity(&big, i)).sum();
+        assert!(block0 > block1);
+    }
+
+    #[test]
+    fn from_interactions_reflects_positives() {
+        let data = SyntheticCf::generate(CfConfig::tiny(), 1);
+        let m = AffinityMatrix::from_interactions(&data.users, data.config().items);
+        let set = &data.users[0];
+        for &i in &set.positives {
+            assert!(m.prob(set.user, i) > 0.5);
+        }
+        let negative = set.eval_negatives[0];
+        assert!(m.prob(set.user, negative) < 0.5);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities_statistically() {
+        let m = AffinityMatrix::new(1, 2, vec![0.9, 0.1]);
+        let mut rng = TensorRng::new(0);
+        let mut hits = [0usize; 2];
+        let trials = 2000;
+        for _ in 0..trials {
+            for &i in &m.sample(&mut rng)[0] {
+                hits[i] += 1;
+            }
+        }
+        let p0 = hits[0] as f64 / trials as f64;
+        let p1 = hits[1] as f64 / trials as f64;
+        assert!((p0 - 0.9).abs() < 0.05, "p0 {p0}");
+        assert!((p1 - 0.1).abs() < 0.05, "p1 {p1}");
+    }
+
+    #[test]
+    fn end_to_end_expansion_scales_dataset() {
+        // Seed dataset -> affinity -> Kronecker -> sampled large
+        // dataset with the same density order.
+        let data = SyntheticCf::generate(CfConfig::tiny(), 2);
+        let seed = AffinityMatrix::from_interactions(&data.users, data.config().items);
+        let big = seed.kronecker_square();
+        assert_eq!(big.users(), seed.users() * seed.users());
+        let mut rng = TensorRng::new(3);
+        let sampled = big.sample(&mut rng);
+        assert_eq!(sampled.len(), big.users());
+        let total: usize = sampled.iter().map(Vec::len).sum();
+        let expected = big.density() * (big.users() * big.items()) as f64;
+        let rel = (total as f64 - expected).abs() / expected;
+        assert!(rel < 0.2, "sampled {total} vs expected {expected}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Minibatch planning: seeded shuffling, batching and sharding.
+//!
+//! The paper's Closed division fixes data traversal as part of workload
+//! equivalence; deterministic seeded shuffling makes traversal
+//! reproducible and lets the run-variance experiments isolate the seed
+//! as the only source of randomness.
+
+use mlperf_tensor::TensorRng;
+
+/// The minibatch index plan for one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    batches: Vec<Vec<usize>>,
+}
+
+impl BatchPlan {
+    /// The planned batches, in order.
+    pub fn batches(&self) -> &[Vec<usize>] {
+        &self.batches
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Iterates over the batches.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<usize>> {
+        self.batches.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BatchPlan {
+    type Item = &'a Vec<usize>;
+    type IntoIter = std::slice::Iter<'a, Vec<usize>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.batches.iter()
+    }
+}
+
+/// Plans one epoch of minibatches over `n` samples: a seeded shuffle cut
+/// into batches of `batch_size` (the trailing partial batch is kept).
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn epoch_batches(n: usize, batch_size: usize, rng: &mut TensorRng) -> BatchPlan {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut indices: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut indices);
+    let batches = indices
+        .chunks(batch_size)
+        .map(|c| c.to_vec())
+        .collect();
+    BatchPlan { batches }
+}
+
+/// Splits indices across `num_shards` data-parallel workers; worker `i`
+/// gets every `num_shards`-th element starting at `i` (so shard sizes
+/// differ by at most one).
+///
+/// # Panics
+///
+/// Panics if `shard >= num_shards` or `num_shards` is zero.
+pub fn shard(indices: &[usize], shard: usize, num_shards: usize) -> Vec<usize> {
+    assert!(num_shards > 0, "num_shards must be positive");
+    assert!(shard < num_shards, "shard {shard} out of {num_shards}");
+    indices
+        .iter()
+        .skip(shard)
+        .step_by(num_shards)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_covers_every_index_once() {
+        let mut rng = TensorRng::new(0);
+        let plan = epoch_batches(103, 16, &mut rng);
+        let mut all: Vec<usize> = plan.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        assert_eq!(plan.len(), 7); // ceil(103/16)
+        assert_eq!(plan.batches().last().unwrap().len(), 103 % 16);
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let mut a = TensorRng::new(9);
+        let mut b = TensorRng::new(9);
+        assert_eq!(epoch_batches(50, 8, &mut a), epoch_batches(50, 8, &mut b));
+    }
+
+    #[test]
+    fn different_seed_different_order() {
+        let mut a = TensorRng::new(1);
+        let mut b = TensorRng::new(2);
+        assert_ne!(epoch_batches(50, 8, &mut a), epoch_batches(50, 8, &mut b));
+    }
+
+    #[test]
+    fn shards_partition_the_data() {
+        let indices: Vec<usize> = (0..10).collect();
+        let s0 = shard(&indices, 0, 3);
+        let s1 = shard(&indices, 1, 3);
+        let s2 = shard(&indices, 2, 3);
+        let mut merged: Vec<usize> = s0.iter().chain(&s1).chain(&s2).copied().collect();
+        merged.sort_unstable();
+        assert_eq!(merged, indices);
+        assert_eq!(s0, vec![0, 3, 6, 9]);
+        assert!(s0.len() - s2.len() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        let mut rng = TensorRng::new(0);
+        epoch_batches(10, 0, &mut rng);
+    }
+}

@@ -1,0 +1,131 @@
+//! One-time data reformatting — the stage the paper's timing rules
+//! exclude from the measured run (§3.2.1: "the raw input data is
+//! commonly reformatted once and then used for many subsequent training
+//! sessions").
+//!
+//! Here reformatting means packing per-sample images into one
+//! contiguous record buffer with an index — the moral equivalent of
+//! building a TFRecord/LMDB/RecordIO database. The harness in
+//! `mlperf-core` performs this step outside the timed region and the
+//! timing tests assert it stays there.
+
+use mlperf_tensor::Tensor;
+
+/// Statistics reported by a reformatting pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReformatStats {
+    /// Samples packed.
+    pub samples: usize,
+    /// Total f32 values written.
+    pub values: usize,
+}
+
+/// Images packed into one contiguous buffer with an offset index.
+#[derive(Debug, Clone)]
+pub struct PackedImages {
+    buffer: Vec<f32>,
+    offsets: Vec<usize>,
+    sample_shape: Vec<usize>,
+}
+
+impl PackedImages {
+    /// Packs a `[n, c, h, w]` tensor into record form. This is the
+    /// one-time reformatting step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 4-D.
+    pub fn pack(images: &Tensor) -> (Self, ReformatStats) {
+        let s = images.shape();
+        assert_eq!(s.len(), 4, "pack expects [n, c, h, w]");
+        let n = s[0];
+        let per = s[1] * s[2] * s[3];
+        let mut offsets = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            offsets.push(i * per);
+        }
+        let packed = PackedImages {
+            buffer: images.data().to_vec(),
+            offsets,
+            sample_shape: s[1..].to_vec(),
+        };
+        let stats = ReformatStats {
+            samples: n,
+            values: n * per,
+        };
+        (packed, stats)
+    }
+
+    /// Number of packed samples.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the pack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads one sample back as a `[c, h, w]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn read(&self, index: usize) -> Tensor {
+        assert!(index < self.len(), "record {index} out of {}", self.len());
+        let lo = self.offsets[index];
+        let hi = self.offsets[index + 1];
+        Tensor::from_vec(self.buffer[lo..hi].to_vec(), &self.sample_shape)
+    }
+
+    /// Gathers several samples as a `[k, c, h, w]` batch.
+    pub fn read_batch(&self, indices: &[usize]) -> Tensor {
+        let per: usize = self.sample_shape.iter().product();
+        let mut out = Vec::with_capacity(indices.len() * per);
+        for &i in indices {
+            assert!(i < self.len(), "record {i} out of {}", self.len());
+            let lo = self.offsets[i];
+            out.extend_from_slice(&self.buffer[lo..lo + per]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&self.sample_shape);
+        Tensor::from_vec(out, &shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_tensor::TensorRng;
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let mut rng = TensorRng::new(0);
+        let images = rng.normal(&[5, 2, 3, 3], 0.0, 1.0);
+        let (packed, stats) = PackedImages::pack(&images);
+        assert_eq!(stats.samples, 5);
+        assert_eq!(stats.values, 5 * 18);
+        for i in 0..5 {
+            let one = packed.read(i);
+            let expected = images.narrow(0, i, 1).reshape(&[2, 3, 3]);
+            assert_eq!(one, expected);
+        }
+    }
+
+    #[test]
+    fn batch_read_matches_individual() {
+        let mut rng = TensorRng::new(1);
+        let images = rng.normal(&[4, 1, 2, 2], 0.0, 1.0);
+        let (packed, _) = PackedImages::pack(&images);
+        let batch = packed.read_batch(&[3, 0]);
+        assert_eq!(batch.shape(), &[2, 1, 2, 2]);
+        assert_eq!(batch.narrow(0, 0, 1).reshape(&[1, 2, 2]), packed.read(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_read_panics() {
+        let (packed, _) = PackedImages::pack(&Tensor::zeros(&[2, 1, 2, 2]));
+        packed.read(2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Power and energy modelling — the paper's §4.2.3 names a power
+//! specification for on-premise systems as planned future work ("for
+//! on-premise systems, the future versions will include a specification
+//! for measuring power"); this module implements the natural analytic
+//! version for the simulator so submissions can report energy-to-train
+//! alongside time-to-train.
+
+use crate::chips::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Power characteristics of an accelerator chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSpec {
+    /// Thermal design power of one chip, watts.
+    pub chip_tdp_w: f64,
+    /// Fraction of TDP drawn while training (utilization-dependent
+    /// systems typically sit at 0.6–0.9).
+    pub load_fraction: f64,
+    /// Host + fabric overhead per chip, watts.
+    pub overhead_per_chip_w: f64,
+    /// Facility overhead multiplier (PUE); 1.0 = ideal.
+    pub pue: f64,
+}
+
+impl PowerSpec {
+    /// A representative accelerator-node profile.
+    pub fn typical() -> Self {
+        PowerSpec {
+            chip_tdp_w: 300.0,
+            load_fraction: 0.8,
+            overhead_per_chip_w: 75.0,
+            pue: 1.2,
+        }
+    }
+}
+
+/// Wall power (watts) drawn by a system under training load.
+pub fn system_power_w(system: &SystemConfig, power: &PowerSpec) -> f64 {
+    let chips = system.chips as f64;
+    (chips * power.chip_tdp_w * power.load_fraction + chips * power.overhead_per_chip_w)
+        * power.pue
+}
+
+/// Energy to train, in kilowatt-hours, for a result taking
+/// `minutes` of wall time on `system`.
+pub fn energy_to_train_kwh(system: &SystemConfig, power: &PowerSpec, minutes: f64) -> f64 {
+    system_power_w(system, power) * (minutes / 60.0) / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chips::{ChipSpec, Interconnect};
+
+    fn system(chips: usize) -> SystemConfig {
+        SystemConfig {
+            chip: ChipSpec {
+                name: "sim".into(),
+                tflops: 100.0,
+                memory_gib: 16.0,
+                utilization: 0.5,
+            },
+            chips,
+            interconnect: Interconnect { bandwidth_gbs: 100.0, latency_us: 3.0 },
+        }
+    }
+
+    #[test]
+    fn power_scales_linearly_with_chips() {
+        let p = PowerSpec::typical();
+        let p8 = system_power_w(&system(8), &p);
+        let p16 = system_power_w(&system(16), &p);
+        assert!((p16 / p8 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_node_power_is_plausible() {
+        // 8 chips at 300W TDP, 80% load, 75W overhead, PUE 1.2:
+        // (8*240 + 8*75) * 1.2 = 3024 W.
+        let p = system_power_w(&system(8), &PowerSpec::typical());
+        assert!((p - 3024.0).abs() < 1e-6, "power {p}");
+    }
+
+    #[test]
+    fn energy_accounts_time_and_power() {
+        let p = PowerSpec::typical();
+        // Same workload: a 2x bigger system finishing in exactly half
+        // the time uses the same energy.
+        let e_small = energy_to_train_kwh(&system(8), &p, 60.0);
+        let e_big = energy_to_train_kwh(&system(16), &p, 30.0);
+        assert!((e_small - e_big).abs() < 1e-9);
+        // 3024 W for one hour = 3.024 kWh.
+        assert!((e_small - 3.024).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pue_multiplies_everything() {
+        let mut p = PowerSpec::typical();
+        let base = system_power_w(&system(4), &p);
+        p.pue = 2.4;
+        assert!((system_power_w(&system(4), &p) / base - 2.0).abs() < 1e-9);
+    }
+}

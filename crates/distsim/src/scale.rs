@@ -1,0 +1,187 @@
+//! The cloud scale metric (§4.2.3).
+//!
+//! The paper: "for cloud systems, a cloud scale metric was derived
+//! from: 1) number of host processors, 2) amount of host memory, and
+//! 3) number and type of accelerators. We empirically verified that
+//! cloud scale correlates closely with cost across three major cloud
+//! providers."
+
+use serde::{Deserialize, Serialize};
+
+/// A cloud system description, as submitted alongside results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudSystemDescription {
+    /// Host vCPU count.
+    pub host_processors: usize,
+    /// Host memory in GiB.
+    pub host_memory_gib: f64,
+    /// Number of accelerator chips.
+    pub accelerators: usize,
+    /// Relative cost weight of the accelerator type (1.0 = the
+    /// reference accelerator generation).
+    pub accelerator_weight: f64,
+}
+
+/// Computes the cloud scale metric: a cost-proxy combining host
+/// processors, host memory and weighted accelerator count. Calibrated
+/// so one reference accelerator with a typical host slice scores 1.0.
+pub fn cloud_scale(desc: &CloudSystemDescription) -> f64 {
+    const PROC_WEIGHT: f64 = 0.01;
+    const MEM_WEIGHT: f64 = 0.0008;
+    const ACCEL_SHARE: f64 = 0.87;
+    ACCEL_SHARE * desc.accelerators as f64 * desc.accelerator_weight
+        + PROC_WEIGHT * desc.host_processors as f64
+        + MEM_WEIGHT * desc.host_memory_gib
+}
+
+/// A simulated cloud provider's pricing model. The three providers
+/// weigh the same resources differently (and add distinct base fees),
+/// the way real clouds do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provider {
+    /// Accelerator-premium pricing.
+    North,
+    /// Balanced pricing.
+    Meridian,
+    /// Host-heavy pricing with cheaper accelerators.
+    South,
+}
+
+impl Provider {
+    /// All simulated providers.
+    pub const ALL: [Provider; 3] = [Provider::North, Provider::Meridian, Provider::South];
+}
+
+/// The hourly price (arbitrary currency units) a provider charges for a
+/// system. Used to check the paper's claim that the cloud scale metric
+/// "correlates closely with cost across three major cloud providers"
+/// (§4.2.3).
+pub fn hourly_price(desc: &CloudSystemDescription, provider: Provider) -> f64 {
+    let (accel, proc, mem, base) = match provider {
+        Provider::North => (3.10, 0.028, 0.0022, 0.05),
+        Provider::Meridian => (2.60, 0.042, 0.0035, 0.10),
+        Provider::South => (2.25, 0.055, 0.0041, 0.02),
+    };
+    base + accel * desc.accelerators as f64 * desc.accelerator_weight
+        + proc * desc.host_processors as f64
+        + mem * desc.host_memory_gib
+}
+
+/// Pearson correlation between two equally long samples.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 points are given.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least 2 points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_accel_slice() -> CloudSystemDescription {
+        CloudSystemDescription {
+            host_processors: 8,
+            host_memory_gib: 61.0,
+            accelerators: 1,
+            accelerator_weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn reference_slice_scores_about_one() {
+        let s = cloud_scale(&one_accel_slice());
+        assert!((s - 1.0).abs() < 0.01, "reference scale {s}");
+    }
+
+    #[test]
+    fn scale_is_monotone_in_every_component() {
+        let base = one_accel_slice();
+        let s0 = cloud_scale(&base);
+        let mut more_accel = base.clone();
+        more_accel.accelerators = 8;
+        assert!(cloud_scale(&more_accel) > s0);
+        let mut more_cpu = base.clone();
+        more_cpu.host_processors = 96;
+        assert!(cloud_scale(&more_cpu) > s0);
+        let mut more_mem = base.clone();
+        more_mem.host_memory_gib = 488.0;
+        assert!(cloud_scale(&more_mem) > s0);
+    }
+
+    #[test]
+    fn eight_accel_node_costs_about_eight_slices() {
+        // Linear-cost sanity: an 8-accelerator node with 8x the host
+        // resources scores ~8x the single slice.
+        let node = CloudSystemDescription {
+            host_processors: 64,
+            host_memory_gib: 488.0,
+            accelerators: 8,
+            accelerator_weight: 1.0,
+        };
+        let ratio = cloud_scale(&node) / cloud_scale(&one_accel_slice());
+        assert!((ratio - 8.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    /// The §4.2.3 verification: over a realistic grid of cloud system
+    /// shapes, cloud scale correlates closely with every provider's
+    /// price.
+    #[test]
+    fn cloud_scale_correlates_with_cost_across_providers() {
+        let mut systems = Vec::new();
+        for accel in [1usize, 2, 4, 8, 16, 32] {
+            for weight in [1.0, 1.8, 2.5] {
+                systems.push(CloudSystemDescription {
+                    host_processors: 8 * accel,
+                    host_memory_gib: 61.0 * accel as f64,
+                    accelerators: accel,
+                    accelerator_weight: weight,
+                });
+            }
+        }
+        let scales: Vec<f64> = systems.iter().map(cloud_scale).collect();
+        for provider in Provider::ALL {
+            let prices: Vec<f64> =
+                systems.iter().map(|s| hourly_price(s, provider)).collect();
+            let r = pearson(&scales, &prices);
+            assert!(r > 0.97, "{provider:?}: correlation {r} too weak");
+        }
+    }
+
+    #[test]
+    fn providers_disagree_on_absolute_price() {
+        let node = one_accel_slice();
+        let prices: Vec<f64> = Provider::ALL
+            .iter()
+            .map(|&p| hourly_price(&node, p))
+            .collect();
+        assert!(prices[0] != prices[1] && prices[1] != prices[2]);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newer_accelerators_weigh_more() {
+        let mut newer = one_accel_slice();
+        newer.accelerator_weight = 2.5;
+        assert!(cloud_scale(&newer) > 2.0 * cloud_scale(&one_accel_slice()));
+    }
+}

@@ -1,0 +1,73 @@
+//! Feature encoding: turns a [`Board`] into the input planes of the
+//! MiniGo policy/value network.
+
+use crate::board::Board;
+
+/// Number of feature planes produced by [`encode_features`].
+pub const FEATURE_PLANES: usize = 4;
+
+/// Encodes a position as `FEATURE_PLANES` planes of `size × size`
+/// values, from the perspective of the side to move:
+///
+/// 0. own stones, 1. opponent stones, 2. legal-move mask ignoring eye
+///    filling (cheap liberties proxy), 3. all-ones (bias / komi plane).
+///
+/// Returned in row-major `[planes, size, size]` order, ready to be
+/// viewed as an NCHW tensor.
+pub fn encode_features(board: &Board) -> Vec<f32> {
+    let n = board.num_points();
+    let mut planes = vec![0.0f32; FEATURE_PLANES * n];
+    let me = board.to_play();
+    for p in 0..n {
+        match board.stone(p) {
+            Some(c) if c == me => planes[p] = 1.0,
+            Some(_) => planes[n + p] = 1.0,
+            None => {
+                if board.is_legal(crate::board::Move::Play(p)) {
+                    planes[2 * n + p] = 1.0;
+                }
+            }
+        }
+        planes[3 * n + p] = 1.0;
+    }
+    planes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Move;
+
+    #[test]
+    fn planes_have_expected_layout() {
+        let mut b = Board::new(9);
+        b.play(Move::Play(40)).unwrap(); // Black center
+        // Now White to move: plane 0 = white stones (none), plane 1 has
+        // the black stone.
+        let f = encode_features(&b);
+        assert_eq!(f.len(), FEATURE_PLANES * 81);
+        assert_eq!(f[40], 0.0);
+        assert_eq!(f[81 + 40], 1.0);
+        assert_eq!(f[3 * 81], 1.0);
+    }
+
+    #[test]
+    fn perspective_flips_with_turn() {
+        let mut b = Board::new(9);
+        b.play(Move::Play(40)).unwrap();
+        b.play(Move::Play(0)).unwrap();
+        // Black to move again: own plane holds 40, opponent plane 0.
+        let f = encode_features(&b);
+        assert_eq!(f[40], 1.0);
+        assert_eq!(f[81], 1.0);
+    }
+
+    #[test]
+    fn legality_plane_excludes_occupied() {
+        let mut b = Board::new(9);
+        b.play(Move::Play(13)).unwrap();
+        let f = encode_features(&b);
+        assert_eq!(f[2 * 81 + 13], 0.0);
+        assert_eq!(f[2 * 81 + 14], 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Full-game orchestration and game records.
+
+use crate::board::{Board, Color, Move};
+use crate::players::Player;
+
+/// The moves and outcome of one finished game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameRecord {
+    /// Board edge length.
+    pub size: usize,
+    /// Moves in play order (Black first).
+    pub moves: Vec<Move>,
+    /// Winner under area scoring with the komi used.
+    pub winner: Color,
+    /// Final margin (positive for Black).
+    pub margin: f32,
+}
+
+impl GameRecord {
+    /// Replays the record, yielding `(position_before_move, move)`
+    /// pairs — the supervision pairs for move-prediction training.
+    pub fn positions(&self) -> Vec<(Board, Move)> {
+        let mut board = Board::new(self.size);
+        let mut out = Vec::with_capacity(self.moves.len());
+        for &mv in &self.moves {
+            out.push((board.clone(), mv));
+            board.play(mv).expect("recorded move must be legal on replay");
+        }
+        out
+    }
+}
+
+/// Plays one game between two players.
+///
+/// The game ends at two consecutive passes or after `max_moves`
+/// (whichever comes first), then is scored with `komi`.
+pub fn play_game(
+    black: &mut dyn Player,
+    white: &mut dyn Player,
+    size: usize,
+    komi: f32,
+    max_moves: usize,
+) -> GameRecord {
+    let mut board = Board::new(size);
+    let mut moves = Vec::new();
+    while !board.is_over() && board.moves_played() < max_moves {
+        let mv = match board.to_play() {
+            Color::Black => black.select_move(&board),
+            Color::White => white.select_move(&board),
+        };
+        let mv = if board.play(mv).is_ok() { mv } else {
+            // A player returning an illegal move forfeits the turn.
+            board.play(Move::Pass).expect("pass is always legal");
+            Move::Pass
+        };
+        moves.push(mv);
+    }
+    let score = board.score(komi);
+    GameRecord {
+        size,
+        moves,
+        winner: score.winner(),
+        margin: score.margin(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::players::{HeuristicPlayer, RandomPlayer};
+
+    #[test]
+    fn random_vs_random_terminates() {
+        let mut b = RandomPlayer::new(1);
+        let mut w = RandomPlayer::new(2);
+        let rec = play_game(&mut b, &mut w, 9, 7.5, 300);
+        assert!(!rec.moves.is_empty());
+        assert!(rec.moves.len() <= 300);
+    }
+
+    #[test]
+    fn heuristic_beats_random_usually() {
+        let mut wins = 0;
+        let n = 10;
+        for seed in 0..n {
+            let mut strong = HeuristicPlayer::new(seed);
+            let mut weak = RandomPlayer::new(seed + 100);
+            let rec = play_game(&mut strong, &mut weak, 9, 7.5, 250);
+            if rec.winner == Color::Black {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 8,
+            "heuristic player won only {wins}/{n} games against random"
+        );
+    }
+
+    #[test]
+    fn positions_replay_consistently() {
+        let mut b = RandomPlayer::new(5);
+        let mut w = HeuristicPlayer::new(6);
+        let rec = play_game(&mut b, &mut w, 9, 7.5, 200);
+        let pairs = rec.positions();
+        assert_eq!(pairs.len(), rec.moves.len());
+        // First position is the empty board.
+        assert_eq!(pairs[0].0.moves_played(), 0);
+        // Every recorded move is legal at its position.
+        for (board, mv) in &pairs {
+            assert!(board.is_legal(*mv));
+        }
+    }
+
+    #[test]
+    fn same_seeds_reproduce_game() {
+        let play = |s1, s2| {
+            let mut b = RandomPlayer::new(s1);
+            let mut w = RandomPlayer::new(s2);
+            play_game(&mut b, &mut w, 9, 7.5, 200)
+        };
+        assert_eq!(play(7, 8), play(7, 8));
+        assert_ne!(play(7, 8).moves, play(9, 10).moves);
+    }
+}

@@ -1,0 +1,213 @@
+//! Engine players: a uniform-random baseline and the heuristic
+//! "professional" reference player whose games define the MiniGo
+//! quality metric.
+
+use crate::board::{Board, Color, Move};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Anything that can choose a move for the side to play.
+pub trait Player {
+    /// Chooses a move for the current position (must be legal).
+    fn select_move(&mut self, board: &Board) -> Move;
+}
+
+/// Plays uniformly at random over legal moves; passes when the board
+/// offers no sensible move (few liberties left) to keep games finite.
+#[derive(Debug)]
+pub struct RandomPlayer {
+    rng: StdRng,
+}
+
+impl RandomPlayer {
+    /// Creates a seeded random player.
+    pub fn new(seed: u64) -> Self {
+        RandomPlayer {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Player for RandomPlayer {
+    fn select_move(&mut self, board: &Board) -> Move {
+        // Avoid filling single-point eyes (own territory surrounded by
+        // own stones) so random games terminate.
+        let moves: Vec<Move> = board
+            .legal_moves()
+            .into_iter()
+            .filter(|&m| !fills_own_eye(board, m))
+            .collect();
+        if moves.is_empty() {
+            Move::Pass
+        } else {
+            moves[self.rng.gen_range(0..moves.len())]
+        }
+    }
+}
+
+/// A deterministic-under-seed heuristic player used as the fixed
+/// "professional" reference. Move preferences, in order:
+///
+/// 1. capture the largest opponent group in atari;
+/// 2. rescue own largest group in atari (by extending);
+/// 3. maximize a positional score: liberties gained, opponent liberties
+///    removed, and center proximity, with small seeded noise for
+///    tie-breaking.
+#[derive(Debug)]
+pub struct HeuristicPlayer {
+    rng: StdRng,
+    /// Weight of the seeded tie-breaking noise (0 = fully
+    /// deterministic).
+    noise: f32,
+}
+
+impl HeuristicPlayer {
+    /// Creates a player with mild tie-breaking noise.
+    pub fn new(seed: u64) -> Self {
+        HeuristicPlayer {
+            rng: StdRng::seed_from_u64(seed),
+            noise: 0.1,
+        }
+    }
+
+    /// Creates a fully deterministic player (no tie-breaking noise).
+    pub fn deterministic(seed: u64) -> Self {
+        HeuristicPlayer {
+            rng: StdRng::seed_from_u64(seed),
+            noise: 0.0,
+        }
+    }
+
+    /// Scores a candidate move for the side to play.
+    fn score_move(&mut self, board: &Board, mv: Move) -> f32 {
+        let Move::Play(point) = mv else { return f32::NEG_INFINITY };
+        let me = board.to_play();
+        let mut trial = board.clone();
+        if trial.play(mv).is_err() {
+            return f32::NEG_INFINITY;
+        }
+        let mut score = 0.0f32;
+        // Captures achieved by this move.
+        let before = board.captures();
+        let after = trial.captures();
+        let captured = match me {
+            Color::Black => after.0 - before.0,
+            Color::White => after.1 - before.1,
+        };
+        score += 10.0 * captured as f32;
+        // Own group's liberties after the move (rescue / stability).
+        let libs = trial.liberties(point) as f32;
+        score += libs;
+        if libs <= 1.0 {
+            score -= 8.0; // self-atari is nearly always bad
+        }
+        // Pressure: opponent neighbors in atari after the move.
+        for n in trial.neighbors(point) {
+            if trial.stone(n) == Some(me.opponent()) && trial.liberties(n) == 1 {
+                score += 4.0;
+            }
+        }
+        // Mild center preference.
+        let size = board.size();
+        let (r, c) = (point / size, point % size);
+        let center = (size as f32 - 1.0) / 2.0;
+        let dist = ((r as f32 - center).abs() + (c as f32 - center).abs()) / size as f32;
+        score += 1.0 - dist;
+        // Seeded tie-breaking noise.
+        if self.noise > 0.0 {
+            score += self.rng.gen_range(0.0..self.noise);
+        }
+        score
+    }
+}
+
+impl Player for HeuristicPlayer {
+    fn select_move(&mut self, board: &Board) -> Move {
+        let mut best = Move::Pass;
+        let mut best_score = f32::NEG_INFINITY;
+        for mv in board.legal_moves() {
+            if fills_own_eye(board, mv) {
+                continue;
+            }
+            let s = self.score_move(board, mv);
+            if s > best_score {
+                best_score = s;
+                best = mv;
+            }
+        }
+        best
+    }
+}
+
+/// Whether a play would fill a single-point eye of its own color.
+fn fills_own_eye(board: &Board, mv: Move) -> bool {
+    let Move::Play(point) = mv else { return false };
+    let me = board.to_play();
+    board
+        .neighbors(point)
+        .iter()
+        .all(|&n| board.stone(n) == Some(me))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_player_is_legal_and_seeded() {
+        let board = Board::new(9);
+        let mut a = RandomPlayer::new(3);
+        let mut b = RandomPlayer::new(3);
+        for _ in 0..10 {
+            let ma = a.select_move(&board);
+            let mb = b.select_move(&board);
+            assert_eq!(ma, mb, "same seed must give same stream");
+            assert!(board.is_legal(ma));
+        }
+    }
+
+    #[test]
+    fn heuristic_prefers_capture() {
+        // Black can capture the white stone at (0,0) by playing (1,0).
+        let mut b = Board::new(5);
+        b.play(Move::Play(b.point(0, 1))).unwrap(); // B
+        b.play(Move::Play(b.point(0, 0))).unwrap(); // W (one liberty at (1,0))
+        let mut p = HeuristicPlayer::deterministic(0);
+        let mv = p.select_move(&b);
+        assert_eq!(mv, Move::Play(b.point(1, 0)), "should capture the corner stone");
+    }
+
+    #[test]
+    fn heuristic_deterministic_variant_is_repeatable() {
+        let board = Board::new(9);
+        let mv1 = HeuristicPlayer::deterministic(0).select_move(&board);
+        let mv2 = HeuristicPlayer::deterministic(99).select_move(&board);
+        assert_eq!(mv1, mv2, "determinstic player must ignore seed");
+    }
+
+    #[test]
+    fn heuristic_opens_near_center() {
+        let board = Board::new(9);
+        let mv = HeuristicPlayer::deterministic(0).select_move(&board);
+        let Move::Play(p) = mv else { panic!("passed on empty board") };
+        let (r, c) = (p / 9, p % 9);
+        assert!((3..=5).contains(&r) && (3..=5).contains(&c), "opened at ({r},{c})");
+    }
+
+    #[test]
+    fn players_do_not_fill_own_eyes() {
+        // Black eye at (0,0) with black stones at (0,1),(1,0),(1,1).
+        let mut b = Board::new(5);
+        for (r, c) in [(0usize, 1usize), (1, 0), (1, 1)] {
+            b.play(Move::Play(b.point(r, c))).unwrap();
+            b.play(Move::Pass).unwrap();
+        }
+        assert_eq!(b.to_play(), Color::Black);
+        let eye = b.point(0, 0);
+        assert!(b.is_legal(Move::Play(eye)));
+        let mut p = RandomPlayer::new(0);
+        for _ in 0..50 {
+            assert_ne!(p.select_move(&b), Move::Play(eye));
+        }
+    }
+}

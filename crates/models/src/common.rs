@@ -1,0 +1,139 @@
+//! Shared model utilities: detections, non-maximum suppression, and
+//! sinusoidal position encodings.
+
+use mlperf_tensor::Tensor;
+
+/// A detected object in normalized image coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Center x in `[0, 1]`.
+    pub cx: f32,
+    /// Center y in `[0, 1]`.
+    pub cy: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+    /// Predicted class index.
+    pub class: usize,
+    /// Confidence score in `[0, 1]`.
+    pub score: f32,
+}
+
+impl Detection {
+    /// Corner form `(x0, y0, x1, y1)`.
+    pub fn corners(&self) -> (f32, f32, f32, f32) {
+        (
+            self.cx - self.w / 2.0,
+            self.cy - self.h / 2.0,
+            self.cx + self.w / 2.0,
+            self.cy + self.h / 2.0,
+        )
+    }
+
+    /// Intersection-over-union with another detection.
+    pub fn iou(&self, other: &Detection) -> f32 {
+        let a = self.corners();
+        let b = other.corners();
+        let ix = (a.2.min(b.2) - a.0.max(b.0)).max(0.0);
+        let iy = (a.3.min(b.3) - a.1.max(b.1)).max(0.0);
+        let inter = ix * iy;
+        let ua = (a.2 - a.0).max(0.0) * (a.3 - a.1).max(0.0);
+        let ub = (b.2 - b.0).max(0.0) * (b.3 - b.1).max(0.0);
+        let union = ua + ub - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// Greedy per-class non-maximum suppression: keeps the highest-scoring
+/// detection and drops same-class overlaps above `iou_threshold`.
+/// Returns survivors sorted by descending score.
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let mut kept: Vec<Detection> = Vec::new();
+    for d in detections {
+        let suppressed = kept
+            .iter()
+            .any(|k| k.class == d.class && k.iou(&d) > iou_threshold);
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+/// The Transformer's sinusoidal position encoding: `[time, dim]`.
+pub fn sinusoidal_positions(time: usize, dim: usize) -> Tensor {
+    let mut data = Vec::with_capacity(time * dim);
+    for t in 0..time {
+        for d in 0..dim {
+            let rate = 1.0 / 10000f32.powf(2.0 * (d / 2) as f32 / dim as f32);
+            let angle = t as f32 * rate;
+            data.push(if d % 2 == 0 { angle.sin() } else { angle.cos() });
+        }
+    }
+    Tensor::from_vec(data, &[time, dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(cx: f32, cy: f32, s: f32, class: usize, score: f32) -> Detection {
+        Detection { cx, cy, w: s, h: s, class, score }
+    }
+
+    #[test]
+    fn nms_suppresses_overlaps() {
+        let dets = vec![
+            det(0.5, 0.5, 0.2, 0, 0.9),
+            det(0.52, 0.5, 0.2, 0, 0.8), // heavy overlap, same class
+            det(0.9, 0.9, 0.1, 0, 0.7),  // far away
+        ];
+        let kept = nms(dets, 0.5);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].score, 0.9);
+        assert_eq!(kept[1].score, 0.7);
+    }
+
+    #[test]
+    fn nms_keeps_different_classes() {
+        let dets = vec![det(0.5, 0.5, 0.2, 0, 0.9), det(0.5, 0.5, 0.2, 1, 0.8)];
+        assert_eq!(nms(dets, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn nms_empty_input() {
+        assert!(nms(vec![], 0.5).is_empty());
+    }
+
+    #[test]
+    fn iou_of_identical_boxes_is_one() {
+        let d = det(0.3, 0.3, 0.2, 0, 1.0);
+        assert!((d.iou(&d) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn positions_distinguish_timesteps() {
+        let p = sinusoidal_positions(8, 16);
+        assert_eq!(p.shape(), &[8, 16]);
+        // No two rows identical.
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                let ra = &p.data()[a * 16..(a + 1) * 16];
+                let rb = &p.data()[b * 16..(b + 1) * 16];
+                assert_ne!(ra, rb, "positions {a} and {b} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn positions_first_row_is_sin_zero_cos_zero() {
+        let p = sinusoidal_positions(2, 4);
+        assert_eq!(&p.data()[..4], &[0.0, 1.0, 0.0, 1.0]);
+    }
+}

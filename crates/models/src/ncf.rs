@@ -1,0 +1,210 @@
+//! Neural Collaborative Filtering (§3.1.5): GMF and MLP branches fused
+//! into one interaction logit (He et al., 2017) — the suite's
+//! recommendation representative, dominated by embedding-table lookups.
+
+use mlperf_autograd::Var;
+use mlperf_data::InteractionSet;
+use mlperf_nn::{Embedding, Linear, Module};
+use mlperf_tensor::{Tensor, TensorRng};
+
+/// Network geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NcfConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// GMF branch embedding width.
+    pub gmf_dim: usize,
+    /// MLP branch embedding width.
+    pub mlp_dim: usize,
+    /// MLP hidden width.
+    pub mlp_hidden: usize,
+}
+
+impl Default for NcfConfig {
+    fn default() -> Self {
+        NcfConfig {
+            users: 96,
+            items: 64,
+            gmf_dim: 8,
+            mlp_dim: 8,
+            mlp_hidden: 16,
+        }
+    }
+}
+
+/// The NCF model: separate user/item embeddings per branch, GMF
+/// elementwise product, a small MLP on the concatenated embeddings, and
+/// a fused output layer.
+#[derive(Debug)]
+pub struct Ncf {
+    gmf_user: Embedding,
+    gmf_item: Embedding,
+    mlp_user: Embedding,
+    mlp_item: Embedding,
+    mlp1: Linear,
+    mlp2: Linear,
+    fuse: Linear,
+    config: NcfConfig,
+}
+
+impl Ncf {
+    /// Builds the model.
+    pub fn new(config: NcfConfig, rng: &mut TensorRng) -> Self {
+        Ncf {
+            gmf_user: Embedding::new(config.users, config.gmf_dim, rng),
+            gmf_item: Embedding::new(config.items, config.gmf_dim, rng),
+            mlp_user: Embedding::new(config.users, config.mlp_dim, rng),
+            mlp_item: Embedding::new(config.items, config.mlp_dim, rng),
+            mlp1: Linear::new(2 * config.mlp_dim, config.mlp_hidden, true, rng),
+            mlp2: Linear::new(config.mlp_hidden, config.mlp_hidden / 2, true, rng),
+            fuse: Linear::new(config.gmf_dim + config.mlp_hidden / 2, 1, true, rng),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> NcfConfig {
+        self.config
+    }
+
+    /// Interaction logits for user/item id pairs: `[n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn forward(&self, users: &[usize], items: &[usize]) -> Var {
+        assert_eq!(users.len(), items.len(), "user/item length mismatch");
+        let n = users.len();
+        let gmf = self
+            .gmf_user
+            .forward(users)
+            .mul(&self.gmf_item.forward(items)); // [n, gmf_dim]
+        let mlp_in = Var::concat(
+            &[&self.mlp_user.forward(users), &self.mlp_item.forward(items)],
+            1,
+        );
+        let mlp = self.mlp2.forward(&self.mlp1.forward(&mlp_in).relu()).relu();
+        self.fuse
+            .forward(&Var::concat(&[&gmf, &mlp], 1))
+            .reshape(&[n])
+    }
+
+    /// Binary cross-entropy over `(user, item, label)` triples.
+    pub fn loss(&self, triples: &[(usize, usize, f32)]) -> Var {
+        let users: Vec<usize> = triples.iter().map(|t| t.0).collect();
+        let items: Vec<usize> = triples.iter().map(|t| t.1).collect();
+        let labels: Vec<f32> = triples.iter().map(|t| t.2).collect();
+        self.forward(&users, &items)
+            .bce_with_logits(&Tensor::from_slice(&labels))
+    }
+
+    /// Hit-rate@k under the leave-one-out protocol: for each user the
+    /// held-out item is ranked against the sampled negatives; a hit
+    /// means it lands in the top `k`.
+    pub fn hit_rate_at(&self, sets: &[InteractionSet], k: usize) -> f32 {
+        let mut hits = 0;
+        for set in sets {
+            let mut items = vec![set.held_out];
+            items.extend_from_slice(&set.eval_negatives);
+            let users = vec![set.user; items.len()];
+            let scores = self.forward(&users, &items).value_clone();
+            // Rank of the held-out item (index 0).
+            let target = scores.data()[0];
+            let better = scores.data()[1..].iter().filter(|&&s| s > target).count();
+            if better < k {
+                hits += 1;
+            }
+        }
+        hits as f32 / sets.len() as f32
+    }
+}
+
+impl Module for Ncf {
+    fn params(&self) -> Vec<Var> {
+        [
+            &self.gmf_user as &dyn Module,
+            &self.gmf_item,
+            &self.mlp_user,
+            &self.mlp_item,
+            &self.mlp1,
+            &self.mlp2,
+            &self.fuse,
+        ]
+        .iter()
+        .flat_map(|m| m.params())
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_data::{CfConfig, SyntheticCf};
+    use mlperf_optim::{Adam, Optimizer};
+
+    fn setup(seed: u64) -> (Ncf, SyntheticCf) {
+        let data_cfg = CfConfig::tiny();
+        let cfg = NcfConfig {
+            users: data_cfg.users,
+            items: data_cfg.items,
+            ..Default::default()
+        };
+        let mut rng = TensorRng::new(seed);
+        (Ncf::new(cfg, &mut rng), SyntheticCf::generate(data_cfg, seed))
+    }
+
+    #[test]
+    fn forward_shape_and_finite() {
+        let (model, _) = setup(0);
+        let logits = model.forward(&[0, 1, 2], &[3, 4, 5]);
+        assert_eq!(logits.shape(), vec![3]);
+        assert!(logits.value().all_finite());
+    }
+
+    #[test]
+    fn training_improves_hit_rate() {
+        let (model, data) = setup(1);
+        let mut rng = TensorRng::new(99);
+        let before = model.hit_rate_at(&data.users, 3);
+        let mut opt = Adam::with_defaults(model.params());
+        for _ in 0..25 {
+            let triples = data.training_triples(2, &mut rng);
+            opt.zero_grad();
+            model.loss(&triples).backward();
+            opt.step(0.02);
+        }
+        let after = model.hit_rate_at(&data.users, 3);
+        assert!(
+            after > before || after > 0.5,
+            "HR@3 did not improve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (model, data) = setup(2);
+        let mut rng = TensorRng::new(5);
+        let triples = data.training_triples(1, &mut rng);
+        let mut opt = Adam::with_defaults(model.params());
+        let initial = model.loss(&triples).value().item();
+        for _ in 0..30 {
+            opt.zero_grad();
+            model.loss(&triples).backward();
+            opt.step(0.02);
+        }
+        let after = model.loss(&triples).value().item();
+        assert!(after < initial * 0.9, "loss {initial} -> {after}");
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let (model, data) = setup(3);
+        let hr = model.hit_rate_at(&data.users, 10);
+        assert!((0.0..=1.0).contains(&hr));
+        // k >= candidate count means every user hits.
+        let hr_all = model.hit_rate_at(&data.users, 100);
+        assert_eq!(hr_all, 1.0);
+    }
+}

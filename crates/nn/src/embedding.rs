@@ -1,0 +1,113 @@
+//! Embedding table.
+
+use crate::Module;
+use mlperf_autograd::Var;
+use mlperf_tensor::TensorRng;
+
+/// A lookup table mapping integer ids to dense vectors, the dominant
+/// compute motif of the recommendation benchmark (NCF) and the token
+/// embedding of the translation benchmarks.
+#[derive(Debug)]
+pub struct Embedding {
+    table: Var,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates a `[vocab, dim]` table with N(0, 0.01·√dim⁻¹)-style
+    /// normal initialization.
+    pub fn new(vocab: usize, dim: usize, rng: &mut TensorRng) -> Self {
+        let std = 1.0 / (dim as f32).sqrt();
+        Embedding {
+            table: Var::param(rng.normal(&[vocab, dim], 0.0, std)),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Looks up `ids`, returning `[ids.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of vocabulary.
+    pub fn forward(&self, ids: &[usize]) -> Var {
+        for &id in ids {
+            assert!(id < self.vocab, "id {id} out of vocabulary {}", self.vocab);
+        }
+        self.table.gather_rows(ids)
+    }
+
+    /// Looks up a batch of sequences, returning `[batch, seq, dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or ids are out of range.
+    pub fn forward_batch(&self, sequences: &[Vec<usize>]) -> Var {
+        assert!(!sequences.is_empty(), "empty batch");
+        let seq_len = sequences[0].len();
+        let flat: Vec<usize> = sequences
+            .iter()
+            .flat_map(|s| {
+                assert_eq!(s.len(), seq_len, "ragged batch");
+                s.iter().copied()
+            })
+            .collect();
+        self.forward(&flat).reshape(&[sequences.len(), seq_len, self.dim])
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The table parameter.
+    pub fn table(&self) -> &Var {
+        &self.table
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<Var> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_shapes() {
+        let mut rng = TensorRng::new(0);
+        let e = Embedding::new(10, 4, &mut rng);
+        assert_eq!(e.forward(&[1, 2, 3]).shape(), vec![3, 4]);
+        assert_eq!(
+            e.forward_batch(&[vec![0, 1], vec![2, 3]]).shape(),
+            vec![2, 2, 4]
+        );
+    }
+
+    #[test]
+    fn repeated_ids_accumulate_gradient() {
+        let mut rng = TensorRng::new(1);
+        let e = Embedding::new(5, 2, &mut rng);
+        e.forward(&[3, 3, 3]).sum().backward();
+        let g = e.table().grad().unwrap();
+        assert_eq!(g.data()[3 * 2], 3.0);
+        assert_eq!(g.data()[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_panics() {
+        let mut rng = TensorRng::new(2);
+        let e = Embedding::new(5, 2, &mut rng);
+        e.forward(&[5]);
+    }
+}

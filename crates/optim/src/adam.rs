@@ -1,0 +1,137 @@
+//! Adam (Kingma & Ba, 2015) — the optimizer of the NCF, Transformer and
+//! MiniGo reference implementations.
+
+use crate::Optimizer;
+use mlperf_autograd::Var;
+use mlperf_tensor::Tensor;
+
+/// Adam with bias-corrected first and second moments.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Var>,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates the optimizer over `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either beta is outside `[0, 1)`.
+    pub fn new(params: Vec<Var>, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
+        let n = params.len();
+        Adam {
+            params,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            m: vec![None; n],
+            v: vec![None; n],
+            t: 0,
+        }
+    }
+
+    /// Conventional defaults (β₁ 0.9, β₂ 0.999, ε 1e-8, no decay).
+    pub fn with_defaults(params: Vec<Var>) -> Self {
+        Adam::new(params, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u32 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, lr: f32) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay != 0.0 {
+                g.axpy(self.weight_decay, &p.value());
+            }
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            m.scale_inplace(self.beta1);
+            m.axpy(1.0 - self.beta1, &g);
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            v.scale_inplace(self.beta2);
+            v.axpy(1.0 - self.beta2, &g.square());
+            let m_hat = m.scale(1.0 / bc1);
+            let v_hat = v.scale(1.0 / bc2);
+            let eps = self.eps;
+            let update = m_hat.zip_broadcast(&v_hat, |mh, vh| mh / (vh.sqrt() + eps));
+            p.update_value(|w| w.axpy(-lr, &update));
+        }
+    }
+
+    fn params(&self) -> &[Var] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // With bias correction, the very first Adam update has magnitude
+        // ~lr regardless of gradient scale.
+        for scale in [1e-3f32, 1.0, 1e3] {
+            let w = Var::param(Tensor::from_slice(&[0.0]));
+            let mut opt = Adam::with_defaults(vec![w.clone()]);
+            let g = Var::constant(Tensor::from_slice(&[scale]));
+            w.mul(&g).sum().backward();
+            opt.step(0.1);
+            assert!(
+                (w.value().item().abs() - 0.1).abs() < 1e-3,
+                "first step {} for gradient scale {scale}",
+                w.value().item()
+            );
+        }
+    }
+
+    #[test]
+    fn adapts_per_coordinate() {
+        // One coordinate with tiny gradients should still move ~lr.
+        let w = Var::param(Tensor::from_slice(&[1.0, 1.0]));
+        let mut opt = Adam::with_defaults(vec![w.clone()]);
+        let scale = Var::constant(Tensor::from_slice(&[100.0, 0.01]));
+        for _ in 0..10 {
+            opt.zero_grad();
+            w.mul(&scale).sum().backward();
+            opt.step(0.01);
+        }
+        let moved = Tensor::from_slice(&[1.0, 1.0]);
+        let d0 = (moved.data()[0] - w.value().data()[0]).abs();
+        let d1 = (moved.data()[1] - w.value().data()[1]).abs();
+        assert!((d0 - d1).abs() < 0.02, "per-coordinate steps differ wildly: {d0} vs {d1}");
+    }
+
+    #[test]
+    fn counts_steps() {
+        let w = Var::param(Tensor::from_slice(&[1.0]));
+        let mut opt = Adam::with_defaults(vec![w.clone()]);
+        w.square().sum().backward();
+        opt.step(0.1);
+        opt.step(0.1);
+        assert_eq!(opt.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta1")]
+    fn invalid_beta_panics() {
+        Adam::new(vec![], 1.0, 0.999, 1e-8, 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Matrix multiplication: 2-D GEMM and batched 3-D matmul.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// A cache-friendly i-k-j loop ordering; adequate for the
+    /// miniaturized benchmark models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 2, "matmul rhs must be 2-D, got {:?}", rhs.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product of two 3-D tensors:
+    /// `[b, m, k] x [b, k, n] -> [b, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 3-D, batch sizes differ, or inner
+    /// dimensions disagree.
+    pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm lhs must be 3-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 3, "bmm rhs must be 3-D, got {:?}", rhs.shape());
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
+        assert_eq!(b, b2, "bmm batch mismatch: {b} vs {b2}");
+        assert_eq!(
+            k, k2,
+            "bmm inner dimension mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            gemm(
+                &self.data()[bi * m * k..(bi + 1) * m * k],
+                &rhs.data()[bi * k * n..(bi + 1) * k * n],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Transposes the last two dimensions of a 3-D tensor (copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D.
+    pub fn transpose_last2(&self) -> Tensor {
+        assert_eq!(self.ndim(), 3, "transpose_last2 requires a 3-D tensor");
+        self.permute(&[0, 2, 1])
+    }
+}
+
+/// Accumulating GEMM kernel: `out += a[m,k] * b[k,n]` with `out`
+/// pre-zeroed by the callers above.
+fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            let orow = &mut out[i * n..i * n + n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::arange(6, 1.0, 1.0).reshape(&[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let b = Tensor::from_vec(vec![2.0, 3.0, 5.0, 4.0, 6.0, 7.0], &[2, 3]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[3, 3]);
+        assert_close(
+            c.data(),
+            &[2.0, 3.0, 5.0, 4.0, 6.0, 7.0, 6.0, 9.0, 12.0],
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::arange(12, 0.0, 1.0).reshape(&[2, 2, 3]);
+        let b = Tensor::arange(12, 1.0, 0.5).reshape(&[2, 3, 2]);
+        let c = a.bmm(&b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        for bi in 0..2 {
+            let a2 = a.narrow(0, bi, 1).reshape(&[2, 3]);
+            let b2 = b.narrow(0, bi, 1).reshape(&[3, 2]);
+            let expected = a2.matmul(&b2);
+            let got = c.narrow(0, bi, 1).reshape(&[2, 2]);
+            assert_close(got.data(), expected.data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_last2_swaps() {
+        let a = Tensor::arange(12, 0.0, 1.0).reshape(&[2, 2, 3]);
+        let t = a.transpose_last2();
+        assert_eq!(t.shape(), &[2, 3, 2]);
+        assert_eq!(t.at(&[1, 2, 0]), a.at(&[1, 0, 2]));
+    }
+}

@@ -1,0 +1,335 @@
+//! Elementwise arithmetic with NumPy-style broadcasting, plus the
+//! nonlinearities used by the benchmark models.
+
+use crate::shape::{broadcast_shapes, Shape};
+use crate::tensor::Tensor;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+impl Tensor {
+    /// Applies a binary operation with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape() == other.shape() {
+            // Fast path: identical shapes.
+            let data = self
+                .data()
+                .iter()
+                .zip(other.data().iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor::from_vec(data, self.shape());
+        }
+        let out_dims = broadcast_shapes(self.shape(), other.shape()).unwrap_or_else(|| {
+            panic!(
+                "shapes {:?} and {:?} are not broadcast-compatible",
+                self.shape(),
+                other.shape()
+            )
+        });
+        let out_shape = Shape::new(&out_dims);
+        let mut out = vec![0.0; out_shape.len()];
+        let a_idx = BroadcastIndexer::new(self.shape(), &out_dims);
+        let b_idx = BroadcastIndexer::new(other.shape(), &out_dims);
+        let strides = out_shape.strides();
+        let ndim = out_dims.len();
+        let mut idx = vec![0usize; ndim];
+        for (lin, slot) in out.iter_mut().enumerate() {
+            let mut rem = lin;
+            for i in 0..ndim {
+                idx[i] = rem / strides[i];
+                rem %= strides[i];
+            }
+            *slot = f(
+                self.data()[a_idx.offset(&idx)],
+                other.data()[b_idx.offset(&idx)],
+            );
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Broadcasts this tensor to `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this shape cannot broadcast to `dims`.
+    pub fn broadcast_to(&self, dims: &[usize]) -> Tensor {
+        let merged = broadcast_shapes(self.shape(), dims).unwrap_or_else(|| {
+            panic!("cannot broadcast {:?} to {:?}", self.shape(), dims)
+        });
+        assert_eq!(
+            merged, dims,
+            "cannot broadcast {:?} to {:?}",
+            self.shape(),
+            dims
+        );
+        self.zip_broadcast(&Tensor::zeros(dims), |a, _| a)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, f32::max)
+    }
+
+    /// Elementwise minimum with broadcasting.
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, f32::min)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise reciprocal.
+    pub fn recip(&self) -> Tensor {
+        self.map(|x| 1.0 / x)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise power.
+    pub fn powf(&self, p: f32) -> Tensor {
+        self.map(|x| x.powf(p))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Logistic sigmoid, numerically stable in both tails.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(sigmoid_scalar)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// In-place AXPY: `self += alpha * other` (shapes must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scale: `self *= alpha`.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for a in self.data_mut() {
+            *a *= alpha;
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid for a single value.
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Precomputed mapping from broadcast-output indices back to source
+/// offsets: dimensions of extent 1 get stride 0.
+struct BroadcastIndexer {
+    strides: Vec<usize>,
+}
+
+impl BroadcastIndexer {
+    fn new(src_dims: &[usize], out_dims: &[usize]) -> Self {
+        let pad = out_dims.len() - src_dims.len();
+        let src_shape = Shape::new(src_dims);
+        let src_strides = src_shape.strides();
+        let mut strides = vec![0usize; out_dims.len()];
+        for i in 0..src_dims.len() {
+            strides[pad + i] = if src_dims[i] == 1 { 0 } else { src_strides[i] };
+        }
+        BroadcastIndexer { strides }
+    }
+
+    fn offset(&self, idx: &[usize]) -> usize {
+        idx.iter().zip(self.strides.iter()).map(|(&i, &s)| i * s).sum()
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip_broadcast(rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Neg for Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        -&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        assert_eq!((&a + &b).data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_slice(&[10.0, 20.0, 30.0]);
+        let c = &a + &b;
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![100.0, 200.0], &[2, 1]);
+        let c = &a + &b;
+        assert_eq!(c.data(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let s = Tensor::scalar(5.0);
+        assert_eq!((&a * &s).data(), &[5.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast-compatible")]
+    fn incompatible_broadcast_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4]);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn broadcast_to_expands() {
+        let b = Tensor::from_slice(&[1.0, 2.0]);
+        let e = b.broadcast_to(&[3, 2]);
+        assert_eq!(e.shape(), &[3, 2]);
+        assert_eq!(e.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable_in_tails() {
+        let t = Tensor::from_slice(&[-100.0, 0.0, 100.0]);
+        let s = t.sigmoid();
+        assert!(s.all_finite());
+        assert_close(s.data(), &[0.0, 0.5, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn relu_and_clamp() {
+        let t = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+        assert_eq!(t.relu().data(), &[0.0, 0.5, 2.0]);
+        assert_eq!(t.clamp(0.0, 1.0).data(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let g = Tensor::from_slice(&[2.0, 4.0]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn neg_and_div() {
+        let a = Tensor::from_slice(&[2.0, -4.0]);
+        assert_eq!((-&a).data(), &[-2.0, 4.0]);
+        let b = Tensor::from_slice(&[2.0, 2.0]);
+        assert_eq!((&a / &b).data(), &[1.0, -2.0]);
+    }
+}

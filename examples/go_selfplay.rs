@@ -1,0 +1,98 @@
+//! Domain example: the MiniGo substrate on its own.
+//!
+//! Plays a full 9×9 game between the engine players, prints the final
+//! position and score, then trains the policy/value network on a small
+//! batch of games and shows its move-prediction accuracy improving —
+//! the raw ingredients behind the suite's reinforcement-learning
+//! benchmark (§3.1.4).
+//!
+//! ```sh
+//! cargo run --release --example go_selfplay
+//! ```
+
+use mlperf_suite::autograd::Var;
+use mlperf_suite::data::{reference_games, GoDataset};
+use mlperf_suite::gomini::{
+    encode_features, play_game, Board, HeuristicPlayer, MctsPlayer, Move, RandomPlayer,
+    FEATURE_PLANES,
+};
+use mlperf_suite::models::{MiniGoConfig, MiniGoNet};
+use mlperf_suite::nn::Module;
+use mlperf_suite::optim::{Adam, Optimizer};
+use mlperf_suite::tensor::TensorRng;
+
+fn main() {
+    // 1. One exhibition game: heuristic engine (Black) vs random (White).
+    let mut black = HeuristicPlayer::new(7);
+    let mut white = RandomPlayer::new(8);
+    let record = play_game(&mut black, &mut white, 9, 7.5, 200);
+    println!(
+        "exhibition game: {} moves, winner {} by {:.1}",
+        record.moves.len(),
+        record.winner,
+        record.margin.abs()
+    );
+    // Replay to show the final position.
+    let mut board = Board::new(9);
+    for &mv in &record.moves {
+        board.play(mv).expect("recorded moves replay");
+    }
+    println!("{board}");
+    let legal = board.legal_moves().len();
+    println!("legal moves remaining: {legal}; captures (B, W): {:?}\n", board.captures());
+    let _ = Move::Pass; // (see `Move` for the move representation)
+
+    // 2. Supervised training on engine games.
+    let train_games = reference_games(6, 9, 1001);
+    let eval_games = reference_games(3, 9, 9999);
+    let train = GoDataset::from_games(&train_games);
+    let eval = GoDataset::from_games(&eval_games);
+    println!(
+        "training on {} positions from {} games; evaluating on {} held-out positions",
+        train.len(),
+        train_games.len(),
+        eval.len()
+    );
+    let mut rng = TensorRng::new(0);
+    let net = std::rc::Rc::new(MiniGoNet::new(MiniGoConfig::default(), &mut rng));
+    let mut opt = Adam::with_defaults(net.params());
+    println!("move-match accuracy before training: {:.3}", net.move_match_accuracy(&eval));
+    let indices: Vec<usize> = (0..train.len()).collect();
+    for round in 1..=6 {
+        for chunk in indices.chunks(32) {
+            let (features, moves, outcomes) = train.batch(chunk);
+            opt.zero_grad();
+            net.loss(&features, &moves, &outcomes).backward();
+            opt.step(0.005);
+        }
+        println!(
+            "after pass {round}: move-match accuracy {:.3}",
+            net.move_match_accuracy(&eval)
+        );
+    }
+
+    // 3. AlphaGo-style search: MCTS with the trained policy as prior.
+    //    (The MiniGo reference interleaves exactly this search with
+    //    training — §3.1.4's "many forward passes … to generate
+    //    actions".)
+    let prior_net = std::rc::Rc::clone(&net);
+    let mut searcher = MctsPlayer::new(11, 60).with_prior(Box::new(move |board: &Board| {
+        let feats = mlperf_suite::tensor::Tensor::from_vec(
+            encode_features(board),
+            &[1, FEATURE_PLANES, board.size(), board.size()],
+        );
+        let (policy, _) = prior_net.forward(&Var::constant(feats));
+        let dist = policy.value().softmax_last_axis().into_vec();
+        dist
+    }));
+    let mut opening = Board::new(9);
+    let dist = searcher.analyze(&opening);
+    println!("
+network-guided MCTS opening (top 3 by visits):");
+    for (mv, visits) in dist.iter().take(3) {
+        println!("  {mv:?}: {visits} visits");
+    }
+    opening
+        .play(dist[0].0)
+        .expect("searched move is legal");
+}

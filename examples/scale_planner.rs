@@ -1,0 +1,56 @@
+//! Domain example: planning system scale with the distributed-training
+//! simulator.
+//!
+//! For the ResNet workload, sweeps system sizes for one vendor in both
+//! benchmark rounds and prints the time-to-train curve — showing why
+//! "more chips" stops paying off (epoch inflation past the critical
+//! batch size, §2.2.2) and how the v0.6 rules (LARS) move the optimum.
+//! Also computes the cloud scale metric (§4.2.3) for each system.
+//!
+//! ```sh
+//! cargo run --release --example scale_planner
+//! ```
+
+use mlperf_suite::distsim::{
+    cloud_scale, simulate_submission, CloudSystemDescription, Round, SimBenchmark, Vendor,
+};
+
+fn main() {
+    let vendor = &Vendor::fleet()[0];
+    let bench = &SimBenchmark::round_comparison_suite()[0]; // ResNet-50
+    println!(
+        "scale sweep: {} on {} ({} chips max in v0.5 / {} in v0.6)\n",
+        bench.name,
+        vendor.name,
+        vendor.max_chips(Round::V05),
+        vendor.max_chips(Round::V06),
+    );
+    println!(
+        "{:>7} {:>13} {:>13} {:>10} {:>12}",
+        "chips", "v0.5 (min)", "v0.6 (min)", "v0.6 batch", "cloud scale"
+    );
+    let mut chips = 8usize;
+    while chips <= vendor.max_chips(Round::V06) {
+        let v05 = simulate_submission(vendor, Round::V05, bench, chips, 1);
+        let v06 = simulate_submission(vendor, Round::V06, bench, chips, 1);
+        let desc = CloudSystemDescription {
+            host_processors: 8 * chips,
+            host_memory_gib: 61.0 * chips as f64,
+            accelerators: chips,
+            accelerator_weight: 1.0,
+        };
+        println!(
+            "{chips:>7} {:>13} {:>13} {:>10} {:>12.1}",
+            v05.map_or("-".into(), |r| format!("{:.1}", r.minutes)),
+            v06.as_ref().map_or("-".into(), |r| format!("{:.1}", r.minutes)),
+            v06.map_or("-".into(), |r| format!("{}", r.batch)),
+            cloud_scale(&desc),
+        );
+        chips *= 2;
+    }
+    println!(
+        "\nNote how v0.6 keeps improving to larger systems than v0.5: the LARS rule \
+         change raises the critical batch size, so large global batches stop \
+         inflating the epoch count as quickly."
+    );
+}

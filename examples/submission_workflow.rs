@@ -1,0 +1,107 @@
+//! A complete submission workflow, as a submitter would run it:
+//!
+//! 1. run the required number of timed runs (§3.2.2) for two
+//!    benchmarks;
+//! 2. aggregate each run set (drop fastest/slowest, mean the rest);
+//! 3. validate the hyperparameters against the Closed-division rules
+//!    and demonstrate review-period borrowing (§4.1);
+//! 4. check every run log for compliance;
+//! 5. render the results-table entry (no summary score — §4.2.4).
+//!
+//! ```sh
+//! cargo run --release --example submission_workflow
+//! ```
+
+use mlperf_suite::core::aggregate::{aggregate_runs, RunSummary};
+use mlperf_suite::core::benchmarks::{MaskRcnnBenchmark, NcfBenchmark};
+use mlperf_suite::core::compliance::check_log;
+use mlperf_suite::core::harness::{run_benchmark, Benchmark};
+use mlperf_suite::core::report::{
+    render_results_table, BenchmarkScore, Submission, SystemDescription,
+};
+use mlperf_suite::core::rules::{
+    borrow_hyperparameters, Category, Division, HyperparameterRules, SystemType,
+};
+use mlperf_suite::core::suite::BenchmarkId;
+use mlperf_suite::core::timing::RealClock;
+use std::collections::BTreeMap;
+
+fn timed_runs(make: impl Fn() -> Box<dyn Benchmark>, id: BenchmarkId) -> Vec<RunSummary> {
+    let runs = id.runs_required();
+    println!("  {id}: running {runs} timed runs…");
+    (0..runs as u64)
+        .map(|seed| {
+            let mut bench = make();
+            let clock = RealClock::new();
+            let result = run_benchmark(bench.as_mut(), seed, &clock);
+            let issues = check_log(result.log.entries());
+            assert!(issues.is_empty(), "non-compliant log: {issues:?}");
+            RunSummary {
+                seconds: result.time_to_train.as_secs_f64(),
+                reached_target: result.reached_target,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("== 1-2. timed runs + aggregation ==");
+    let ncf_runs = timed_runs(|| Box::new(NcfBenchmark::new()), BenchmarkId::Recommendation);
+    let ncf_score = aggregate_runs(BenchmarkId::Recommendation, &ncf_runs)
+        .expect("NCF run set aggregates");
+    let mask_runs = timed_runs(
+        || Box::new(MaskRcnnBenchmark::new()),
+        BenchmarkId::InstanceSegmentation,
+    );
+    let mask_score = aggregate_runs(BenchmarkId::InstanceSegmentation, &mask_runs)
+        .expect("Mask R-CNN run set aggregates");
+    println!("  aggregated NCF score:        {ncf_score:.3}s");
+    println!("  aggregated Mask R-CNN score: {mask_score:.3}s");
+
+    println!("\n== 3. hyperparameter rules ==");
+    let rules = HyperparameterRules::closed_division(BenchmarkId::Recommendation);
+    let reference: BTreeMap<String, f64> = [
+        ("learning_rate".to_string(), 0.01),
+        ("batch_size".to_string(), 64.0),
+        ("negative_samples".to_string(), 2.0),
+        ("adam_beta1".to_string(), 0.9),
+    ]
+    .into();
+    let mut ours = reference.clone();
+    ours.insert("learning_rate".into(), 0.02); // allowed
+    let violations = rules.violations(&reference, &ours);
+    println!("  our deltas violate the Closed rules: {violations:?} (empty = compliant)");
+    // A rival published a better learning rate during review; borrow it.
+    let mut rival = reference.clone();
+    rival.insert("learning_rate".into(), 0.03);
+    let adopted = borrow_hyperparameters(&rules, &rival, &mut ours);
+    println!("  borrowed from rival submission: {adopted:?} -> lr now {}", ours["learning_rate"]);
+
+    println!("\n== 4-5. results table ==");
+    let submission = Submission {
+        system: SystemDescription {
+            submitter: "Example Labs".into(),
+            system_name: "example-node-1".into(),
+            accelerators: 0,
+            accelerator_model: "CPU (reproduction)".into(),
+            host_processors: 1,
+            software: "mlperf-suite 0.1 (pure Rust)".into(),
+        },
+        division: Division::Closed,
+        category: Category::Research,
+        system_type: SystemType::OnPremise,
+        scores: vec![
+            BenchmarkScore {
+                benchmark: BenchmarkId::Recommendation,
+                minutes: ncf_score / 60.0,
+                runs: ncf_runs.len(),
+            },
+            BenchmarkScore {
+                benchmark: BenchmarkId::InstanceSegmentation,
+                minutes: mask_score / 60.0,
+                runs: mask_runs.len(),
+            },
+        ],
+    };
+    print!("{}", render_results_table(&[submission]));
+}

@@ -1,0 +1,179 @@
+//! `mlperf` — command-line front end to the benchmark suite.
+//!
+//! ```text
+//! mlperf list                                  show the Table 1 suite
+//! mlperf run <slug|all> [--seed N] [--runs N] [--log FILE]
+//!                                              time benchmarks to target
+//! mlperf check <FILE>                          compliance-check an :::MLLOG file
+//! mlperf simulate [--chips N]                  distsim round comparison
+//! ```
+//!
+//! Exit status is nonzero when a run fails to converge or a checked log
+//! is non-compliant.
+
+use mlperf_suite::core::aggregate::{aggregate_runs, RunSummary};
+use mlperf_suite::core::benchmarks::build;
+use mlperf_suite::core::compliance::check_log;
+use mlperf_suite::core::harness::run_benchmark;
+use mlperf_suite::core::mllog::MlLogger;
+use mlperf_suite::core::suite::BenchmarkId;
+use mlperf_suite::core::timing::RealClock;
+use mlperf_suite::distsim::{best_time_at_scale, Round, SimBenchmark, Vendor};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: mlperf <list | run <slug|all> [--seed N] [--runs N] [--log FILE] | \
+                 check <FILE> | simulate [--chips N]>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_list() -> ExitCode {
+    println!(
+        "{:<12} {:<9} {:<34} {:<30} {:<20} {:>9} {:>5}",
+        "benchmark", "area", "dataset", "model", "metric", "threshold", "runs"
+    );
+    for id in BenchmarkId::ALL {
+        let spec = id.spec();
+        println!(
+            "{:<12} {:<9} {:<34} {:<30} {:<20} {:>9.3} {:>5}",
+            id.slug(),
+            spec.area,
+            spec.dataset,
+            spec.model,
+            spec.quality.metric,
+            spec.quality.value,
+            id.runs_required()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let seed: u64 = flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let runs: usize = flag_value(args, "--runs").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let log_path = flag_value(args, "--log");
+    let ids: Vec<BenchmarkId> = BenchmarkId::ALL
+        .into_iter()
+        .filter(|id| which == "all" || id.slug() == which)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("unknown benchmark `{which}`; try `mlperf list`");
+        return ExitCode::from(2);
+    }
+    let mut all_ok = true;
+    for id in ids {
+        let mut summaries = Vec::with_capacity(runs);
+        for run in 0..runs as u64 {
+            let mut bench = build(id);
+            let clock = RealClock::new();
+            let result = run_benchmark(bench.as_mut(), seed + run, &clock);
+            let compliant = check_log(result.log.entries()).is_empty();
+            println!(
+                "{:<12} seed {:<6} reached={} quality={:.4} epochs={:<3} ttt={:.3}s log={}",
+                id.slug(),
+                seed + run,
+                result.reached_target,
+                result.quality,
+                result.epochs,
+                result.time_to_train.as_secs_f64(),
+                if compliant { "compliant" } else { "NON-COMPLIANT" },
+            );
+            all_ok &= result.reached_target && compliant;
+            summaries.push(RunSummary {
+                seconds: result.time_to_train.as_secs_f64(),
+                reached_target: result.reached_target,
+            });
+            if let Some(path) = &log_path {
+                std::fs::write(path, result.log.render()).expect("write log file");
+                println!("  wrote submission log to {path}");
+            }
+        }
+        if runs >= id.runs_required() {
+            match aggregate_runs(id, &summaries) {
+                Ok(score) => println!("  official aggregated score: {score:.3}s"),
+                Err(e) => {
+                    println!("  aggregation failed: {e}");
+                    all_ok = false;
+                }
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: mlperf check <FILE>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match MlLogger::parse(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("malformed log: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let issues = check_log(&entries);
+    if issues.is_empty() {
+        println!("{path}: compliant ({} entries)", entries.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("{path}: NON-COMPLIANT");
+        for issue in issues {
+            println!("  - {issue}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let chips: usize = flag_value(args, "--chips").and_then(|s| s.parse().ok()).unwrap_or(16);
+    let vendors = Vendor::fleet();
+    println!("simulated fastest entries at {chips} chips:");
+    println!("{:<16} {:>12} {:>12} {:>9}", "benchmark", "v0.5 (min)", "v0.6 (min)", "speedup");
+    for bench in SimBenchmark::round_comparison_suite() {
+        let v05 = best_time_at_scale(&vendors, Round::V05, &bench, chips, 1);
+        let v06 = best_time_at_scale(&vendors, Round::V06, &bench, chips, 1);
+        match (v05, v06) {
+            (Some(a), Some(b)) => println!(
+                "{:<16} {:>12.1} {:>12.1} {:>8.2}x",
+                bench.name,
+                a.minutes,
+                b.minutes,
+                a.minutes / b.minutes
+            ),
+            _ => println!("{:<16} infeasible at this scale", bench.name),
+        }
+    }
+    ExitCode::SUCCESS
+}

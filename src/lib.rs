@@ -1,0 +1,40 @@
+//! Umbrella crate for the MLPerf Training benchmark reproduction.
+//!
+//! Re-exports every subsystem under a stable namespace so that examples
+//! and downstream users need a single dependency:
+//!
+//! ```
+//! use mlperf_suite::core::suite::BenchmarkId;
+//! assert_eq!(BenchmarkId::ALL.len(), 7);
+//! ```
+//!
+//! The subsystems:
+//!
+//! - [`tensor`] — dense f32 tensors, convolution, precision simulation.
+//! - [`autograd`] — reverse-mode tape automatic differentiation.
+//! - [`nn`] — neural-network layers and losses.
+//! - [`optim`] — optimizers (two SGD momentum variants, Adam, LARS) and
+//!   learning-rate schedules.
+//! - [`data`] — synthetic dataset generators and loaders for all seven
+//!   benchmark tasks.
+//! - [`models`] — the seven miniaturized reference models (plus AlexNet
+//!   for the Figure 1 precision study).
+//! - [`gomini`] — a complete 9×9 Go engine used by the MiniGo benchmark.
+//! - [`distsim`] — analytic distributed-training simulator used to
+//!   reproduce the at-scale results (Figures 4 and 5).
+//! - [`core`] — the paper's actual contribution: the benchmark suite
+//!   definition, time-to-train harness, timing rules, run aggregation,
+//!   submission divisions/categories, structured logging and compliance
+//!   checking.
+
+#![warn(missing_docs)]
+
+pub use mlperf_autograd as autograd;
+pub use mlperf_core as core;
+pub use mlperf_data as data;
+pub use mlperf_distsim as distsim;
+pub use mlperf_gomini as gomini;
+pub use mlperf_models as models;
+pub use mlperf_nn as nn;
+pub use mlperf_optim as optim;
+pub use mlperf_tensor as tensor;

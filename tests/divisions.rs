@@ -1,0 +1,102 @@
+//! Integration tests of the division semantics (§4.2.1): Closed
+//! requires architecture equivalence with the reference; Open allows
+//! novel models but keeps the dataset and quality metric fixed.
+
+use mlperf_suite::core::equivalence::{
+    check_equivalence, reference_signature, EquivalenceIssue, ModelSignature,
+};
+use mlperf_suite::core::rules::Division;
+use mlperf_suite::core::suite::BenchmarkId;
+use mlperf_suite::models::{AlexNetMini, ResNetConfig, ResNetMini};
+use mlperf_suite::tensor::TensorRng;
+
+/// Review outcome for a submission's model under a division.
+fn review(division: Division, id: BenchmarkId, signature: &ModelSignature) -> bool {
+    match division {
+        // Closed: must match the reference architecture.
+        Division::Closed => check_equivalence(&reference_signature(id), signature).is_empty(),
+        // Open: novel architectures are the point; always passes the
+        // architecture check (dataset/metric equality is enforced
+        // elsewhere).
+        Division::Open => true,
+    }
+}
+
+#[test]
+fn reference_model_passes_closed_review() {
+    let mut rng = TensorRng::new(1);
+    let cfg = mlperf_suite::data::ImageNetConfig::default();
+    let model = ResNetMini::new(
+        ResNetConfig {
+            in_channels: cfg.channels,
+            input_size: cfg.image_size,
+            classes: cfg.classes,
+            base_width: 8,
+            blocks_per_stage: 1,
+        },
+        &mut rng,
+    );
+    let sig = ModelSignature::of(&model);
+    assert!(review(Division::Closed, BenchmarkId::ImageClassification, &sig));
+}
+
+#[test]
+fn novel_model_fails_closed_but_passes_open() {
+    // An AlexNet-style submission for the image-classification row: a
+    // legitimate Open-division entry, but not Closed-equivalent to the
+    // ResNet v1.5 reference.
+    let mut rng = TensorRng::new(2);
+    let cfg = mlperf_suite::data::ImageNetConfig::default();
+    let alex = AlexNetMini::new(cfg.channels, cfg.image_size, cfg.classes, &mut rng);
+    let sig = ModelSignature::of(&alex);
+    assert!(!review(Division::Closed, BenchmarkId::ImageClassification, &sig));
+    assert!(review(Division::Open, BenchmarkId::ImageClassification, &sig));
+}
+
+#[test]
+fn width_tweak_is_flagged_with_specific_shape() {
+    // Doubling the backbone width — a classic "optimization" the Closed
+    // division exists to prevent — is reported with the exact tensor.
+    let mut rng = TensorRng::new(3);
+    let cfg = mlperf_suite::data::ImageNetConfig::default();
+    let widened = ResNetMini::new(
+        ResNetConfig {
+            in_channels: cfg.channels,
+            input_size: cfg.image_size,
+            classes: cfg.classes,
+            base_width: 16, // reference is 8
+            blocks_per_stage: 1,
+        },
+        &mut rng,
+    );
+    let issues = check_equivalence(
+        &reference_signature(BenchmarkId::ImageClassification),
+        &ModelSignature::of(&widened),
+    );
+    assert!(!issues.is_empty());
+    assert!(issues
+        .iter()
+        .all(|i| matches!(i, EquivalenceIssue::ShapeMismatch { .. })));
+}
+
+#[test]
+fn deepened_model_is_flagged_by_tensor_count() {
+    let mut rng = TensorRng::new(4);
+    let cfg = mlperf_suite::data::ImageNetConfig::default();
+    let deepened = ResNetMini::new(
+        ResNetConfig {
+            in_channels: cfg.channels,
+            input_size: cfg.image_size,
+            classes: cfg.classes,
+            base_width: 8,
+            blocks_per_stage: 2, // reference is 1
+        },
+        &mut rng,
+    );
+    let issues = check_equivalence(
+        &reference_signature(BenchmarkId::ImageClassification),
+        &ModelSignature::of(&deepened),
+    );
+    assert_eq!(issues.len(), 1);
+    assert!(matches!(issues[0], EquivalenceIssue::TensorCountMismatch { .. }));
+}

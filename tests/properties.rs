@@ -1,0 +1,223 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning every substrate crate.
+
+use mlperf_suite::core::aggregate::olympic_mean;
+use mlperf_suite::core::compliance::check_log;
+use mlperf_suite::core::metrics::bleu;
+use mlperf_suite::core::mllog::{LogEntry, MlLogger};
+use mlperf_suite::distsim::ConvergenceModel;
+use mlperf_suite::gomini::{Board, Move, Player, RandomPlayer};
+use mlperf_suite::tensor::{broadcast_shapes, Precision, Tensor, TensorRng};
+use proptest::prelude::*;
+
+proptest! {
+    /// Broadcasting is symmetric and idempotent on the result shape.
+    #[test]
+    fn broadcast_shapes_symmetric(a in proptest::collection::vec(1usize..5, 0..4),
+                                  b in proptest::collection::vec(1usize..5, 0..4)) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        prop_assert_eq!(ab.clone(), ba);
+        if let Some(out) = ab {
+            prop_assert_eq!(broadcast_shapes(&out, &a), Some(out.clone()));
+            prop_assert_eq!(broadcast_shapes(&out, &b), Some(out));
+        }
+    }
+
+    /// Elementwise addition with broadcasting commutes.
+    #[test]
+    fn tensor_add_commutes(seed in 0u64..1000) {
+        let mut rng = TensorRng::new(seed);
+        let a = rng.normal(&[3, 1, 4], 0.0, 1.0);
+        let b = rng.normal(&[2, 4], 0.0, 1.0);
+        let ab = &a + &b;
+        let ba = &b + &a;
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// `sum_to` exactly inverts `broadcast_to` for scale factors
+    /// (the adjoint property autograd relies on).
+    #[test]
+    fn sum_to_adjoint_of_broadcast(seed in 0u64..1000, rows in 1usize..6) {
+        let mut rng = TensorRng::new(seed);
+        let v = rng.normal(&[4], 0.0, 1.0);
+        let big = v.broadcast_to(&[rows, 4]);
+        let back = big.sum_to(&[4]);
+        let expected = v.scale(rows as f32);
+        for (x, y) in back.data().iter().zip(expected.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..500) {
+        let mut rng = TensorRng::new(seed);
+        let a = rng.normal(&[3, 4], 0.0, 1.0);
+        let b = rng.normal(&[3, 4], 0.0, 1.0);
+        let c = rng.normal(&[4, 2], 0.0, 1.0);
+        let lhs = (&a + &b).matmul(&c);
+        let rhs = a.matmul(&c) + b.matmul(&c);
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    /// Quantization is idempotent and never increases magnitude beyond
+    /// the format's saturation point.
+    #[test]
+    fn quantize_idempotent(seed in 0u64..500) {
+        let mut rng = TensorRng::new(seed);
+        let t = rng.normal(&[16], 0.0, 10.0);
+        // Fixed-grid formats are exactly idempotent.
+        for p in [Precision::Bf16, Precision::Fp16, Precision::Fp8E4M3] {
+            let once = t.quantize(p);
+            let twice = once.quantize(p);
+            prop_assert_eq!(once, twice);
+        }
+        // Ternary recomputes its per-tensor scale, so idempotence holds
+        // only up to floating-point summation error.
+        let once = t.quantize(Precision::Ternary);
+        let twice = once.quantize(Precision::Ternary);
+        for (a, b) in once.data().iter().zip(twice.data().iter()) {
+            prop_assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0));
+        }
+    }
+
+    /// The olympic mean is permutation-invariant and lies within the
+    /// value range.
+    #[test]
+    fn olympic_mean_bounds(mut times in proptest::collection::vec(0.1f64..1e4, 3..12)) {
+        let m = olympic_mean(&times);
+        let lo = times.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = times.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+        times.reverse();
+        let m2 = olympic_mean(&times);
+        prop_assert!((m - m2).abs() < 1e-9);
+    }
+
+    /// Adding an extreme outlier to a run set moves the olympic mean by
+    /// less than it moves the plain mean (robustness, §3.2.2).
+    #[test]
+    fn olympic_mean_robust_to_outlier(times in proptest::collection::vec(10.0f64..20.0, 4..10)) {
+        let base_olympic = olympic_mean(&times);
+        let mut with_outlier = times.clone();
+        with_outlier.push(1e6);
+        let olympic_shift = (olympic_mean(&with_outlier) - base_olympic).abs();
+        let plain: f64 = times.iter().sum::<f64>() / times.len() as f64;
+        let plain_out: f64 = with_outlier.iter().sum::<f64>() / with_outlier.len() as f64;
+        prop_assert!(olympic_shift < (plain_out - plain).abs());
+    }
+
+    /// BLEU is bounded in [0, 100] and exactly 100 on self-comparison.
+    #[test]
+    fn bleu_bounds(cand in proptest::collection::vec(3usize..20, 4..10),
+                   refr in proptest::collection::vec(3usize..20, 4..10)) {
+        let score = bleu(&[cand.clone()], &[refr]);
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&score));
+        let own = bleu(&[cand.clone()], &[cand]);
+        prop_assert!((own - 100.0).abs() < 1e-6);
+    }
+
+    /// Convergence-model epochs are monotone in batch size and scale
+    /// linearly with the target factor.
+    #[test]
+    fn convergence_monotone(b1 in 1usize..100_000, b2 in 1usize..100_000, f in 1.0f64..2.0) {
+        let m = ConvergenceModel::resnet_paper();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(m.epochs(lo) <= m.epochs(hi));
+        let scaled = m.with_target_factor(f);
+        prop_assert!((scaled.epochs(b1) / m.epochs(b1) - f).abs() < 1e-9);
+    }
+
+    /// The compliance checker never panics on arbitrary log soups, and
+    /// arbitrary entry lists round-trip through the :::MLLOG text
+    /// format.
+    #[test]
+    fn compliance_and_mllog_fuzz(
+        entries in proptest::collection::vec(
+            (0u64..10_000, "[a-z_]{1,20}", -1e6f64..1e6), 0..40)
+    ) {
+        let log: Vec<LogEntry> = entries
+            .into_iter()
+            .map(|(t, key, v)| LogEntry {
+                time_ms: t,
+                key,
+                value: serde_json::json!(v),
+            })
+            .collect();
+        let _ = check_log(&log); // must not panic
+        let mut logger = MlLogger::new();
+        for e in &log {
+            logger.set_time_ms(e.time_ms);
+            logger.log(&e.key, e.value.clone());
+        }
+        let parsed = MlLogger::parse(&logger.render()).expect("rendered log parses");
+        prop_assert_eq!(parsed, log);
+    }
+
+    /// Go engine invariant: after any sequence of (engine-chosen) legal
+    /// moves, no group on the board has zero liberties, and captures
+    /// are consistent with the number of empty points.
+    #[test]
+    fn go_no_zero_liberty_groups(seed in 0u64..200, moves in 1usize..60) {
+        let mut board = Board::new(9);
+        let mut player = RandomPlayer::new(seed);
+        for _ in 0..moves {
+            if board.is_over() {
+                break;
+            }
+            let mv = player.select_move(&board);
+            prop_assert!(board.play(mv).is_ok());
+        }
+        for p in 0..board.num_points() {
+            if board.stone(p).is_some() {
+                prop_assert!(board.liberties(p) > 0, "zero-liberty group survived at {p}");
+            }
+        }
+        // Stones on board + captures == stones played.
+        let placed = (0..board.num_points()).filter(|&p| board.stone(p).is_some()).count();
+        let (cb, cw) = board.captures();
+        let plays = board.moves_played()
+            - /* passes are not placements; count them */ 0;
+        prop_assert!(placed + cb + cw <= plays);
+    }
+
+    /// Go: `legal_moves` only returns moves `play` accepts.
+    #[test]
+    fn go_legal_moves_are_playable(seed in 0u64..100) {
+        let mut board = Board::new(5);
+        let mut player = RandomPlayer::new(seed);
+        for _ in 0..10 {
+            if board.is_over() {
+                break;
+            }
+            let mv = player.select_move(&board);
+            let _ = board.play(mv);
+        }
+        for mv in board.legal_moves() {
+            let mut trial = board.clone();
+            prop_assert!(trial.play(mv).is_ok(), "legal move {mv:?} rejected");
+        }
+    }
+
+    /// Scoring: black + white area never exceeds the board plus komi.
+    #[test]
+    fn go_score_bounded(seed in 0u64..100) {
+        let mut board = Board::new(9);
+        let mut p1 = RandomPlayer::new(seed);
+        let mut p2 = RandomPlayer::new(seed + 1);
+        for turn in 0..60 {
+            if board.is_over() {
+                break;
+            }
+            let mv = if turn % 2 == 0 { p1.select_move(&board) } else { p2.select_move(&board) };
+            let _ = board.play(mv);
+        }
+        let komi = 7.5;
+        let s = board.score(komi);
+        prop_assert!(s.black + s.white <= 81.0 + komi + 1e-6);
+        prop_assert!(s.black >= 0.0 && s.white >= komi - 1e-6);
+    }
+}

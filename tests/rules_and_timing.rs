@@ -1,0 +1,125 @@
+//! Integration tests for the rule machinery: timing exclusions driven
+//! through a scripted benchmark on a simulated clock, Closed-division
+//! hyperparameter validation, and the divisions/categories metadata.
+
+use mlperf_suite::core::harness::{run_benchmark, Benchmark};
+use mlperf_suite::core::rules::{borrow_hyperparameters, HyperparameterRules};
+use mlperf_suite::core::suite::BenchmarkId;
+use mlperf_suite::core::timing::{SimClock, MODEL_CREATION_CAP};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A benchmark with scripted stage costs on a shared simulated clock.
+struct Scripted {
+    clock: SimClock,
+    prepare: Duration,
+    create: Duration,
+    epoch: Duration,
+    epochs_to_target: usize,
+    epoch_count: usize,
+}
+
+impl Benchmark for Scripted {
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::ImageClassification
+    }
+    fn prepare(&mut self) {
+        self.clock.advance(self.prepare);
+    }
+    fn create_model(&mut self, _seed: u64) {
+        self.clock.advance(self.create);
+    }
+    fn train_epoch(&mut self, _epoch: usize) {
+        self.clock.advance(self.epoch);
+        self.epoch_count += 1;
+    }
+    fn evaluate(&mut self) -> f64 {
+        if self.epoch_count >= self.epochs_to_target {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn target(&self) -> f64 {
+        0.9
+    }
+    fn max_epochs(&self) -> usize {
+        100
+    }
+}
+
+#[test]
+fn timing_rules_full_scenario() {
+    // 2h dataset reformatting, 30min model compilation, 10 x 6min epochs.
+    let clock = SimClock::new();
+    let mut bench = Scripted {
+        clock: clock.clone(),
+        prepare: Duration::from_secs(2 * 3600),
+        create: Duration::from_secs(30 * 60),
+        epoch: Duration::from_secs(6 * 60),
+        epochs_to_target: 10,
+        epoch_count: 0,
+    };
+    let result = run_benchmark(&mut bench, 0, &clock);
+    assert!(result.reached_target);
+    assert_eq!(result.epochs, 10);
+    // Timed: 10 epochs (60 min) + compile excess over the 20-min cap
+    // (30 - 20 = 10 min).
+    assert_eq!(
+        result.time_to_train,
+        Duration::from_secs(60 * 60 + 10 * 60)
+    );
+    // Excluded: reformatting (2 h) + capped compile (20 min).
+    assert_eq!(
+        result.excluded,
+        Duration::from_secs(2 * 3600) + MODEL_CREATION_CAP
+    );
+}
+
+#[test]
+fn fast_compile_fully_excluded() {
+    let clock = SimClock::new();
+    let mut bench = Scripted {
+        clock: clock.clone(),
+        prepare: Duration::from_secs(100),
+        create: Duration::from_secs(19 * 60), // just under the cap
+        epoch: Duration::from_secs(60),
+        epochs_to_target: 3,
+        epoch_count: 0,
+    };
+    let result = run_benchmark(&mut bench, 0, &clock);
+    assert_eq!(result.time_to_train, Duration::from_secs(3 * 60));
+}
+
+#[test]
+fn closed_division_rules_across_all_benchmarks() {
+    // Every benchmark: batch/lr modifiable, a made-up optimizer knob not.
+    let reference: BTreeMap<String, f64> =
+        [("batch_size".to_string(), 32.0), ("secret_knob".to_string(), 1.0)].into();
+    for id in BenchmarkId::ALL {
+        let rules = HyperparameterRules::closed_division(id);
+        let mut submitted = reference.clone();
+        submitted.insert("batch_size".into(), 4096.0);
+        assert!(rules.violations(&reference, &submitted).is_empty(), "{id}");
+        submitted.insert("secret_knob".into(), 2.0);
+        assert_eq!(rules.violations(&reference, &submitted), vec!["secret_knob"], "{id}");
+    }
+}
+
+#[test]
+fn borrowing_then_validation_is_clean() {
+    // Borrowed hyperparameters are by construction modifiable, so the
+    // recipient stays compliant after adoption.
+    let rules = HyperparameterRules::closed_division(BenchmarkId::ImageClassification);
+    let reference: BTreeMap<String, f64> =
+        [("learning_rate".to_string(), 0.1), ("momentum".to_string(), 0.9)].into();
+    let donor: BTreeMap<String, f64> = [
+        ("learning_rate".to_string(), 1.7),
+        ("momentum".to_string(), 0.95), // restricted; must not transfer
+    ]
+    .into();
+    let mut recipient = reference.clone();
+    let adopted = borrow_hyperparameters(&rules, &donor, &mut recipient);
+    assert_eq!(adopted, vec!["learning_rate"]);
+    assert!(rules.violations(&reference, &recipient).is_empty());
+}
