@@ -93,9 +93,7 @@ mod tests {
         check_gradients(
             |w| {
                 let x = Var::constant(input.clone());
-                x.conv2d(w, None, Conv2dSpec::new(3, 1, 1))
-                    .relu()
-                    .mean()
+                x.conv2d(w, None, Conv2dSpec::new(3, 1, 1)).relu().mean()
             },
             &w0,
             1e-3,
@@ -119,11 +117,7 @@ mod tests {
         let x = rng.normal(&[2, 5], 0.0, 1.0);
         let pick = rng.normal(&[2, 5], 0.0, 1.0);
         check_gradients(
-            |w| {
-                w.log_softmax_last_axis()
-                    .mul(&Var::constant(pick.clone()))
-                    .sum()
-            },
+            |w| w.log_softmax_last_axis().mul(&Var::constant(pick.clone())).sum(),
             &x,
             1e-3,
             1e-2,
@@ -134,11 +128,6 @@ mod tests {
     fn checks_pooling() {
         let mut rng = TensorRng::new(13);
         let x = rng.normal(&[1, 2, 4, 4], 0.0, 1.0);
-        check_gradients(
-            |w| w.avg_pool2d(Conv2dSpec::new(2, 2, 0)).square().sum(),
-            &x,
-            1e-3,
-            1e-2,
-        );
+        check_gradients(|w| w.avg_pool2d(Conv2dSpec::new(2, 2, 0)).square().sum(), &x, 1e-3, 1e-2);
     }
 }

@@ -142,10 +142,7 @@ impl Var {
     /// [`Var::cross_entropy_logits`], or if `smoothing` is outside
     /// `[0, 1)`.
     pub fn cross_entropy_logits_smoothed(&self, labels: &[usize], smoothing: f32) -> Var {
-        assert!(
-            (0.0..1.0).contains(&smoothing),
-            "smoothing must be in [0, 1), got {smoothing}"
-        );
+        assert!((0.0..1.0).contains(&smoothing), "smoothing must be in [0, 1), got {smoothing}");
         let s = self.shape();
         assert_eq!(s.len(), 2, "cross entropy expects [batch, classes]");
         let (batch, classes) = (s[0], s[1]);
@@ -189,11 +186,7 @@ impl Var {
     ///
     /// Panics if shapes differ.
     pub fn bce_with_logits(&self, targets: &Tensor) -> Var {
-        assert_eq!(
-            &self.shape()[..],
-            targets.shape(),
-            "bce_with_logits shape mismatch"
-        );
+        assert_eq!(&self.shape()[..], targets.shape(), "bce_with_logits shape mismatch");
         let x = self.value_clone();
         let n = x.len() as f32;
         // loss = max(x,0) - x*t + ln(1 + exp(-|x|))
@@ -299,10 +292,7 @@ mod tests {
 
     #[test]
     fn max_pool_grad_routes_to_max() {
-        let x = Var::param(Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            &[1, 1, 2, 2],
-        ));
+        let x = Var::param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]));
         let y = x.max_pool2d(Conv2dSpec::new(2, 2, 0));
         y.sum().backward();
         assert_eq!(x.grad().unwrap().data(), &[0.0, 0.0, 0.0, 1.0]);
@@ -321,10 +311,7 @@ mod tests {
     fn softmax_rows_sum_to_one_and_grad_sums_to_zero() {
         let x = Var::param(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0], &[2, 2]));
         let s = x.softmax_last_axis();
-        let picked = s.mul(&Var::constant(Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 1.0],
-            &[2, 2],
-        )));
+        let picked = s.mul(&Var::constant(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])));
         picked.sum().backward();
         let g = x.grad().unwrap();
         // Gradient of softmax output w.r.t. logits sums to zero per row.
@@ -366,11 +353,7 @@ mod tests {
         let x = Var::param(Tensor::from_vec(vec![0.3, -0.5, 1.2, 0.0, 0.7, -2.0], &[2, 3]));
         let plain = x.cross_entropy_logits(&[0, 2]);
         let smoothed0 = x.cross_entropy_logits_smoothed(&[0, 2], 0.0);
-        mlperf_tensor::assert_close(
-            &[plain.value().item()],
-            &[smoothed0.value().item()],
-            1e-6,
-        );
+        mlperf_tensor::assert_close(&[plain.value().item()], &[smoothed0.value().item()], 1e-6);
     }
 
     #[test]

@@ -35,12 +35,7 @@ impl Var {
         Var::from_op(
             out,
             vec![self.clone(), rhs.clone()],
-            Box::new(move |g| {
-                vec![
-                    Some((g * &b).sum_to(&sa)),
-                    Some((g * &a).sum_to(&sb)),
-                ]
-            }),
+            Box::new(move |g| vec![Some((g * &b).sum_to(&sa)), Some((g * &a).sum_to(&sb))]),
         )
     }
 
@@ -64,21 +59,13 @@ impl Var {
     /// Negation.
     pub fn neg(&self) -> Var {
         let out = -&*self.value();
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(|g| vec![Some(-g)]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(|g| vec![Some(-g)]))
     }
 
     /// Multiplication by a scalar.
     pub fn scale(&self, s: f32) -> Var {
         let out = self.value().scale(s);
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g.scale(s))]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![Some(g.scale(s))]))
     }
 
     /// Addition of a scalar.
@@ -91,11 +78,7 @@ impl Var {
     pub fn square(&self) -> Var {
         let a = self.value_clone();
         let out = a.square();
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g * a.scale(2.0))]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![Some(g * a.scale(2.0))]))
     }
 
     /// Elementwise square root.
@@ -113,22 +96,14 @@ impl Var {
     pub fn exp(&self) -> Var {
         let out = self.value().exp();
         let o = out.clone();
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g * &o)]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![Some(g * &o)]))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&self) -> Var {
         let a = self.value_clone();
         let out = a.ln();
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g * a.recip())]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![Some(g * a.recip())]))
     }
 
     /// Rectified linear unit.
@@ -220,21 +195,13 @@ impl Var {
     pub fn reshape(&self, shape: &[usize]) -> Var {
         let out = self.value().reshape(shape);
         let in_shape = self.shape();
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g.reshape(&in_shape))]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![Some(g.reshape(&in_shape))]))
     }
 
     /// 2-D transpose.
     pub fn transpose(&self) -> Var {
         let out = self.value().transpose();
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(|g| vec![Some(g.transpose())]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(|g| vec![Some(g.transpose())]))
     }
 
     /// Permutes dimensions.
@@ -245,11 +212,7 @@ impl Var {
         for (i, &p) in perm.iter().enumerate() {
             inv[p] = i;
         }
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g.permute(&inv))]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![Some(g.permute(&inv))]))
     }
 
     /// Matrix multiplication of 2-D nodes.
@@ -260,12 +223,7 @@ impl Var {
         Var::from_op(
             out,
             vec![self.clone(), rhs.clone()],
-            Box::new(move |g| {
-                vec![
-                    Some(g.matmul(&b.transpose())),
-                    Some(a.transpose().matmul(g)),
-                ]
-            }),
+            Box::new(move |g| vec![Some(g.matmul(&b.transpose())), Some(a.transpose().matmul(g))]),
         )
     }
 
@@ -278,10 +236,7 @@ impl Var {
             out,
             vec![self.clone(), rhs.clone()],
             Box::new(move |g| {
-                vec![
-                    Some(g.bmm(&b.transpose_last2())),
-                    Some(a.transpose_last2().bmm(g)),
-                ]
+                vec![Some(g.bmm(&b.transpose_last2())), Some(a.transpose_last2().bmm(g))]
             }),
         )
     }
@@ -374,11 +329,7 @@ impl Var {
     pub fn broadcast_to(&self, dims: &[usize]) -> Var {
         let out = self.value().broadcast_to(dims);
         let in_shape = self.shape();
-        Var::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(move |g| vec![Some(g.sum_to(&in_shape))]),
-        )
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| vec![Some(g.sum_to(&in_shape))]))
     }
 }
 
@@ -537,11 +488,8 @@ mod tests {
         let a = Var::param(Tensor::ones(&[1, 2]));
         let b = Var::param(Tensor::ones(&[1, 3]));
         let cat = Var::concat(&[&a, &b], 1);
-        let loss = cat.mul(&Var::constant(Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0],
-            &[1, 5],
-        )))
-        .sum();
+        let loss =
+            cat.mul(&Var::constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[1, 5]))).sum();
         loss.backward();
         assert_eq!(a.grad().unwrap().data(), &[1.0, 2.0]);
         assert_eq!(b.grad().unwrap().data(), &[3.0, 4.0, 5.0]);

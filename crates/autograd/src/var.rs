@@ -115,18 +115,11 @@ impl Var {
     /// invalidate recorded backward closures) or if the new shape
     /// differs.
     pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
-        assert!(
-            self.inner.op.is_none(),
-            "update_value is only valid on leaf nodes"
-        );
+        assert!(self.inner.op.is_none(), "update_value is only valid on leaf nodes");
         let mut v = self.inner.value.borrow_mut();
         let shape_before = v.shape().to_vec();
         f(&mut v);
-        assert_eq!(
-            v.shape(),
-            &shape_before[..],
-            "update_value must preserve shape"
-        );
+        assert_eq!(v.shape(), &shape_before[..], "update_value must preserve shape");
     }
 
     /// The accumulated gradient, if any.
@@ -164,11 +157,7 @@ impl Var {
     ///
     /// Panics if `seed`'s shape differs from the node's value shape.
     pub fn backward_with(&self, seed: Tensor) {
-        assert_eq!(
-            seed.shape(),
-            &self.shape()[..],
-            "backward seed shape mismatch"
-        );
+        assert_eq!(seed.shape(), &self.shape()[..], "backward seed shape mismatch");
         if !self.inner.requires_grad {
             return;
         }
@@ -225,10 +214,7 @@ impl Var {
                             "gradient shape mismatch for parent {}",
                             p.inner.id
                         );
-                        grads
-                            .entry(p.inner.id)
-                            .and_modify(|acc| acc.axpy(1.0, &g))
-                            .or_insert(g);
+                        grads.entry(p.inner.id).and_modify(|acc| acc.axpy(1.0, &g)).or_insert(g);
                     }
                 }
             }

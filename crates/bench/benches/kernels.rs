@@ -30,9 +30,7 @@ fn bench_conv_lowerings(c: &mut Criterion) {
     let x = rng.normal(&[4, 8, 12, 12], 0.0, 1.0);
     let w = rng.normal(&[16, 8, 3, 3], 0.0, 0.5);
     let spec = Conv2dSpec::new(3, 1, 1);
-    group.bench_function("im2col", |b| {
-        b.iter(|| black_box(&x).conv2d(black_box(&w), None, spec))
-    });
+    group.bench_function("im2col", |b| b.iter(|| black_box(&x).conv2d(black_box(&w), None, spec)));
     group.bench_function("direct", |b| {
         b.iter(|| black_box(&x).conv2d_direct(black_box(&w), None, spec))
     });
@@ -42,9 +40,7 @@ fn bench_conv_lowerings(c: &mut Criterion) {
 fn bench_softmax_and_reductions(c: &mut Criterion) {
     let mut rng = TensorRng::new(2);
     let logits = rng.normal(&[256, 64], 0.0, 2.0);
-    c.bench_function("softmax_256x64", |b| {
-        b.iter(|| black_box(&logits).softmax_last_axis())
-    });
+    c.bench_function("softmax_256x64", |b| b.iter(|| black_box(&logits).softmax_last_axis()));
     let t = rng.normal(&[64, 64, 8], 0.0, 1.0);
     c.bench_function("sum_axis_mid", |b| b.iter(|| black_box(&t).sum_axis(1, false)));
 }
@@ -82,9 +78,7 @@ fn bench_go_engine(c: &mut Criterion) {
         let mv = player.select_move(&board);
         board.play(mv).expect("engine move legal");
     }
-    c.bench_function("go_legal_moves_midgame", |b| {
-        b.iter(|| black_box(&board).legal_moves())
-    });
+    c.bench_function("go_legal_moves_midgame", |b| b.iter(|| black_box(&board).legal_moves()));
     c.bench_function("go_score_midgame", |b| b.iter(|| black_box(&board).score(7.5)));
 }
 

@@ -38,9 +38,7 @@ fn bench_log_machinery(c: &mut Criterion) {
     c.bench_function("mllog_parse", |b| {
         b.iter(|| MlLogger::parse(black_box(&text)).expect("parses"))
     });
-    c.bench_function("compliance_check", |b| {
-        b.iter(|| check_log(black_box(result.log.entries())))
-    });
+    c.bench_function("compliance_check", |b| b.iter(|| check_log(black_box(result.log.entries()))));
 }
 
 fn bench_aggregation(c: &mut Criterion) {

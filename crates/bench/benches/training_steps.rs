@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlperf_data::{
-    reference_games, GoDataset, ImageNetConfig, ShapesConfig, SyntheticCf, SyntheticImageNet,
-    SyntheticShapes, SyntheticTranslation, CfConfig, TranslationConfig,
+    reference_games, CfConfig, GoDataset, ImageNetConfig, ShapesConfig, SyntheticCf,
+    SyntheticImageNet, SyntheticShapes, SyntheticTranslation, TranslationConfig,
 };
 use mlperf_models::{
     GnmtConfig, GnmtMini, MiniGoConfig, MiniGoNet, Ncf, NcfConfig, ResNetConfig, ResNetMini,
@@ -52,7 +52,11 @@ fn bench_transformer_step(c: &mut Criterion) {
     let data_cfg = TranslationConfig::default();
     let data = SyntheticTranslation::generate(data_cfg, 2);
     let model = TransformerMini::new(
-        TransformerConfig { vocab: data_cfg.vocab, max_len: data_cfg.max_len + 2, ..Default::default() },
+        TransformerConfig {
+            vocab: data_cfg.vocab,
+            max_len: data_cfg.max_len + 2,
+            ..Default::default()
+        },
         &mut rng,
     );
     let mut opt = Adam::with_defaults(model.params());
@@ -116,9 +120,7 @@ fn bench_minigo_step(c: &mut Criterion) {
     c.bench_function("step/minigo_b32", |b| {
         b.iter(|| {
             opt.zero_grad();
-            model
-                .loss(black_box(&features), black_box(&moves), black_box(&outcomes))
-                .backward();
+            model.loss(black_box(&features), black_box(&moves), black_box(&outcomes)).backward();
             opt.step(0.005);
         })
     });

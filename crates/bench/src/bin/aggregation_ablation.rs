@@ -45,11 +45,8 @@ fn main() {
     println!("empirical cv: {:.1}%\n", 100.0 * std_dev(&times) / mean(&times));
 
     type Estimator = fn(&[f64]) -> f64;
-    let estimators: Vec<(&str, Estimator)> = vec![
-        ("olympic", olympic_mean as Estimator),
-        ("mean", plain_mean),
-        ("median", median),
-    ];
+    let estimators: Vec<(&str, Estimator)> =
+        vec![("olympic", olympic_mean as Estimator), ("mean", plain_mean), ("median", median)];
     // Bootstrap 5-run results; then inject a 10x straggler into each
     // draw and measure the estimator shift.
     let mut state = 0x1234_5678u64;
@@ -62,10 +59,7 @@ fn main() {
     let draws: Vec<Vec<f64>> = (0..500)
         .map(|_| (0..5).map(|_| times[(next() % times.len() as u64) as usize]).collect())
         .collect();
-    println!(
-        "{:<10} {:>22} {:>22}",
-        "estimator", "spread (cv of result)", "10x-straggler shift"
-    );
+    println!("{:<10} {:>22} {:>22}", "estimator", "spread (cv of result)", "10x-straggler shift");
     let mut rows = Vec::new();
     for (name, est) in estimators {
         let clean: Vec<f64> = draws.iter().map(|d| est(d)).collect();

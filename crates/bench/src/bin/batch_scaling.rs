@@ -72,10 +72,7 @@ fn main() {
     }
     let small = empirical.first().expect("rows").mean_epochs;
     let large = empirical.last().expect("rows").mean_epochs;
-    println!(
-        "\nsmallest -> largest batch epoch inflation: {:.2}x (expected > 1)",
-        large / small
-    );
+    println!("\nsmallest -> largest batch epoch inflation: {:.2}x (expected > 1)", large / small);
     let path = write_json("batch_scaling", &Output { paper_model, empirical });
     println!("wrote {}", path.display());
 }

@@ -29,11 +29,7 @@ fn main() {
             result.time_to_train.as_secs_f64(),
             start.elapsed().as_secs_f64(),
         );
-        let curve: Vec<String> = result
-            .quality_history
-            .iter()
-            .map(|q| format!("{q:.3}"))
-            .collect();
+        let curve: Vec<String> = result.quality_history.iter().map(|q| format!("{q:.3}")).collect();
         println!("  curve: {}", curve.join(" "));
     }
 }

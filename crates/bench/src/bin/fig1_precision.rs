@@ -27,10 +27,7 @@ struct Series {
 }
 
 fn main() {
-    let epochs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let epochs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     let seed = 2024u64;
     let data = SyntheticImageNet::generate(ImageNetConfig::default(), 0xF16);
     let _ = BenchmarkId::ImageClassification; // context: same task family as Table 1 row 1

@@ -22,18 +22,12 @@ struct VarianceResult {
     relative_spread: f64,
 }
 
-fn study(
-    name: &str,
-    make: impl Fn() -> Box<dyn Benchmark> + Sync,
-    seeds: usize,
-) -> VarianceResult {
+fn study(name: &str, make: impl Fn() -> Box<dyn Benchmark> + Sync, seeds: usize) -> VarianceResult {
     let seed_list: Vec<u64> = (0..seeds as u64).collect();
     // Runs that exhaust the budget are recorded at the budget — visible
     // as the right-edge bucket, like the paper's outliers.
-    let epochs: Vec<usize> = run_benchmark_set(make, &seed_list)
-        .into_iter()
-        .map(|r| r.epochs)
-        .collect();
+    let epochs: Vec<usize> =
+        run_benchmark_set(make, &seed_list).into_iter().map(|r| r.epochs).collect();
     let as_f64: Vec<f64> = epochs.iter().map(|&e| e as f64).collect();
     let m = mean(&as_f64);
     let s = std_dev(&as_f64);
@@ -51,10 +45,7 @@ fn study(
 }
 
 fn main() {
-    let seeds: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24);
+    let seeds: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
     println!("Figure 2: run-to-run variation in epochs-to-target\n");
     let ncf = study("NCF", || Box::new(NcfBenchmark::new()), seeds);
     let minigo = study("MiniGo", || Box::new(MiniGoBenchmark::new()), seeds);

@@ -28,10 +28,7 @@ struct Fig3 {
 }
 
 fn main() {
-    let epochs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let epochs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     let target = BenchmarkId::ImageClassification.spec().quality.value;
     println!("Figure 3: ResNet top-1 accuracy over epochs, 5 seeds (target {target})\n");
     let mut curves = Vec::new();

@@ -89,10 +89,8 @@ fn run_replica(permutation_seed: u64, data: &SyntheticImageNet) -> Replica {
     if epochs_to_target == 0 {
         epochs_to_target = max_epochs;
     }
-    let checksum = params
-        .iter()
-        .map(|p| p.value().data().iter().map(|&x| x as f64).sum::<f64>())
-        .sum();
+    let checksum =
+        params.iter().map(|p| p.value().data().iter().map(|&x| x as f64).sum::<f64>()).sum();
     Replica {
         permutation_seed,
         epochs_to_target,
@@ -102,10 +100,7 @@ fn run_replica(permutation_seed: u64, data: &SyntheticImageNet) -> Replica {
 }
 
 fn main() {
-    let replicas: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let replicas: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     println!(
         "Fixed-seed nondeterminism study (paper §2.2.3 / Figure 2b groupings)\n\
          model seed fixed; only the {SHARDS}-shard all-reduce order varies\n"

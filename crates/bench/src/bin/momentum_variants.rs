@@ -67,11 +67,7 @@ fn train(
         }
         acc.push(model.accuracy(data.val.images(), data.val.labels()) as f64);
     }
-    let weights: Vec<f32> = model
-        .params()
-        .iter()
-        .flat_map(|p| p.value().data().to_vec())
-        .collect();
+    let weights: Vec<f32> = model.params().iter().flat_map(|p| p.value().data().to_vec()).collect();
     (acc, weights)
 }
 
@@ -85,11 +81,8 @@ fn run_scenario(name: &str, batch: usize, decay: bool, data: &SyntheticImageNet)
     };
     let (caffe_acc, caffe_w) = train("caffe", batch, &schedule, epochs, data);
     let (torch_acc, torch_w) = train("torch", batch, &schedule, epochs, data);
-    let max_div = caffe_w
-        .iter()
-        .zip(torch_w.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_div =
+        caffe_w.iter().zip(torch_w.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     println!(
         "{name:<28} batch {batch:>4}  final acc caffe {:.3} / torch {:.3}  max |w_caffe - w_torch| = {max_div:.2e}",
         caffe_acc.last().expect("epochs"),

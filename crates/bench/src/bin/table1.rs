@@ -49,10 +49,7 @@ fn main() {
             let mut bench = build(id);
             let clock = RealClock::new();
             let result = run_benchmark(bench.as_mut(), 1000 + run as u64, &clock);
-            assert!(
-                result.reached_target,
-                "{id} failed to reach its threshold on run {run}"
-            );
+            assert!(result.reached_target, "{id} failed to reach its threshold on run {run}");
             epochs.push(result.epochs);
             quality.push(result.quality);
             seconds.push(result.time_to_train.as_secs_f64());

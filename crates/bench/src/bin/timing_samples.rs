@@ -48,17 +48,11 @@ fn tolerance_for_fraction(times: &[f64], runs: usize, frac: f64) -> f64 {
 
 fn sample_times(make: impl Fn() -> Box<dyn Benchmark> + Sync, seeds: usize) -> Vec<f64> {
     let seed_list: Vec<u64> = (0..seeds as u64).collect();
-    run_benchmark_set(make, &seed_list)
-        .into_iter()
-        .map(|r| r.time_to_train.as_secs_f64())
-        .collect()
+    run_benchmark_set(make, &seed_list).into_iter().map(|r| r.time_to_train.as_secs_f64()).collect()
 }
 
 fn main() {
-    let seeds: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let seeds: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
     println!("Timing-samples study (paper §3.2.2)\n");
     println!("measuring empirical TTT distributions ({seeds} seeds each)…");
     let ncf_times = sample_times(|| Box::new(NcfBenchmark::new()), seeds);
@@ -75,14 +69,8 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    println!(
-        "{:<10} {:>10} {:>16} {:>16}",
-        "benchmark", "tolerance", "runs/result", "within tol"
-    );
-    for (name, times, tol) in [
-        ("resnet", &resnet_times, 0.05),
-        ("ncf", &ncf_times, 0.10),
-    ] {
+    println!("{:<10} {:>10} {:>16} {:>16}", "benchmark", "tolerance", "runs/result", "within tol");
+    for (name, times, tol) in [("resnet", &resnet_times, 0.05), ("ncf", &ncf_times, 0.10)] {
         for runs in [3usize, 5, 10] {
             let frac = stability_fraction(times, runs, 2000, tol, 7);
             println!("{name:<10} {:>9.0}% {runs:>16} {:>15.1}%", tol * 100.0, frac * 100.0);

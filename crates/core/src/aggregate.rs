@@ -106,18 +106,14 @@ pub fn stability_fraction(
     };
     let mut results = Vec::with_capacity(trials);
     for _ in 0..trials {
-        let draw: Vec<f64> = (0..runs_per_result)
-            .map(|_| times[(next() % times.len() as u64) as usize])
-            .collect();
+        let draw: Vec<f64> =
+            (0..runs_per_result).map(|_| times[(next() % times.len() as u64) as usize]).collect();
         results.push(olympic_mean(&draw));
     }
     let mut sorted = results.clone();
     sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
-    results
-        .iter()
-        .filter(|r| ((*r - median) / median).abs() <= tolerance)
-        .count() as f64
+    results.iter().filter(|r| ((*r - median) / median).abs() <= tolerance).count() as f64
         / trials as f64
 }
 

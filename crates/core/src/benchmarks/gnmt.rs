@@ -93,11 +93,8 @@ impl Benchmark for GnmtBenchmark {
     fn evaluate(&mut self) -> f64 {
         let data = self.data.as_ref().expect("prepare not called");
         let model = self.model.as_ref().expect("create_model not called");
-        let candidates: Vec<Vec<usize>> = data
-            .val
-            .iter()
-            .map(|p| model.greedy_translate(&p.source))
-            .collect();
+        let candidates: Vec<Vec<usize>> =
+            data.val.iter().map(|p| model.greedy_translate(&p.source)).collect();
         let references: Vec<Vec<usize>> = data.val.iter().map(|p| p.target.clone()).collect();
         bleu(&candidates, &references)
     }

@@ -96,9 +96,7 @@ impl Benchmark for MiniGoBenchmark {
         let fresh = reference_games(
             self.games_per_epoch,
             self.board_size,
-            self.run_seed
-                .wrapping_mul(31)
-                .wrapping_add(epoch as u64 + 1),
+            self.run_seed.wrapping_mul(31).wrapping_add(epoch as u64 + 1),
         );
         let ds = GoDataset::from_games(&fresh);
         // Fresh games enter a bounded replay buffer; each epoch trains

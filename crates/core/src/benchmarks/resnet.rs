@@ -136,10 +136,7 @@ impl Benchmark for ResNetBenchmark {
     }
 
     fn target(&self) -> f64 {
-        self.id()
-            .quality_for(self.version)
-            .expect("resnet exists in every round")
-            .value
+        self.id().quality_for(self.version).expect("resnet exists in every round").value
     }
 
     fn max_epochs(&self) -> usize {

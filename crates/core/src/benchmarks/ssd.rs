@@ -101,19 +101,13 @@ impl Benchmark for SsdBenchmark {
         let evals: Vec<DetectionEval<'_>> = detections
             .iter()
             .zip(data.val.iter())
-            .map(|(dets, sample)| DetectionEval {
-                detections: dets,
-                ground_truth: &sample.objects,
-            })
+            .map(|(dets, sample)| DetectionEval { detections: dets, ground_truth: &sample.objects })
             .collect();
         mean_average_precision(&evals, 3, 0.5)
     }
 
     fn target(&self) -> f64 {
-        self.id()
-            .quality_for(self.version)
-            .expect("ssd exists in every round")
-            .value
+        self.id().quality_for(self.version).expect("ssd exists in every round").value
     }
 
     fn max_epochs(&self) -> usize {

@@ -6,7 +6,10 @@ use crate::mllog::{keys, LogEntry};
 use serde_json::Value;
 use std::fmt;
 
-/// A compliance problem found in a submission log.
+/// A compliance problem found in a submission log. Positional issues
+/// carry the zero-based index of the offending entry, which is also its
+/// line number in the rendered `:::MLLOG` text (entries map to lines
+/// one-to-one), so review diagnostics can point at the exact line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ComplianceIssue {
     /// A required key never appears.
@@ -15,28 +18,57 @@ pub enum ComplianceIssue {
     OutOfOrder {
         /// The key that appeared too early.
         early: &'static str,
+        /// Index of the too-early entry.
+        early_entry: usize,
         /// The key it must follow.
         late: &'static str,
+        /// Index of the entry it should have followed.
+        late_entry: usize,
     },
     /// `run_stop` exists but does not carry a status.
-    RunStopWithoutStatus,
+    RunStopWithoutStatus {
+        /// Index of the `run_stop` entry.
+        entry: usize,
+    },
     /// Log timestamps go backwards.
-    NonMonotonicTimestamps,
+    NonMonotonicTimestamps {
+        /// Index of the first entry whose timestamp precedes its
+        /// predecessor's.
+        entry: usize,
+    },
     /// No evaluation results between run start and stop.
     NoEvaluations,
+}
+
+impl ComplianceIssue {
+    /// The index of the offending entry (= line number in the rendered
+    /// log), when the issue points at one.
+    pub fn entry_index(&self) -> Option<usize> {
+        match self {
+            ComplianceIssue::MissingKey(_) | ComplianceIssue::NoEvaluations => None,
+            ComplianceIssue::OutOfOrder { early_entry, .. } => Some(*early_entry),
+            ComplianceIssue::RunStopWithoutStatus { entry }
+            | ComplianceIssue::NonMonotonicTimestamps { entry } => Some(*entry),
+        }
+    }
 }
 
 impl fmt::Display for ComplianceIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ComplianceIssue::MissingKey(k) => write!(f, "required key `{k}` missing"),
-            ComplianceIssue::OutOfOrder { early, late } => {
-                write!(f, "`{early}` appears before `{late}`")
+            ComplianceIssue::OutOfOrder { early, early_entry, late, late_entry } => {
+                write!(
+                    f,
+                    "`{early}` (line {early_entry}) appears before `{late}` (line {late_entry})"
+                )
             }
-            ComplianceIssue::RunStopWithoutStatus => {
-                write!(f, "`run_stop` has no status field")
+            ComplianceIssue::RunStopWithoutStatus { entry } => {
+                write!(f, "`run_stop` (line {entry}) has no status field")
             }
-            ComplianceIssue::NonMonotonicTimestamps => write!(f, "timestamps go backwards"),
+            ComplianceIssue::NonMonotonicTimestamps { entry } => {
+                write!(f, "timestamps go backwards at line {entry}")
+            }
             ComplianceIssue::NoEvaluations => {
                 write!(f, "no eval_accuracy entries inside the timed region")
             }
@@ -72,20 +104,25 @@ pub fn check_log(entries: &[LogEntry]) -> Vec<ComplianceIssue> {
     for (first, second) in order_pairs {
         if let (Some(a), Some(b)) = (pos(first), pos(second)) {
             if a > b {
-                issues.push(ComplianceIssue::OutOfOrder { early: second, late: first });
+                issues.push(ComplianceIssue::OutOfOrder {
+                    early: second,
+                    early_entry: b,
+                    late: first,
+                    late_entry: a,
+                });
             }
         }
     }
 
-    if let Some(stop) = entries.iter().find(|e| e.key == keys::RUN_STOP) {
+    if let Some((i, stop)) = entries.iter().enumerate().find(|(_, e)| e.key == keys::RUN_STOP) {
         match &stop.value {
             Value::Object(map) if map.contains_key("status") => {}
-            _ => issues.push(ComplianceIssue::RunStopWithoutStatus),
+            _ => issues.push(ComplianceIssue::RunStopWithoutStatus { entry: i }),
         }
     }
 
-    if entries.windows(2).any(|w| w[1].time_ms < w[0].time_ms) {
-        issues.push(ComplianceIssue::NonMonotonicTimestamps);
+    if let Some(i) = entries.windows(2).position(|w| w[1].time_ms < w[0].time_ms) {
+        issues.push(ComplianceIssue::NonMonotonicTimestamps { entry: i + 1 });
     }
 
     if let (Some(start), Some(stop)) = (pos(keys::RUN_START), pos(keys::RUN_STOP)) {
@@ -134,10 +171,8 @@ mod tests {
 
     #[test]
     fn missing_seed_flagged() {
-        let log: Vec<LogEntry> = minimal_valid()
-            .into_iter()
-            .filter(|e| e.key != keys::SEED)
-            .collect();
+        let log: Vec<LogEntry> =
+            minimal_valid().into_iter().filter(|e| e.key != keys::SEED).collect();
         assert!(check_log(&log).contains(&ComplianceIssue::MissingKey(keys::SEED)));
     }
 
@@ -145,31 +180,46 @@ mod tests {
     fn out_of_order_flagged() {
         let mut log = minimal_valid();
         log.swap(3, 4); // run_start before init_start
-        assert!(check_log(&log)
-            .iter()
-            .any(|i| matches!(i, ComplianceIssue::OutOfOrder { .. })));
+        let issues = check_log(&log);
+        assert!(issues.contains(&ComplianceIssue::OutOfOrder {
+            early: keys::RUN_START,
+            early_entry: 3,
+            late: keys::INIT_START,
+            late_entry: 4,
+        }));
+    }
+
+    #[test]
+    fn issues_point_at_log_lines() {
+        let mut log = minimal_valid();
+        log.last_mut().unwrap().value = json!(null);
+        log[6].time_ms = 2;
+        let indices: Vec<Option<usize>> =
+            check_log(&log).iter().map(ComplianceIssue::entry_index).collect();
+        assert!(indices.contains(&Some(8)), "run_stop line: {indices:?}");
+        assert!(indices.contains(&Some(6)), "timestamp line: {indices:?}");
+        let rendered = ComplianceIssue::NonMonotonicTimestamps { entry: 6 }.to_string();
+        assert!(rendered.contains("line 6"), "{rendered}");
     }
 
     #[test]
     fn run_stop_without_status_flagged() {
         let mut log = minimal_valid();
         log.last_mut().unwrap().value = json!(null);
-        assert!(check_log(&log).contains(&ComplianceIssue::RunStopWithoutStatus));
+        assert!(check_log(&log).contains(&ComplianceIssue::RunStopWithoutStatus { entry: 8 }));
     }
 
     #[test]
     fn backwards_timestamps_flagged() {
         let mut log = minimal_valid();
         log[6].time_ms = 2; // earlier than its predecessor
-        assert!(check_log(&log).contains(&ComplianceIssue::NonMonotonicTimestamps));
+        assert!(check_log(&log).contains(&ComplianceIssue::NonMonotonicTimestamps { entry: 6 }));
     }
 
     #[test]
     fn no_evals_flagged() {
-        let log: Vec<LogEntry> = minimal_valid()
-            .into_iter()
-            .filter(|e| e.key != keys::EVAL_ACCURACY)
-            .collect();
+        let log: Vec<LogEntry> =
+            minimal_valid().into_iter().filter(|e| e.key != keys::EVAL_ACCURACY).collect();
         assert!(check_log(&log).contains(&ComplianceIssue::NoEvaluations));
     }
 

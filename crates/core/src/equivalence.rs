@@ -28,9 +28,13 @@ pub struct ModelSignature {
 impl ModelSignature {
     /// Extracts the signature of any module.
     pub fn of(model: &dyn Module) -> Self {
-        ModelSignature {
-            shapes: model.params().iter().map(|p| p.shape()).collect(),
-        }
+        ModelSignature { shapes: model.params().iter().map(|p| p.shape()).collect() }
+    }
+
+    /// Builds a signature from raw parameter shapes, for submission
+    /// bundles that carry a fingerprint without the model behind it.
+    pub fn from_shapes(shapes: Vec<Vec<usize>>) -> Self {
+        ModelSignature { shapes }
     }
 
     /// Number of parameter tensors.
@@ -99,12 +103,7 @@ pub fn check_equivalence(
         });
         return issues;
     }
-    for (index, (r, s)) in reference
-        .shapes
-        .iter()
-        .zip(submitted.shapes.iter())
-        .enumerate()
-    {
+    for (index, (r, s)) in reference.shapes.iter().zip(submitted.shapes.iter()).enumerate() {
         if r != s {
             issues.push(EquivalenceIssue::ShapeMismatch {
                 index,
@@ -139,12 +138,10 @@ pub fn reference_signature(id: BenchmarkId) -> ModelSignature {
             mlperf_models::SsdConfig::default(),
             &mut rng,
         )),
-        BenchmarkId::InstanceSegmentation => ModelSignature::of(
-            &mlperf_models::MaskRcnnMini::new(
-                mlperf_models::MaskRcnnConfig { proposals: 3, ..Default::default() },
-                &mut rng,
-            ),
-        ),
+        BenchmarkId::InstanceSegmentation => ModelSignature::of(&mlperf_models::MaskRcnnMini::new(
+            mlperf_models::MaskRcnnConfig { proposals: 3, ..Default::default() },
+            &mut rng,
+        )),
         BenchmarkId::TranslationRecurrent => {
             let data = mlperf_data::TranslationConfig::default();
             ModelSignature::of(&mlperf_models::GnmtMini::new(
@@ -179,9 +176,10 @@ pub fn reference_signature(id: BenchmarkId) -> ModelSignature {
                 &mut rng,
             ))
         }
-        BenchmarkId::ReinforcementLearning => ModelSignature::of(
-            &mlperf_models::MiniGoNet::new(mlperf_models::MiniGoConfig::default(), &mut rng),
-        ),
+        BenchmarkId::ReinforcementLearning => ModelSignature::of(&mlperf_models::MiniGoNet::new(
+            mlperf_models::MiniGoConfig::default(),
+            &mut rng,
+        )),
     }
 }
 
@@ -228,10 +226,8 @@ mod tests {
     fn matching_model_passes() {
         let reference = reference_signature(BenchmarkId::ReinforcementLearning);
         let mut rng = TensorRng::new(5);
-        let candidate = mlperf_models::MiniGoNet::new(
-            mlperf_models::MiniGoConfig::default(),
-            &mut rng,
-        );
+        let candidate =
+            mlperf_models::MiniGoNet::new(mlperf_models::MiniGoConfig::default(), &mut rng);
         assert!(check_equivalence(&reference, &ModelSignature::of(&candidate)).is_empty());
     }
 
@@ -253,10 +249,7 @@ mod tests {
         let resnet = reference_signature(BenchmarkId::ImageClassification);
         let ncf = reference_signature(BenchmarkId::Recommendation);
         let issues = check_equivalence(&resnet, &ncf);
-        assert!(matches!(
-            issues[0],
-            EquivalenceIssue::TensorCountMismatch { .. }
-        ));
+        assert!(matches!(issues[0], EquivalenceIssue::TensorCountMismatch { .. }));
     }
 
     #[test]

@@ -123,10 +123,7 @@ pub fn run_benchmark(bench: &mut dyn Benchmark, seed: u64, clock: &dyn Clock) ->
     }
     timer.stop();
     log_time(&mut logger, clock);
-    logger.log(
-        keys::RUN_STOP,
-        json!({"status": if reached { "success" } else { "aborted" }}),
-    );
+    logger.log(keys::RUN_STOP, json!({"status": if reached { "success" } else { "aborted" }}));
 
     RunResult {
         benchmark: bench.id(),
@@ -163,10 +160,7 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("benchmark run thread panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("benchmark run thread panicked")).collect()
     })
 }
 
@@ -243,7 +237,7 @@ mod tests {
         let result = run_benchmark(&mut bench, 7, &clock);
         assert!(result.reached_target);
         assert_eq!(result.epochs, 4); // quality 0.64 >= 0.635 at epoch 4
-        // TTT covers only the 4 epochs, not the 150s of prep/create.
+                                      // TTT covers only the 4 epochs, not the 150s of prep/create.
         assert_eq!(result.time_to_train, Duration::from_secs(40));
         assert_eq!(result.excluded, Duration::from_secs(150));
         assert_eq!(result.quality_history.len(), 4);
@@ -270,12 +264,7 @@ mod tests {
         assert!(pos(keys::EPOCH_STOP) < pos(keys::EVAL_ACCURACY));
         assert!(pos(keys::EVAL_ACCURACY) < pos(keys::RUN_STOP));
         // Seed recorded.
-        let seed_entry = result
-            .log
-            .entries()
-            .iter()
-            .find(|e| e.key == keys::SEED)
-            .unwrap();
+        let seed_entry = result.log.entries().iter().find(|e| e.key == keys::SEED).unwrap();
         assert_eq!(seed_entry.value, serde_json::json!(3));
     }
 
@@ -285,10 +274,8 @@ mod tests {
         // trajectories as sequential runs with the same seeds (timing
         // differs; determinism of training must not).
         let seeds = [1u64, 2, 3, 4];
-        let parallel = run_benchmark_set(
-            || Box::new(crate::benchmarks::NcfBenchmark::new()),
-            &seeds,
-        );
+        let parallel =
+            run_benchmark_set(|| Box::new(crate::benchmarks::NcfBenchmark::new()), &seeds);
         assert_eq!(parallel.len(), seeds.len());
         for (result, &seed) in parallel.iter().zip(seeds.iter()) {
             assert_eq!(result.seed, seed, "results out of order");

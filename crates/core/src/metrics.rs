@@ -15,11 +15,7 @@ use std::collections::HashMap;
 ///
 /// Panics if the two corpora have different lengths.
 pub fn bleu(candidates: &[Vec<usize>], references: &[Vec<usize>]) -> f64 {
-    assert_eq!(
-        candidates.len(),
-        references.len(),
-        "candidate/reference count mismatch"
-    );
+    assert_eq!(candidates.len(), references.len(), "candidate/reference count mismatch");
     if candidates.is_empty() {
         return 0.0;
     }
@@ -45,11 +41,8 @@ pub fn bleu(candidates: &[Vec<usize>], references: &[Vec<usize>]) -> f64 {
     // so short toy sentences don't zero out the score.
     let mut log_sum = 0.0;
     for n in 0..max_n {
-        let (m, t) = if n == 0 {
-            (matches[0], totals[0])
-        } else {
-            (matches[n] + 1.0, totals[n] + 1.0)
-        };
+        let (m, t) =
+            if n == 0 { (matches[0], totals[0]) } else { (matches[n] + 1.0, totals[n] + 1.0) };
         if t == 0.0 || m == 0.0 {
             return 0.0;
         }
@@ -115,11 +108,7 @@ fn average_precision_for_class(
     let mut dets: Vec<(usize, &Detection)> = Vec::new();
     let mut total_gt = 0usize;
     for (img, e) in images.iter().enumerate() {
-        total_gt += e
-            .ground_truth
-            .iter()
-            .filter(|g| g.class.index() == class)
-            .count();
+        total_gt += e.ground_truth.iter().filter(|g| g.class.index() == class).count();
         for d in e.detections.iter().filter(|d| d.class == class) {
             dets.push((img, d));
         }
@@ -129,10 +118,8 @@ fn average_precision_for_class(
     }
     dets.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
     // Greedy matching per image.
-    let mut matched: Vec<Vec<bool>> = images
-        .iter()
-        .map(|e| vec![false; e.ground_truth.len()])
-        .collect();
+    let mut matched: Vec<Vec<bool>> =
+        images.iter().map(|e| vec![false; e.ground_truth.len()]).collect();
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut precision_sum = 0.0;
@@ -180,12 +167,7 @@ fn iou_det_gt(d: &Detection, g: &BoxLabel) -> f32 {
 /// Pixel IoU between a predicted ROI mask (defined within `det`'s box,
 /// any square resolution, values in [0,1] thresholded at 0.5) and a
 /// full-image ground-truth mask.
-pub fn mask_iou(
-    det: &Detection,
-    roi_mask: &Tensor,
-    gt_mask: &Tensor,
-    image_size: usize,
-) -> f32 {
+pub fn mask_iou(det: &Detection, roi_mask: &Tensor, gt_mask: &Tensor, image_size: usize) -> f32 {
     let res = roi_mask.shape()[0];
     let (x0, y0, x1, y1) = det.corners();
     // Paste the ROI mask into image space.
@@ -236,11 +218,7 @@ pub fn mask_iou(
 pub fn top1_accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     assert!(!labels.is_empty(), "empty label set");
-    predictions
-        .iter()
-        .zip(labels.iter())
-        .filter(|(p, l)| p == l)
-        .count() as f64
+    predictions.iter().zip(labels.iter()).filter(|(p, l)| p == l).count() as f64
         / labels.len() as f64
 }
 

@@ -76,11 +76,7 @@ impl MlLogger {
 
     /// Appends an entry at the current logical time.
     pub fn log(&mut self, key: &str, value: Value) {
-        self.entries.push(LogEntry {
-            time_ms: self.now_ms,
-            key: key.to_string(),
-            value,
-        });
+        self.entries.push(LogEntry { time_ms: self.now_ms, key: key.to_string(), value });
     }
 
     /// All entries in order.
@@ -112,8 +108,8 @@ impl MlLogger {
             let body = line
                 .strip_prefix(":::MLLOG ")
                 .ok_or_else(|| format!("line {}: missing :::MLLOG prefix", i + 1))?;
-            let entry: LogEntry = serde_json::from_str(body)
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let entry: LogEntry =
+                serde_json::from_str(body).map_err(|e| format!("line {}: {e}", i + 1))?;
             out.push(entry);
         }
         Ok(out)

@@ -94,13 +94,7 @@ pub fn recommend(id: BenchmarkId, batch: usize) -> Recommendation {
     } else {
         base_opt
     };
-    Recommendation {
-        benchmark: id,
-        batch,
-        learning_rate,
-        warmup_epochs,
-        optimizer,
-    }
+    Recommendation { benchmark: id, batch, learning_rate, warmup_epochs, optimizer }
 }
 
 /// The full table over a standard set of scales (the §6 deliverable).
@@ -159,8 +153,7 @@ mod tests {
         assert!(table.iter().all(|r| r.learning_rate > 0.0));
         // Monotone lr within each benchmark.
         for id in BenchmarkId::ALL {
-            let rows: Vec<&Recommendation> =
-                table.iter().filter(|r| r.benchmark == id).collect();
+            let rows: Vec<&Recommendation> = table.iter().filter(|r| r.benchmark == id).collect();
             for w in rows.windows(2) {
                 assert!(w[1].learning_rate >= w[0].learning_rate, "{id}");
             }

@@ -88,6 +88,91 @@ pub fn render_results_table(submissions: &[Submission]) -> String {
     out
 }
 
+/// One ranked row of a per-benchmark leaderboard, as the round
+/// pipeline publishes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaderboardRow {
+    /// 1-based rank by score.
+    pub rank: usize,
+    /// Submitting organization.
+    pub organization: String,
+    /// System name.
+    pub system: String,
+    /// Accelerator chips in the system.
+    pub chips: usize,
+    /// Aggregated time-to-train in minutes.
+    pub minutes: f64,
+    /// Timed runs behind the score.
+    pub runs: usize,
+}
+
+/// Renders one benchmark/division leaderboard: ranked rows, fastest
+/// first, no summary score.
+pub fn render_leaderboard(title: &str, rows: &[LeaderboardRow]) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(
+        out,
+        "{:>4} {:<16} {:<24} {:>6} {:>12} {:>5}",
+        "rank", "org", "system", "chips", "minutes", "runs"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>4} {:<16} {:<24} {:>6} {:>12.2} {:>5}",
+            r.rank, r.organization, r.system, r.chips, r.minutes, r.runs
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// One benchmark's cross-round comparison (a Figure 4/5-style row): a
+/// v0.5 value, a v0.6 value, and their ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundComparisonRow {
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// The v0.5 value.
+    pub v05: f64,
+    /// The v0.6 value.
+    pub v06: f64,
+    /// The round-over-round ratio (orientation depends on the table:
+    /// v05/v06 for speedups, v06/v05 for scale growth).
+    pub ratio: f64,
+}
+
+/// Renders a cross-round comparison table plus the average ratio line
+/// the paper headlines.
+pub fn render_round_comparison(
+    title: &str,
+    value_label: &str,
+    ratio_label: &str,
+    rows: &[RoundComparisonRow],
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>14} {:>14} {:>9}",
+        "benchmark",
+        format!("v0.5 {value_label}"),
+        format!("v0.6 {value_label}"),
+        ratio_label
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(out, "{:<16} {:>14.1} {:>14.1} {:>8.2}x", r.benchmark, r.v05, r.v06, r.ratio)
+            .unwrap();
+    }
+    if !rows.is_empty() {
+        let avg = rows.iter().map(|r| r.ratio).sum::<f64>() / rows.len() as f64;
+        writeln!(out, "average {ratio_label}: {avg:.2}x").unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,7 +198,11 @@ mod tests {
     fn omitted_benchmarks_render_blank() {
         let s = submission(
             "node-a",
-            vec![BenchmarkScore { benchmark: BenchmarkId::ImageClassification, minutes: 12.5, runs: 5 }],
+            vec![BenchmarkScore {
+                benchmark: BenchmarkId::ImageClassification,
+                minutes: 12.5,
+                runs: 5,
+            }],
         );
         let table = render_results_table(&[s]);
         assert!(table.contains("12.50"));
@@ -148,5 +237,43 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Submission = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn leaderboard_renders_ranked_rows() {
+        let rows = vec![
+            LeaderboardRow {
+                rank: 1,
+                organization: "Aurora".into(),
+                system: "aurora-16".into(),
+                chips: 16,
+                minutes: 11.25,
+                runs: 5,
+            },
+            LeaderboardRow {
+                rank: 2,
+                organization: "Borealis".into(),
+                system: "borealis-16".into(),
+                chips: 16,
+                minutes: 14.5,
+                runs: 5,
+            },
+        ];
+        let table = render_leaderboard("resnet / closed", &rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("resnet / closed"));
+        assert!(lines[2].starts_with("   1 Aurora"));
+        assert!(lines[3].starts_with("   2 Borealis"));
+        assert!(table.contains("11.25"));
+    }
+
+    #[test]
+    fn round_comparison_reports_average_ratio() {
+        let rows = vec![
+            RoundComparisonRow { benchmark: "resnet".into(), v05: 20.0, v06: 10.0, ratio: 2.0 },
+            RoundComparisonRow { benchmark: "gnmt".into(), v05: 12.0, v06: 12.0, ratio: 1.0 },
+        ];
+        let table = render_round_comparison("Figure 4", "minutes", "speedup", &rows);
+        assert!(table.contains("average speedup: 1.50x"), "table:\n{table}");
     }
 }

@@ -92,11 +92,8 @@ impl HyperparameterRules {
     /// is always adjustable (to accommodate system scale — §3.4), and
     /// the learning-rate family follows it.
     pub fn closed_division(benchmark: BenchmarkId) -> Self {
-        let mut modifiable = vec![
-            "batch_size".to_string(),
-            "learning_rate".to_string(),
-            "warmup_steps".to_string(),
-        ];
+        let mut modifiable =
+            vec!["batch_size".to_string(), "learning_rate".to_string(), "warmup_steps".to_string()];
         match benchmark {
             BenchmarkId::ImageClassification => {
                 modifiable.push("lars_epsilon".into());
@@ -195,7 +192,8 @@ mod tests {
         let rules = HyperparameterRules::closed_division(BenchmarkId::ImageClassification);
         let reference = params(&[("learning_rate", 0.1), ("momentum", 0.9), ("batch_size", 256.0)]);
         // Changing lr/batch is fine; changing momentum is not.
-        let submitted = params(&[("learning_rate", 1.6), ("momentum", 0.95), ("batch_size", 4096.0)]);
+        let submitted =
+            params(&[("learning_rate", 1.6), ("momentum", 0.95), ("batch_size", 4096.0)]);
         assert_eq!(rules.violations(&reference, &submitted), vec!["momentum"]);
     }
 

@@ -179,10 +179,7 @@ impl BenchmarkId {
 
     /// The benchmarks included in a suite round.
     pub fn in_version(version: SuiteVersion) -> Vec<BenchmarkId> {
-        BenchmarkId::ALL
-            .into_iter()
-            .filter(|id| id.quality_for(version).is_some())
-            .collect()
+        BenchmarkId::ALL.into_iter().filter(|id| id.quality_for(version).is_some()).collect()
     }
 }
 
@@ -226,10 +223,7 @@ mod tests {
             let expected = if id.is_vision() { 5 } else { 10 };
             assert_eq!(id.runs_required(), expected, "{id}");
         }
-        assert_eq!(
-            BenchmarkId::ALL.iter().filter(|b| b.is_vision()).count(),
-            3
-        );
+        assert_eq!(BenchmarkId::ALL.iter().filter(|b| b.is_vision()).count(), 3);
     }
 
     #[test]

@@ -102,27 +102,18 @@ impl SyntheticCf {
                 .map(|i| (i, affinity(u, i) + 0.35 * rng.normal(&[1], 0.0, 1.0).item()))
                 .collect();
             scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let mut positives: Vec<usize> = scored
-                .iter()
-                .take(config.interactions_per_user + 1)
-                .map(|&(i, _)| i)
-                .collect();
+            let mut positives: Vec<usize> =
+                scored.iter().take(config.interactions_per_user + 1).map(|&(i, _)| i).collect();
             let held_out = positives.pop().expect("at least one positive");
             let positive_set: HashSet<usize> =
                 positives.iter().copied().chain([held_out]).collect();
             // Negatives: items the user never interacted with.
             let mut negatives = Vec::with_capacity(config.eval_negatives);
-            let mut candidates: Vec<usize> = (0..config.items)
-                .filter(|i| !positive_set.contains(i))
-                .collect();
+            let mut candidates: Vec<usize> =
+                (0..config.items).filter(|i| !positive_set.contains(i)).collect();
             rng.shuffle(&mut candidates);
             negatives.extend(candidates.into_iter().take(config.eval_negatives));
-            users.push(InteractionSet {
-                user: u,
-                positives,
-                held_out,
-                eval_negatives: negatives,
-            });
+            users.push(InteractionSet { user: u, positives, held_out, eval_negatives: negatives });
         }
         SyntheticCf { users, config }
     }
@@ -134,7 +125,11 @@ impl SyntheticCf {
 
     /// All training `(user, item, label)` triples: every positive plus
     /// `neg_ratio` sampled negatives per positive.
-    pub fn training_triples(&self, neg_ratio: usize, rng: &mut TensorRng) -> Vec<(usize, usize, f32)> {
+    pub fn training_triples(
+        &self,
+        neg_ratio: usize,
+        rng: &mut TensorRng,
+    ) -> Vec<(usize, usize, f32)> {
         let mut out = Vec::new();
         for set in &self.users {
             let positive_set: HashSet<usize> =
@@ -227,9 +222,6 @@ mod tests {
         }
         let hr = hits as f32 / d.users.len() as f32;
         let random = 10.0 / (1.0 + cfg.eval_negatives as f32);
-        assert!(
-            hr > random,
-            "popularity HR@10 {hr} not above random {random}"
-        );
+        assert!(hr > random, "popularity HR@10 {hr} not above random {random}");
     }
 }

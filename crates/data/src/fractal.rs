@@ -32,10 +32,7 @@ impl AffinityMatrix {
     /// outside `[0, 1]`.
     pub fn new(users: usize, items: usize, probs: Vec<f64>) -> Self {
         assert_eq!(probs.len(), users * items, "probability buffer size mismatch");
-        assert!(
-            probs.iter().all(|p| (0.0..=1.0).contains(p)),
-            "probabilities must lie in [0, 1]"
-        );
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)), "probabilities must lie in [0, 1]");
         AffinityMatrix { users, items, probs }
     }
 
@@ -102,11 +99,7 @@ impl AffinityMatrix {
     /// returns, per user, the interacted item list.
     pub fn sample(&self, rng: &mut TensorRng) -> Vec<Vec<usize>> {
         (0..self.users)
-            .map(|u| {
-                (0..self.items)
-                    .filter(|&i| (rng.unit_f64()) < self.prob(u, i))
-                    .collect()
-            })
+            .map(|u| (0..self.items).filter(|&i| (rng.unit_f64()) < self.prob(u, i)).collect())
             .collect()
     }
 }
@@ -164,9 +157,8 @@ mod tests {
         // popular — the "retains characteristics" property.
         let seed = seed_matrix();
         let big = seed.kronecker_square();
-        let item_popularity = |m: &AffinityMatrix, i: usize| -> f64 {
-            (0..m.users()).map(|u| m.prob(u, i)).sum()
-        };
+        let item_popularity =
+            |m: &AffinityMatrix, i: usize| -> f64 { (0..m.users()).map(|u| m.prob(u, i)).sum() };
         // Seed: item 0 (0.9 + 0.3) beats item 1 (0.2 + 0.7).
         assert!(item_popularity(&seed, 0) > item_popularity(&seed, 1));
         // Expanded: block-0 items (0, 1) collectively beat block-1.

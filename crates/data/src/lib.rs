@@ -36,4 +36,6 @@ pub use minigo_data::{reference_games, self_play_games, GoDataset, GoSample};
 pub use reformat::{PackedImages, ReformatStats};
 pub use shapes::{BoxLabel, DetectionSample, ShapeClass, ShapesConfig, SyntheticShapes};
 pub use synth_imagenet::{ImageNetConfig, ImageSet, SyntheticImageNet};
-pub use translation::{PaddedBatch, SyntheticTranslation, TranslationConfig, TranslationPair, BOS, EOS, PAD};
+pub use translation::{
+    PaddedBatch, SyntheticTranslation, TranslationConfig, TranslationPair, BOS, EOS, PAD,
+};

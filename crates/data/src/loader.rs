@@ -53,10 +53,7 @@ pub fn epoch_batches(n: usize, batch_size: usize, rng: &mut TensorRng) -> BatchP
     assert!(batch_size > 0, "batch size must be positive");
     let mut indices: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut indices);
-    let batches = indices
-        .chunks(batch_size)
-        .map(|c| c.to_vec())
-        .collect();
+    let batches = indices.chunks(batch_size).map(|c| c.to_vec()).collect();
     BatchPlan { batches }
 }
 
@@ -70,12 +67,7 @@ pub fn epoch_batches(n: usize, batch_size: usize, rng: &mut TensorRng) -> BatchP
 pub fn shard(indices: &[usize], shard: usize, num_shards: usize) -> Vec<usize> {
     assert!(num_shards > 0, "num_shards must be positive");
     assert!(shard < num_shards, "shard {shard} out of {num_shards}");
-    indices
-        .iter()
-        .skip(shard)
-        .step_by(num_shards)
-        .copied()
-        .collect()
+    indices.iter().skip(shard).step_by(num_shards).copied().collect()
 }
 
 #[cfg(test)]

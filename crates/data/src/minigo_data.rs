@@ -39,15 +39,9 @@ impl GoDataset {
                 let Move::Play(point) = mv else { continue };
                 let to_play = board.to_play();
                 let outcome = if game.winner == to_play { 1.0 } else { -1.0 };
-                let features = Tensor::from_vec(
-                    encode_features(&board),
-                    &[FEATURE_PLANES, size, size],
-                );
-                samples.push(GoSample {
-                    features,
-                    move_index: point,
-                    outcome,
-                });
+                let features =
+                    Tensor::from_vec(encode_features(&board), &[FEATURE_PLANES, size, size]);
+                samples.push(GoSample { features, move_index: point, outcome });
             }
         }
         GoDataset { samples, size }

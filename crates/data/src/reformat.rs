@@ -44,15 +44,9 @@ impl PackedImages {
         for i in 0..=n {
             offsets.push(i * per);
         }
-        let packed = PackedImages {
-            buffer: images.data().to_vec(),
-            offsets,
-            sample_shape: s[1..].to_vec(),
-        };
-        let stats = ReformatStats {
-            samples: n,
-            values: n * per,
-        };
+        let packed =
+            PackedImages { buffer: images.data().to_vec(), offsets, sample_shape: s[1..].to_vec() };
+        let stats = ReformatStats { samples: n, values: n * per };
         (packed, stats)
     }
 

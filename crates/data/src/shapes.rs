@@ -152,12 +152,8 @@ impl SyntheticShapes {
     /// Generates the dataset from a seed.
     pub fn generate(config: ShapesConfig, seed: u64) -> Self {
         let mut rng = TensorRng::new(seed);
-        let train = (0..config.train_images)
-            .map(|_| render_sample(&config, &mut rng))
-            .collect();
-        let val = (0..config.val_images)
-            .map(|_| render_sample(&config, &mut rng))
-            .collect();
+        let train = (0..config.train_images).map(|_| render_sample(&config, &mut rng)).collect();
+        let val = (0..config.val_images).map(|_| render_sample(&config, &mut rng)).collect();
         SyntheticShapes { train, val, config }
     }
 
@@ -202,8 +198,7 @@ fn render_sample(cfg: &ShapesConfig, rng: &mut TensorRng) -> DetectionSample {
                     ShapeClass::Disc => dx * dx + dy * dy <= (half * half) as isize,
                     ShapeClass::Cross => {
                         (dx.abs() <= (half / 2).max(1) as isize && dy.abs() <= half as isize)
-                            || (dy.abs() <= (half / 2).max(1) as isize
-                                && dx.abs() <= half as isize)
+                            || (dy.abs() <= (half / 2).max(1) as isize && dx.abs() <= half as isize)
                     }
                 };
                 if inside {
@@ -221,11 +216,7 @@ fn render_sample(cfg: &ShapesConfig, rng: &mut TensorRng) -> DetectionSample {
         });
         masks.push(mask);
     }
-    DetectionSample {
-        image,
-        objects,
-        masks,
-    }
+    DetectionSample { image, objects, masks }
 }
 
 #[cfg(test)]
@@ -259,7 +250,10 @@ mod tests {
                         if mask.data()[y * s + x] > 0.0 {
                             let (u, v) = (x as f32 / s as f32, y as f32 / s as f32);
                             assert!(
-                                u >= x0 - 0.08 && u <= x1 + 0.08 && v >= y0 - 0.08 && v <= y1 + 0.08,
+                                u >= x0 - 0.08
+                                    && u <= x1 + 0.08
+                                    && v >= y0 - 0.08
+                                    && v <= y1 + 0.08,
                                 "mask pixel ({u},{v}) outside box"
                             );
                         }

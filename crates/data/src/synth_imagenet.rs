@@ -97,12 +97,8 @@ impl ImageSet {
         let px = self.channels * self.image_size * self.image_size;
         let flat = self.images.reshape(&[self.len(), px]);
         let picked = flat.gather_rows(indices);
-        let images = picked.reshape(&[
-            indices.len(),
-            self.channels,
-            self.image_size,
-            self.image_size,
-        ]);
+        let images =
+            picked.reshape(&[indices.len(), self.channels, self.image_size, self.image_size]);
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
         (images, labels)
     }
@@ -124,9 +120,8 @@ impl SyntheticImageNet {
     /// drawn from the same distribution.
     pub fn generate(config: ImageNetConfig, seed: u64) -> Self {
         let mut rng = TensorRng::new(seed);
-        let prototypes: Vec<Tensor> = (0..config.classes)
-            .map(|_| smooth_prototype(&config, &mut rng))
-            .collect();
+        let prototypes: Vec<Tensor> =
+            (0..config.classes).map(|_| smooth_prototype(&config, &mut rng)).collect();
         let train = render_set(&config, &prototypes, config.train_per_class, &mut rng);
         let val = render_set(&config, &prototypes, config.val_per_class, &mut rng);
         SyntheticImageNet { train, val, config }
@@ -188,8 +183,7 @@ fn render_set(
                     for x in 0..s {
                         let sx = x as isize + dx;
                         let sy = y as isize + dy;
-                        let base = if sx >= 0 && sy >= 0 && (sx as usize) < s && (sy as usize) < s
-                        {
+                        let base = if sx >= 0 && sy >= 0 && (sx as usize) < s && (sy as usize) < s {
                             proto.data()[(c * s + sy as usize) * s + sx as usize]
                         } else {
                             0.0
@@ -266,8 +260,8 @@ mod tests {
         let mut means = vec![vec![0.0f32; px]; cfg.classes];
         let mut counts = vec![0usize; cfg.classes];
         for (i, &l) in d.train.labels().iter().enumerate() {
-            for j in 0..px {
-                means[l][j] += flat.data()[i * px + j];
+            for (j, v) in means[l].iter_mut().enumerate() {
+                *v += flat.data()[i * px + j];
             }
             counts[l] += 1;
         }

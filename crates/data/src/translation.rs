@@ -45,26 +45,14 @@ pub struct TranslationConfig {
 
 impl Default for TranslationConfig {
     fn default() -> Self {
-        TranslationConfig {
-            vocab: 24,
-            min_len: 3,
-            max_len: 6,
-            train_pairs: 384,
-            val_pairs: 64,
-        }
+        TranslationConfig { vocab: 24, min_len: 3, max_len: 6, train_pairs: 384, val_pairs: 64 }
     }
 }
 
 impl TranslationConfig {
     /// A smaller configuration for fast unit tests.
     pub fn tiny() -> Self {
-        TranslationConfig {
-            vocab: 12,
-            min_len: 2,
-            max_len: 4,
-            train_pairs: 32,
-            val_pairs: 8,
-        }
+        TranslationConfig { vocab: 12, min_len: 2, max_len: 4, train_pairs: 32, val_pairs: 8 }
     }
 }
 
@@ -88,40 +76,24 @@ impl SyntheticTranslation {
     ///
     /// Panics if the vocabulary is too small for content tokens.
     pub fn generate(config: TranslationConfig, seed: u64) -> Self {
-        assert!(
-            config.vocab > FIRST_CONTENT + 1,
-            "vocab {} too small",
-            config.vocab
-        );
+        assert!(config.vocab > FIRST_CONTENT + 1, "vocab {} too small", config.vocab);
         let mut rng = TensorRng::new(seed);
         // A fixed random permutation of the content tokens.
         let mut mapping: Vec<usize> = (FIRST_CONTENT..config.vocab).collect();
         rng.shuffle(&mut mapping);
         let full_mapping: Vec<usize> = (0..config.vocab)
-            .map(|t| {
-                if t < FIRST_CONTENT {
-                    t
-                } else {
-                    mapping[t - FIRST_CONTENT]
-                }
-            })
+            .map(|t| if t < FIRST_CONTENT { t } else { mapping[t - FIRST_CONTENT] })
             .collect();
         let gen_pair = |rng: &mut TensorRng| {
             let len = config.min_len + rng.index(config.max_len - config.min_len + 1);
-            let source: Vec<usize> = (0..len)
-                .map(|_| FIRST_CONTENT + rng.index(config.vocab - FIRST_CONTENT))
-                .collect();
+            let source: Vec<usize> =
+                (0..len).map(|_| FIRST_CONTENT + rng.index(config.vocab - FIRST_CONTENT)).collect();
             let target = translate(&source, &full_mapping);
             TranslationPair { source, target }
         };
         let train = (0..config.train_pairs).map(|_| gen_pair(&mut rng)).collect();
         let val = (0..config.val_pairs).map(|_| gen_pair(&mut rng)).collect();
-        SyntheticTranslation {
-            train,
-            val,
-            mapping: full_mapping,
-            config,
-        }
+        SyntheticTranslation { train, val, mapping: full_mapping, config }
     }
 
     /// The ground-truth translation of an arbitrary source sentence —

@@ -97,19 +97,11 @@ mod tests {
     use super::*;
 
     fn chip() -> ChipSpec {
-        ChipSpec {
-            name: "sim-v100".into(),
-            tflops: 125.0,
-            memory_gib: 16.0,
-            utilization: 0.4,
-        }
+        ChipSpec { name: "sim-v100".into(), tflops: 125.0, memory_gib: 16.0, utilization: 0.4 }
     }
 
     fn fabric() -> Interconnect {
-        Interconnect {
-            bandwidth_gbs: 25.0,
-            latency_us: 5.0,
-        }
+        Interconnect { bandwidth_gbs: 25.0, latency_us: 5.0 }
     }
 
     #[test]

@@ -35,5 +35,6 @@ pub use convergence::ConvergenceModel;
 pub use power::{energy_to_train_kwh, system_power_w, PowerSpec};
 pub use scale::{cloud_scale, hourly_price, pearson, CloudSystemDescription, Provider};
 pub use submission::{
-    best_overall, best_time_at_scale, simulate_submission, Round, SimBenchmark, SimResult, Vendor,
+    best_overall, best_time_at_scale, simulate_run_set, simulate_submission, Round, SimBenchmark,
+    SimResult, Vendor,
 };

@@ -25,20 +25,14 @@ pub struct PowerSpec {
 impl PowerSpec {
     /// A representative accelerator-node profile.
     pub fn typical() -> Self {
-        PowerSpec {
-            chip_tdp_w: 300.0,
-            load_fraction: 0.8,
-            overhead_per_chip_w: 75.0,
-            pue: 1.2,
-        }
+        PowerSpec { chip_tdp_w: 300.0, load_fraction: 0.8, overhead_per_chip_w: 75.0, pue: 1.2 }
     }
 }
 
 /// Wall power (watts) drawn by a system under training load.
 pub fn system_power_w(system: &SystemConfig, power: &PowerSpec) -> f64 {
     let chips = system.chips as f64;
-    (chips * power.chip_tdp_w * power.load_fraction + chips * power.overhead_per_chip_w)
-        * power.pue
+    (chips * power.chip_tdp_w * power.load_fraction + chips * power.overhead_per_chip_w) * power.pue
 }
 
 /// Energy to train, in kilowatt-hours, for a result taking

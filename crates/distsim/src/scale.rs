@@ -155,8 +155,7 @@ mod tests {
         }
         let scales: Vec<f64> = systems.iter().map(cloud_scale).collect();
         for provider in Provider::ALL {
-            let prices: Vec<f64> =
-                systems.iter().map(|s| hourly_price(s, provider)).collect();
+            let prices: Vec<f64> = systems.iter().map(|s| hourly_price(s, provider)).collect();
             let r = pearson(&scales, &prices);
             assert!(r > 0.97, "{provider:?}: correlation {r} too weak");
         }
@@ -165,10 +164,7 @@ mod tests {
     #[test]
     fn providers_disagree_on_absolute_price() {
         let node = one_accel_slice();
-        let prices: Vec<f64> = Provider::ALL
-            .iter()
-            .map(|&p| hourly_price(&node, p))
-            .collect();
+        let prices: Vec<f64> = Provider::ALL.iter().map(|&p| hourly_price(&node, p)).collect();
         assert!(prices[0] != prices[1] && prices[1] != prices[2]);
     }
 

@@ -265,10 +265,7 @@ impl Board {
     /// All legal moves (plays only; `Pass` is always legal and not
     /// listed).
     pub fn legal_moves(&self) -> Vec<Move> {
-        (0..self.num_points())
-            .map(Move::Play)
-            .filter(|&m| self.is_legal(m))
-            .collect()
+        (0..self.num_points()).map(Move::Play).filter(|&m| self.is_legal(m)).collect()
     }
 
     /// Plays a move for the side to move.
@@ -370,10 +367,7 @@ impl Board {
                 }
             }
         }
-        Score {
-            black,
-            white: white + komi,
-        }
+        Score { black, white: white + komi }
     }
 }
 

@@ -42,8 +42,8 @@ mod tests {
     fn planes_have_expected_layout() {
         let mut b = Board::new(9);
         b.play(Move::Play(40)).unwrap(); // Black center
-        // Now White to move: plane 0 = white stones (none), plane 1 has
-        // the black stone.
+                                         // Now White to move: plane 0 = white stones (none), plane 1 has
+                                         // the black stone.
         let f = encode_features(&b);
         assert_eq!(f.len(), FEATURE_PLANES * 81);
         assert_eq!(f[40], 0.0);

@@ -48,7 +48,9 @@ pub fn play_game(
             Color::Black => black.select_move(&board),
             Color::White => white.select_move(&board),
         };
-        let mv = if board.play(mv).is_ok() { mv } else {
+        let mv = if board.play(mv).is_ok() {
+            mv
+        } else {
             // A player returning an illegal move forfeits the turn.
             board.play(Move::Pass).expect("pass is always legal");
             Move::Pass
@@ -56,12 +58,7 @@ pub fn play_game(
         moves.push(mv);
     }
     let score = board.score(komi);
-    GameRecord {
-        size,
-        moves,
-        winner: score.winner(),
-        margin: score.margin(),
-    }
+    GameRecord { size, moves, winner: score.winner(), margin: score.margin() }
 }
 
 #[cfg(test)]
@@ -90,10 +87,7 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(
-            wins >= 8,
-            "heuristic player won only {wins}/{n} games against random"
-        );
+        assert!(wins >= 8, "heuristic player won only {wins}/{n} games against random");
     }
 
     #[test]

@@ -25,14 +25,7 @@ struct Node {
 
 impl Node {
     fn new(mv: Move, prior: f32) -> Self {
-        Node {
-            mv,
-            visits: 0,
-            wins: 0.0,
-            prior,
-            children: Vec::new(),
-            expanded: false,
-        }
+        Node { mv, visits: 0, wins: 0.0, prior, children: Vec::new(), expanded: false }
     }
 
     /// The PUCT score (AlphaGo form): exploitation plus a prior-scaled
@@ -44,8 +37,7 @@ impl Node {
         } else {
             self.wins / self.visits as f32
         };
-        q + exploration * self.prior * (parent_visits as f32).sqrt()
-            / (1.0 + self.visits as f32)
+        q + exploration * self.prior * (parent_visits as f32).sqrt() / (1.0 + self.visits as f32)
     }
 }
 
@@ -103,11 +95,8 @@ impl MctsPlayer {
     }
 
     fn expand(&self, node: &mut Node, board: &Board) {
-        let moves: Vec<Move> = board
-            .legal_moves()
-            .into_iter()
-            .filter(|&m| !fills_own_eye(board, m))
-            .collect();
+        let moves: Vec<Move> =
+            board.legal_moves().into_iter().filter(|&m| !fills_own_eye(board, m)).collect();
         let priors: Vec<f32> = match &self.prior {
             Some(f) => {
                 let dist = f(board);
@@ -121,11 +110,7 @@ impl MctsPlayer {
             }
             None => vec![1.0; moves.len()],
         };
-        node.children = moves
-            .into_iter()
-            .zip(priors)
-            .map(|(m, p)| Node::new(m, p))
-            .collect();
+        node.children = moves.into_iter().zip(priors).map(|(m, p)| Node::new(m, p)).collect();
         if node.children.is_empty() {
             node.children.push(Node::new(Move::Pass, 1.0));
         }
@@ -136,11 +121,8 @@ impl MctsPlayer {
     fn rollout(&mut self, mut board: Board) -> Color {
         let mut plies = 0;
         while !board.is_over() && plies < self.rollout_cap {
-            let candidates: Vec<Move> = board
-                .legal_moves()
-                .into_iter()
-                .filter(|&m| !fills_own_eye(&board, m))
-                .collect();
+            let candidates: Vec<Move> =
+                board.legal_moves().into_iter().filter(|&m| !fills_own_eye(&board, m)).collect();
             let mv = if candidates.is_empty() {
                 Move::Pass
             } else {
@@ -172,8 +154,7 @@ impl MctsPlayer {
             .children
             .iter_mut()
             .max_by(|a, b| {
-                a.puct(parent_visits, exploration)
-                    .total_cmp(&b.puct(parent_visits, exploration))
+                a.puct(parent_visits, exploration).total_cmp(&b.puct(parent_visits, exploration))
             })
             .expect("expanded node has children");
         board.play(best.mv).expect("tree moves are legal");
@@ -196,8 +177,7 @@ impl MctsPlayer {
             let mut scratch = board.clone();
             self.simulate(&mut root, &mut scratch);
         }
-        let mut out: Vec<(Move, u32)> =
-            root.children.iter().map(|c| (c.mv, c.visits)).collect();
+        let mut out: Vec<(Move, u32)> = root.children.iter().map(|c| (c.mv, c.visits)).collect();
         out.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
         out
     }
@@ -206,10 +186,7 @@ impl MctsPlayer {
 impl Player for MctsPlayer {
     fn select_move(&mut self, board: &Board) -> Move {
         // Robust-max: the most-visited root child.
-        self.analyze(board)
-            .first()
-            .map(|&(mv, _)| mv)
-            .unwrap_or(Move::Pass)
+        self.analyze(board).first().map(|&(mv, _)| mv).unwrap_or(Move::Pass)
     }
 }
 
@@ -219,10 +196,7 @@ impl Player for MctsPlayer {
 fn fills_own_eye(board: &Board, mv: Move) -> bool {
     let Move::Play(point) = mv else { return false };
     let me = board.to_play();
-    board
-        .neighbors(point)
-        .iter()
-        .all(|&n| board.stone(n) == Some(me))
+    board.neighbors(point).iter().all(|&n| board.stone(n) == Some(me))
 }
 
 #[cfg(test)]

@@ -22,9 +22,7 @@ pub struct RandomPlayer {
 impl RandomPlayer {
     /// Creates a seeded random player.
     pub fn new(seed: u64) -> Self {
-        RandomPlayer {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        RandomPlayer { rng: StdRng::seed_from_u64(seed) }
     }
 }
 
@@ -32,11 +30,8 @@ impl Player for RandomPlayer {
     fn select_move(&mut self, board: &Board) -> Move {
         // Avoid filling single-point eyes (own territory surrounded by
         // own stones) so random games terminate.
-        let moves: Vec<Move> = board
-            .legal_moves()
-            .into_iter()
-            .filter(|&m| !fills_own_eye(board, m))
-            .collect();
+        let moves: Vec<Move> =
+            board.legal_moves().into_iter().filter(|&m| !fills_own_eye(board, m)).collect();
         if moves.is_empty() {
             Move::Pass
         } else {
@@ -64,18 +59,12 @@ pub struct HeuristicPlayer {
 impl HeuristicPlayer {
     /// Creates a player with mild tie-breaking noise.
     pub fn new(seed: u64) -> Self {
-        HeuristicPlayer {
-            rng: StdRng::seed_from_u64(seed),
-            noise: 0.1,
-        }
+        HeuristicPlayer { rng: StdRng::seed_from_u64(seed), noise: 0.1 }
     }
 
     /// Creates a fully deterministic player (no tie-breaking noise).
     pub fn deterministic(seed: u64) -> Self {
-        HeuristicPlayer {
-            rng: StdRng::seed_from_u64(seed),
-            noise: 0.0,
-        }
+        HeuristicPlayer { rng: StdRng::seed_from_u64(seed), noise: 0.0 }
     }
 
     /// Scores a candidate move for the side to play.
@@ -143,10 +132,7 @@ impl Player for HeuristicPlayer {
 fn fills_own_eye(board: &Board, mv: Move) -> bool {
     let Move::Play(point) = mv else { return false };
     let me = board.to_play();
-    board
-        .neighbors(point)
-        .iter()
-        .all(|&n| board.stone(n) == Some(me))
+    board.neighbors(point).iter().all(|&n| board.stone(n) == Some(me))
 }
 
 #[cfg(test)]

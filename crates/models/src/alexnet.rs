@@ -56,19 +56,14 @@ impl AlexNetMini {
 
     /// Mean cross-entropy training loss.
     pub fn loss(&self, images: &Tensor, labels: &[usize]) -> Var {
-        self.forward(&Var::constant(images.clone()))
-            .cross_entropy_logits(labels)
+        self.forward(&Var::constant(images.clone())).cross_entropy_logits(labels)
     }
 
     /// Top-1 accuracy on a labelled set.
     pub fn accuracy(&self, images: &Tensor, labels: &[usize]) -> f32 {
         let logits = self.forward(&Var::constant(images.clone()));
         let preds = logits.value().argmax_last_axis();
-        let correct = preds
-            .iter()
-            .zip(labels.iter())
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(labels.iter()).filter(|(p, l)| p == l).count();
         correct as f32 / labels.len() as f32
     }
 
@@ -141,11 +136,7 @@ mod tests {
             assert_eq!(&p.value_clone(), b);
         }
         net.quantize_weights(Precision::Fp8E4M3);
-        let changed = net
-            .params()
-            .iter()
-            .zip(before.iter())
-            .any(|(p, b)| &p.value_clone() != b);
+        let changed = net.params().iter().zip(before.iter()).any(|(p, b)| &p.value_clone() != b);
         assert!(changed, "fp8 quantization left all weights unchanged");
     }
 }

@@ -56,9 +56,7 @@ pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection>
     detections.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut kept: Vec<Detection> = Vec::new();
     for d in detections {
-        let suppressed = kept
-            .iter()
-            .any(|k| k.class == d.class && k.iou(&d) > iou_threshold);
+        let suppressed = kept.iter().any(|k| k.class == d.class && k.iou(&d) > iou_threshold);
         if !suppressed {
             kept.push(d);
         }

@@ -23,12 +23,7 @@ pub struct GnmtConfig {
 
 impl Default for GnmtConfig {
     fn default() -> Self {
-        GnmtConfig {
-            vocab: 24,
-            embed_dim: 16,
-            hidden: 24,
-            max_len: 12,
-        }
+        GnmtConfig { vocab: 24, embed_dim: 16, hidden: 24, max_len: 12 }
     }
 }
 
@@ -97,12 +92,9 @@ impl GnmtMini {
             let x = self.tgt_embed.forward(&inputs);
             state = self.decoder.step(&x, &state);
             let ctx = self.attend(&enc.states, &state.h);
-            let combined = self
-                .attn_combine
-                .forward(&Var::concat(&[&state.h, &ctx], 1))
-                .tanh();
+            let combined = self.attn_combine.forward(&Var::concat(&[&state.h, &ctx], 1)).tanh();
             let logits = self.out_proj.forward(&combined); // [b, vocab]
-            // Collect non-PAD labels at this step.
+                                                           // Collect non-PAD labels at this step.
             let mut rows = Vec::new();
             let mut labels = Vec::new();
             for (i, tgt) in batch.targets.iter().enumerate() {
@@ -135,15 +127,8 @@ impl GnmtMini {
         let x = self.tgt_embed.forward(&[prev_token]);
         let next = self.decoder.step(&x, state);
         let ctx = self.attend(enc_states, &next.h);
-        let combined = self
-            .attn_combine
-            .forward(&Var::concat(&[&next.h, &ctx], 1))
-            .tanh();
-        let logp = self
-            .out_proj
-            .forward(&combined)
-            .value()
-            .log_softmax_last_axis();
+        let combined = self.attn_combine.forward(&Var::concat(&[&next.h, &ctx], 1)).tanh();
+        let logp = self.out_proj.forward(&combined).value().log_softmax_last_axis();
         let detached = mlperf_nn::LstmState { h: next.h.detach(), c: next.c.detach() };
         (logp.into_vec(), detached)
     }
@@ -204,11 +189,7 @@ impl GnmtMini {
     /// # Panics
     ///
     /// Panics if `width` is zero.
-    pub fn beam_translate_scored(
-        &self,
-        source: &[usize],
-        width: usize,
-    ) -> (Vec<usize>, f32, bool) {
+    pub fn beam_translate_scored(&self, source: &[usize], width: usize) -> (Vec<usize>, f32, bool) {
         assert!(width > 0, "beam width must be positive");
         let enc = self.encode(&[source.to_vec()]);
         let init = mlperf_nn::LstmState { h: enc.last.h.detach(), c: enc.last.c.detach() };
@@ -289,10 +270,7 @@ mod tests {
             max_len: data_cfg.max_len + 2,
             ..Default::default()
         };
-        (
-            GnmtMini::new(cfg, &mut rng),
-            SyntheticTranslation::generate(data_cfg, seed),
-        )
+        (GnmtMini::new(cfg, &mut rng), SyntheticTranslation::generate(data_cfg, seed))
     }
 
     #[test]
@@ -335,10 +313,7 @@ mod tests {
     fn beam_width_one_matches_greedy() {
         let (model, data) = setup(4);
         for pair in data.val.iter().take(3) {
-            assert_eq!(
-                model.beam_translate(&pair.source, 1),
-                model.greedy_translate(&pair.source),
-            );
+            assert_eq!(model.beam_translate(&pair.source, 1), model.greedy_translate(&pair.source),);
         }
     }
 

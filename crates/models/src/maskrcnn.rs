@@ -35,13 +35,7 @@ pub struct MaskRcnnConfig {
 
 impl Default for MaskRcnnConfig {
     fn default() -> Self {
-        MaskRcnnConfig {
-            in_channels: 1,
-            input_size: 24,
-            classes: 3,
-            width: 8,
-            proposals: 4,
-        }
+        MaskRcnnConfig { in_channels: 1, input_size: 24, classes: 3, width: 8, proposals: 4 }
     }
 }
 
@@ -115,11 +109,7 @@ impl MaskRcnnMini {
     /// keeping gradients flowing into the backbone.
     fn roi_feature(&self, features: &Var, i: usize, cy: usize, cx: usize) -> Var {
         let c = features.shape()[1];
-        features
-            .narrow(0, i, 1)
-            .narrow(2, cy, 1)
-            .narrow(3, cx, 1)
-            .reshape(&[1, c])
+        features.narrow(0, i, 1).narrow(2, cy, 1).narrow(3, cx, 1).reshape(&[1, c])
     }
 
     /// The combined two-stage training loss over a batch of samples.
@@ -135,11 +125,8 @@ impl MaskRcnnMini {
         // --- Stage 1: objectness + coarse boxes ---
         let obj_logits = self.objectness.forward(&features).reshape(&[n * g * g]);
         let mut obj_targets = Tensor::zeros(&[n * g * g]);
-        let rpn_boxes = self
-            .rpn_box
-            .forward(&features)
-            .permute(&[0, 2, 3, 1])
-            .reshape(&[n * g * g, 4]);
+        let rpn_boxes =
+            self.rpn_box.forward(&features).permute(&[0, 2, 3, 1]).reshape(&[n * g * g, 4]);
         let mut box_targets = Tensor::zeros(&[n * g * g, 4]);
         let mut positives: Vec<(usize, usize, usize, usize)> = Vec::new(); // (cell, image, cy, cx)
         for (i, s) in samples.iter().enumerate() {
@@ -161,9 +148,8 @@ impl MaskRcnnMini {
             return total;
         }
         let pos_cells: Vec<usize> = positives.iter().map(|p| p.0).collect();
-        let rpn_box_loss = rpn_boxes
-            .gather_rows(&pos_cells)
-            .smooth_l1(&box_targets.gather_rows(&pos_cells));
+        let rpn_box_loss =
+            rpn_boxes.gather_rows(&pos_cells).smooth_l1(&box_targets.gather_rows(&pos_cells));
         total = total.add(&rpn_box_loss);
         // --- Stage 2: ROI heads on ground-truth cells ---
         let mut roi_feats = Vec::new();
@@ -172,8 +158,8 @@ impl MaskRcnnMini {
         let mut mask_targets = Vec::new();
         for (k, &(_, i, cy, cx)) in positives.iter().enumerate() {
             roi_feats.push(self.roi_feature(&features, i, cy, cx));
-            let obj = object_for_cell(samples[i], g, cy, cx)
-                .expect("positive cell must have an object");
+            let obj =
+                object_for_cell(samples[i], g, cy, cx).expect("positive cell must have an object");
             cls_labels.push(obj.class.index());
             refine_targets.push([
                 obj.cx * g as f32 - cx as f32 - 0.5,
@@ -201,10 +187,8 @@ impl MaskRcnnMini {
         let refine_flat: Vec<f32> = refine_targets.iter().flatten().copied().collect();
         let refine_t = Tensor::from_vec(refine_flat, &[positives.len(), 4]);
         let refine_loss = self.box_head.forward(&hidden).smooth_l1(&refine_t);
-        let mask_flat: Vec<f32> = mask_targets
-            .iter()
-            .flat_map(|m| m.data().iter().copied())
-            .collect();
+        let mask_flat: Vec<f32> =
+            mask_targets.iter().flat_map(|m| m.data().iter().copied()).collect();
         let mask_t = Tensor::from_vec(mask_flat, &[positives.len(), MASK_RES * MASK_RES]);
         let mask_loss = self.mask_head.forward(&hidden).bce_with_logits(&mask_t);
         total.add(&cls_loss).add(&refine_loss).add(&mask_loss)
@@ -216,18 +200,9 @@ impl MaskRcnnMini {
         let n = images.shape()[0];
         let g = self.grid;
         let features = self.backbone(&Var::constant(images.clone()));
-        let obj = self
-            .objectness
-            .forward(&features)
-            .value()
-            .reshape(&[n, g * g])
-            .sigmoid();
-        let rpn_boxes = self
-            .rpn_box
-            .forward(&features)
-            .value()
-            .permute(&[0, 2, 3, 1])
-            .reshape(&[n, g * g, 4]);
+        let obj = self.objectness.forward(&features).value().reshape(&[n, g * g]).sigmoid();
+        let rpn_boxes =
+            self.rpn_box.forward(&features).value().permute(&[0, 2, 3, 1]).reshape(&[n, g * g, 4]);
         let nc = self.config.classes + 1;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
@@ -281,16 +256,10 @@ impl MaskRcnnMini {
             let kept = nms(dets.clone(), 0.45);
             let mut kept_masks = Vec::with_capacity(kept.len());
             for k in &kept {
-                let idx = dets
-                    .iter()
-                    .position(|d| d == k)
-                    .expect("kept detection came from dets");
+                let idx = dets.iter().position(|d| d == k).expect("kept detection came from dets");
                 kept_masks.push(masks[idx].clone());
             }
-            out.push(MaskRcnnOutput {
-                detections: kept,
-                masks: kept_masks,
-            });
+            out.push(MaskRcnnOutput { detections: kept, masks: kept_masks });
         }
         out
     }
@@ -304,7 +273,8 @@ fn object_for_cell(
     cx: usize,
 ) -> Option<&mlperf_data::BoxLabel> {
     sample.objects.iter().find(|o| {
-        ((o.cx * g as f32) as usize).min(g - 1) == cx && ((o.cy * g as f32) as usize).min(g - 1) == cy
+        ((o.cx * g as f32) as usize).min(g - 1) == cx
+            && ((o.cy * g as f32) as usize).min(g - 1) == cy
     })
 }
 
@@ -354,10 +324,7 @@ mod tests {
     fn tiny(seed: u64) -> (MaskRcnnMini, SyntheticShapes) {
         let mut rng = TensorRng::new(seed);
         let cfg = MaskRcnnConfig { input_size: 16, width: 4, proposals: 2, ..Default::default() };
-        (
-            MaskRcnnMini::new(cfg, &mut rng),
-            SyntheticShapes::generate(ShapesConfig::tiny(), seed),
-        )
+        (MaskRcnnMini::new(cfg, &mut rng), SyntheticShapes::generate(ShapesConfig::tiny(), seed))
     }
 
     #[test]

@@ -21,11 +21,7 @@ pub struct MiniGoConfig {
 
 impl Default for MiniGoConfig {
     fn default() -> Self {
-        MiniGoConfig {
-            board_size: 9,
-            planes: mlperf_gomini_planes(),
-            width: 12,
-        }
+        MiniGoConfig { board_size: 9, planes: mlperf_gomini_planes(), width: 12 }
     }
 }
 
@@ -77,11 +73,7 @@ impl MiniGoNet {
         let p = self.policy_conv.forward(&trunk).relu().reshape(&[n, 2 * b * b]);
         let policy = self.policy_fc.forward(&p);
         let v = trunk.global_avg_pool();
-        let value = self
-            .value_fc2
-            .forward(&self.value_fc1.forward(&v).relu())
-            .tanh()
-            .reshape(&[n]);
+        let value = self.value_fc2.forward(&self.value_fc1.forward(&v).relu()).tanh().reshape(&[n]);
         (policy, value)
     }
 
@@ -106,12 +98,7 @@ impl MiniGoNet {
         let (features, moves, _) = dataset.batch(&indices);
         let (policy, _) = self.forward(&Var::constant(features));
         let preds = policy.value().argmax_last_axis();
-        preds
-            .iter()
-            .zip(moves.iter())
-            .filter(|(p, m)| p == m)
-            .count() as f32
-            / moves.len() as f32
+        preds.iter().zip(moves.iter()).filter(|(p, m)| p == m).count() as f32 / moves.len() as f32
     }
 }
 

@@ -24,13 +24,7 @@ pub struct NcfConfig {
 
 impl Default for NcfConfig {
     fn default() -> Self {
-        NcfConfig {
-            users: 96,
-            items: 64,
-            gmf_dim: 8,
-            mlp_dim: 8,
-            mlp_hidden: 16,
-        }
+        NcfConfig { users: 96, items: 64, gmf_dim: 8, mlp_dim: 8, mlp_hidden: 16 }
     }
 }
 
@@ -77,18 +71,11 @@ impl Ncf {
     pub fn forward(&self, users: &[usize], items: &[usize]) -> Var {
         assert_eq!(users.len(), items.len(), "user/item length mismatch");
         let n = users.len();
-        let gmf = self
-            .gmf_user
-            .forward(users)
-            .mul(&self.gmf_item.forward(items)); // [n, gmf_dim]
-        let mlp_in = Var::concat(
-            &[&self.mlp_user.forward(users), &self.mlp_item.forward(items)],
-            1,
-        );
+        let gmf = self.gmf_user.forward(users).mul(&self.gmf_item.forward(items)); // [n, gmf_dim]
+        let mlp_in =
+            Var::concat(&[&self.mlp_user.forward(users), &self.mlp_item.forward(items)], 1);
         let mlp = self.mlp2.forward(&self.mlp1.forward(&mlp_in).relu()).relu();
-        self.fuse
-            .forward(&Var::concat(&[&gmf, &mlp], 1))
-            .reshape(&[n])
+        self.fuse.forward(&Var::concat(&[&gmf, &mlp], 1)).reshape(&[n])
     }
 
     /// Binary cross-entropy over `(user, item, label)` triples.
@@ -96,8 +83,7 @@ impl Ncf {
         let users: Vec<usize> = triples.iter().map(|t| t.0).collect();
         let items: Vec<usize> = triples.iter().map(|t| t.1).collect();
         let labels: Vec<f32> = triples.iter().map(|t| t.2).collect();
-        self.forward(&users, &items)
-            .bce_with_logits(&Tensor::from_slice(&labels))
+        self.forward(&users, &items).bce_with_logits(&Tensor::from_slice(&labels))
     }
 
     /// Hit-rate@k under the leave-one-out protocol: for each user the
@@ -146,11 +132,7 @@ mod tests {
 
     fn setup(seed: u64) -> (Ncf, SyntheticCf) {
         let data_cfg = CfConfig::tiny();
-        let cfg = NcfConfig {
-            users: data_cfg.users,
-            items: data_cfg.items,
-            ..Default::default()
-        };
+        let cfg = NcfConfig { users: data_cfg.users, items: data_cfg.items, ..Default::default() };
         let mut rng = TensorRng::new(seed);
         (Ncf::new(cfg, &mut rng), SyntheticCf::generate(data_cfg, seed))
     }
@@ -176,10 +158,7 @@ mod tests {
             opt.step(0.02);
         }
         let after = model.hit_rate_at(&data.users, 3);
-        assert!(
-            after > before || after > 0.5,
-            "HR@3 did not improve: {before} -> {after}"
-        );
+        assert!(after > before || after > 0.5, "HR@3 did not improve: {before} -> {after}");
     }
 
     #[test]

@@ -118,9 +118,7 @@ impl ResNetMini {
         let stem_bn = BatchNorm2d::new(w);
         // Stage 1: identity-skip blocks at base width (the first block
         // has no projection — the v1.5 rule).
-        let stage1 = (0..config.blocks_per_stage)
-            .map(|_| BasicBlock::new(w, w, 1, rng))
-            .collect();
+        let stage1 = (0..config.blocks_per_stage).map(|_| BasicBlock::new(w, w, 1, rng)).collect();
         // Stage 2: first block downsamples (stride 2 in its 3x3) and
         // doubles width.
         let stage2 = (0..config.blocks_per_stage)
@@ -133,14 +131,7 @@ impl ResNetMini {
             })
             .collect();
         let head = Linear::new(2 * w, config.classes, true, rng);
-        ResNetMini {
-            stem,
-            stem_bn,
-            stage1,
-            stage2,
-            head,
-            config,
-        }
+        ResNetMini { stem, stem_bn, stage1, stage2, head, config }
     }
 
     /// The configuration used to build the network.
@@ -162,8 +153,7 @@ impl ResNetMini {
 
     /// Mean cross-entropy training loss.
     pub fn loss(&self, images: &Tensor, labels: &[usize]) -> Var {
-        self.forward(&Var::constant(images.clone()), true)
-            .cross_entropy_logits(labels)
+        self.forward(&Var::constant(images.clone()), true).cross_entropy_logits(labels)
     }
 
     /// Top-1 accuracy in evaluation mode (running batch-norm
@@ -171,12 +161,7 @@ impl ResNetMini {
     pub fn accuracy(&self, images: &Tensor, labels: &[usize]) -> f32 {
         let logits = self.forward(&Var::constant(images.clone()), false);
         let preds = logits.value().argmax_last_axis();
-        preds
-            .iter()
-            .zip(labels.iter())
-            .filter(|(p, l)| p == l)
-            .count() as f32
-            / labels.len() as f32
+        preds.iter().zip(labels.iter()).filter(|(p, l)| p == l).count() as f32 / labels.len() as f32
     }
 }
 

@@ -23,12 +23,7 @@ pub struct SsdConfig {
 
 impl Default for SsdConfig {
     fn default() -> Self {
-        SsdConfig {
-            in_channels: 1,
-            input_size: 24,
-            classes: 3,
-            width: 8,
-        }
+        SsdConfig { in_channels: 1, input_size: 24, classes: 3, width: 8 }
     }
 }
 
@@ -131,9 +126,7 @@ impl SsdMini {
         let bg = self.config.classes;
         let (cls_targets, box_targets, positives) = self.assign_targets(samples);
         // [n, nc, g, g] -> [n*g*g, nc]
-        let flat_logits = cls_logits
-            .permute(&[0, 2, 3, 1])
-            .reshape(&[n * g * g, nc]);
+        let flat_logits = cls_logits.permute(&[0, 2, 3, 1]).reshape(&[n * g * g, nc]);
         if positives.is_empty() {
             return flat_logits.cross_entropy_logits(&cls_targets);
         }
@@ -163,11 +156,8 @@ impl SsdMini {
         let g = self.grid;
         let n = images.shape()[0];
         let nc = self.config.classes + 1;
-        let probs = cls_logits
-            .value()
-            .permute(&[0, 2, 3, 1])
-            .reshape(&[n * g * g, nc])
-            .softmax_last_axis();
+        let probs =
+            cls_logits.value().permute(&[0, 2, 3, 1]).reshape(&[n * g * g, nc]).softmax_last_axis();
         let boxes = box_pred.value().permute(&[0, 2, 3, 1]).reshape(&[n * g * g, 4]);
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
@@ -189,14 +179,7 @@ impl SsdMini {
                     let cyn = (cy as f32 + 0.5 + b[1]) / g as f32;
                     let w = b[2].exp() / g as f32;
                     let h = b[3].exp() / g as f32;
-                    dets.push(Detection {
-                        cx: cxn,
-                        cy: cyn,
-                        w,
-                        h,
-                        class: best,
-                        score,
-                    });
+                    dets.push(Detection { cx: cxn, cy: cyn, w, h, class: best, score });
                 }
             }
             out.push(nms(dets, 0.45));
@@ -207,16 +190,10 @@ impl SsdMini {
 
 impl Module for SsdMini {
     fn params(&self) -> Vec<Var> {
-        [
-            &self.conv1 as &dyn Module,
-            &self.conv2,
-            &self.conv3,
-            &self.class_head,
-            &self.box_head,
-        ]
-        .iter()
-        .flat_map(|m| m.params())
-        .collect()
+        [&self.conv1 as &dyn Module, &self.conv2, &self.conv3, &self.class_head, &self.box_head]
+            .iter()
+            .flat_map(|m| m.params())
+            .collect()
     }
 }
 
@@ -269,10 +246,7 @@ mod tests {
             opt.step(0.01);
         }
         let final_loss = net.loss(&refs).value().item();
-        assert!(
-            final_loss < initial * 0.8,
-            "loss did not decrease: {initial} -> {final_loss}"
-        );
+        assert!(final_loss < initial * 0.8, "loss did not decrease: {initial} -> {final_loss}");
     }
 
     #[test]

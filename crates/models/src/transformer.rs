@@ -54,10 +54,7 @@ struct FeedForward {
 
 impl FeedForward {
     fn new(dim: usize, ff: usize, rng: &mut TensorRng) -> Self {
-        FeedForward {
-            up: Linear::new(dim, ff, true, rng),
-            down: Linear::new(ff, dim, true, rng),
-        }
+        FeedForward { up: Linear::new(dim, ff, true, rng), down: Linear::new(ff, dim, true, rng) }
     }
 
     fn forward(&self, x: &Var) -> Var {
@@ -210,11 +207,8 @@ impl TransformerMini {
     pub fn loss(&self, batch: &PaddedBatch) -> Var {
         let memory = self.encode(&batch.sources);
         // Decoder input: target[.. len-1]; prediction target: target[1..].
-        let inputs: Vec<Vec<usize>> = batch
-            .targets
-            .iter()
-            .map(|t| t[..t.len() - 1].to_vec())
-            .collect();
+        let inputs: Vec<Vec<usize>> =
+            batch.targets.iter().map(|t| t[..t.len() - 1].to_vec()).collect();
         let logits = self.decode(&memory, &inputs);
         let (b, t, v) = (logits.shape()[0], logits.shape()[1], logits.shape()[2]);
         let flat = logits.reshape(&[b * t, v]);
@@ -241,10 +235,7 @@ impl TransformerMini {
         inputs.extend_from_slice(target);
         let logits = self.decode(&memory, &[inputs.clone()]);
         let t = inputs.len();
-        let logp = logits
-            .value()
-            .reshape(&[t, self.config.vocab])
-            .log_softmax_last_axis();
+        let logp = logits.value().reshape(&[t, self.config.vocab]).log_softmax_last_axis();
         let mut total = 0.0;
         for (step, &tok) in target.iter().chain(std::iter::once(&EOS)).enumerate() {
             total += logp.data()[step * self.config.vocab + tok];
@@ -270,11 +261,7 @@ impl TransformerMini {
     /// # Panics
     ///
     /// Panics if `width` is zero.
-    pub fn beam_translate_scored(
-        &self,
-        source: &[usize],
-        width: usize,
-    ) -> (Vec<usize>, f32, bool) {
+    pub fn beam_translate_scored(&self, source: &[usize], width: usize) -> (Vec<usize>, f32, bool) {
         assert!(width > 0, "beam width must be positive");
         let memory = self.encode(&[source.to_vec()]);
         let vocab = self.config.vocab;
@@ -296,12 +283,8 @@ impl TransformerMini {
                     .narrow(1, tokens.len() - 1, 1)
                     .reshape(&[1, vocab])
                     .log_softmax_last_axis();
-                let mut scored: Vec<(usize, f32)> = last
-                    .data()
-                    .iter()
-                    .enumerate()
-                    .map(|(tok, &lp)| (tok, lp))
-                    .collect();
+                let mut scored: Vec<(usize, f32)> =
+                    last.data().iter().enumerate().map(|(tok, &lp)| (tok, lp)).collect();
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1));
                 for &(tok, tlp) in scored.iter().take(width) {
                     if tok == EOS {
@@ -373,10 +356,7 @@ mod tests {
             max_len: data_cfg.max_len + 2,
             ..Default::default()
         };
-        (
-            TransformerMini::new(model_cfg, &mut rng),
-            SyntheticTranslation::generate(data_cfg, seed),
-        )
+        (TransformerMini::new(model_cfg, &mut rng), SyntheticTranslation::generate(data_cfg, seed))
     }
 
     #[test]
@@ -417,10 +397,7 @@ mod tests {
     fn beam_width_one_matches_greedy() {
         let (model, data) = setup(4);
         for pair in data.val.iter().take(4) {
-            assert_eq!(
-                model.beam_translate(&pair.source, 1),
-                model.greedy_translate(&pair.source),
-            );
+            assert_eq!(model.beam_translate(&pair.source, 1), model.greedy_translate(&pair.source),);
         }
     }
 
@@ -455,10 +432,7 @@ mod tests {
             total_g += model.sequence_logprob(&pair.source, &model.greedy_translate(&pair.source));
             total_b += model.sequence_logprob(&pair.source, &model.beam_translate(&pair.source, 4));
         }
-        assert!(
-            total_b >= total_g - 1.0,
-            "beam total {total_b} far below greedy total {total_g}"
-        );
+        assert!(total_b >= total_g - 1.0, "beam total {total_b} far below greedy total {total_g}");
     }
 
     #[test]

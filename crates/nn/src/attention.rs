@@ -25,11 +25,7 @@ impl MultiHeadAttention {
     ///
     /// Panics if `model_dim` is not divisible by `heads`.
     pub fn new(model_dim: usize, heads: usize, rng: &mut TensorRng) -> Self {
-        assert_eq!(
-            model_dim % heads,
-            0,
-            "model dim {model_dim} not divisible by {heads} heads"
-        );
+        assert_eq!(model_dim % heads, 0, "model dim {model_dim} not divisible by {heads} heads");
         MultiHeadAttention {
             wq: Linear::new(model_dim, model_dim, false, rng),
             wk: Linear::new(model_dim, model_dim, false, rng),
@@ -58,9 +54,7 @@ impl MultiHeadAttention {
         let k = self.split_heads(&self.wk.forward(key), b, tk);
         let v = self.split_heads(&self.wv.forward(value), b, tk);
         // [b*h, tq, dh] x [b*h, dh, tk] -> [b*h, tq, tk]
-        let mut scores = q
-            .bmm(&k.permute(&[0, 2, 1]))
-            .scale(1.0 / (self.head_dim as f32).sqrt());
+        let mut scores = q.bmm(&k.permute(&[0, 2, 1])).scale(1.0 / (self.head_dim as f32).sqrt());
         if let Some(m) = mask {
             assert_eq!(m.shape(), &[tq, tk], "mask must be [t_q, t_k]");
             scores = scores.add(&Var::constant(m.clone()));
@@ -80,9 +74,11 @@ impl MultiHeadAttention {
     }
 
     fn split_heads(&self, x: &Var, b: usize, t: usize) -> Var {
-        x.reshape(&[b, t, self.heads, self.head_dim])
-            .permute(&[0, 2, 1, 3])
-            .reshape(&[b * self.heads, t, self.head_dim])
+        x.reshape(&[b, t, self.heads, self.head_dim]).permute(&[0, 2, 1, 3]).reshape(&[
+            b * self.heads,
+            t,
+            self.head_dim,
+        ])
     }
 
     /// Number of heads.
@@ -93,10 +89,7 @@ impl MultiHeadAttention {
 
 impl Module for MultiHeadAttention {
     fn params(&self) -> Vec<Var> {
-        [&self.wq, &self.wk, &self.wv, &self.wo]
-            .iter()
-            .flat_map(|l| l.params())
-            .collect()
+        [&self.wq, &self.wk, &self.wv, &self.wo].iter().flat_map(|l| l.params()).collect()
     }
 }
 
@@ -198,12 +191,7 @@ mod tests {
             Tensor::concat(&[&c, &b, &a], 1)
         };
         let y1 = mha.forward(&q, &Var::constant(kv.clone()), &Var::constant(kv), None);
-        let y2 = mha.forward(
-            &q,
-            &Var::constant(swapped.clone()),
-            &Var::constant(swapped),
-            None,
-        );
+        let y2 = mha.forward(&q, &Var::constant(swapped.clone()), &Var::constant(swapped), None);
         mlperf_tensor::assert_close(y1.value().data(), y2.value().data(), 1e-5);
     }
 }

@@ -19,11 +19,7 @@ impl Embedding {
     /// normal initialization.
     pub fn new(vocab: usize, dim: usize, rng: &mut TensorRng) -> Self {
         let std = 1.0 / (dim as f32).sqrt();
-        Embedding {
-            table: Var::param(rng.normal(&[vocab, dim], 0.0, std)),
-            vocab,
-            dim,
-        }
+        Embedding { table: Var::param(rng.normal(&[vocab, dim], 0.0, std)), vocab, dim }
     }
 
     /// Looks up `ids`, returning `[ids.len(), dim]`.
@@ -87,10 +83,7 @@ mod tests {
         let mut rng = TensorRng::new(0);
         let e = Embedding::new(10, 4, &mut rng);
         assert_eq!(e.forward(&[1, 2, 3]).shape(), vec![3, 4]);
-        assert_eq!(
-            e.forward_batch(&[vec![0, 1], vec![2, 3]]).shape(),
-            vec![2, 2, 4]
-        );
+        assert_eq!(e.forward_batch(&[vec![0, 1], vec![2, 3]]).shape(), vec![2, 2, 4]);
     }
 
     #[test]

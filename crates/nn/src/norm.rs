@@ -64,7 +64,7 @@ impl BatchNorm2d {
             let mean = xt.mean_axis(1, true); // [c,1]
             let centered = xt.sub(&mean);
             let var = centered.square().mean_axis(1, true); // biased
-            // Fold into running statistics (detached).
+                                                            // Fold into running statistics (detached).
             {
                 let mut rm = self.running_mean.borrow_mut();
                 let mv = mean.value_clone().reshape(&[c]);
@@ -83,9 +83,7 @@ impl BatchNorm2d {
         };
         let inv_std = var.add_scalar(self.eps).sqrt();
         let norm = xt.sub(&mean).div(&inv_std);
-        let y = norm
-            .mul(&self.gamma.reshape(&[c, 1]))
-            .add(&self.beta.reshape(&[c, 1]));
+        let y = norm.mul(&self.gamma.reshape(&[c, 1])).add(&self.beta.reshape(&[c, 1]));
         y.reshape(&[c, n, h, w]).permute(&[1, 0, 2, 3])
     }
 
@@ -195,12 +193,8 @@ mod tests {
         // modulo gamma/beta.
         let x = Var::constant(Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.0], &[1, 1, 2, 2]));
         let y = bn.forward(&x, false);
-        let expected: Vec<f32> = x
-            .value()
-            .data()
-            .iter()
-            .map(|v| v / (1.0f32 + 1e-5).sqrt())
-            .collect();
+        let expected: Vec<f32> =
+            x.value().data().iter().map(|v| v / (1.0f32 + 1e-5).sqrt()).collect();
         mlperf_tensor::assert_close(y.value().data(), &expected, 1e-5);
     }
 

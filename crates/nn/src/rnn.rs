@@ -69,10 +69,7 @@ impl LstmCell {
             x.shape()[1]
         );
         let h = self.hidden_size;
-        let gates = x
-            .matmul(&self.wx)
-            .add(&state.h.matmul(&self.wh))
-            .add(&self.bias);
+        let gates = x.matmul(&self.wx).add(&state.h.matmul(&self.wh)).add(&self.bias);
         let i = gates.narrow(1, 0, h).sigmoid();
         let f = gates.narrow(1, h, h).sigmoid();
         let g = gates.narrow(1, 2 * h, h).tanh();

@@ -28,16 +28,7 @@ impl Adam {
         assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
         assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
         let n = params.len();
-        Adam {
-            params,
-            beta1,
-            beta2,
-            eps,
-            weight_decay,
-            m: vec![None; n],
-            v: vec![None; n],
-            t: 0,
-        }
+        Adam { params, beta1, beta2, eps, weight_decay, m: vec![None; n], v: vec![None; n], t: 0 }
     }
 
     /// Conventional defaults (β₁ 0.9, β₂ 0.999, ε 1e-8, no decay).

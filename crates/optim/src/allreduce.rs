@@ -97,10 +97,7 @@ pub fn data_parallel_step(
         }
         shard_loss(shard).backward();
         for (slot, p) in per_param.iter_mut().zip(params.iter()) {
-            slot.push(
-                p.grad()
-                    .unwrap_or_else(|| Tensor::zeros(&p.shape())),
-            );
+            slot.push(p.grad().unwrap_or_else(|| Tensor::zeros(&p.shape())));
         }
     }
     // All-reduce: order-controlled sum, then average.
@@ -177,7 +174,7 @@ mod tests {
         let w_dp = make();
         let mut opt_dp = SgdTorch::new(vec![w_dp.clone()], 0.0, 0.0);
         data_parallel_step(
-            &[w_dp.clone()],
+            std::slice::from_ref(&w_dp),
             2,
             &ReductionOrder::Sequential,
             &mut opt_dp,

@@ -85,7 +85,7 @@ mod tests {
     fn no_clip_below_threshold() {
         let a = Var::param(Tensor::from_slice(&[1.0]));
         a.square().sum().backward(); // grad 2
-        clip_grad_norm(&[a.clone()], 100.0);
+        clip_grad_norm(std::slice::from_ref(&a), 100.0);
         assert_eq!(a.grad().unwrap().data(), &[2.0]);
     }
 

@@ -26,14 +26,7 @@ impl Lars {
     /// (the canonical value is 0.001).
     pub fn new(params: Vec<Var>, momentum: f32, weight_decay: f32, trust: f32) -> Self {
         let n = params.len();
-        Lars {
-            params,
-            momentum,
-            weight_decay,
-            trust,
-            eps: 1e-9,
-            velocity: vec![None; n],
-        }
+        Lars { params, momentum, weight_decay, trust, eps: 1e-9, velocity: vec![None; n] }
     }
 
     /// The local (per-layer) learning-rate multiplier LARS would apply

@@ -44,8 +44,7 @@ pub use allreduce::{data_parallel_step, install_gradient, reduce_shards, Reducti
 pub use clip::{clip_grad_norm, global_grad_norm};
 pub use lars::Lars;
 pub use schedule::{
-    linear_scaled_lr, ConstantLr, CosineDecay, LinearWarmup, LrSchedule, MultiStepDecay,
-    StepDecay,
+    linear_scaled_lr, ConstantLr, CosineDecay, LinearWarmup, LrSchedule, MultiStepDecay, StepDecay,
 };
 pub use sgd::{SgdCaffe, SgdTorch};
 
@@ -100,10 +99,7 @@ mod tests {
                 opt.step(lr);
             }
             let final_loss = w.value().square().sum();
-            assert!(
-                final_loss < 0.05,
-                "optimizer {k} failed to descend: loss {final_loss}"
-            );
+            assert!(final_loss < 0.05, "optimizer {k} failed to descend: loss {final_loss}");
         }
     }
 }

@@ -26,12 +26,7 @@ impl SgdCaffe {
     /// Creates the optimizer over `params`.
     pub fn new(params: Vec<Var>, momentum: f32, weight_decay: f32) -> Self {
         let n = params.len();
-        SgdCaffe {
-            params,
-            momentum,
-            weight_decay,
-            velocity: vec![None; n],
-        }
+        SgdCaffe { params, momentum, weight_decay, velocity: vec![None; n] }
     }
 }
 
@@ -78,12 +73,7 @@ impl SgdTorch {
     /// Creates the optimizer over `params`.
     pub fn new(params: Vec<Var>, momentum: f32, weight_decay: f32) -> Self {
         let n = params.len();
-        SgdTorch {
-            params,
-            momentum,
-            weight_decay,
-            velocity: vec![None; n],
-        }
+        SgdTorch { params, momentum, weight_decay, velocity: vec![None; n] }
     }
 }
 

@@ -1,0 +1,58 @@
+//! What a submitter hands in, and what the round references it against.
+
+use mlperf_core::equivalence::ModelSignature;
+use mlperf_core::report::SystemDescription;
+use mlperf_core::rules::{Category, Division, SystemType};
+use mlperf_core::suite::BenchmarkId;
+use std::collections::BTreeMap;
+
+/// One benchmark's entry within a bundle: the hyperparameters used,
+/// the model fingerprint, and the raw `:::MLLOG` text of every timed
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSet {
+    /// Which benchmark this run set enters.
+    pub benchmark: BenchmarkId,
+    /// Hyperparameter name → value, as submitted.
+    pub hyperparameters: BTreeMap<String, f64>,
+    /// Architecture fingerprint of the trained model.
+    pub signature: ModelSignature,
+    /// One rendered `:::MLLOG` log per timed run.
+    pub logs: Vec<String>,
+}
+
+/// A complete submission bundle, as ingested by the round pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionBundle {
+    /// Submitting organization.
+    pub org: String,
+    /// The system the runs were measured on.
+    pub system: SystemDescription,
+    /// Closed or Open.
+    pub division: Division,
+    /// Available / Preview / Research.
+    pub category: Category,
+    /// On-premise or cloud.
+    pub system_type: SystemType,
+    /// One run set per benchmark entered (omissions are legal).
+    pub run_sets: Vec<RunSet>,
+}
+
+/// The review-side reference for one benchmark: what Closed-division
+/// submissions are validated against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkReference {
+    /// The benchmark.
+    pub benchmark: BenchmarkId,
+    /// Reference hyperparameters.
+    pub hyperparameters: BTreeMap<String, f64>,
+    /// Reference model fingerprint.
+    pub signature: ModelSignature,
+}
+
+impl BenchmarkReference {
+    /// Finds the reference for a benchmark in a reference set.
+    pub fn find(references: &[BenchmarkReference], id: BenchmarkId) -> Option<&BenchmarkReference> {
+        references.iter().find(|r| r.benchmark == id)
+    }
+}

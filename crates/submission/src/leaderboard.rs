@@ -1,0 +1,90 @@
+//! Per-benchmark, per-division leaderboards over a round's accepted
+//! entries — the tables the MLPerf organization publishes at round
+//! close.
+
+use crate::round::{AcceptedEntry, RoundOutcome};
+use mlperf_core::report::LeaderboardRow;
+use mlperf_core::rules::Division;
+use mlperf_core::suite::BenchmarkId;
+
+/// The ranked results of one benchmark in one division.
+#[derive(Debug, Clone)]
+pub struct Leaderboard {
+    /// Which benchmark.
+    pub benchmark: BenchmarkId,
+    /// Which division.
+    pub division: Division,
+    /// Accepted entries, fastest first.
+    pub entries: Vec<AcceptedEntry>,
+}
+
+impl Leaderboard {
+    /// The winning entry, if anyone scored.
+    pub fn winner(&self) -> Option<&AcceptedEntry> {
+        self.entries.first()
+    }
+
+    /// Renders the ranking as report rows.
+    pub fn rows(&self) -> Vec<LeaderboardRow> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| LeaderboardRow {
+                rank: i + 1,
+                organization: e.org.clone(),
+                system: e.system.clone(),
+                chips: e.chips,
+                minutes: e.minutes,
+                runs: e.runs,
+            })
+            .collect()
+    }
+}
+
+/// Builds every non-empty leaderboard of a round, in Table 1 benchmark
+/// order with Closed before Open.
+pub fn leaderboards(outcome: &RoundOutcome) -> Vec<Leaderboard> {
+    let mut boards = Vec::new();
+    for benchmark in BenchmarkId::ALL {
+        for division in [Division::Closed, Division::Open] {
+            let mut entries: Vec<AcceptedEntry> =
+                outcome.entries_for(benchmark, division).cloned().collect();
+            if entries.is_empty() {
+                continue;
+            }
+            entries.sort_by(|a, b| a.minutes.total_cmp(&b.minutes));
+            boards.push(Leaderboard { benchmark, division, entries });
+        }
+    }
+    boards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::run_round;
+    use crate::synthetic::{synthetic_round, SyntheticRoundSpec};
+    use mlperf_distsim::Round;
+
+    #[test]
+    fn leaderboards_rank_fastest_first() {
+        let outcome = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 4)));
+        let boards = leaderboards(&outcome);
+        assert!(!boards.is_empty());
+        for board in &boards {
+            for pair in board.entries.windows(2) {
+                assert!(pair[0].minutes <= pair[1].minutes);
+            }
+            let rows = board.rows();
+            assert_eq!(rows[0].rank, 1);
+            assert_eq!(rows.len(), board.entries.len());
+        }
+    }
+
+    #[test]
+    fn every_accepted_entry_appears_exactly_once() {
+        let outcome = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 4)));
+        let total: usize = leaderboards(&outcome).iter().map(|b| b.entries.len()).sum();
+        assert_eq!(total, outcome.accepted.len());
+    }
+}

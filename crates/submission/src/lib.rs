@@ -1,0 +1,39 @@
+//! The submission-round pipeline: what the MLPerf organization itself
+//! runs each round (§4.1–§4.2 of the paper).
+//!
+//! Submitters hand in *bundles* — org, division, category, and one
+//! run set of `:::MLLOG` logs per benchmark entered ([`bundle`]).
+//! Review ([`review`]) replays the published review process over each
+//! bundle: parse every log, run the [`mlperf_core::compliance`]
+//! checker, validate hyperparameters against the Closed-division
+//! [`mlperf_core::rules`], fingerprint-check workload
+//! [`mlperf_core::equivalence`], and aggregate the run set with the
+//! drop-min/max rule of [`mlperf_core::aggregate`].
+//!
+//! A round ([`round`]) ingests many bundles concurrently on a scoped
+//! worker pool and is fault-tolerant: malformed or non-compliant
+//! bundles are quarantined with structured [`review::ReviewReport`]
+//! diagnostics and never abort the round. Accepted scores feed
+//! per-benchmark/division leaderboards ([`leaderboard`]) and, across
+//! two rounds, the paper's Figure 4/5-style speedup and scale tables
+//! ([`tables`]).
+//!
+//! [`synthetic`] generates whole multi-vendor rounds from the
+//! `mlperf-distsim` vendor fleet, with optional injected faults, so
+//! the pipeline can be exercised end to end without real submitters.
+
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod leaderboard;
+pub mod review;
+pub mod round;
+pub mod synthetic;
+pub mod tables;
+
+pub use bundle::{BenchmarkReference, RunSet, SubmissionBundle};
+pub use leaderboard::{leaderboards, Leaderboard};
+pub use review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
+pub use round::{run_round, AcceptedEntry, RoundOutcome, RoundSubmissions};
+pub use synthetic::{synthetic_round, Fault, SyntheticRoundSpec};
+pub use tables::{scale_table, speedup_table, RoundTable};

@@ -1,0 +1,343 @@
+//! Peer review of one submission bundle (§4.1): parse, compliance,
+//! rules, equivalence, aggregation — every problem becomes a
+//! structured diagnostic instead of an abort.
+
+use crate::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
+use mlperf_core::aggregate::{aggregate_runs, AggregateError, RunSummary};
+use mlperf_core::compliance::{check_log, ComplianceIssue};
+use mlperf_core::equivalence::{check_equivalence, EquivalenceIssue};
+use mlperf_core::mllog::{keys, LogEntry, MlLogger};
+use mlperf_core::rules::{Division, HyperparameterRules};
+use mlperf_core::suite::BenchmarkId;
+use std::fmt;
+
+/// One structured review finding, tied to the run set (and, where it
+/// applies, the run) that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Diagnostic {
+    /// A log failed to parse at all.
+    MalformedLog {
+        /// Index of the run within the run set.
+        run: usize,
+        /// The parser's message (names the offending line).
+        error: String,
+    },
+    /// The compliance checker flagged a parsed log.
+    Compliance {
+        /// Index of the run within the run set.
+        run: usize,
+        /// The issue, carrying the offending log line where one exists.
+        issue: ComplianceIssue,
+    },
+    /// A restricted hyperparameter differs from the reference
+    /// (Closed division only).
+    RuleViolation {
+        /// The offending hyperparameter name.
+        name: String,
+    },
+    /// The model fingerprint differs from the reference
+    /// (Closed division only).
+    Equivalence(EquivalenceIssue),
+    /// The run set could not be aggregated into a score.
+    Aggregation(AggregateError),
+    /// The benchmark has no reference in this round.
+    NoReference,
+    /// Review of the bundle panicked; the panic was contained.
+    Panicked(String),
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::MalformedLog { run, error } => {
+                write!(f, "run {run}: malformed log: {error}")
+            }
+            Diagnostic::Compliance { run, issue } => write!(f, "run {run}: {issue}"),
+            Diagnostic::RuleViolation { name } => {
+                write!(f, "restricted hyperparameter `{name}` differs from the reference")
+            }
+            Diagnostic::Equivalence(issue) => write!(f, "not equivalent to reference: {issue}"),
+            Diagnostic::Aggregation(e) => write!(f, "cannot aggregate run set: {e}"),
+            Diagnostic::NoReference => write!(f, "benchmark has no reference in this round"),
+            Diagnostic::Panicked(msg) => write!(f, "review panicked: {msg}"),
+        }
+    }
+}
+
+/// The review outcome for one run set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkReview {
+    /// Which benchmark.
+    pub benchmark: BenchmarkId,
+    /// Everything review found wrong (empty = clean).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The aggregated score in minutes, when the run set survived
+    /// review.
+    pub minutes: Option<f64>,
+    /// Timed runs in the set.
+    pub runs: usize,
+}
+
+impl BenchmarkReview {
+    /// Whether this run set passed review with a score.
+    pub fn accepted(&self) -> bool {
+        self.diagnostics.is_empty() && self.minutes.is_some()
+    }
+}
+
+/// The full review report for one bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReviewReport {
+    /// Submitting organization.
+    pub org: String,
+    /// The bundle's division.
+    pub division: Division,
+    /// One review per run set, in bundle order.
+    pub benchmarks: Vec<BenchmarkReview>,
+}
+
+impl ReviewReport {
+    /// Whether every run set passed review.
+    pub fn is_clean(&self) -> bool {
+        self.benchmarks.iter().all(BenchmarkReview::accepted)
+    }
+
+    /// All diagnostics across the bundle, with their benchmarks.
+    pub fn diagnostics(&self) -> impl Iterator<Item = (BenchmarkId, &Diagnostic)> {
+        self.benchmarks.iter().flat_map(|b| b.diagnostics.iter().map(move |d| (b.benchmark, d)))
+    }
+}
+
+/// Extracts the timed-run summary out of a parsed, compliant log: the
+/// timed region spans `run_start` to `run_stop`, and the run reached
+/// its target iff `run_stop` carries `{"status": "success"}`.
+fn run_summary(entries: &[LogEntry]) -> Option<RunSummary> {
+    let start = entries.iter().find(|e| e.key == keys::RUN_START)?;
+    let stop = entries.iter().find(|e| e.key == keys::RUN_STOP)?;
+    Some(RunSummary {
+        seconds: stop.time_ms.saturating_sub(start.time_ms) as f64 / 1000.0,
+        reached_target: stop.value["status"] == "success",
+    })
+}
+
+fn review_run_set(
+    run_set: &RunSet,
+    division: Division,
+    references: &[BenchmarkReference],
+) -> BenchmarkReview {
+    let mut diagnostics = Vec::new();
+    let mut summaries = Vec::new();
+
+    for (run, text) in run_set.logs.iter().enumerate() {
+        match MlLogger::parse(text) {
+            Err(error) => diagnostics.push(Diagnostic::MalformedLog { run, error }),
+            Ok(entries) => {
+                let issues = check_log(&entries);
+                if issues.is_empty() {
+                    if let Some(summary) = run_summary(&entries) {
+                        summaries.push(summary);
+                    }
+                } else {
+                    diagnostics.extend(
+                        issues.into_iter().map(|issue| Diagnostic::Compliance { run, issue }),
+                    );
+                }
+            }
+        }
+    }
+
+    match BenchmarkReference::find(references, run_set.benchmark) {
+        None => diagnostics.push(Diagnostic::NoReference),
+        Some(reference) => {
+            // Open-division submissions may change model and
+            // hyperparameters freely; Closed must match the reference.
+            if division == Division::Closed {
+                let rules = HyperparameterRules::closed_division(run_set.benchmark);
+                for name in rules.violations(&reference.hyperparameters, &run_set.hyperparameters) {
+                    diagnostics.push(Diagnostic::RuleViolation { name });
+                }
+                diagnostics.extend(
+                    check_equivalence(&reference.signature, &run_set.signature)
+                        .into_iter()
+                        .map(Diagnostic::Equivalence),
+                );
+            }
+        }
+    }
+
+    let minutes = if diagnostics.is_empty() {
+        match aggregate_runs(run_set.benchmark, &summaries) {
+            Ok(seconds) => Some(seconds / 60.0),
+            Err(e) => {
+                diagnostics.push(Diagnostic::Aggregation(e));
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    BenchmarkReview { benchmark: run_set.benchmark, diagnostics, minutes, runs: run_set.logs.len() }
+}
+
+/// Reviews one bundle against the round's references. Never panics on
+/// malformed input — every problem is returned as a [`Diagnostic`].
+pub fn review_bundle(bundle: &SubmissionBundle, references: &[BenchmarkReference]) -> ReviewReport {
+    ReviewReport {
+        org: bundle.org.clone(),
+        division: bundle.division,
+        benchmarks: bundle
+            .run_sets
+            .iter()
+            .map(|rs| review_run_set(rs, bundle.division, references))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_core::equivalence::{reference_signature, ModelSignature};
+    use mlperf_core::report::SystemDescription;
+    use mlperf_core::rules::{Category, SystemType};
+    use serde_json::json;
+    use std::collections::BTreeMap;
+
+    fn compliant_log(minutes: f64, seed: u64) -> String {
+        let mut logger = MlLogger::new();
+        logger.log(keys::SUBMISSION_BENCHMARK, json!("resnet"));
+        logger.log(keys::SEED, json!(seed));
+        logger.log(keys::QUALITY_TARGET, json!(0.749));
+        logger.log(keys::INIT_START, json!(null));
+        logger.set_time_ms(500);
+        logger.log(keys::INIT_STOP, json!(null));
+        logger.log(keys::RUN_START, json!(null));
+        logger.set_time_ms(500 + (minutes * 60_000.0) as u64 / 2);
+        logger.log(keys::EPOCH_START, json!(0));
+        logger.log(keys::EPOCH_STOP, json!(0));
+        logger.log(keys::EVAL_ACCURACY, json!(0.751));
+        logger.set_time_ms(500 + (minutes * 60_000.0) as u64);
+        logger.log(keys::RUN_STOP, json!({"status": "success"}));
+        logger.render()
+    }
+
+    fn reference() -> BenchmarkReference {
+        BenchmarkReference {
+            benchmark: BenchmarkId::ImageClassification,
+            hyperparameters: BTreeMap::from([
+                ("batch_size".to_string(), 256.0),
+                ("learning_rate".to_string(), 0.1),
+                ("momentum".to_string(), 0.9),
+            ]),
+            signature: reference_signature(BenchmarkId::ImageClassification),
+        }
+    }
+
+    fn bundle(run_sets: Vec<RunSet>) -> SubmissionBundle {
+        SubmissionBundle {
+            org: "TestOrg".into(),
+            system: SystemDescription {
+                submitter: "TestOrg".into(),
+                system_name: "test-16".into(),
+                accelerators: 16,
+                accelerator_model: "T1".into(),
+                host_processors: 2,
+                software: "stack 1.0".into(),
+            },
+            division: Division::Closed,
+            category: Category::Available,
+            system_type: SystemType::OnPremise,
+            run_sets,
+        }
+    }
+
+    fn clean_run_set() -> RunSet {
+        let reference = reference();
+        let mut hp = reference.hyperparameters.clone();
+        hp.insert("batch_size".into(), 4096.0); // modifiable — legal
+        RunSet {
+            benchmark: BenchmarkId::ImageClassification,
+            hyperparameters: hp,
+            signature: reference.signature.clone(),
+            logs: (0..5).map(|r| compliant_log(10.0 + r as f64, r as u64)).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_bundle_scores() {
+        let report = review_bundle(&bundle(vec![clean_run_set()]), &[reference()]);
+        assert!(report.is_clean(), "diagnostics: {:?}", report.benchmarks[0].diagnostics);
+        let minutes = report.benchmarks[0].minutes.unwrap();
+        // Olympic mean of 10..=14 minutes drops 10 and 14.
+        assert!((minutes - 12.0).abs() < 0.1, "{minutes}");
+    }
+
+    #[test]
+    fn malformed_log_is_quarantined_not_fatal() {
+        let mut rs = clean_run_set();
+        rs.logs[2] = ":::MLLOG {not json".into();
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(!report.is_clean());
+        assert!(matches!(
+            report.benchmarks[0].diagnostics[0],
+            Diagnostic::MalformedLog { run: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_run_stop_flagged_via_compliance() {
+        let mut rs = clean_run_set();
+        rs.logs[0] =
+            rs.logs[0].lines().filter(|l| !l.contains("run_stop")).collect::<Vec<_>>().join("\n");
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(report.diagnostics().any(|(_, d)| matches!(
+            d,
+            Diagnostic::Compliance { run: 0, issue: ComplianceIssue::MissingKey(k) } if *k == keys::RUN_STOP
+        )));
+    }
+
+    #[test]
+    fn restricted_hyperparameter_flagged_in_closed() {
+        let mut rs = clean_run_set();
+        rs.hyperparameters.insert("momentum".into(), 0.95);
+        let report = review_bundle(&bundle(vec![rs.clone()]), &[reference()]);
+        assert!(report
+            .diagnostics()
+            .any(|(_, d)| matches!(d, Diagnostic::RuleViolation { name } if name == "momentum")));
+
+        // The same change is legal in the Open division.
+        let mut open = bundle(vec![rs]);
+        open.division = Division::Open;
+        assert!(review_bundle(&open, &[reference()]).is_clean());
+    }
+
+    #[test]
+    fn wrong_architecture_flagged_in_closed() {
+        let mut rs = clean_run_set();
+        rs.signature = ModelSignature::from_shapes(vec![vec![1, 2, 3]]);
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(report.diagnostics().any(|(_, d)| matches!(d, Diagnostic::Equivalence(_))));
+    }
+
+    #[test]
+    fn short_run_set_fails_aggregation() {
+        let mut rs = clean_run_set();
+        rs.logs.truncate(3);
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(report.diagnostics().any(|(_, d)| matches!(
+            d,
+            Diagnostic::Aggregation(AggregateError::NotEnoughRuns { got: 3, required: 5 })
+        )));
+    }
+
+    #[test]
+    fn failed_run_fails_aggregation() {
+        let mut rs = clean_run_set();
+        rs.logs[4] = rs.logs[4].replace("success", "aborted");
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(report.diagnostics().any(|(_, d)| matches!(
+            d,
+            Diagnostic::Aggregation(AggregateError::FailedRun { index: 4 })
+        )));
+    }
+}

@@ -1,0 +1,196 @@
+//! Running a whole round: concurrent bundle ingest with quarantine.
+
+use crate::bundle::{BenchmarkReference, SubmissionBundle};
+use crate::review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
+use mlperf_core::rules::Division;
+use mlperf_core::suite::BenchmarkId;
+use mlperf_distsim::Round;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Everything a round ingests: the round label, the per-benchmark
+/// references review validates against, and the submitted bundles.
+#[derive(Debug, Clone)]
+pub struct RoundSubmissions {
+    /// Which round this is.
+    pub round: Round,
+    /// Review references, one per benchmark in the round.
+    pub references: Vec<BenchmarkReference>,
+    /// The submitted bundles.
+    pub bundles: Vec<SubmissionBundle>,
+}
+
+/// One run set that survived review, flattened for publication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptedEntry {
+    /// Submitting organization.
+    pub org: String,
+    /// System name.
+    pub system: String,
+    /// Accelerator chips in the system.
+    pub chips: usize,
+    /// The bundle's division.
+    pub division: Division,
+    /// Which benchmark.
+    pub benchmark: BenchmarkId,
+    /// Aggregated time-to-train in minutes.
+    pub minutes: f64,
+    /// Timed runs behind the score.
+    pub runs: usize,
+}
+
+/// The published outcome of a round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Which round this is.
+    pub round: Round,
+    /// Every run set that passed review, in bundle order.
+    pub accepted: Vec<AcceptedEntry>,
+    /// Reports of bundles with at least one diagnostic. A quarantined
+    /// bundle's *clean* run sets still score — review isolates faults
+    /// at run-set granularity.
+    pub quarantined: Vec<ReviewReport>,
+    /// All review reports, in bundle order.
+    pub reports: Vec<ReviewReport>,
+}
+
+impl RoundOutcome {
+    /// Accepted entries for one benchmark and division.
+    pub fn entries_for(
+        &self,
+        benchmark: BenchmarkId,
+        division: Division,
+    ) -> impl Iterator<Item = &AcceptedEntry> {
+        self.accepted.iter().filter(move |e| e.benchmark == benchmark && e.division == division)
+    }
+}
+
+/// Runs review over every bundle on a scoped worker pool (one worker
+/// per available core, capped at the bundle count) and publishes the
+/// outcome. Ingest is fault-tolerant: parse failures, compliance
+/// violations, and even panics inside review become quarantined
+/// reports — a bad bundle can never abort the round.
+pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
+    let bundles = &submissions.bundles;
+    let references = &submissions.references;
+    let workers = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(bundles.len())
+        .max(1);
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, ReviewReport)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= bundles.len() {
+                            break;
+                        }
+                        let bundle = &bundles[i];
+                        let report =
+                            catch_unwind(AssertUnwindSafe(|| review_bundle(bundle, references)))
+                                .unwrap_or_else(|payload| panicked_report(bundle, &payload));
+                        out.push((i, report));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("review workers collect panics themselves"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+
+    let reports: Vec<ReviewReport> = indexed.into_iter().map(|(_, r)| r).collect();
+    let mut accepted = Vec::new();
+    let mut quarantined = Vec::new();
+    for (bundle, report) in bundles.iter().zip(&reports) {
+        for review in &report.benchmarks {
+            if let Some(minutes) = review.minutes {
+                accepted.push(AcceptedEntry {
+                    org: bundle.org.clone(),
+                    system: bundle.system.system_name.clone(),
+                    chips: bundle.system.accelerators,
+                    division: bundle.division,
+                    benchmark: review.benchmark,
+                    minutes,
+                    runs: review.runs,
+                });
+            }
+        }
+        if !report.is_clean() {
+            quarantined.push(report.clone());
+        }
+    }
+
+    RoundOutcome { round: submissions.round, accepted, quarantined, reports }
+}
+
+/// A report standing in for a bundle whose review panicked.
+fn panicked_report(
+    bundle: &SubmissionBundle,
+    payload: &Box<dyn std::any::Any + Send>,
+) -> ReviewReport {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string());
+    ReviewReport {
+        org: bundle.org.clone(),
+        division: bundle.division,
+        benchmarks: bundle
+            .run_sets
+            .iter()
+            .map(|rs| BenchmarkReview {
+                benchmark: rs.benchmark,
+                diagnostics: vec![Diagnostic::Panicked(msg.clone())],
+                minutes: None,
+                runs: rs.logs.len(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_round, Fault, SyntheticRoundSpec};
+
+    #[test]
+    fn round_reports_preserve_bundle_order() {
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 3));
+        let outcome = run_round(&subs);
+        assert_eq!(outcome.reports.len(), subs.bundles.len());
+        for (bundle, report) in subs.bundles.iter().zip(&outcome.reports) {
+            assert_eq!(bundle.org, report.org);
+        }
+    }
+
+    #[test]
+    fn fault_free_round_quarantines_nothing() {
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 4));
+        let outcome = run_round(&subs);
+        assert!(outcome.quarantined.is_empty(), "{:?}", outcome.quarantined);
+        assert!(!outcome.accepted.is_empty());
+    }
+
+    #[test]
+    fn garbage_bundle_is_quarantined_without_aborting() {
+        let spec = SyntheticRoundSpec::new(Round::V05, 5)
+            .with_fault(Fault::GarbageLine { org: "Borealis".into() });
+        let outcome = run_round(&synthetic_round(&spec));
+        assert_eq!(outcome.quarantined.len(), 1);
+        assert_eq!(outcome.quarantined[0].org, "Borealis");
+        // The other vendors' entries still published.
+        assert!(outcome.accepted.iter().any(|e| e.org == "Aurora"));
+        assert!(outcome.accepted.iter().any(|e| e.org == "Cumulus"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Synthetic round generation: turns the `mlperf-distsim` vendor fleet
+//! into full submission bundles with rendered `:::MLLOG` logs, so the
+//! round pipeline can be exercised end to end without real submitters.
+//! Optional injected faults reproduce the failure modes review must
+//! quarantine.
+
+use crate::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
+use crate::round::RoundSubmissions;
+use mlperf_core::equivalence::reference_signature;
+use mlperf_core::mllog::{keys, MlLogger};
+use mlperf_core::report::SystemDescription;
+use mlperf_core::rules::{Category, Division, SystemType};
+use mlperf_core::suite::{BenchmarkId, SuiteVersion};
+use mlperf_distsim::{simulate_run_set, Round, SimBenchmark, SimResult, Vendor};
+use serde_json::json;
+use std::collections::BTreeMap;
+
+/// A fault to inject into a generated round, addressed by organization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Drop the `run_stop` line from one of the org's logs (compliance
+    /// violation).
+    MissingRunStop {
+        /// Organization whose bundle gets the fault.
+        org: String,
+    },
+    /// Splice a non-`:::MLLOG` line into one of the org's logs (parse
+    /// failure).
+    GarbageLine {
+        /// Organization whose bundle gets the fault.
+        org: String,
+    },
+    /// Change a restricted hyperparameter in the org's first run set
+    /// (Closed-division rule violation).
+    IllegalHyperparameter {
+        /// Organization whose bundle gets the fault.
+        org: String,
+        /// The restricted hyperparameter to tamper with.
+        name: String,
+    },
+}
+
+/// Parameters of a synthetic round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticRoundSpec {
+    /// Which round to generate.
+    pub round: Round,
+    /// The fixed system size every vendor also enters (the paper's
+    /// Figure 4 compares rounds at 16 chips).
+    pub reference_chips: usize,
+    /// Base seed for run-to-run convergence variance.
+    pub seed: u64,
+    /// Faults to inject after generation.
+    pub faults: Vec<Fault>,
+}
+
+impl SyntheticRoundSpec {
+    /// A fault-free spec at the paper's 16-chip comparison point.
+    pub fn new(round: Round, seed: u64) -> Self {
+        SyntheticRoundSpec { round, reference_chips: 16, seed, faults: Vec::new() }
+    }
+
+    /// Adds an injected fault.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// The suite version whose quality targets a round enforces.
+pub fn suite_version(round: Round) -> SuiteVersion {
+    match round {
+        Round::V05 => SuiteVersion::V05,
+        Round::V06 => SuiteVersion::V06,
+    }
+}
+
+/// The simulator benchmarks paired with their suite identities.
+pub fn comparison_benchmarks() -> Vec<(BenchmarkId, SimBenchmark)> {
+    SimBenchmark::round_comparison_suite()
+        .into_iter()
+        .map(|b| {
+            let id = match b.name.as_str() {
+                "ResNet-50 v1.5" => BenchmarkId::ImageClassification,
+                "SSD-ResNet-34" => BenchmarkId::ObjectDetection,
+                "Mask R-CNN" => BenchmarkId::InstanceSegmentation,
+                "GNMT" => BenchmarkId::TranslationRecurrent,
+                "Transformer" => BenchmarkId::TranslationNonRecurrent,
+                other => unreachable!("unknown sim benchmark {other}"),
+            };
+            (id, b)
+        })
+        .collect()
+}
+
+/// Reference hyperparameters every Closed submission is validated
+/// against: batch/LR are tuned per system (modifiable), the rest must
+/// match these values.
+fn reference_hyperparameters() -> BTreeMap<String, f64> {
+    BTreeMap::from([
+        ("batch_size".to_string(), 256.0),
+        ("learning_rate".to_string(), 0.1),
+        ("momentum".to_string(), 0.9),
+        ("weight_decay".to_string(), 1e-4),
+    ])
+}
+
+/// The round's review references, one per comparison benchmark.
+pub fn round_references() -> Vec<BenchmarkReference> {
+    comparison_benchmarks()
+        .into_iter()
+        .map(|(id, _)| BenchmarkReference {
+            benchmark: id,
+            hyperparameters: reference_hyperparameters(),
+            signature: reference_signature(id),
+        })
+        .collect()
+}
+
+/// Renders one timed run as a compliant `:::MLLOG` log.
+fn render_run_log(
+    org: &str,
+    id: BenchmarkId,
+    round: Round,
+    seed: u64,
+    result: &SimResult,
+) -> String {
+    let target =
+        id.quality_for(suite_version(round)).expect("comparison benchmarks exist in both rounds");
+    let duration_ms = (result.minutes * 60_000.0).max(1.0) as u64;
+    // Cap the rendered epoch count so large-scale entries do not blow
+    // up log sizes; timing comes from `minutes`, not the epoch lines.
+    let epochs = (result.epochs.ceil() as usize).clamp(1, 48);
+
+    let mut logger = MlLogger::new();
+    logger.log(keys::SUBMISSION_BENCHMARK, json!(id.slug()));
+    logger.log(keys::SUBMISSION_ORG, json!(org));
+    logger.log(keys::SUBMISSION_DIVISION, json!("closed"));
+    logger.log(keys::SEED, json!(seed));
+    logger.log(keys::QUALITY_TARGET, json!(target.value));
+    logger.log(keys::INIT_START, json!(null));
+    logger.set_time_ms(500);
+    logger.log(keys::INIT_STOP, json!(null));
+    logger.set_time_ms(1_000);
+    logger.log(keys::RUN_START, json!(null));
+    for epoch in 0..epochs {
+        let t0 = 1_000 + duration_ms * epoch as u64 / epochs as u64;
+        let t1 = 1_000 + duration_ms * (epoch as u64 + 1) / epochs as u64;
+        logger.set_time_ms(t0);
+        logger.log(keys::EPOCH_START, json!(epoch));
+        logger.set_time_ms(t1);
+        logger.log(keys::EPOCH_STOP, json!(epoch));
+        // Quality climbs toward (and finally past) the target.
+        let frac = (epoch + 1) as f64 / epochs as f64;
+        logger.log(keys::EVAL_ACCURACY, json!(target.value * (0.55 + 0.47 * frac)));
+    }
+    logger.set_time_ms(1_000 + duration_ms);
+    logger.log(keys::RUN_STOP, json!({"status": "success"}));
+    logger.render()
+}
+
+/// Builds one bundle: a vendor's entry at a fixed system size, one run
+/// set per comparison benchmark the system can run.
+fn vendor_bundle(vendor: &Vendor, round: Round, chips: usize, base_seed: u64) -> SubmissionBundle {
+    let mut run_sets = Vec::new();
+    for (bench_idx, (id, bench)) in comparison_benchmarks().into_iter().enumerate() {
+        let seed = base_seed.wrapping_add(101 * bench_idx as u64);
+        let runs = id.runs_required();
+        let Some(results) = simulate_run_set(vendor, round, &bench, chips, seed, runs) else {
+            continue; // system cannot run this workload — a legal omission
+        };
+        let mut hyperparameters = reference_hyperparameters();
+        let batch = results[0].batch as f64;
+        hyperparameters.insert("batch_size".to_string(), batch);
+        hyperparameters.insert("learning_rate".to_string(), 0.1 * batch / 256.0);
+        let logs = results
+            .iter()
+            .enumerate()
+            .map(|(r, res)| render_run_log(&vendor.name, id, round, seed + r as u64, res))
+            .collect();
+        run_sets.push(RunSet {
+            benchmark: id,
+            hyperparameters,
+            signature: reference_signature(id),
+            logs,
+        });
+    }
+    SubmissionBundle {
+        org: vendor.name.clone(),
+        system: SystemDescription {
+            submitter: vendor.name.clone(),
+            system_name: format!("{}x{}", vendor.chip.name, chips),
+            accelerators: chips,
+            accelerator_model: vendor.chip.name.clone(),
+            host_processors: (chips / 8).max(1),
+            software: format!("{} stack {}", vendor.name, round),
+        },
+        division: Division::Closed,
+        category: Category::Available,
+        system_type: SystemType::OnPremise,
+        run_sets,
+    }
+}
+
+fn apply_fault(bundles: &mut [SubmissionBundle], fault: &Fault) {
+    let org = match fault {
+        Fault::MissingRunStop { org }
+        | Fault::GarbageLine { org }
+        | Fault::IllegalHyperparameter { org, .. } => org,
+    };
+    let Some(bundle) = bundles.iter_mut().find(|b| b.org == *org) else {
+        return;
+    };
+    let Some(run_set) = bundle.run_sets.first_mut() else {
+        return;
+    };
+    match fault {
+        Fault::MissingRunStop { .. } => {
+            run_set.logs[0] = run_set.logs[0]
+                .lines()
+                .filter(|l| !l.contains(&format!("\"{}\"", keys::RUN_STOP)))
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        Fault::GarbageLine { .. } => {
+            run_set.logs[0].push_str("telemetry: watchdog fired, dumping registers\n");
+        }
+        Fault::IllegalHyperparameter { name, .. } => {
+            let tampered = run_set.hyperparameters.get(name).copied().unwrap_or(0.9) * 1.1;
+            run_set.hyperparameters.insert(name.clone(), tampered);
+        }
+    }
+}
+
+/// Generates a full multi-vendor round: every fleet vendor submits two
+/// bundles — one at the spec's reference system size, one at the
+/// largest system it can field this round — then injects the spec's
+/// faults.
+pub fn synthetic_round(spec: &SyntheticRoundSpec) -> RoundSubmissions {
+    let mut bundles = Vec::new();
+    for (vendor_idx, vendor) in Vendor::fleet().iter().enumerate() {
+        let base = spec.seed.wrapping_add(7_919 * vendor_idx as u64);
+        bundles.push(vendor_bundle(vendor, spec.round, spec.reference_chips, base));
+        let at_scale = vendor.max_chips(spec.round);
+        if at_scale != spec.reference_chips {
+            bundles.push(vendor_bundle(vendor, spec.round, at_scale, base.wrapping_add(1)));
+        }
+    }
+    for fault in &spec.faults {
+        apply_fault(&mut bundles, fault);
+    }
+    RoundSubmissions { round: spec.round, references: round_references(), bundles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_core::compliance::check_log;
+
+    #[test]
+    fn generated_logs_are_compliant() {
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 1));
+        let bundle = &subs.bundles[0];
+        assert!(!bundle.run_sets.is_empty());
+        for rs in &bundle.run_sets {
+            assert_eq!(rs.logs.len(), rs.benchmark.runs_required());
+            for log in &rs.logs {
+                let entries = MlLogger::parse(log).expect("generated logs parse");
+                assert!(check_log(&entries).is_empty(), "{:?}", check_log(&entries));
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_round_has_two_bundles_per_vendor() {
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V06, 2));
+        assert_eq!(subs.bundles.len(), 2 * Vendor::fleet().len());
+        assert_eq!(subs.references.len(), 5);
+    }
+
+    #[test]
+    fn faults_land_on_the_named_org() {
+        let spec = SyntheticRoundSpec::new(Round::V05, 3)
+            .with_fault(Fault::MissingRunStop { org: "Aurora".into() });
+        let subs = synthetic_round(&spec);
+        let aurora = subs.bundles.iter().find(|b| b.org == "Aurora").unwrap();
+        assert!(!aurora.run_sets[0].logs[0].contains("run_stop"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 9));
+        let b = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 9));
+        assert_eq!(a.bundles, b.bundles);
+    }
+}

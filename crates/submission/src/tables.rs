@@ -1,0 +1,147 @@
+//! Cross-round comparison tables computed from ingested logs: the
+//! paper's Figure 4 (fixed-scale speedups) and Figure 5 (scale growth
+//! of the fastest entries).
+
+use crate::round::RoundOutcome;
+use mlperf_core::report::{render_round_comparison, RoundComparisonRow};
+use mlperf_core::rules::Division;
+use mlperf_core::suite::BenchmarkId;
+
+/// One rendered cross-round table.
+#[derive(Debug, Clone)]
+pub struct RoundTable {
+    /// Table heading.
+    pub title: String,
+    /// Unit of the per-round value columns.
+    pub value_label: String,
+    /// Name of the ratio column.
+    pub ratio_label: String,
+    /// One row per benchmark entered in both rounds.
+    pub rows: Vec<RoundComparisonRow>,
+}
+
+impl RoundTable {
+    /// The average ratio the paper headlines (1.3× speedup, 5.5×
+    /// scale), or `None` for an empty table.
+    pub fn average_ratio(&self) -> Option<f64> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        Some(self.rows.iter().map(|r| r.ratio).sum::<f64>() / self.rows.len() as f64)
+    }
+
+    /// Renders the table with the shared report formatter.
+    pub fn render(&self) -> String {
+        render_round_comparison(&self.title, &self.value_label, &self.ratio_label, &self.rows)
+    }
+}
+
+/// The fastest accepted Closed-division minutes for a benchmark at one
+/// exact system size.
+fn best_minutes_at(outcome: &RoundOutcome, benchmark: BenchmarkId, chips: usize) -> Option<f64> {
+    outcome
+        .entries_for(benchmark, Division::Closed)
+        .filter(|e| e.chips == chips)
+        .map(|e| e.minutes)
+        .min_by(f64::total_cmp)
+}
+
+/// The chip count of the fastest accepted Closed-division entry for a
+/// benchmark at any scale.
+fn best_entry_chips(outcome: &RoundOutcome, benchmark: BenchmarkId) -> Option<usize> {
+    outcome
+        .entries_for(benchmark, Division::Closed)
+        .min_by(|a, b| a.minutes.total_cmp(&b.minutes))
+        .map(|e| e.chips)
+}
+
+/// Figure 4: round-over-round speedup of the fastest entries at a
+/// fixed system size. Ratio is `v0.5 minutes / v0.6 minutes` — above
+/// 1.0 means v0.6 got faster on unchanged hardware scale.
+pub fn speedup_table(v05: &RoundOutcome, v06: &RoundOutcome, chips: usize) -> RoundTable {
+    let rows = BenchmarkId::ALL
+        .into_iter()
+        .filter_map(|id| {
+            let a = best_minutes_at(v05, id, chips)?;
+            let b = best_minutes_at(v06, id, chips)?;
+            Some(RoundComparisonRow { benchmark: id.to_string(), v05: a, v06: b, ratio: a / b })
+        })
+        .collect();
+    RoundTable {
+        title: format!("Fastest {chips}-chip entries, v0.5 vs v0.6 (Figure 4)"),
+        value_label: "minutes".into(),
+        ratio_label: "speedup".into(),
+        rows,
+    }
+}
+
+/// Figure 5: growth in the system scale of the fastest overall entry
+/// per benchmark. Ratio is `v0.6 chips / v0.5 chips`.
+pub fn scale_table(v05: &RoundOutcome, v06: &RoundOutcome) -> RoundTable {
+    let rows = BenchmarkId::ALL
+        .into_iter()
+        .filter_map(|id| {
+            let a = best_entry_chips(v05, id)?;
+            let b = best_entry_chips(v06, id)?;
+            Some(RoundComparisonRow {
+                benchmark: id.to_string(),
+                v05: a as f64,
+                v06: b as f64,
+                ratio: b as f64 / a as f64,
+            })
+        })
+        .collect();
+    RoundTable {
+        title: "Chips powering the fastest entry, v0.5 vs v0.6 (Figure 5)".into(),
+        value_label: "chips".into(),
+        ratio_label: "growth".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::run_round;
+    use crate::synthetic::{synthetic_round, SyntheticRoundSpec};
+    use mlperf_distsim::Round;
+
+    fn two_rounds() -> (RoundOutcome, RoundOutcome) {
+        let v05 = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 11)));
+        let v06 = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V06, 11)));
+        (v05, v06)
+    }
+
+    #[test]
+    fn speedup_table_shows_v06_faster_at_fixed_scale() {
+        let (v05, v06) = two_rounds();
+        let table = speedup_table(&v05, &v06, 16);
+        assert_eq!(table.rows.len(), 5, "all five comparison benchmarks present");
+        let avg = table.average_ratio().unwrap();
+        assert!(avg > 1.0, "v0.6 should be faster at 16 chips, got {avg}");
+        assert!(table.render().contains("speedup"));
+    }
+
+    #[test]
+    fn scale_table_shows_fastest_systems_growing() {
+        let (v05, v06) = two_rounds();
+        let table = scale_table(&v05, &v06);
+        assert_eq!(table.rows.len(), 5);
+        let avg = table.average_ratio().unwrap();
+        assert!(avg > 1.0, "fastest v0.6 systems should be larger, got {avg}");
+    }
+
+    #[test]
+    fn empty_outcomes_give_empty_tables() {
+        let (v05, _) = two_rounds();
+        let empty = RoundOutcome {
+            round: Round::V06,
+            accepted: Vec::new(),
+            quarantined: Vec::new(),
+            reports: Vec::new(),
+        };
+        let table = speedup_table(&v05, &empty, 16);
+        assert!(table.rows.is_empty());
+        assert!(table.average_ratio().is_none());
+    }
+}

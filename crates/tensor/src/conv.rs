@@ -26,11 +26,7 @@ impl Conv2dSpec {
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
         assert!(kernel > 0, "kernel must be positive");
         assert!(stride > 0, "stride must be positive");
-        Conv2dSpec {
-            kernel,
-            stride,
-            padding,
-        }
+        Conv2dSpec { kernel, stride, padding }
     }
 
     /// Output spatial extent for an input extent.
@@ -163,11 +159,7 @@ pub fn conv2d_backward(
     let (oc, _, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
     let oh = spec.out_extent(h);
     let ow = spec.out_extent(w);
-    assert_eq!(
-        grad_out.shape(),
-        &[n, oc, oh, ow],
-        "grad_out shape mismatch in conv2d_backward"
-    );
+    assert_eq!(grad_out.shape(), &[n, oc, oh, ow], "grad_out shape mismatch in conv2d_backward");
     let wmat = weight.reshape(&[oc, c * kh * kw]);
     let wmat_t = wmat.transpose(); // [c*kh*kw, oc]
     let mut grad_w = Tensor::zeros(&[oc, c * kh * kw]);
@@ -262,7 +254,8 @@ pub fn avg_pool2d(input: &Tensor, spec: Conv2dSpec) -> Tensor {
                             if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                 continue;
                             }
-                            acc += input.data()[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                            acc +=
+                                input.data()[((ni * c + ci) * h + iy as usize) * w + ix as usize];
                         }
                     }
                     out.push(acc / window);
@@ -275,12 +268,7 @@ pub fn avg_pool2d(input: &Tensor, spec: Conv2dSpec) -> Tensor {
 
 /// Gradient of [`avg_pool2d`].
 pub fn avg_pool2d_backward(grad_out: &Tensor, input_shape: &[usize], spec: Conv2dSpec) -> Tensor {
-    let (n, c, h, w) = (
-        input_shape[0],
-        input_shape[1],
-        input_shape[2],
-        input_shape[3],
-    );
+    let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
     let oh = spec.out_extent(h);
     let ow = spec.out_extent(w);
     let window = (spec.kernel * spec.kernel) as f32;
@@ -432,11 +420,7 @@ mod tests {
         let x = rng.normal(&[2, 3, 6, 6], 0.0, 1.0);
         let w = rng.normal(&[4, 3, 3, 3], 0.0, 0.5);
         let b = rng.normal(&[4], 0.0, 0.1);
-        for spec in [
-            Conv2dSpec::new(3, 1, 1),
-            Conv2dSpec::new(3, 2, 1),
-            Conv2dSpec::new(3, 1, 0),
-        ] {
+        for spec in [Conv2dSpec::new(3, 1, 1), Conv2dSpec::new(3, 2, 1), Conv2dSpec::new(3, 1, 0)] {
             let a = x.conv2d(&w, Some(&b), spec);
             let d = x.conv2d_direct(&w, Some(&b), spec);
             assert_eq!(a.shape(), d.shape());
@@ -499,7 +483,10 @@ mod tests {
     #[test]
     fn max_pool_forward_and_backward() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let spec = Conv2dSpec::new(2, 2, 0);

@@ -21,9 +21,7 @@ pub struct TensorRng {
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        TensorRng {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        TensorRng { rng: StdRng::seed_from_u64(seed) }
     }
 
     /// Splits off an independent generator (seeded from this stream),

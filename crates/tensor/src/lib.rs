@@ -26,8 +26,8 @@
 #![warn(missing_docs)]
 
 mod conv;
-mod matmul;
 mod init;
+mod matmul;
 mod ops;
 mod precision;
 mod reduce;
@@ -59,9 +59,6 @@ pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
         expected.len()
     );
     for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
-        assert!(
-            (a - e).abs() <= tol,
-            "element {i}: {a} differs from {e} by more than {tol}"
-        );
+        assert!((a - e).abs() <= tol, "element {i}: {a} differs from {e} by more than {tol}");
     }
 }

@@ -18,7 +18,8 @@ impl Tensor {
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dimension mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -41,12 +42,7 @@ impl Tensor {
         let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
         let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
         assert_eq!(b, b2, "bmm batch mismatch: {b} vs {b2}");
-        assert_eq!(
-            k, k2,
-            "bmm inner dimension mismatch: {:?} x {:?}",
-            self.shape(),
-            rhs.shape()
-        );
+        assert_eq!(k, k2, "bmm inner dimension mismatch: {:?} x {:?}", self.shape(), rhs.shape());
         let mut out = vec![0.0f32; b * m * n];
         for bi in 0..b {
             gemm(
@@ -116,11 +112,7 @@ mod tests {
         let b = Tensor::from_vec(vec![2.0, 3.0, 5.0, 4.0, 6.0, 7.0], &[2, 3]);
         let c = a.matmul(&b);
         assert_eq!(c.shape(), &[3, 3]);
-        assert_close(
-            c.data(),
-            &[2.0, 3.0, 5.0, 4.0, 6.0, 7.0, 6.0, 9.0, 12.0],
-            1e-6,
-        );
+        assert_close(c.data(), &[2.0, 3.0, 5.0, 4.0, 6.0, 7.0, 6.0, 9.0, 12.0], 1e-6);
     }
 
     #[test]

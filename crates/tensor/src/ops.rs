@@ -14,20 +14,12 @@ impl Tensor {
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape() == other.shape() {
             // Fast path: identical shapes.
-            let data = self
-                .data()
-                .iter()
-                .zip(other.data().iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let data =
+                self.data().iter().zip(other.data().iter()).map(|(&a, &b)| f(a, b)).collect();
             return Tensor::from_vec(data, self.shape());
         }
         let out_dims = broadcast_shapes(self.shape(), other.shape()).unwrap_or_else(|| {
-            panic!(
-                "shapes {:?} and {:?} are not broadcast-compatible",
-                self.shape(),
-                other.shape()
-            )
+            panic!("shapes {:?} and {:?} are not broadcast-compatible", self.shape(), other.shape())
         });
         let out_shape = Shape::new(&out_dims);
         let mut out = vec![0.0; out_shape.len()];
@@ -42,10 +34,7 @@ impl Tensor {
                 idx[i] = rem / strides[i];
                 rem %= strides[i];
             }
-            *slot = f(
-                self.data()[a_idx.offset(&idx)],
-                other.data()[b_idx.offset(&idx)],
-            );
+            *slot = f(self.data()[a_idx.offset(&idx)], other.data()[b_idx.offset(&idx)]);
         }
         Tensor::from_vec(out, &out_dims)
     }
@@ -56,15 +45,9 @@ impl Tensor {
     ///
     /// Panics if this shape cannot broadcast to `dims`.
     pub fn broadcast_to(&self, dims: &[usize]) -> Tensor {
-        let merged = broadcast_shapes(self.shape(), dims).unwrap_or_else(|| {
-            panic!("cannot broadcast {:?} to {:?}", self.shape(), dims)
-        });
-        assert_eq!(
-            merged, dims,
-            "cannot broadcast {:?} to {:?}",
-            self.shape(),
-            dims
-        );
+        let merged = broadcast_shapes(self.shape(), dims)
+            .unwrap_or_else(|| panic!("cannot broadcast {:?} to {:?}", self.shape(), dims));
+        assert_eq!(merged, dims, "cannot broadcast {:?} to {:?}", self.shape(), dims);
         self.zip_broadcast(&Tensor::zeros(dims), |a, _| a)
     }
 

@@ -34,13 +34,8 @@ pub enum Precision {
 impl Precision {
     /// All supported precisions, in decreasing fidelity order (the order
     /// the Figure 1 harness sweeps).
-    pub const ALL: [Precision; 5] = [
-        Precision::Fp32,
-        Precision::Bf16,
-        Precision::Fp16,
-        Precision::Fp8E4M3,
-        Precision::Ternary,
-    ];
+    pub const ALL: [Precision; 5] =
+        [Precision::Fp32, Precision::Bf16, Precision::Fp16, Precision::Fp8E4M3, Precision::Ternary];
 
     /// Bits of storage per value under this format.
     pub fn bits(self) -> u32 {
@@ -140,18 +135,8 @@ impl Tensor {
                         scale_n += 1;
                     }
                 }
-                let scale = if scale_n == 0 {
-                    0.0
-                } else {
-                    scale_sum / scale_n as f32
-                };
-                self.map(|v| {
-                    if v.abs() < threshold {
-                        0.0
-                    } else {
-                        scale * v.signum()
-                    }
-                })
+                let scale = if scale_n == 0 { 0.0 } else { scale_sum / scale_n as f32 };
+                self.map(|v| if v.abs() < threshold { 0.0 } else { scale * v.signum() })
             }
             p => self.map(|v| p.quantize_scalar(v)),
         }
@@ -205,10 +190,7 @@ mod tests {
         // Coarser formats must have no smaller max error on a value grid.
         let values: Vec<f32> = (1..200).map(|i| i as f32 * 0.017 - 1.7).collect();
         let err = |p: Precision| {
-            values
-                .iter()
-                .map(|&v| (p.quantize_scalar(v) - v).abs())
-                .fold(0.0f32, f32::max)
+            values.iter().map(|&v| (p.quantize_scalar(v) - v).abs()).fold(0.0f32, f32::max)
         };
         assert!(err(Precision::Bf16) >= err(Precision::Fp16));
         assert!(err(Precision::Fp8E4M3) >= err(Precision::Bf16));

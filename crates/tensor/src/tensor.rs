@@ -35,10 +35,7 @@ impl Tensor {
 
     /// Creates a zero-dimensional (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            shape: Shape::new(&[]),
-            data: vec![value],
-        }
+        Tensor { shape: Shape::new(&[]), data: vec![value] }
     }
 
     /// Creates a tensor from a flat buffer in row-major order.
@@ -145,12 +142,7 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(
-            self.data.len(),
-            1,
-            "item() called on tensor with {} elements",
-            self.data.len()
-        );
+        assert_eq!(self.data.len(), 1, "item() called on tensor with {} elements", self.data.len());
         self.data[0]
     }
 
@@ -167,18 +159,12 @@ impl Tensor {
             "cannot reshape {} elements into shape {new_shape}",
             self.data.len()
         );
-        Tensor {
-            shape: new_shape,
-            data: self.data.clone(),
-        }
+        Tensor { shape: new_shape, data: self.data.clone() }
     }
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -236,10 +222,7 @@ impl Tensor {
             }
             *slot = self.data[src];
         }
-        Tensor {
-            shape: new_shape,
-            data: out,
-        }
+        Tensor { shape: new_shape, data: out }
     }
 
     /// Extracts `len` slices starting at `start` along dimension `axis`.
@@ -284,10 +267,7 @@ impl Tensor {
             let s = t.shape();
             assert_eq!(s.len(), first.len(), "rank mismatch in concat");
             for (d, (&a, &b)) in s.iter().zip(first.iter()).enumerate() {
-                assert!(
-                    d == axis || a == b,
-                    "shape mismatch in concat at dim {d}: {a} vs {b}"
-                );
+                assert!(d == axis || a == b, "shape mismatch in concat at dim {d}: {a} vs {b}");
             }
             axis_total += s[axis];
         }

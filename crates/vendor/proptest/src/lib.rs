@@ -1,0 +1,169 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the property-testing surface the workspace uses: the
+//! [`proptest!`] macro, numeric range strategies, a regex-subset string
+//! strategy, tuple and [`collection::vec`] combinators, and the
+//! `prop_assert*` family. Failing cases are reported with their case
+//! number and the values bound for the case; shrinking is not
+//! implemented (a failing input is printed instead).
+//!
+//! The number of cases per property defaults to 96 and can be raised or
+//! lowered with the `PROPTEST_CASES` environment variable, like the
+//! real crate.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The imports property tests conventionally glob in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each function parameter is bound by
+/// sampling the strategy to its right, and the body runs once per
+/// generated case.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "property `{}` failed at case {}/{}: {}",
+                                stringify!($name), __case + 1, __cases, __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right` (both `{:?}`)",
+            left
+        );
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3u64..17, b in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise((x, s) in (1usize..4, "[a-c]{2,5}")) {
+            prop_assert!((1..4).contains(&x));
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_pattern_supports_classes_literals_and_escapes() {
+        let mut rng = TestRng::deterministic("pattern");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"x[0-9]{3}\\.y", &mut rng);
+            assert_eq!(s.len(), 6, "{s:?}");
+            assert!(s.starts_with('x') && s.ends_with(".y"), "{s:?}");
+            assert!(s[1..4].chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_number() {
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,170 @@
+//! Value-generation strategies sampled by the [`proptest!`](crate::proptest) macro.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real crate there is no value tree or shrinking: `sample`
+/// draws one concrete value directly from the RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = rng.next_u64() as u128 % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        let v = (self.start as f64..self.end as f64).sample(rng) as f32;
+        v.clamp(self.start, self.end.next_down())
+    }
+}
+
+/// String strategies are regex-subset patterns: literal characters,
+/// backslash escapes, and `[class]` character classes with an optional
+/// `{n}` / `{m,n}` repetition (classes without a quantifier emit one
+/// character). This covers patterns like `"[a-z_]{1,20}"` without a
+/// regex engine.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    let escaped = chars.next().expect("pattern ends with a dangling backslash");
+                    out.push(escaped);
+                }
+                '[' => {
+                    let mut class = Vec::new();
+                    loop {
+                        let c = chars.next().expect("unterminated character class");
+                        if c == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            let mut ahead = chars.clone();
+                            ahead.next();
+                            if let Some(&hi) = ahead.peek() {
+                                if hi != ']' {
+                                    chars.next();
+                                    chars.next();
+                                    assert!(c <= hi, "invalid class range {c}-{hi}");
+                                    class.extend(c..=hi);
+                                    continue;
+                                }
+                            }
+                        }
+                        class.push(c);
+                    }
+                    assert!(!class.is_empty(), "empty character class");
+                    let (lo, hi) = if chars.peek() == Some(&'{') {
+                        chars.next();
+                        let mut spec = String::new();
+                        loop {
+                            let c = chars.next().expect("unterminated repetition");
+                            if c == '}' {
+                                break;
+                            }
+                            spec.push(c);
+                        }
+                        match spec.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim().parse().expect("bad repetition bound"),
+                                n.trim().parse().expect("bad repetition bound"),
+                            ),
+                            None => {
+                                let n: usize = spec.trim().parse().expect("bad repetition bound");
+                                (n, n)
+                            }
+                        }
+                    } else {
+                        (1, 1)
+                    };
+                    assert!(lo <= hi, "inverted repetition {{{lo},{hi}}}");
+                    let len = lo + rng.index(hi - lo + 1);
+                    for _ in 0..len {
+                        out.push(class[rng.index(class.len())]);
+                    }
+                }
+                _ => out.push(c),
+            }
+        }
+        out
+    }
+}
+
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (*self).sample(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}

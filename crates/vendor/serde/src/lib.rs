@@ -1,0 +1,280 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the small slice of serde it actually uses. Rather than reproduce
+//! serde's zero-copy visitor architecture, this façade serializes
+//! through a concrete JSON value tree ([`json::Value`], re-exported by
+//! the vendored `serde_json`):
+//!
+//! - [`Serialize`] maps a type *to* a [`json::Value`];
+//! - [`Deserialize`] maps a [`json::Value`] back *into* a type;
+//! - `#[derive(Serialize)]` / `#[derive(Deserialize)]` (from the
+//!   vendored `serde_derive`) generate those impls for named-field
+//!   structs and unit enums, with serde's standard JSON conventions
+//!   (structs as objects keyed by field name, unit variants as their
+//!   name in a string).
+//!
+//! The data model is lossless for everything the workspace emits: JSON
+//! numbers keep their integer/float identity ([`json::Number`]), and
+//! floats print in shortest round-trip form (the behaviour the real
+//! `serde_json` provides behind its `float_roundtrip` feature).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Deserialization error plumbing.
+pub mod de {
+    use std::fmt;
+
+    /// A deserialization error: a human-readable message, with field
+    /// context accumulated as errors propagate out of nested structs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// An error with the given message.
+        pub fn custom(message: impl fmt::Display) -> Error {
+            Error { message: message.to_string() }
+        }
+
+        /// Wraps an error with the field it occurred in.
+        pub fn in_field(field: &str, inner: Error) -> Error {
+            Error { message: format!("field `{field}`: {}", inner.message) }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use de::Error;
+use json::{Map, Number, Value};
+
+/// Maps a value into the JSON data model.
+pub trait Serialize {
+    /// The JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Builds a value back out of the JSON data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first mismatch between the
+    /// value tree and the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from(*self as i64))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        match Number::from_f64(*self) {
+            Some(n) => Value::Number(n),
+            None => Value::Null, // serde_json: non-finite floats have no JSON form
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected a boolean"))
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::custom("expected an unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("unsigned integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::custom("expected an integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected a number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected a string"))
+    }
+}
+
+/// Supports struct fields declared as `&'static str` (the suite tables
+/// use them for compile-time constants). Deserializing such a field
+/// must materialize an owned string with `'static` lifetime, so the
+/// string is intentionally leaked — acceptable for the short-lived test
+/// and tooling paths that deserialize these tables.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::custom("expected an array"))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::custom("expected an object"))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a minimal serde façade (see `crates/vendor/serde`). This
+//! proc-macro crate implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the two shapes the workspace actually
+//! uses — structs with named fields and enums with unit variants —
+//! generating impls of the vendored traits, which map types to and from
+//! the vendored JSON `Value` tree.
+//!
+//! The parser is hand-rolled over `proc_macro::TokenStream` (no `syn`,
+//! no `quote`), and intentionally rejects shapes it does not support
+//! (tuple structs, generic types, enum variants with payloads) with a
+//! `compile_error!` so misuse fails loudly at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we parsed out of the item the derive is attached to.
+enum Item {
+    /// A struct with named fields: the name and its field names.
+    Struct(String, Vec<String>),
+    /// An enum of unit variants: the name and its variant names.
+    Enum(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attribute tokens (`#` followed by a bracket group) starting at
+/// `i`; returns the index of the first non-attribute token.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility qualifier.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the field names of a named-field struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attributes(body, i);
+        if i >= body.len() {
+            break;
+        }
+        i = skip_visibility(body, i);
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses the variant names of a unit-variant enum body.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attributes(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` has a payload; the vendored serde derive supports unit variants only"
+                ))
+            }
+            other => return Err(format!("unexpected token after variant `{name}`: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if matches!(id.to_string().as_str(), "struct" | "enum") => {
+            id.to_string()
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "type `{name}` is generic; the vendored serde derive supports non-generic types only"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            return Ok(Item::Struct(name, Vec::new()))
+        }
+        other => {
+            return Err(format!(
+                "expected a brace-delimited body for `{name}` (tuple structs unsupported), found {other:?}"
+            ))
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct(name, parse_named_fields(&body)?))
+    } else {
+        Ok(Item::Enum(name, parse_unit_variants(&body)?))
+    }
+}
+
+/// Derives the vendored `serde::Serialize` trait (to the JSON `Value`
+/// data model): named structs become objects keyed by field name; unit
+/// enum variants become their name as a JSON string.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct(name, fields) => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "__map.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                         #[allow(unused_mut)] let mut __map = ::serde::json::Map::new();\n\
+                         {inserts}\
+                         ::serde::json::Value::Object(__map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::json::Value::String({v:?}.to_string()),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize` trait: structs read their
+/// fields from a JSON object (missing fields read `null`, so `Option`
+/// fields default); unit enum variants match their name as a string.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct(name, fields) => {
+            let mut builders = String::new();
+            for f in &fields {
+                builders.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\n\
+                         __obj.get({f:?}).unwrap_or(&::serde::json::Value::Null))\n\
+                         .map_err(|e| ::serde::de::Error::in_field({f:?}, e))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::de::Error::custom(\n\
+                             concat!(\"expected a JSON object for struct \", stringify!({name}))))?;\n\
+                         ::std::result::Result::Ok({name} {{ {builders} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!(
+                    "::std::option::Option::Some({v:?}) => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\n\
+                             _ => ::std::result::Result::Err(::serde::de::Error::custom(\n\
+                                 concat!(\"unknown variant for enum \", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}

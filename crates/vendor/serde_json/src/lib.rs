@@ -1,0 +1,221 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the vendored `serde` data model ([`Value`]) to JSON text
+//! and parses it back. Output matches `serde_json`'s lexical choices so
+//! logs and experiment dumps look identical to the real suite's:
+//! compact form uses `,`/`:` with no spaces, pretty form indents by
+//! two spaces, floats print in shortest round-trip form with a trailing
+//! `.0` when integral (the `float_roundtrip` behaviour DESIGN.md calls
+//! out), and object keys are sorted.
+
+pub use serde::de::Error;
+pub use serde::json::{Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+mod parse;
+
+/// Maps any serializable value into the [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` mirrors the
+/// real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes to pretty JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` mirrors the
+/// real API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+fn write_pretty(out: &mut String, v: &Value, depth: usize) {
+    let pad = "  ".repeat(depth + 1);
+    let close = "  ".repeat(depth);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&close);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                serde::json::write_escaped(out, k).expect("string write");
+                out.push_str(": ");
+                write_pretty(out, val, depth + 1);
+            }
+            out.push('\n');
+            out.push_str(&close);
+            out.push('}');
+        }
+        other => {
+            write!(out, "{other}").expect("string write");
+        }
+    }
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax error or shape
+/// mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Rebuilds a typed value out of a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a message describing the first shape mismatch.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Builds a [`Value`] in place: `json!(null)`, `json!(expr)`,
+/// `json!([a, b])`, `json!({"k": v})`. Array elements and object values
+/// recurse, so `null` and nested `[...]`/`{...}` literals work at any
+/// depth; keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::json_array!(@elems [] $($tt)*))
+    };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object!(@entries map () $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+/// Accumulates array elements for [`json!`]; not for direct use. Each
+/// element is munched so `null` and nested literals re-enter `json!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    (@elems [$($done:expr,)*]) => {
+        vec![$($done,)*]
+    };
+    (@elems [$($done:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($done,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@elems [$($done:expr,)*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($done,)* $crate::json!([ $($inner)* ]),] $($($rest)*)?)
+    };
+    (@elems [$($done:expr,)*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($done,)* $crate::json!({ $($inner)* }),] $($($rest)*)?)
+    };
+    (@elems [$($done:expr,)*] $elem:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($done,)* $crate::to_value(&$elem),] $($($rest)*)?)
+    };
+}
+
+/// Accumulates object entries for [`json!`]; not for direct use.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    (@entries $map:ident ()) => {};
+    (@entries $map:ident () $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_object!(@entries $map () $($($rest)*)?);
+    };
+    (@entries $map:ident () $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object!(@entries $map () $($($rest)*)?);
+    };
+    (@entries $map:ident () $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object!(@entries $map () $($($rest)*)?);
+    };
+    (@entries $map:ident () $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::to_value(&$val));
+        $crate::json_object!(@entries $map () $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_matches_serde_json_lexically() {
+        let v = json!({"b": 1, "a": [1.5, true, null], "s": "x\"y"});
+        assert_eq!(v.to_string(), r#"{"a":[1.5,true,null],"b":1,"s":"x\"y"}"#);
+    }
+
+    #[test]
+    fn floats_keep_identity_and_roundtrip() {
+        let v = json!(2.0);
+        assert_eq!(v.to_string(), "2.0");
+        let back: Value = from_str("2.0").unwrap();
+        assert_eq!(back, v);
+        let int: Value = from_str("2").unwrap();
+        assert_ne!(int, v, "2 and 2.0 must stay distinct");
+        // A value with no short decimal form round-trips exactly.
+        let f = 0.1 + 0.2;
+        let text = to_string(&f).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_trailing_tokens() {
+        assert!(from_str::<Value>("not-json").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let s = "line\nbreak\ttab \"quote\" back\\slash \u{1} unicode \u{1F600}";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_form_parses_back() {
+        let v = json!({"rows": [1, 2, 3], "name": "x", "empty": {}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  "));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}

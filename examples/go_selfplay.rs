@@ -65,10 +65,7 @@ fn main() {
             net.loss(&features, &moves, &outcomes).backward();
             opt.step(0.005);
         }
-        println!(
-            "after pass {round}: move-match accuracy {:.3}",
-            net.move_match_accuracy(&eval)
-        );
+        println!("after pass {round}: move-match accuracy {:.3}", net.move_match_accuracy(&eval));
     }
 
     // 3. AlphaGo-style search: MCTS with the trained policy as prior.
@@ -87,12 +84,12 @@ fn main() {
     }));
     let mut opening = Board::new(9);
     let dist = searcher.analyze(&opening);
-    println!("
-network-guided MCTS opening (top 3 by visits):");
+    println!(
+        "
+network-guided MCTS opening (top 3 by visits):"
+    );
     for (mv, visits) in dist.iter().take(3) {
         println!("  {mv:?}: {visits} visits");
     }
-    opening
-        .play(dist[0].0)
-        .expect("searched move is legal");
+    opening.play(dist[0].0).expect("searched move is legal");
 }

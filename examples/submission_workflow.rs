@@ -6,7 +6,10 @@
 //! 3. validate the hyperparameters against the Closed-division rules
 //!    and demonstrate review-period borrowing (§4.1);
 //! 4. check every run log for compliance;
-//! 5. render the results-table entry (no summary score — §4.2.4).
+//! 5. render the results-table entry (no summary score — §4.2.4);
+//! 6. switch sides and run the organization's round pipeline over a
+//!    synthetic multi-vendor round: concurrent ingest, quarantine of a
+//!    corrupted bundle, and a published leaderboard.
 //!
 //! ```sh
 //! cargo run --release --example submission_workflow
@@ -17,13 +20,17 @@ use mlperf_suite::core::benchmarks::{MaskRcnnBenchmark, NcfBenchmark};
 use mlperf_suite::core::compliance::check_log;
 use mlperf_suite::core::harness::{run_benchmark, Benchmark};
 use mlperf_suite::core::report::{
-    render_results_table, BenchmarkScore, Submission, SystemDescription,
+    render_leaderboard, render_results_table, BenchmarkScore, Submission, SystemDescription,
 };
 use mlperf_suite::core::rules::{
     borrow_hyperparameters, Category, Division, HyperparameterRules, SystemType,
 };
 use mlperf_suite::core::suite::BenchmarkId;
 use mlperf_suite::core::timing::RealClock;
+use mlperf_suite::distsim::Round;
+use mlperf_suite::submission::{
+    leaderboards, run_round, synthetic_round, Fault, SyntheticRoundSpec,
+};
 use std::collections::BTreeMap;
 
 fn timed_runs(make: impl Fn() -> Box<dyn Benchmark>, id: BenchmarkId) -> Vec<RunSummary> {
@@ -47,12 +54,10 @@ fn timed_runs(make: impl Fn() -> Box<dyn Benchmark>, id: BenchmarkId) -> Vec<Run
 fn main() {
     println!("== 1-2. timed runs + aggregation ==");
     let ncf_runs = timed_runs(|| Box::new(NcfBenchmark::new()), BenchmarkId::Recommendation);
-    let ncf_score = aggregate_runs(BenchmarkId::Recommendation, &ncf_runs)
-        .expect("NCF run set aggregates");
-    let mask_runs = timed_runs(
-        || Box::new(MaskRcnnBenchmark::new()),
-        BenchmarkId::InstanceSegmentation,
-    );
+    let ncf_score =
+        aggregate_runs(BenchmarkId::Recommendation, &ncf_runs).expect("NCF run set aggregates");
+    let mask_runs =
+        timed_runs(|| Box::new(MaskRcnnBenchmark::new()), BenchmarkId::InstanceSegmentation);
     let mask_score = aggregate_runs(BenchmarkId::InstanceSegmentation, &mask_runs)
         .expect("Mask R-CNN run set aggregates");
     println!("  aggregated NCF score:        {ncf_score:.3}s");
@@ -104,4 +109,24 @@ fn main() {
         ],
     };
     print!("{}", render_results_table(&[submission]));
+
+    println!("\n== 6. the organization's side: a full round ==");
+    let spec = SyntheticRoundSpec::new(Round::V05, 5)
+        .with_fault(Fault::GarbageLine { org: "Borealis".into() });
+    let outcome = run_round(&synthetic_round(&spec));
+    println!(
+        "  ingested {} bundles: {} run sets accepted, {} bundle(s) quarantined",
+        outcome.reports.len(),
+        outcome.accepted.len(),
+        outcome.quarantined.len()
+    );
+    for report in &outcome.quarantined {
+        for (benchmark, diagnostic) in report.diagnostics() {
+            println!("  quarantined {} [{benchmark}]: {diagnostic}", report.org);
+        }
+    }
+    let boards = leaderboards(&outcome);
+    let board = boards.first().expect("at least one leaderboard");
+    let title = format!("\n{} ({} division)", board.benchmark, board.division);
+    print!("{}", render_leaderboard(&title, &board.rows()));
 }

@@ -39,10 +39,7 @@ fn main() -> ExitCode {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn cmd_list() -> ExitCode {
@@ -71,10 +68,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let seed: u64 = flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
     let runs: usize = flag_value(args, "--runs").and_then(|s| s.parse().ok()).unwrap_or(1);
     let log_path = flag_value(args, "--log");
-    let ids: Vec<BenchmarkId> = BenchmarkId::ALL
-        .into_iter()
-        .filter(|id| which == "all" || id.slug() == which)
-        .collect();
+    let ids: Vec<BenchmarkId> =
+        BenchmarkId::ALL.into_iter().filter(|id| which == "all" || id.slug() == which).collect();
     if ids.is_empty() {
         eprintln!("unknown benchmark `{which}`; try `mlperf list`");
         return ExitCode::from(2);

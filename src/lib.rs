@@ -26,6 +26,9 @@
 //!   definition, time-to-train harness, timing rules, run aggregation,
 //!   submission divisions/categories, structured logging and compliance
 //!   checking.
+//! - [`submission`] — the round pipeline the MLPerf organization runs:
+//!   concurrent bundle ingest, peer review with quarantine,
+//!   leaderboards, and cross-round speedup/scale tables.
 
 #![warn(missing_docs)]
 
@@ -37,4 +40,5 @@ pub use mlperf_gomini as gomini;
 pub use mlperf_models as models;
 pub use mlperf_nn as nn;
 pub use mlperf_optim as optim;
+pub use mlperf_submission as submission;
 pub use mlperf_tensor as tensor;

@@ -74,9 +74,7 @@ fn width_tweak_is_flagged_with_specific_shape() {
         &ModelSignature::of(&widened),
     );
     assert!(!issues.is_empty());
-    assert!(issues
-        .iter()
-        .all(|i| matches!(i, EquivalenceIssue::ShapeMismatch { .. })));
+    assert!(issues.iter().all(|i| matches!(i, EquivalenceIssue::ShapeMismatch { .. })));
 }
 
 #[test]

@@ -65,15 +65,9 @@ fn timing_rules_full_scenario() {
     assert_eq!(result.epochs, 10);
     // Timed: 10 epochs (60 min) + compile excess over the 20-min cap
     // (30 - 20 = 10 min).
-    assert_eq!(
-        result.time_to_train,
-        Duration::from_secs(60 * 60 + 10 * 60)
-    );
+    assert_eq!(result.time_to_train, Duration::from_secs(60 * 60 + 10 * 60));
     // Excluded: reformatting (2 h) + capped compile (20 min).
-    assert_eq!(
-        result.excluded,
-        Duration::from_secs(2 * 3600) + MODEL_CREATION_CAP
-    );
+    assert_eq!(result.excluded, Duration::from_secs(2 * 3600) + MODEL_CREATION_CAP);
 }
 
 #[test]

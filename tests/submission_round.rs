@@ -1,0 +1,92 @@
+//! Integration test over the whole submission subsystem: a synthetic
+//! three-vendor round where one bundle is non-compliant (its first log
+//! lost `run_stop`), one vendor legally borrows a rival's published
+//! hyperparameters during review (§4.1), and the leaderboard ranks the
+//! surviving entries correctly.
+
+use mlperf_suite::core::compliance::ComplianceIssue;
+use mlperf_suite::core::mllog::keys;
+use mlperf_suite::core::rules::{borrow_hyperparameters, Division, HyperparameterRules};
+use mlperf_suite::core::suite::BenchmarkId;
+use mlperf_suite::distsim::Round;
+use mlperf_suite::submission::{
+    leaderboards, run_round, synthetic_round, Diagnostic, Fault, SyntheticRoundSpec,
+};
+
+#[test]
+fn three_vendor_round_quarantines_and_ranks() {
+    let spec = SyntheticRoundSpec::new(Round::V05, 5)
+        .with_fault(Fault::MissingRunStop { org: "Borealis".into() });
+    let mut subs = synthetic_round(&spec);
+    assert_eq!(
+        subs.bundles.iter().filter(|b| b.system.accelerators == 16).count(),
+        3,
+        "three vendors enter at the 16-chip comparison point"
+    );
+
+    // Aurora legally borrows Cumulus's published ResNet hyperparameters
+    // during the review period.
+    let donor = subs
+        .bundles
+        .iter()
+        .find(|b| b.org == "Cumulus")
+        .and_then(|b| b.run_sets.iter().find(|rs| rs.benchmark == BenchmarkId::ImageClassification))
+        .map(|rs| rs.hyperparameters.clone())
+        .expect("Cumulus entered ResNet");
+    let rules = HyperparameterRules::closed_division(BenchmarkId::ImageClassification);
+    let recipient = subs
+        .bundles
+        .iter_mut()
+        .find(|b| b.org == "Aurora")
+        .and_then(|b| {
+            b.run_sets.iter_mut().find(|rs| rs.benchmark == BenchmarkId::ImageClassification)
+        })
+        .expect("Aurora entered ResNet");
+    let adopted = borrow_hyperparameters(&rules, &donor, &mut recipient.hyperparameters);
+    assert!(!adopted.is_empty(), "borrowing should adopt at least one parameter");
+
+    let outcome = run_round(&subs);
+
+    // The non-compliant bundle is quarantined with a diagnostic naming
+    // the missing key — and the round completed anyway.
+    assert_eq!(outcome.quarantined.len(), 1);
+    let report = &outcome.quarantined[0];
+    assert_eq!(report.org, "Borealis");
+    assert!(
+        report.diagnostics().any(|(_, d)| matches!(
+            d,
+            Diagnostic::Compliance { run: 0, issue: ComplianceIssue::MissingKey(k) }
+                if *k == keys::RUN_STOP
+        )),
+        "expected a missing run_stop diagnostic, got {:?}",
+        report.benchmarks
+    );
+
+    // Aurora's borrowed hyperparameters pass Closed-division review.
+    assert!(outcome
+        .accepted
+        .iter()
+        .any(|e| e.org == "Aurora" && e.benchmark == BenchmarkId::ImageClassification));
+
+    // Leaderboards rank every surviving entry fastest-first.
+    let boards = leaderboards(&outcome);
+    assert!(!boards.is_empty());
+    for board in &boards {
+        assert_eq!(board.division, Division::Closed);
+        assert!(!board.entries.is_empty());
+        for pair in board.entries.windows(2) {
+            assert!(pair[0].minutes <= pair[1].minutes, "leaderboard out of order");
+        }
+        let rows = board.rows();
+        assert!(rows.iter().enumerate().all(|(i, r)| r.rank == i + 1));
+    }
+
+    // The faulted ResNet run set itself never scores, but the same
+    // vendor's clean at-scale bundle still does.
+    let resnet = boards
+        .iter()
+        .find(|b| b.benchmark == BenchmarkId::ImageClassification)
+        .expect("ResNet leaderboard exists");
+    assert!(!resnet.entries.iter().any(|e| e.org == "Borealis" && e.chips == 16));
+    assert!(resnet.entries.iter().any(|e| e.org == "Borealis" && e.chips != 16));
+}

@@ -24,10 +24,8 @@ fn ncf_full_run_set_aggregates() {
             check_log(result.log.entries()).is_empty(),
             "seed {seed} produced a non-compliant log"
         );
-        summaries.push(RunSummary {
-            seconds: result.time_to_train.as_secs_f64(),
-            reached_target: true,
-        });
+        summaries
+            .push(RunSummary { seconds: result.time_to_train.as_secs_f64(), reached_target: true });
     }
     let score = aggregate_runs(id, &summaries).expect("run set aggregates");
     assert!(score > 0.0);
@@ -78,16 +76,10 @@ fn hyperparameters_are_logged() {
     let mut bench = NcfBenchmark::new();
     let clock = RealClock::new();
     let result = run_benchmark(&mut bench, 2, &clock);
-    let hparams: Vec<&mlperf_suite::core::mllog::LogEntry> = result
-        .log
-        .entries()
-        .iter()
-        .filter(|e| e.key == keys::HYPERPARAMETER)
-        .collect();
+    let hparams: Vec<&mlperf_suite::core::mllog::LogEntry> =
+        result.log.entries().iter().filter(|e| e.key == keys::HYPERPARAMETER).collect();
     assert!(hparams.len() >= 3, "expected hyperparameter records");
-    assert!(hparams
-        .iter()
-        .any(|e| e.value["name"] == serde_json::json!("batch_size")));
+    assert!(hparams.iter().any(|e| e.value["name"] == serde_json::json!("batch_size")));
 }
 
 /// Identical seeds reproduce identical quality trajectories; different
