@@ -1,85 +1,200 @@
-//! **Submission-round pipeline** — the end-to-end process of §4: three
-//! vendors submit bundles of `:::MLLOG` logs for rounds v0.5 and v0.6,
-//! the round pipeline ingests them concurrently, reviews each bundle
-//! (parse → compliance → rules → equivalence → aggregation), and
-//! publishes per-benchmark leaderboards plus the paper's Figure 4/5
-//! cross-round tables — all computed from the ingested logs, not from
-//! the simulator's internal numbers.
+//! **Submission-round pipeline CLI** — the end-to-end process of §4
+//! over a persistent, disk-backed round archive.
 //!
-//! One deliberately corrupted bundle is injected into each round to
-//! demonstrate fault-tolerant ingest: review quarantines it with
-//! line-level diagnostics and the round completes regardless.
+//! ```sh
+//! round_pipeline write  --archive DIR [--rounds N] [--seed N]
+//! round_pipeline ingest --archive DIR
+//! round_pipeline report --archive DIR [--chips N]
+//! round_pipeline demo              # all three against a temp archive
+//! ```
+//!
+//! `write` generates synthetic multi-vendor rounds (each with a
+//! deliberately corrupted bundle, so ingest has something to
+//! quarantine) and persists them as real `:::MLLOG` log files plus
+//! JSON manifests. `ingest` reads the archive back, replays review
+//! over every round, and reports what was accepted, quarantined, or
+//! damaged on disk. `report` renders the per-round leaderboards and
+//! the paper's Figure 4/5 cross-round tables — computed from the
+//! archived logs alone.
 
 use mlperf_bench::write_json;
 use mlperf_core::report::render_leaderboard;
 use mlperf_distsim::Round;
 use mlperf_submission::{
-    leaderboards, run_round, scale_table, speedup_table, synthetic_round, Fault, RoundOutcome,
-    SyntheticRoundSpec,
+    leaderboards, synthetic_round, ArchiveReplay, Fault, RoundArchive, SyntheticRoundSpec,
 };
 use serde_json::json;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn ingest(round: Round, seed: u64) -> RoundOutcome {
-    // Every round gets a saboteur: Borealis's first run set loses its
-    // `run_stop` in v0.5; in v0.6 a garbage line lands in Cumulus's log
-    // and Aurora tampers with a restricted hyperparameter.
-    let spec = match round {
-        Round::V05 => SyntheticRoundSpec::new(round, seed)
-            .with_fault(Fault::MissingRunStop { org: "Borealis".into() }),
-        Round::V06 => SyntheticRoundSpec::new(round, seed)
-            .with_fault(Fault::GarbageLine { org: "Cumulus".into() })
-            .with_fault(Fault::IllegalHyperparameter {
-                org: "Aurora".into(),
-                name: "momentum".into(),
-            }),
-    };
-    let submissions = synthetic_round(&spec);
-    println!(
-        "ingesting round {round}: {} bundles from {} orgs (concurrent review)",
-        submissions.bundles.len(),
-        3
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: round_pipeline <write|ingest|report|demo> [--archive DIR] [--rounds N] \
+         [--seed N] [--chips N]"
     );
-    let outcome = run_round(&submissions);
-    println!(
-        "  accepted {} run sets, quarantined {} bundle(s)",
-        outcome.accepted.len(),
-        outcome.quarantined.len()
-    );
-    for report in &outcome.quarantined {
-        for (benchmark, diagnostic) in report.diagnostics() {
-            println!("  quarantine {} [{benchmark}]: {diagnostic}", report.org);
-        }
-    }
-    outcome
+    ExitCode::FAILURE
 }
 
-fn main() {
-    println!("MLPerf submission-round pipeline (Section 4)\n");
-    let v05 = ingest(Round::V05, 21);
-    let v06 = ingest(Round::V06, 22);
+/// Parsed command line: subcommand plus flags.
+struct Args {
+    command: String,
+    archive: Option<PathBuf>,
+    rounds: usize,
+    seed: u64,
+    chips: usize,
+}
 
-    for (round, outcome) in [(Round::V05, &v05), (Round::V06, &v06)] {
-        println!("\n=== round {round} leaderboards ===\n");
+fn parse_args() -> Option<Args> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "demo".to_string());
+    let mut parsed = Args { command, archive: None, rounds: Round::ALL.len(), seed: 21, chips: 16 };
+    while let Some(flag) = args.next() {
+        let value = args.next()?;
+        match flag.as_str() {
+            "--archive" => parsed.archive = Some(PathBuf::from(value)),
+            "--rounds" => parsed.rounds = value.parse().ok()?,
+            "--seed" => parsed.seed = value.parse().ok()?,
+            "--chips" => parsed.chips = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if parsed.rounds == 0 || parsed.rounds > Round::ALL.len() {
+        eprintln!("--rounds must be 1..={}", Round::ALL.len());
+        return None;
+    }
+    Some(parsed)
+}
+
+/// Each generated round gets a saboteur, so the archive always holds
+/// something for review to quarantine.
+fn round_spec(round: Round, seed: u64) -> SyntheticRoundSpec {
+    let spec = SyntheticRoundSpec::new(round, seed);
+    match round {
+        Round::V05 => spec.with_fault(Fault::MissingRunStop { org: "Borealis".into() }),
+        Round::V06 => spec.with_fault(Fault::GarbageLine { org: "Cumulus".into() }).with_fault(
+            Fault::IllegalHyperparameter { org: "Aurora".into(), name: "momentum".into() },
+        ),
+        Round::V07 => spec.with_fault(Fault::WrongQualityTarget { org: "Borealis".into() }),
+    }
+}
+
+fn write_archive(dir: &PathBuf, rounds: usize, seed: u64) -> Result<RoundArchive, String> {
+    let archive = RoundArchive::create(dir).map_err(|e| e.to_string())?;
+    for (i, round) in Round::ALL.into_iter().take(rounds).enumerate() {
+        let subs = synthetic_round(&round_spec(round, seed + i as u64));
+        let logs: usize =
+            subs.bundles.iter().flat_map(|b| &b.run_sets).map(|rs| rs.logs.len()).sum();
+        archive.write_round(&subs).map_err(|e| e.to_string())?;
+        println!(
+            "wrote round {round}: {} bundles, {logs} log files -> {}",
+            subs.bundles.len(),
+            archive.root().join(round.label()).display()
+        );
+    }
+    Ok(archive)
+}
+
+fn ingest_archive(archive: &RoundArchive) -> Result<ArchiveReplay, String> {
+    let replay = archive.replay().map_err(|e| e.to_string())?;
+    for outcome in replay.history.outcomes() {
+        println!(
+            "round {}: accepted {} run sets, quarantined {} bundle(s)",
+            outcome.round,
+            outcome.accepted.len(),
+            outcome.quarantined.len()
+        );
+        for report in &outcome.quarantined {
+            for (benchmark, diagnostic) in report.diagnostics() {
+                println!("  quarantine {} [{benchmark}]: {diagnostic}", report.org);
+            }
+        }
+        archive.write_outcome(outcome).map_err(|e| e.to_string())?;
+    }
+    for fault in &replay.faults {
+        println!("storage fault: {fault}");
+    }
+    Ok(replay)
+}
+
+fn report_archive(replay: &ArchiveReplay, chips: usize) {
+    for outcome in replay.history.outcomes() {
+        println!("\n=== round {} leaderboards ===\n", outcome.round);
         for board in leaderboards(outcome) {
             let title = format!("{} ({} division)", board.benchmark, board.division);
             print!("{}", render_leaderboard(&title, &board.rows()));
             println!();
         }
     }
-
-    let speedup = speedup_table(&v05, &v06, 16);
-    let scale = scale_table(&v05, &v06);
+    let speedup = replay.history.speedup_table(chips);
+    let scale = replay.history.scale_table();
     println!("{}", speedup.render());
     println!("{}", scale.render());
+}
 
-    let summary = json!({
-        "v05_accepted": v05.accepted.len(),
-        "v05_quarantined": v05.quarantined.len(),
-        "v06_accepted": v06.accepted.len(),
-        "v06_quarantined": v06.quarantined.len(),
-        "avg_speedup_16_chips": speedup.average_ratio(),
-        "avg_scale_growth": scale.average_ratio(),
-    });
-    let path = write_json("round_pipeline", &summary);
-    println!("wrote {}", path.display());
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    println!("MLPerf submission-round pipeline (Section 4)\n");
+
+    let result = match args.command.as_str() {
+        "write" => {
+            let Some(dir) = args.archive else {
+                eprintln!("write requires --archive DIR");
+                return ExitCode::FAILURE;
+            };
+            write_archive(&dir, args.rounds, args.seed).map(|_| ())
+        }
+        "ingest" => RoundArchive::open(args.archive.unwrap_or_else(|| PathBuf::from(".")))
+            .map_err(|e| e.to_string())
+            .and_then(|archive| ingest_archive(&archive).map(|_| ())),
+        "report" => RoundArchive::open(args.archive.unwrap_or_else(|| PathBuf::from(".")))
+            .map_err(|e| e.to_string())
+            .and_then(|archive| {
+                let replay = ingest_archive(&archive)?;
+                report_archive(&replay, args.chips);
+                Ok(())
+            }),
+        "demo" => {
+            let dir = args
+                .archive
+                .unwrap_or_else(|| mlperf_bench::experiments_dir().join("round_archive"));
+            write_archive(&dir, args.rounds, args.seed).and_then(|archive| {
+                println!();
+                let replay = ingest_archive(&archive)?;
+                report_archive(&replay, args.chips);
+                let per_round: Vec<_> = replay
+                    .history
+                    .outcomes()
+                    .iter()
+                    .map(|o| {
+                        json!({
+                            "round": o.round.to_string(),
+                            "accepted": o.accepted.len(),
+                            "quarantined": o.quarantined.len(),
+                        })
+                    })
+                    .collect();
+                let summary = json!({
+                    "archive": archive.root().display().to_string(),
+                    "rounds": per_round,
+                    "storage_faults": replay.faults.len(),
+                    "avg_speedup_at_chips": replay.history.speedup_table(args.chips).average_ratio(),
+                    "avg_scale_growth": replay.history.scale_table().average_ratio(),
+                });
+                let path = write_json("round_pipeline", &summary);
+                println!("wrote {}", path.display());
+                Ok(())
+            })
+        }
+        _ => return usage(),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

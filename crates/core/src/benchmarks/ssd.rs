@@ -114,7 +114,7 @@ impl Benchmark for SsdBenchmark {
         // The raised v0.6 target needs more headroom.
         match self.version {
             SuiteVersion::V05 => 35,
-            SuiteVersion::V06 => 50,
+            SuiteVersion::V06 | SuiteVersion::V07 => 50,
         }
     }
 }

@@ -102,18 +102,32 @@ impl MlLogger {
     pub fn parse(text: &str) -> Result<Vec<LogEntry>, String> {
         let mut out = Vec::new();
         for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
+            match parse_mllog_line(line).map_err(|e| format!("line {}: {e}", i + 1))? {
+                Some(entry) => out.push(entry),
+                None => continue,
             }
-            let body = line
-                .strip_prefix(":::MLLOG ")
-                .ok_or_else(|| format!("line {}: missing :::MLLOG prefix", i + 1))?;
-            let entry: LogEntry =
-                serde_json::from_str(body).map_err(|e| format!("line {}: {e}", i + 1))?;
-            out.push(entry);
         }
         Ok(out)
     }
+}
+
+/// Parses one `:::MLLOG` line into an entry. Blank lines yield
+/// `Ok(None)`. This is the innermost unit of log ingest — the round
+/// pipeline parses archived log files line by line through it, and the
+/// ingest benchmarks time it in isolation.
+///
+/// # Errors
+///
+/// Returns a message describing why the line is malformed (the caller
+/// adds the line number).
+pub fn parse_mllog_line(line: &str) -> Result<Option<LogEntry>, String> {
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let body =
+        line.strip_prefix(":::MLLOG ").ok_or_else(|| "missing :::MLLOG prefix".to_string())?;
+    let entry: LogEntry = serde_json::from_str(body).map_err(|e| e.to_string())?;
+    Ok(Some(entry))
 }
 
 #[cfg(test)]

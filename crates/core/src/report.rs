@@ -128,46 +128,52 @@ pub fn render_leaderboard(title: &str, rows: &[LeaderboardRow]) -> String {
     out
 }
 
-/// One benchmark's cross-round comparison (a Figure 4/5-style row): a
-/// v0.5 value, a v0.6 value, and their ratio.
+/// One benchmark's cross-round comparison (a Figure 4/5-style row):
+/// one value per round in the history, oldest round first, plus the
+/// endpoint ratio.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundComparisonRow {
     /// Benchmark display name.
     pub benchmark: String,
-    /// The v0.5 value.
-    pub v05: f64,
-    /// The v0.6 value.
-    pub v06: f64,
-    /// The round-over-round ratio (orientation depends on the table:
-    /// v05/v06 for speedups, v06/v05 for scale growth).
+    /// One value per round, in the same order as the table's round
+    /// labels (oldest first).
+    pub values: Vec<f64>,
+    /// The first-to-last-round ratio (orientation depends on the
+    /// table: first/last for speedups, last/first for scale growth).
     pub ratio: f64,
 }
 
-/// Renders a cross-round comparison table plus the average ratio line
-/// the paper headlines.
+/// Renders a cross-round comparison table — one value column per round
+/// in `round_labels` — plus the average ratio line the paper headlines.
+/// Rows with a different number of values than labels are skipped.
 pub fn render_round_comparison(
     title: &str,
+    round_labels: &[String],
     value_label: &str,
     ratio_label: &str,
     rows: &[RoundComparisonRow],
 ) -> String {
     let mut out = String::new();
     writeln!(out, "{title}").unwrap();
-    writeln!(
-        out,
-        "{:<16} {:>14} {:>14} {:>9}",
-        "benchmark",
-        format!("v0.5 {value_label}"),
-        format!("v0.6 {value_label}"),
-        ratio_label
-    )
-    .unwrap();
-    for r in rows {
-        writeln!(out, "{:<16} {:>14.1} {:>14.1} {:>8.2}x", r.benchmark, r.v05, r.v06, r.ratio)
-            .unwrap();
+    write!(out, "{:<16}", "benchmark").unwrap();
+    for label in round_labels {
+        write!(out, " {:>14}", format!("{label} {value_label}")).unwrap();
     }
-    if !rows.is_empty() {
-        let avg = rows.iter().map(|r| r.ratio).sum::<f64>() / rows.len() as f64;
+    writeln!(out, " {ratio_label:>9}").unwrap();
+    let mut ratios = Vec::new();
+    for r in rows {
+        if r.values.len() != round_labels.len() {
+            continue;
+        }
+        write!(out, "{:<16}", r.benchmark).unwrap();
+        for v in &r.values {
+            write!(out, " {v:>14.1}").unwrap();
+        }
+        writeln!(out, " {:>8.2}x", r.ratio).unwrap();
+        ratios.push(r.ratio);
+    }
+    if !ratios.is_empty() {
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
         writeln!(out, "average {ratio_label}: {avg:.2}x").unwrap();
     }
     out
@@ -269,11 +275,35 @@ mod tests {
 
     #[test]
     fn round_comparison_reports_average_ratio() {
+        let labels = vec!["v0.5".to_string(), "v0.6".to_string()];
         let rows = vec![
-            RoundComparisonRow { benchmark: "resnet".into(), v05: 20.0, v06: 10.0, ratio: 2.0 },
-            RoundComparisonRow { benchmark: "gnmt".into(), v05: 12.0, v06: 12.0, ratio: 1.0 },
+            RoundComparisonRow { benchmark: "resnet".into(), values: vec![20.0, 10.0], ratio: 2.0 },
+            RoundComparisonRow { benchmark: "gnmt".into(), values: vec![12.0, 12.0], ratio: 1.0 },
         ];
-        let table = render_round_comparison("Figure 4", "minutes", "speedup", &rows);
+        let table = render_round_comparison("Figure 4", &labels, "minutes", "speedup", &rows);
         assert!(table.contains("average speedup: 1.50x"), "table:\n{table}");
+        assert!(table.contains("v0.5 minutes") && table.contains("v0.6 minutes"));
+    }
+
+    #[test]
+    fn round_comparison_renders_a_column_per_round() {
+        let labels: Vec<String> = ["v0.5", "v0.6", "v0.7"].map(String::from).to_vec();
+        let rows = vec![RoundComparisonRow {
+            benchmark: "ssd".into(),
+            values: vec![30.0, 20.0, 10.0],
+            ratio: 3.0,
+        }];
+        let table = render_round_comparison("Figure 4", &labels, "minutes", "speedup", &rows);
+        let header = table.lines().nth(1).unwrap();
+        assert!(header.contains("v0.7 minutes"), "header: {header}");
+        assert!(table.contains("3.00x"));
+        // Mismatched rows are skipped rather than misrendered.
+        let short = vec![RoundComparisonRow {
+            benchmark: "ssd".into(),
+            values: vec![30.0, 20.0],
+            ratio: 1.5,
+        }];
+        let skipped = render_round_comparison("Figure 4", &labels, "minutes", "speedup", &short);
+        assert!(!skipped.contains("ssd"));
     }
 }

@@ -13,26 +13,47 @@ use crate::chips::{step_time, ChipSpec, Interconnect, SystemConfig};
 use crate::convergence::ConvergenceModel;
 use serde::{Deserialize, Serialize};
 
-/// A benchmark submission round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// A benchmark submission round. Variant order is chronological, so
+/// the derived ordering sorts histories oldest-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Round {
     /// December 2018 round.
     V05,
     /// June 2019 round (raised targets, LARS allowed, matured stacks).
     V06,
+    /// July 2020 round (further stack maturation and larger systems).
+    V07,
 }
 
 impl Round {
-    /// Both rounds in order.
-    pub const ALL: [Round; 2] = [Round::V05, Round::V06];
+    /// All rounds in chronological order.
+    pub const ALL: [Round; 3] = [Round::V05, Round::V06, Round::V07];
+
+    /// The round's published label, also used as its archive directory
+    /// name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Round::V05 => "v0.5",
+            Round::V06 => "v0.6",
+            Round::V07 => "v0.7",
+        }
+    }
 }
 
 impl std::fmt::Display for Round {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Round::V05 => "v0.5",
-            Round::V06 => "v0.6",
-        })
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Round {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Round, String> {
+        Round::ALL
+            .into_iter()
+            .find(|r| r.label() == s)
+            .ok_or_else(|| format!("unknown round `{s}` (expected one of v0.5, v0.6, v0.7)"))
     }
 }
 
@@ -55,6 +76,10 @@ pub struct SimBenchmark {
     pub v06_target_factor: f64,
     /// Critical-batch growth unlocked in v0.6 (LARS et al.).
     pub v06_batch_factor: f64,
+    /// Epoch inflation added on top of v0.6 by the v0.7 targets.
+    pub v07_target_factor: f64,
+    /// Further critical-batch growth unlocked in v0.7.
+    pub v07_batch_factor: f64,
 }
 
 impl SimBenchmark {
@@ -71,6 +96,8 @@ impl SimBenchmark {
                 convergence: ConvergenceModel::resnet_paper(),
                 v06_target_factor: 1.04, // 74.9% -> 75.9% top-1
                 v06_batch_factor: 4.0,   // LARS allowed
+                v07_target_factor: 1.0,
+                v07_batch_factor: 2.0,
             },
             SimBenchmark {
                 name: "SSD-ResNet-34".into(),
@@ -86,6 +113,8 @@ impl SimBenchmark {
                 },
                 v06_target_factor: 1.05,
                 v06_batch_factor: 3.0,
+                v07_target_factor: 1.0,
+                v07_batch_factor: 2.0,
             },
             SimBenchmark {
                 name: "Mask R-CNN".into(),
@@ -101,6 +130,8 @@ impl SimBenchmark {
                 },
                 v06_target_factor: 1.0,
                 v06_batch_factor: 2.0,
+                v07_target_factor: 1.0,
+                v07_batch_factor: 2.0,
             },
             SimBenchmark {
                 name: "GNMT".into(),
@@ -116,6 +147,8 @@ impl SimBenchmark {
                 },
                 v06_target_factor: 1.08, // improved model raised BLEU target
                 v06_batch_factor: 3.0,
+                v07_target_factor: 1.0,
+                v07_batch_factor: 1.5,
             },
             SimBenchmark {
                 name: "Transformer".into(),
@@ -131,6 +164,8 @@ impl SimBenchmark {
                 },
                 v06_target_factor: 1.0,
                 v06_batch_factor: 3.0,
+                v07_target_factor: 1.0,
+                v07_batch_factor: 2.0,
             },
         ]
     }
@@ -143,6 +178,10 @@ impl SimBenchmark {
                 .convergence
                 .with_critical_batch_scaled(self.v06_batch_factor)
                 .with_target_factor(self.v06_target_factor),
+            Round::V07 => self
+                .convergence
+                .with_critical_batch_scaled(self.v06_batch_factor * self.v07_batch_factor)
+                .with_target_factor(self.v06_target_factor * self.v07_target_factor),
         }
     }
 }
@@ -160,14 +199,20 @@ pub struct Vendor {
     pub efficiency_v05: f64,
     /// Fraction achieved in v0.6 software (stack maturation).
     pub efficiency_v06: f64,
+    /// Fraction achieved in v0.7 software.
+    pub efficiency_v07: f64,
     /// Compute/communication overlap in v0.5.
     pub overlap_v05: f64,
     /// Overlap in v0.6.
     pub overlap_v06: f64,
+    /// Overlap in v0.7.
+    pub overlap_v07: f64,
     /// Largest system the vendor could field in v0.5.
     pub max_chips_v05: usize,
     /// Largest system in v0.6.
     pub max_chips_v06: usize,
+    /// Largest system in v0.7.
+    pub max_chips_v07: usize,
 }
 
 impl Vendor {
@@ -187,10 +232,13 @@ impl Vendor {
                 interconnect: Interconnect { bandwidth_gbs: 100.0, latency_us: 3.0 },
                 efficiency_v05: 0.52,
                 efficiency_v06: 0.74,
+                efficiency_v07: 0.82,
                 overlap_v05: 0.35,
                 overlap_v06: 0.70,
+                overlap_v07: 0.80,
                 max_chips_v05: 512,
                 max_chips_v06: 2048,
+                max_chips_v07: 4096,
             },
             Vendor {
                 name: "Borealis".into(),
@@ -203,10 +251,13 @@ impl Vendor {
                 interconnect: Interconnect { bandwidth_gbs: 60.0, latency_us: 4.0 },
                 efficiency_v05: 0.48,
                 efficiency_v06: 0.71,
+                efficiency_v07: 0.79,
                 overlap_v05: 0.30,
                 overlap_v06: 0.65,
+                overlap_v07: 0.76,
                 max_chips_v05: 256,
                 max_chips_v06: 1024,
+                max_chips_v07: 2048,
             },
             Vendor {
                 name: "Cumulus".into(),
@@ -219,10 +270,13 @@ impl Vendor {
                 interconnect: Interconnect { bandwidth_gbs: 150.0, latency_us: 2.0 },
                 efficiency_v05: 0.50,
                 efficiency_v06: 0.70,
+                efficiency_v07: 0.78,
                 overlap_v05: 0.40,
                 overlap_v06: 0.75,
+                overlap_v07: 0.82,
                 max_chips_v05: 1024,
                 max_chips_v06: 4096,
+                max_chips_v07: 8192,
             },
         ]
     }
@@ -231,6 +285,7 @@ impl Vendor {
         match round {
             Round::V05 => self.efficiency_v05,
             Round::V06 => self.efficiency_v06,
+            Round::V07 => self.efficiency_v07,
         }
     }
 
@@ -238,6 +293,7 @@ impl Vendor {
         match round {
             Round::V05 => self.overlap_v05,
             Round::V06 => self.overlap_v06,
+            Round::V07 => self.overlap_v07,
         }
     }
 
@@ -246,6 +302,7 @@ impl Vendor {
         match round {
             Round::V05 => self.max_chips_v05,
             Round::V06 => self.max_chips_v06,
+            Round::V07 => self.max_chips_v07,
         }
     }
 }
@@ -453,6 +510,25 @@ mod tests {
         // Deterministic for a base seed.
         let again = simulate_run_set(&vendors[0], Round::V05, bench, 16, 7, 5).unwrap();
         assert_eq!(runs, again);
+    }
+
+    #[test]
+    fn round_labels_round_trip() {
+        for round in Round::ALL {
+            assert_eq!(round.label().parse::<Round>().unwrap(), round);
+        }
+        assert!("v9.9".parse::<Round>().is_err());
+        assert!(Round::V05 < Round::V06 && Round::V06 < Round::V07);
+    }
+
+    #[test]
+    fn v07_keeps_improving_on_v06() {
+        let vendors = Vendor::fleet();
+        for bench in SimBenchmark::round_comparison_suite() {
+            let b06 = best_overall(&vendors, Round::V06, &bench, 2).unwrap();
+            let b07 = best_overall(&vendors, Round::V07, &bench, 2).unwrap();
+            assert!(b07.minutes < b06.minutes, "{}: v0.7 best time regressed", bench.name);
+        }
     }
 
     #[test]

@@ -1,18 +1,27 @@
 //! What a submitter hands in, and what the round references it against.
+//!
+//! Every type here derives `Serialize`/`Deserialize`: bundles are the
+//! unit the [`store`](crate::store) module persists to and ingests
+//! from a round archive on disk.
 
 use mlperf_core::equivalence::ModelSignature;
 use mlperf_core::report::SystemDescription;
 use mlperf_core::rules::{Category, Division, SystemType};
 use mlperf_core::suite::BenchmarkId;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// One benchmark's entry within a bundle: the hyperparameters used,
-/// the model fingerprint, and the raw `:::MLLOG` text of every timed
-/// run.
-#[derive(Debug, Clone, PartialEq)]
+/// One benchmark's entry within a bundle: the dataset trained on, the
+/// hyperparameters used, the model fingerprint, and the raw `:::MLLOG`
+/// text of every timed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSet {
     /// Which benchmark this run set enters.
     pub benchmark: BenchmarkId,
+    /// The dataset trained on. Both divisions must use the benchmark's
+    /// dataset (§4.2.2 — Open may change model and hyperparameters,
+    /// "but must use the same data and quality target").
+    pub dataset: String,
     /// Hyperparameter name → value, as submitted.
     pub hyperparameters: BTreeMap<String, f64>,
     /// Architecture fingerprint of the trained model.
@@ -22,7 +31,7 @@ pub struct RunSet {
 }
 
 /// A complete submission bundle, as ingested by the round pipeline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SubmissionBundle {
     /// Submitting organization.
     pub org: String,
@@ -38,12 +47,17 @@ pub struct SubmissionBundle {
     pub run_sets: Vec<RunSet>,
 }
 
-/// The review-side reference for one benchmark: what Closed-division
-/// submissions are validated against.
-#[derive(Debug, Clone, PartialEq)]
+/// The review-side reference for one benchmark: what submissions are
+/// validated against. Closed-division bundles must match all of it;
+/// Open bundles must still use the same dataset and quality target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchmarkReference {
     /// The benchmark.
     pub benchmark: BenchmarkId,
+    /// The dataset every submission must train on.
+    pub dataset: String,
+    /// The quality target in effect this round.
+    pub quality_target: f64,
     /// Reference hyperparameters.
     pub hyperparameters: BTreeMap<String, f64>,
     /// Reference model fingerprint.

@@ -6,17 +6,25 @@
 //! Review ([`review`]) replays the published review process over each
 //! bundle: parse every log, run the [`mlperf_core::compliance`]
 //! checker, validate hyperparameters against the Closed-division
-//! [`mlperf_core::rules`], fingerprint-check workload
+//! [`mlperf_core::rules`], enforce the shared dataset and quality
+//! target both divisions owe the round, fingerprint-check workload
 //! [`mlperf_core::equivalence`], and aggregate the run set with the
 //! drop-min/max rule of [`mlperf_core::aggregate`].
 //!
-//! A round ([`round`]) ingests many bundles concurrently on a scoped
-//! worker pool and is fault-tolerant: malformed or non-compliant
-//! bundles are quarantined with structured [`review::ReviewReport`]
-//! diagnostics and never abort the round. Accepted scores feed
-//! per-benchmark/division leaderboards ([`leaderboard`]) and, across
-//! two rounds, the paper's Figure 4/5-style speedup and scale tables
-//! ([`tables`]).
+//! A round ([`round`]) ingests many bundles concurrently — log parsing
+//! and bundle review each fan out over a scoped worker pool — and is
+//! fault-tolerant: malformed or non-compliant bundles are quarantined
+//! with structured [`review::ReviewReport`] diagnostics and never
+//! abort the round. Accepted scores feed per-benchmark/division
+//! leaderboards ([`leaderboard`]) and, across an ordered
+//! [`tables::RoundHistory`] of any number of rounds, the paper's
+//! Figure 4/5-style speedup and scale tables ([`tables`]).
+//!
+//! Rounds persist: [`store`] serializes whole rounds to a disk archive
+//! of real `:::MLLOG` log files plus versioned JSON manifests, and
+//! ingests them back — quarantining damaged entries with path-level
+//! diagnostics instead of aborting — so a multi-round history can be
+//! rebuilt from the archive alone.
 //!
 //! [`synthetic`] generates whole multi-vendor rounds from the
 //! `mlperf-distsim` vendor fleet, with optional injected faults, so
@@ -28,6 +36,7 @@ pub mod bundle;
 pub mod leaderboard;
 pub mod review;
 pub mod round;
+pub mod store;
 pub mod synthetic;
 pub mod tables;
 
@@ -35,5 +44,8 @@ pub use bundle::{BenchmarkReference, RunSet, SubmissionBundle};
 pub use leaderboard::{leaderboards, Leaderboard};
 pub use review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
 pub use round::{run_round, AcceptedEntry, RoundOutcome, RoundSubmissions};
+pub use store::{
+    ArchiveReplay, FaultReason, RoundArchive, RoundIngest, StoreError, StoreFault, MANIFEST_SCHEMA,
+};
 pub use synthetic::{synthetic_round, Fault, SyntheticRoundSpec};
-pub use tables::{scale_table, speedup_table, RoundTable};
+pub use tables::{RoundHistory, RoundTable};

@@ -11,6 +11,10 @@ use mlperf_core::rules::{Division, HyperparameterRules};
 use mlperf_core::suite::BenchmarkId;
 use std::fmt;
 
+/// The result of parsing one run log: its entries, or the parser's
+/// error message.
+pub(crate) type ParsedLog = Result<Vec<LogEntry>, String>;
+
 /// One structured review finding, tied to the run set (and, where it
 /// applies, the run) that produced it.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +42,26 @@ pub enum Diagnostic {
     /// The model fingerprint differs from the reference
     /// (Closed division only).
     Equivalence(EquivalenceIssue),
+    /// The run set trained on a different dataset than the reference.
+    /// Applies to *both* divisions: §4.2.2 lets Open submissions change
+    /// the model and hyperparameters "but must use the same data and
+    /// quality target".
+    DatasetMismatch {
+        /// The reference dataset for the benchmark.
+        reference: String,
+        /// What the run set trained on instead.
+        submitted: String,
+    },
+    /// A run logged a quality target different from the round's
+    /// reference target. Applies to both divisions (§4.2.2).
+    WrongQualityTarget {
+        /// Index of the run within the run set.
+        run: usize,
+        /// The round's quality target for the benchmark.
+        expected: f64,
+        /// What the run logged (NaN when missing or non-numeric).
+        actual: f64,
+    },
     /// The run set could not be aggregated into a score.
     Aggregation(AggregateError),
     /// The benchmark has no reference in this round.
@@ -57,6 +81,12 @@ impl fmt::Display for Diagnostic {
                 write!(f, "restricted hyperparameter `{name}` differs from the reference")
             }
             Diagnostic::Equivalence(issue) => write!(f, "not equivalent to reference: {issue}"),
+            Diagnostic::DatasetMismatch { reference, submitted } => {
+                write!(f, "trained on `{submitted}` instead of the reference dataset `{reference}`")
+            }
+            Diagnostic::WrongQualityTarget { run, expected, actual } => {
+                write!(f, "run {run}: quality target {actual} differs from the round's {expected}")
+            }
             Diagnostic::Aggregation(e) => write!(f, "cannot aggregate run set: {e}"),
             Diagnostic::NoReference => write!(f, "benchmark has no reference in this round"),
             Diagnostic::Panicked(msg) => write!(f, "review panicked: {msg}"),
@@ -120,23 +150,42 @@ fn run_summary(entries: &[LogEntry]) -> Option<RunSummary> {
     })
 }
 
+/// The quality target a parsed log declares, or NaN when it is missing
+/// or non-numeric.
+fn logged_quality_target(entries: &[LogEntry]) -> f64 {
+    entries
+        .iter()
+        .find(|e| e.key == keys::QUALITY_TARGET)
+        .and_then(|e| e.value.as_f64())
+        .unwrap_or(f64::NAN)
+}
+
+/// Reviews one run set whose logs have already been parsed (`parsed`
+/// aligns with `run_set.logs`). The round pipeline parses logs
+/// concurrently and hands the results here; [`review_bundle`] parses
+/// serially for standalone use.
 fn review_run_set(
     run_set: &RunSet,
     division: Division,
     references: &[BenchmarkReference],
+    parsed: &[ParsedLog],
 ) -> BenchmarkReview {
     let mut diagnostics = Vec::new();
     let mut summaries = Vec::new();
+    let mut compliant: Vec<(usize, &[LogEntry])> = Vec::new();
 
-    for (run, text) in run_set.logs.iter().enumerate() {
-        match MlLogger::parse(text) {
-            Err(error) => diagnostics.push(Diagnostic::MalformedLog { run, error }),
+    for (run, result) in parsed.iter().enumerate() {
+        match result {
+            Err(error) => {
+                diagnostics.push(Diagnostic::MalformedLog { run, error: error.clone() });
+            }
             Ok(entries) => {
-                let issues = check_log(&entries);
+                let issues = check_log(entries);
                 if issues.is_empty() {
-                    if let Some(summary) = run_summary(&entries) {
+                    if let Some(summary) = run_summary(entries) {
                         summaries.push(summary);
                     }
+                    compliant.push((run, entries));
                 } else {
                     diagnostics.extend(
                         issues.into_iter().map(|issue| Diagnostic::Compliance { run, issue }),
@@ -149,6 +198,29 @@ fn review_run_set(
     match BenchmarkReference::find(references, run_set.benchmark) {
         None => diagnostics.push(Diagnostic::NoReference),
         Some(reference) => {
+            // Both divisions must train on the reference dataset and
+            // chase the reference quality target (§4.2.2: Open may
+            // change model and hyperparameters "but must use the same
+            // data and quality target").
+            if run_set.dataset != reference.dataset {
+                diagnostics.push(Diagnostic::DatasetMismatch {
+                    reference: reference.dataset.clone(),
+                    submitted: run_set.dataset.clone(),
+                });
+            }
+            for (run, entries) in &compliant {
+                let actual = logged_quality_target(entries);
+                // A missing/non-numeric target is NaN: the deviation is
+                // then non-finite, which also counts as a mismatch.
+                let deviation = (actual - reference.quality_target).abs();
+                if !deviation.is_finite() || deviation >= 1e-9 {
+                    diagnostics.push(Diagnostic::WrongQualityTarget {
+                        run: *run,
+                        expected: reference.quality_target,
+                        actual,
+                    });
+                }
+            }
             // Open-division submissions may change model and
             // hyperparameters freely; Closed must match the reference.
             if division == Division::Closed {
@@ -180,18 +252,36 @@ fn review_run_set(
     BenchmarkReview { benchmark: run_set.benchmark, diagnostics, minutes, runs: run_set.logs.len() }
 }
 
-/// Reviews one bundle against the round's references. Never panics on
-/// malformed input — every problem is returned as a [`Diagnostic`].
-pub fn review_bundle(bundle: &SubmissionBundle, references: &[BenchmarkReference]) -> ReviewReport {
+/// Reviews one bundle whose logs were already parsed (outer index =
+/// run set, inner = run). Used by the round pipeline after its
+/// concurrent parse stage.
+pub(crate) fn review_bundle_parsed(
+    bundle: &SubmissionBundle,
+    references: &[BenchmarkReference],
+    parsed: &[Vec<ParsedLog>],
+) -> ReviewReport {
     ReviewReport {
         org: bundle.org.clone(),
         division: bundle.division,
         benchmarks: bundle
             .run_sets
             .iter()
-            .map(|rs| review_run_set(rs, bundle.division, references))
+            .zip(parsed)
+            .map(|(rs, logs)| review_run_set(rs, bundle.division, references, logs))
             .collect(),
     }
+}
+
+/// Reviews one bundle against the round's references, parsing logs
+/// serially. Never panics on malformed input — every problem is
+/// returned as a [`Diagnostic`].
+pub fn review_bundle(bundle: &SubmissionBundle, references: &[BenchmarkReference]) -> ReviewReport {
+    let parsed: Vec<Vec<Result<Vec<LogEntry>, String>>> = bundle
+        .run_sets
+        .iter()
+        .map(|rs| rs.logs.iter().map(|text| MlLogger::parse(text)).collect())
+        .collect();
+    review_bundle_parsed(bundle, references, &parsed)
 }
 
 #[cfg(test)]
@@ -203,11 +293,18 @@ mod tests {
     use serde_json::json;
     use std::collections::BTreeMap;
 
+    const DATASET: &str = "ImageNet (synthetic stand-in)";
+    const TARGET: f64 = 0.749;
+
     fn compliant_log(minutes: f64, seed: u64) -> String {
+        compliant_log_with_target(minutes, seed, TARGET)
+    }
+
+    fn compliant_log_with_target(minutes: f64, seed: u64, target: f64) -> String {
         let mut logger = MlLogger::new();
         logger.log(keys::SUBMISSION_BENCHMARK, json!("resnet"));
         logger.log(keys::SEED, json!(seed));
-        logger.log(keys::QUALITY_TARGET, json!(0.749));
+        logger.log(keys::QUALITY_TARGET, json!(target));
         logger.log(keys::INIT_START, json!(null));
         logger.set_time_ms(500);
         logger.log(keys::INIT_STOP, json!(null));
@@ -224,6 +321,8 @@ mod tests {
     fn reference() -> BenchmarkReference {
         BenchmarkReference {
             benchmark: BenchmarkId::ImageClassification,
+            dataset: DATASET.into(),
+            quality_target: TARGET,
             hyperparameters: BTreeMap::from([
                 ("batch_size".to_string(), 256.0),
                 ("learning_rate".to_string(), 0.1),
@@ -257,6 +356,7 @@ mod tests {
         hp.insert("batch_size".into(), 4096.0); // modifiable — legal
         RunSet {
             benchmark: BenchmarkId::ImageClassification,
+            dataset: DATASET.into(),
             hyperparameters: hp,
             signature: reference.signature.clone(),
             logs: (0..5).map(|r| compliant_log(10.0 + r as f64, r as u64)).collect(),
@@ -317,6 +417,38 @@ mod tests {
         rs.signature = ModelSignature::from_shapes(vec![vec![1, 2, 3]]);
         let report = review_bundle(&bundle(vec![rs]), &[reference()]);
         assert!(report.diagnostics().any(|(_, d)| matches!(d, Diagnostic::Equivalence(_))));
+    }
+
+    #[test]
+    fn open_division_must_keep_dataset_and_quality_target() {
+        // An Open bundle with a changed model is fine — but §4.2.2
+        // still requires the reference dataset and quality target.
+        let mut rs = clean_run_set();
+        rs.signature = ModelSignature::from_shapes(vec![vec![9, 9]]); // legal in Open
+        rs.dataset = "ImageNet-21k (bigger)".into();
+        rs.logs =
+            (0..5).map(|r| compliant_log_with_target(10.0 + r as f64, r as u64, 0.70)).collect();
+        let mut open = bundle(vec![rs]);
+        open.division = Division::Open;
+        let report = review_bundle(&open, &[reference()]);
+        assert!(report.diagnostics().any(|(_, d)| matches!(d, Diagnostic::DatasetMismatch { .. })));
+        assert!(report.diagnostics().any(|(_, d)| matches!(
+            d,
+            Diagnostic::WrongQualityTarget { run: 0, expected, actual }
+                if *expected == TARGET && *actual == 0.70
+        )));
+        // No Closed-only diagnostics leaked in.
+        assert!(!report.diagnostics().any(|(_, d)| matches!(d, Diagnostic::Equivalence(_))));
+    }
+
+    #[test]
+    fn lowered_quality_target_flagged_in_closed_too() {
+        let mut rs = clean_run_set();
+        rs.logs[1] = compliant_log_with_target(11.0, 1, 0.60);
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(report
+            .diagnostics()
+            .any(|(_, d)| matches!(d, Diagnostic::WrongQualityTarget { run: 1, .. })));
     }
 
     #[test]

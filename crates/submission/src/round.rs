@@ -1,7 +1,14 @@
-//! Running a whole round: concurrent bundle ingest with quarantine.
+//! Running a whole round: concurrent ingest with quarantine.
+//!
+//! Ingest is two-staged on the same scoped worker pool: stage one
+//! parses every `:::MLLOG` log of every bundle concurrently (logs are
+//! the unit of work, so a single huge bundle no longer serializes the
+//! round); stage two reviews each bundle against the round references
+//! with the pre-parsed logs.
 
 use crate::bundle::{BenchmarkReference, SubmissionBundle};
-use crate::review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
+use crate::review::{review_bundle_parsed, BenchmarkReview, Diagnostic, ParsedLog, ReviewReport};
+use mlperf_core::mllog::MlLogger;
 use mlperf_core::rules::Division;
 use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
@@ -11,7 +18,7 @@ use std::thread;
 
 /// Everything a round ingests: the round label, the per-benchmark
 /// references review validates against, and the submitted bundles.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundSubmissions {
     /// Which round this is.
     pub round: Round,
@@ -40,8 +47,10 @@ pub struct AcceptedEntry {
     pub runs: usize,
 }
 
-/// The published outcome of a round.
-#[derive(Debug, Clone)]
+/// The published outcome of a round. `PartialEq` so the archive
+/// round-trip property — write a round to disk, re-ingest, re-review —
+/// can assert outcome identity.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundOutcome {
     /// Which round this is.
     pub round: Round,
@@ -66,36 +75,37 @@ impl RoundOutcome {
     }
 }
 
-/// Runs review over every bundle on a scoped worker pool (one worker
-/// per available core, capped at the bundle count) and publishes the
-/// outcome. Ingest is fault-tolerant: parse failures, compliance
-/// violations, and even panics inside review become quarantined
-/// reports — a bad bundle can never abort the round.
-pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
-    let bundles = &submissions.bundles;
-    let references = &submissions.references;
+/// Applies `f` to every item on a scoped worker pool (one worker per
+/// available core, capped at the item count) and returns the results
+/// in item order. The pool is a shared atomic cursor, so cheap items
+/// never wait behind an unlucky static partition.
+pub(crate) fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
     let workers = thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(bundles.len())
+        .min(items.len())
         .max(1);
 
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, ReviewReport)> = thread::scope(|scope| {
+    let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= bundles.len() {
+                        if i >= items.len() {
                             break;
                         }
-                        let bundle = &bundles[i];
-                        let report =
-                            catch_unwind(AssertUnwindSafe(|| review_bundle(bundle, references)))
-                                .unwrap_or_else(|payload| panicked_report(bundle, &payload));
-                        out.push((i, report));
+                        out.push((i, f(&items[i])));
                     }
                     out
                 })
@@ -103,12 +113,54 @@ pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("review workers collect panics themselves"))
+            .flat_map(|h| h.join().expect("workers contain panics via catch_unwind in f"))
             .collect()
     });
     indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
 
-    let reports: Vec<ReviewReport> = indexed.into_iter().map(|(_, r)| r).collect();
+/// Runs review over every bundle and publishes the outcome. Log
+/// parsing and bundle review each run on a scoped worker pool; ingest
+/// is fault-tolerant throughout — parse failures, compliance
+/// violations, and even panics inside parsing or review become
+/// quarantined reports. A bad bundle can never abort the round.
+pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
+    let bundles = &submissions.bundles;
+    let references = &submissions.references;
+
+    // Stage 1: flatten every log across every bundle and parse them
+    // concurrently, panics contained per log.
+    let log_refs: Vec<(usize, usize, usize, &str)> = bundles
+        .iter()
+        .enumerate()
+        .flat_map(|(b, bundle)| {
+            bundle.run_sets.iter().enumerate().flat_map(move |(s, rs)| {
+                rs.logs.iter().enumerate().map(move |(r, text)| (b, s, r, text.as_str()))
+            })
+        })
+        .collect();
+    let parsed_flat: Vec<ParsedLog> = parallel_map(&log_refs, |(_, _, _, text)| {
+        catch_unwind(AssertUnwindSafe(|| MlLogger::parse(text)))
+            .unwrap_or_else(|payload| Err(format!("parser panicked: {}", panic_message(&payload))))
+    });
+
+    // Reassemble the flat parse results into per-bundle/per-set shape.
+    let mut parsed: Vec<Vec<Vec<ParsedLog>>> = bundles
+        .iter()
+        .map(|b| b.run_sets.iter().map(|rs| Vec::with_capacity(rs.logs.len())).collect())
+        .collect();
+    for ((b, s, _, _), result) in log_refs.iter().zip(parsed_flat) {
+        parsed[*b][*s].push(result);
+    }
+
+    // Stage 2: review bundles concurrently with their parsed logs.
+    let work: Vec<(usize, &SubmissionBundle)> = bundles.iter().enumerate().collect();
+    let reports: Vec<ReviewReport> = parallel_map(&work, |(i, bundle)| {
+        catch_unwind(AssertUnwindSafe(|| review_bundle_parsed(bundle, references, &parsed[*i])))
+            .unwrap_or_else(|payload| panicked_report(bundle, &payload))
+    });
+
     let mut accepted = Vec::new();
     let mut quarantined = Vec::new();
     for (bundle, report) in bundles.iter().zip(&reports) {
@@ -133,16 +185,21 @@ pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
     RoundOutcome { round: submissions.round, accepted, quarantined, reports }
 }
 
+/// Best-effort panic payload text.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string())
+}
+
 /// A report standing in for a bundle whose review panicked.
 fn panicked_report(
     bundle: &SubmissionBundle,
     payload: &Box<dyn std::any::Any + Send>,
 ) -> ReviewReport {
-    let msg = payload
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "unknown panic".to_string());
+    let msg = panic_message(payload);
     ReviewReport {
         org: bundle.org.clone(),
         division: bundle.division,
@@ -162,6 +219,7 @@ fn panicked_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::review::review_bundle;
     use crate::synthetic::{synthetic_round, Fault, SyntheticRoundSpec};
 
     #[test]
@@ -192,5 +250,27 @@ mod tests {
         // The other vendors' entries still published.
         assert!(outcome.accepted.iter().any(|e| e.org == "Aurora"));
         assert!(outcome.accepted.iter().any(|e| e.org == "Cumulus"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = parallel_map(&items, |i| i * 2);
+        assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        assert!(parallel_map::<usize, usize, _>(&[], |i| *i).is_empty());
+    }
+
+    #[test]
+    fn concurrent_round_matches_serial_review() {
+        // The two-stage concurrent ingest must be observationally
+        // identical to reviewing each bundle serially.
+        let subs = synthetic_round(
+            &SyntheticRoundSpec::new(Round::V06, 8)
+                .with_fault(Fault::GarbageLine { org: "Aurora".into() }),
+        );
+        let outcome = run_round(&subs);
+        let serial: Vec<ReviewReport> =
+            subs.bundles.iter().map(|b| review_bundle(b, &subs.references)).collect();
+        assert_eq!(outcome.reports, serial);
     }
 }

@@ -1,0 +1,800 @@
+//! The disk-backed round archive: persistent storage for an N-round
+//! submission history.
+//!
+//! Layout (one directory tree per archive):
+//!
+//! ```text
+//! <archive>/
+//!   archive.json                     — archive marker + schema version
+//!   <round>/                         — e.g. `v0.5/`
+//!     round.json                     — round label + review references
+//!     <org>/<system>/                — one directory per bundle
+//!       bundle.json                  — bundle manifest (schema, order
+//!                                      index, metadata, log paths)
+//!       <benchmark>/run_<N>.log      — real `:::MLLOG` log files
+//!     outcome.json                   — published outcome summary
+//! ```
+//!
+//! Bundles are keyed by `<org>/<system>` (not `<org>/<benchmark>`):
+//! a submitter enters one bundle *per system* per round — the
+//! synthetic fleet fields both a reference-scale and an at-scale
+//! system — and each bundle spans many benchmarks.
+//!
+//! All manifests carry a `schema` field ([`MANIFEST_SCHEMA`]); readers
+//! reject newer schemas instead of misreading them. Writes are atomic
+//! (tmp file + rename) so a crashed writer never leaves a
+//! half-written manifest behind. Reads are fault-tolerant in the same
+//! spirit as review: a missing manifest, malformed log, or duplicated
+//! bundle becomes a [`StoreFault`] naming the offending path, the rest
+//! of the round still loads, and nothing panics. Only damage that
+//! makes the archive itself unreadable (no marker, unreadable root,
+//! corrupt `round.json`) is a fatal [`StoreError`].
+
+use crate::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
+use crate::round::{run_round, RoundOutcome, RoundSubmissions};
+use crate::tables::RoundHistory;
+use mlperf_core::equivalence::ModelSignature;
+use mlperf_core::mllog::MlLogger;
+use mlperf_core::report::SystemDescription;
+use mlperf_core::rules::{Category, Division, SystemType};
+use mlperf_core::suite::BenchmarkId;
+use mlperf_distsim::Round;
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The manifest schema this build reads and writes. Bumped when the
+/// on-disk shape changes; readers refuse *newer* schemas.
+pub const MANIFEST_SCHEMA: u64 = 1;
+
+/// Marker string in `archive.json` distinguishing a round archive from
+/// an arbitrary directory.
+const ARCHIVE_KIND: &str = "mlperf-round-archive";
+
+/// A fatal archive error: the archive itself (not one entry in it)
+/// cannot be read or written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The OS error text.
+        error: String,
+    },
+    /// A manifest the archive cannot function without failed to parse.
+    Malformed {
+        /// The offending file.
+        path: PathBuf,
+        /// What went wrong.
+        error: String,
+    },
+    /// A manifest was written by a newer build.
+    UnsupportedSchema {
+        /// The offending file.
+        path: PathBuf,
+        /// The schema version found.
+        found: u64,
+    },
+    /// The directory exists but is not a round archive.
+    NotAnArchive {
+        /// The directory opened.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            StoreError::Malformed { path, error } => {
+                write!(f, "{}: malformed manifest: {error}", path.display())
+            }
+            StoreError::UnsupportedSchema { path, found } => write!(
+                f,
+                "{}: schema {found} is newer than supported schema {MANIFEST_SCHEMA}",
+                path.display()
+            ),
+            StoreError::NotAnArchive { path } => {
+                write!(f, "{}: not a round archive (no archive.json marker)", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Why one entry of an otherwise-readable round was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultReason {
+    /// A bundle directory has no `bundle.json`.
+    MissingManifest,
+    /// A `bundle.json` failed to parse.
+    MalformedManifest(String),
+    /// A `bundle.json` was written by a newer build.
+    UnsupportedSchema(u64),
+    /// Two bundle directories declare the same org + system.
+    DuplicateBundle,
+    /// A bundle lists the same benchmark twice.
+    DuplicateBenchmark(String),
+    /// A manifest references a log file that does not exist or cannot
+    /// be read.
+    MissingLog(String),
+    /// A log file exists but is not valid `:::MLLOG` text (e.g.
+    /// truncated mid-line). The run set is still handed to review,
+    /// which quarantines it with a parse diagnostic of its own.
+    MalformedLog(String),
+    /// A manifest references a log path that escapes its bundle
+    /// directory.
+    EscapingLogPath(String),
+    /// A file or directory inside the round could not be read.
+    Io(String),
+    /// A whole round directory could not be ingested.
+    UnreadableRound(String),
+}
+
+impl fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultReason::MissingManifest => write!(f, "bundle directory has no bundle.json"),
+            FaultReason::MalformedManifest(e) => write!(f, "malformed bundle.json: {e}"),
+            FaultReason::UnsupportedSchema(found) => {
+                write!(f, "schema {found} is newer than supported schema {MANIFEST_SCHEMA}")
+            }
+            FaultReason::DuplicateBundle => {
+                write!(f, "another directory already declares this org and system")
+            }
+            FaultReason::DuplicateBenchmark(b) => {
+                write!(f, "benchmark `{b}` appears more than once in the bundle")
+            }
+            FaultReason::MissingLog(e) => write!(f, "log file unreadable: {e}"),
+            FaultReason::MalformedLog(e) => write!(f, "log file is not valid :::MLLOG text: {e}"),
+            FaultReason::EscapingLogPath(p) => {
+                write!(f, "log path `{p}` escapes the bundle directory")
+            }
+            FaultReason::Io(e) => write!(f, "unreadable: {e}"),
+            FaultReason::UnreadableRound(e) => write!(f, "round could not be ingested: {e}"),
+        }
+    }
+}
+
+/// One quarantined archive entry: the offending path and why. The
+/// entry is skipped (or, for malformed logs, passed through for review
+/// to flag); ingest of everything else continues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreFault {
+    /// The file or directory at fault.
+    pub path: PathBuf,
+    /// Why it was quarantined.
+    pub reason: FaultReason,
+}
+
+impl fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.reason)
+    }
+}
+
+/// One round read back from disk: the reconstructed submissions plus
+/// every quarantined entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundIngest {
+    /// The round's submissions, bundles in original submission order.
+    pub submissions: RoundSubmissions,
+    /// Entries that could not be fully ingested.
+    pub faults: Vec<StoreFault>,
+}
+
+/// A full archive replayed through review: the multi-round history and
+/// every storage-level fault encountered on the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveReplay {
+    /// One reviewed outcome per readable round, oldest first.
+    pub history: RoundHistory,
+    /// Storage faults across all rounds.
+    pub faults: Vec<StoreFault>,
+}
+
+/// `archive.json`: marks the directory as an archive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ArchiveManifest {
+    schema: u64,
+    kind: String,
+}
+
+/// `<round>/round.json`: the round label and review references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RoundManifest {
+    schema: u64,
+    round: Round,
+    references: Vec<BenchmarkReference>,
+}
+
+/// `<round>/<org>/<system>/bundle.json`: everything about a bundle
+/// except the log text, which lives in the referenced `.log` files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BundleManifest {
+    schema: u64,
+    /// Position in the round's original submission order; readers sort
+    /// by it so directory iteration order never reorders bundles.
+    index: u64,
+    org: String,
+    system: SystemDescription,
+    division: Division,
+    category: Category,
+    system_type: SystemType,
+    run_sets: Vec<RunSetManifest>,
+}
+
+/// One run set inside a bundle manifest; `logs` are paths relative to
+/// the bundle directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RunSetManifest {
+    benchmark: BenchmarkId,
+    dataset: String,
+    hyperparameters: BTreeMap<String, f64>,
+    signature: ModelSignature,
+    logs: Vec<String>,
+}
+
+/// A persistent, disk-backed archive of submission rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundArchive {
+    root: PathBuf,
+}
+
+impl RoundArchive {
+    /// Creates (or re-opens) an archive at `root`, creating the
+    /// directory and the `archive.json` marker as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory or marker cannot be
+    /// written; [`StoreError::NotAnArchive`] / schema errors when
+    /// `root` already holds a foreign or newer-schema marker.
+    pub fn create(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_error(&root, &e))?;
+        let marker = root.join("archive.json");
+        if marker.exists() {
+            return RoundArchive::open(root);
+        }
+        let manifest = ArchiveManifest { schema: MANIFEST_SCHEMA, kind: ARCHIVE_KIND.to_string() };
+        write_atomic(&marker, &pretty(&manifest))?;
+        Ok(RoundArchive { root })
+    }
+
+    /// Opens an existing archive.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotAnArchive`] when `root` has no marker,
+    /// [`StoreError::Malformed`] / [`StoreError::UnsupportedSchema`]
+    /// when the marker is damaged or from a newer build.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        let marker = root.join("archive.json");
+        let text = match fs::read_to_string(&marker) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotAnArchive { path: root });
+            }
+            Err(e) => return Err(io_error(&marker, &e)),
+        };
+        let manifest: ArchiveManifest = parse_manifest(&marker, &text)?;
+        if manifest.kind != ARCHIVE_KIND {
+            return Err(StoreError::NotAnArchive { path: root });
+        }
+        check_schema(&marker, manifest.schema)?;
+        Ok(RoundArchive { root })
+    }
+
+    /// The archive's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Persists one round — references, bundles, and every log file —
+    /// replacing any existing copy of the same round. `round.json` is
+    /// written last, so a round directory without it is recognizably
+    /// incomplete.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when any file cannot be written.
+    pub fn write_round(&self, submissions: &RoundSubmissions) -> Result<(), StoreError> {
+        let round_dir = self.round_dir(submissions.round);
+        if round_dir.exists() {
+            fs::remove_dir_all(&round_dir).map_err(|e| io_error(&round_dir, &e))?;
+        }
+        fs::create_dir_all(&round_dir).map_err(|e| io_error(&round_dir, &e))?;
+
+        for (index, bundle) in submissions.bundles.iter().enumerate() {
+            let org_dir = round_dir.join(slug(&bundle.org));
+            let mut bundle_dir = org_dir.join(slug(&bundle.system.system_name));
+            if bundle_dir.exists() {
+                // Two systems slugged to the same name; disambiguate.
+                bundle_dir = org_dir.join(format!("{}-{index}", slug(&bundle.system.system_name)));
+            }
+            fs::create_dir_all(&bundle_dir).map_err(|e| io_error(&bundle_dir, &e))?;
+
+            let mut run_sets = Vec::new();
+            for rs in &bundle.run_sets {
+                let bench_dir = bundle_dir.join(rs.benchmark.slug());
+                fs::create_dir_all(&bench_dir).map_err(|e| io_error(&bench_dir, &e))?;
+                let mut logs = Vec::new();
+                for (run, text) in rs.logs.iter().enumerate() {
+                    let rel = format!("{}/run_{run}.log", rs.benchmark.slug());
+                    write_atomic(&bundle_dir.join(&rel), text)?;
+                    logs.push(rel);
+                }
+                run_sets.push(RunSetManifest {
+                    benchmark: rs.benchmark,
+                    dataset: rs.dataset.clone(),
+                    hyperparameters: rs.hyperparameters.clone(),
+                    signature: rs.signature.clone(),
+                    logs,
+                });
+            }
+            let manifest = BundleManifest {
+                schema: MANIFEST_SCHEMA,
+                index: index as u64,
+                org: bundle.org.clone(),
+                system: bundle.system.clone(),
+                division: bundle.division,
+                category: bundle.category,
+                system_type: bundle.system_type,
+                run_sets,
+            };
+            write_atomic(&bundle_dir.join("bundle.json"), &pretty(&manifest))?;
+        }
+
+        let manifest = RoundManifest {
+            schema: MANIFEST_SCHEMA,
+            round: submissions.round,
+            references: submissions.references.clone(),
+        };
+        write_atomic(&round_dir.join("round.json"), &pretty(&manifest))
+    }
+
+    /// Persists a round's published outcome as a human-auditable
+    /// summary (`outcome.json`) next to the round's bundles. The
+    /// summary is derived data — re-ingesting and re-reviewing the
+    /// round reproduces it — so it is not read back.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be written.
+    pub fn write_outcome(&self, outcome: &RoundOutcome) -> Result<(), StoreError> {
+        let accepted: Vec<serde_json::Value> = outcome
+            .accepted
+            .iter()
+            .map(|e| {
+                json!({
+                    "org": e.org,
+                    "system": e.system,
+                    "chips": e.chips,
+                    "division": e.division.to_string(),
+                    "benchmark": e.benchmark.slug(),
+                    "minutes": e.minutes,
+                    "runs": e.runs,
+                })
+            })
+            .collect();
+        let quarantined: Vec<serde_json::Value> = outcome
+            .quarantined
+            .iter()
+            .map(|report| {
+                let diagnostics: Vec<serde_json::Value> = report
+                    .diagnostics()
+                    .map(|(benchmark, d)| json!(format!("{benchmark}: {d}")))
+                    .collect();
+                json!({
+                    "org": report.org,
+                    "division": report.division.to_string(),
+                    "diagnostics": diagnostics,
+                })
+            })
+            .collect();
+        let summary = json!({
+            "schema": MANIFEST_SCHEMA,
+            "round": outcome.round.to_string(),
+            "accepted": accepted,
+            "quarantined": quarantined,
+        });
+        let text = serde_json::to_string_pretty(&summary).expect("outcome summaries serialize");
+        write_atomic(&self.round_dir(outcome.round).join("outcome.json"), &text)
+    }
+
+    /// The rounds present in the archive, oldest first. Directories
+    /// whose names are not round labels are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the root cannot be listed.
+    pub fn rounds(&self) -> Result<Vec<Round>, StoreError> {
+        let mut rounds = Vec::new();
+        let entries = fs::read_dir(&self.root).map_err(|e| io_error(&self.root, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_error(&self.root, &e))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            if let Ok(round) = entry.file_name().to_string_lossy().parse::<Round>() {
+                // Only count rounds whose manifest landed (a directory
+                // without round.json is an interrupted write).
+                if entry.path().join("round.json").is_file() {
+                    rounds.push(round);
+                }
+            }
+        }
+        rounds.sort();
+        Ok(rounds)
+    }
+
+    /// Reads one round back from disk. Bundle-level damage — missing
+    /// or malformed manifests, unreadable or truncated logs, duplicate
+    /// bundles or benchmarks — is quarantined into
+    /// [`RoundIngest::faults`] (each naming the offending path) and
+    /// never aborts the read.
+    ///
+    /// # Errors
+    ///
+    /// Fatal only for round-level damage: an unreadable round
+    /// directory or a missing/corrupt/newer-schema `round.json`.
+    pub fn read_round(&self, round: Round) -> Result<RoundIngest, StoreError> {
+        let round_dir = self.round_dir(round);
+        let manifest_path = round_dir.join("round.json");
+        let text = fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
+        let manifest: RoundManifest = parse_manifest(&manifest_path, &text)?;
+        check_schema(&manifest_path, manifest.schema)?;
+        if manifest.round != round {
+            return Err(StoreError::Malformed {
+                path: manifest_path,
+                error: format!(
+                    "directory is named {round} but round.json declares {}",
+                    manifest.round
+                ),
+            });
+        }
+
+        let mut faults = Vec::new();
+        let mut indexed: Vec<(u64, usize, SubmissionBundle)> = Vec::new();
+        let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+        for bundle_dir in sorted_subdirs(&round_dir, &mut faults) {
+            for dir in sorted_subdirs(&bundle_dir, &mut faults) {
+                match self.read_bundle(&dir, &mut faults) {
+                    None => continue,
+                    Some((index, bundle)) => {
+                        let key = (bundle.org.clone(), bundle.system.system_name.clone());
+                        if !seen.insert(key) {
+                            faults.push(StoreFault {
+                                path: dir,
+                                reason: FaultReason::DuplicateBundle,
+                            });
+                            continue;
+                        }
+                        indexed.push((index, indexed.len(), bundle));
+                    }
+                }
+            }
+        }
+        indexed.sort_by_key(|(index, arrival, _)| (*index, *arrival));
+        let bundles = indexed.into_iter().map(|(_, _, b)| b).collect();
+
+        Ok(RoundIngest {
+            submissions: RoundSubmissions { round, references: manifest.references, bundles },
+            faults,
+        })
+    }
+
+    /// Reads one bundle directory; quarantines instead of failing.
+    fn read_bundle(
+        &self,
+        dir: &Path,
+        faults: &mut Vec<StoreFault>,
+    ) -> Option<(u64, SubmissionBundle)> {
+        let manifest_path = dir.join("bundle.json");
+        let text = match fs::read_to_string(&manifest_path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                faults.push(StoreFault {
+                    path: dir.to_path_buf(),
+                    reason: FaultReason::MissingManifest,
+                });
+                return None;
+            }
+            Err(e) => {
+                faults.push(StoreFault {
+                    path: manifest_path,
+                    reason: FaultReason::Io(e.to_string()),
+                });
+                return None;
+            }
+        };
+        let manifest: BundleManifest = match serde_json::from_str(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                faults.push(StoreFault {
+                    path: manifest_path,
+                    reason: FaultReason::MalformedManifest(e.to_string()),
+                });
+                return None;
+            }
+        };
+        if manifest.schema > MANIFEST_SCHEMA {
+            faults.push(StoreFault {
+                path: manifest_path,
+                reason: FaultReason::UnsupportedSchema(manifest.schema),
+            });
+            return None;
+        }
+
+        let mut run_sets = Vec::new();
+        let mut benchmarks: BTreeSet<String> = BTreeSet::new();
+        for rs in manifest.run_sets {
+            if !benchmarks.insert(rs.benchmark.slug().to_string()) {
+                faults.push(StoreFault {
+                    path: manifest_path.clone(),
+                    reason: FaultReason::DuplicateBenchmark(rs.benchmark.slug().to_string()),
+                });
+                continue;
+            }
+            let mut logs = Vec::new();
+            for rel in &rs.logs {
+                let rel_path = Path::new(rel);
+                if rel_path.is_absolute()
+                    || rel_path.components().any(|c| matches!(c, std::path::Component::ParentDir))
+                {
+                    faults.push(StoreFault {
+                        path: manifest_path.clone(),
+                        reason: FaultReason::EscapingLogPath(rel.clone()),
+                    });
+                    continue;
+                }
+                let path = dir.join(rel_path);
+                match fs::read_to_string(&path) {
+                    Err(e) => {
+                        faults.push(StoreFault {
+                            path,
+                            reason: FaultReason::MissingLog(e.to_string()),
+                        });
+                    }
+                    Ok(text) => {
+                        // Flag damaged text here with the precise path;
+                        // still hand it to review, which quarantines the
+                        // run set with its own parse diagnostic.
+                        if let Err(e) = MlLogger::parse(&text) {
+                            faults.push(StoreFault { path, reason: FaultReason::MalformedLog(e) });
+                        }
+                        logs.push(text);
+                    }
+                }
+            }
+            run_sets.push(RunSet {
+                benchmark: rs.benchmark,
+                dataset: rs.dataset,
+                hyperparameters: rs.hyperparameters,
+                signature: rs.signature,
+                logs,
+            });
+        }
+
+        Some((
+            manifest.index,
+            SubmissionBundle {
+                org: manifest.org,
+                system: manifest.system,
+                division: manifest.division,
+                category: manifest.category,
+                system_type: manifest.system_type,
+                run_sets,
+            },
+        ))
+    }
+
+    /// Ingests every round in the archive and replays review over each,
+    /// producing the cross-round [`RoundHistory`] the Figure 4/5 tables
+    /// render from. A round too damaged to ingest becomes an
+    /// [`FaultReason::UnreadableRound`] fault; the remaining rounds
+    /// still replay.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the archive root cannot be listed.
+    pub fn replay(&self) -> Result<ArchiveReplay, StoreError> {
+        let mut history = RoundHistory::new();
+        let mut faults = Vec::new();
+        for round in self.rounds()? {
+            match self.read_round(round) {
+                Err(e) => faults.push(StoreFault {
+                    path: self.round_dir(round),
+                    reason: FaultReason::UnreadableRound(e.to_string()),
+                }),
+                Ok(mut ingest) => {
+                    faults.append(&mut ingest.faults);
+                    history.push(run_round(&ingest.submissions));
+                }
+            }
+        }
+        Ok(ArchiveReplay { history, faults })
+    }
+
+    fn round_dir(&self, round: Round) -> PathBuf {
+        self.root.join(round.label())
+    }
+}
+
+/// Lists a directory's subdirectories in name order, recording an IO
+/// fault (instead of failing) when the directory cannot be listed.
+fn sorted_subdirs(dir: &Path, faults: &mut Vec<StoreFault>) -> Vec<PathBuf> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            faults.push(StoreFault {
+                path: dir.to_path_buf(),
+                reason: FaultReason::Io(e.to_string()),
+            });
+            return Vec::new();
+        }
+    };
+    let mut dirs: Vec<PathBuf> =
+        entries.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    dirs.sort();
+    dirs
+}
+
+/// Writes `contents` to `path` atomically: write a sibling tmp file,
+/// then rename over the destination. Readers never observe a
+/// half-written file.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), StoreError> {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+    fs::write(&tmp, contents).map_err(|e| io_error(&tmp, &e))?;
+    fs::rename(&tmp, path).map_err(|e| io_error(path, &e))
+}
+
+fn io_error(path: &Path, e: &std::io::Error) -> StoreError {
+    StoreError::Io { path: path.to_path_buf(), error: e.to_string() }
+}
+
+fn parse_manifest<T: Deserialize>(path: &Path, text: &str) -> Result<T, StoreError> {
+    serde_json::from_str(text)
+        .map_err(|e| StoreError::Malformed { path: path.to_path_buf(), error: e.to_string() })
+}
+
+fn check_schema(path: &Path, found: u64) -> Result<(), StoreError> {
+    if found > MANIFEST_SCHEMA {
+        return Err(StoreError::UnsupportedSchema { path: path.to_path_buf(), found });
+    }
+    Ok(())
+}
+
+fn pretty<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("manifests serialize")
+}
+
+/// Filesystem-safe directory name: lowercase alphanumerics with `-`
+/// for everything else.
+fn slug(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    while out.contains("--") {
+        out = out.replace("--", "-");
+    }
+    let trimmed = out.trim_matches('-').to_string();
+    if trimmed.is_empty() {
+        "unnamed".to_string()
+    } else {
+        trimmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_round, SyntheticRoundSpec};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("mlperf-store-test-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        assert_eq!(slug("Aurora"), "aurora");
+        assert_eq!(slug("A900 x16"), "a900-x16");
+        assert_eq!(slug("--weird__name--"), "weird-name");
+        assert_eq!(slug("///"), "unnamed");
+    }
+
+    #[test]
+    fn create_then_open_round_trips_the_marker() {
+        let root = temp_dir("marker");
+        let archive = RoundArchive::create(&root).unwrap();
+        assert_eq!(archive.rounds().unwrap(), Vec::<Round>::new());
+        let reopened = RoundArchive::open(&root).unwrap();
+        assert_eq!(archive, reopened);
+        // Creating on top of an existing archive re-opens it.
+        RoundArchive::create(&root).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_non_archives() {
+        let root = temp_dir("foreign");
+        fs::create_dir_all(&root).unwrap();
+        assert!(matches!(RoundArchive::open(&root), Err(StoreError::NotAnArchive { .. })));
+        fs::write(root.join("archive.json"), "{\"schema\": 1, \"kind\": \"something-else\"}")
+            .unwrap();
+        assert!(matches!(RoundArchive::open(&root), Err(StoreError::NotAnArchive { .. })));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn newer_schema_is_refused_not_misread() {
+        let root = temp_dir("schema");
+        RoundArchive::create(&root).unwrap();
+        fs::write(
+            root.join("archive.json"),
+            format!("{{\"schema\": {}, \"kind\": \"{ARCHIVE_KIND}\"}}", MANIFEST_SCHEMA + 1),
+        )
+        .unwrap();
+        assert!(matches!(
+            RoundArchive::open(&root),
+            Err(StoreError::UnsupportedSchema { found, .. }) if found == MANIFEST_SCHEMA + 1
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn written_round_reads_back_identically() {
+        let root = temp_dir("roundtrip");
+        let archive = RoundArchive::create(&root).unwrap();
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 21));
+        archive.write_round(&subs).unwrap();
+        let ingest = archive.read_round(Round::V05).unwrap();
+        assert!(ingest.faults.is_empty(), "{:?}", ingest.faults);
+        assert_eq!(ingest.submissions, subs);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rewriting_a_round_replaces_it() {
+        let root = temp_dir("replace");
+        let archive = RoundArchive::create(&root).unwrap();
+        archive.write_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V06, 1))).unwrap();
+        let newer = synthetic_round(&SyntheticRoundSpec::new(Round::V06, 2));
+        archive.write_round(&newer).unwrap();
+        assert_eq!(archive.rounds().unwrap(), vec![Round::V06]);
+        assert_eq!(archive.read_round(Round::V06).unwrap().submissions, newer);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn replay_builds_a_history_across_rounds() {
+        let root = temp_dir("replay");
+        let archive = RoundArchive::create(&root).unwrap();
+        for round in Round::ALL {
+            archive.write_round(&synthetic_round(&SyntheticRoundSpec::new(round, 13))).unwrap();
+        }
+        let replay = archive.replay().unwrap();
+        assert!(replay.faults.is_empty(), "{:?}", replay.faults);
+        assert_eq!(replay.history.rounds(), Round::ALL.to_vec());
+        assert_eq!(replay.history.speedup_table(16).rows.len(), 5);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

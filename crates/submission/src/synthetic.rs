@@ -38,6 +38,13 @@ pub enum Fault {
         /// The restricted hyperparameter to tamper with.
         name: String,
     },
+    /// Lower the quality target logged by the org's first run — chasing
+    /// an easier target than the round's reference, which §4.2.2
+    /// forbids in *both* divisions.
+    WrongQualityTarget {
+        /// Organization whose bundle gets the fault.
+        org: String,
+    },
 }
 
 /// Parameters of a synthetic round.
@@ -72,6 +79,7 @@ pub fn suite_version(round: Round) -> SuiteVersion {
     match round {
         Round::V05 => SuiteVersion::V05,
         Round::V06 => SuiteVersion::V06,
+        Round::V07 => SuiteVersion::V07,
     }
 }
 
@@ -105,12 +113,19 @@ fn reference_hyperparameters() -> BTreeMap<String, f64> {
     ])
 }
 
-/// The round's review references, one per comparison benchmark.
-pub fn round_references() -> Vec<BenchmarkReference> {
+/// A round's review references, one per comparison benchmark, carrying
+/// the round's quality targets and datasets.
+pub fn round_references(round: Round) -> Vec<BenchmarkReference> {
+    let version = suite_version(round);
     comparison_benchmarks()
         .into_iter()
         .map(|(id, _)| BenchmarkReference {
             benchmark: id,
+            dataset: id.spec().dataset.to_string(),
+            quality_target: id
+                .quality_for(version)
+                .expect("comparison benchmarks exist in every round")
+                .value,
             hyperparameters: reference_hyperparameters(),
             signature: reference_signature(id),
         })
@@ -126,7 +141,7 @@ fn render_run_log(
     result: &SimResult,
 ) -> String {
     let target =
-        id.quality_for(suite_version(round)).expect("comparison benchmarks exist in both rounds");
+        id.quality_for(suite_version(round)).expect("comparison benchmarks exist in every round");
     let duration_ms = (result.minutes * 60_000.0).max(1.0) as u64;
     // Cap the rendered epoch count so large-scale entries do not blow
     // up log sizes; timing comes from `minutes`, not the epoch lines.
@@ -180,6 +195,7 @@ fn vendor_bundle(vendor: &Vendor, round: Round, chips: usize, base_seed: u64) ->
             .collect();
         run_sets.push(RunSet {
             benchmark: id,
+            dataset: id.spec().dataset.to_string(),
             hyperparameters,
             signature: reference_signature(id),
             logs,
@@ -206,7 +222,8 @@ fn apply_fault(bundles: &mut [SubmissionBundle], fault: &Fault) {
     let org = match fault {
         Fault::MissingRunStop { org }
         | Fault::GarbageLine { org }
-        | Fault::IllegalHyperparameter { org, .. } => org,
+        | Fault::IllegalHyperparameter { org, .. }
+        | Fault::WrongQualityTarget { org } => org,
     };
     let Some(bundle) = bundles.iter_mut().find(|b| b.org == *org) else {
         return;
@@ -229,6 +246,21 @@ fn apply_fault(bundles: &mut [SubmissionBundle], fault: &Fault) {
             let tampered = run_set.hyperparameters.get(name).copied().unwrap_or(0.9) * 1.1;
             run_set.hyperparameters.insert(name.clone(), tampered);
         }
+        Fault::WrongQualityTarget { .. } => {
+            // Re-log the run with a 10%-easier quality target: parse,
+            // rewrite the `quality_target` entry, re-render.
+            let entries = MlLogger::parse(&run_set.logs[0]).expect("generated logs parse");
+            let mut out = String::new();
+            for mut e in entries {
+                if e.key == keys::QUALITY_TARGET {
+                    let eased = e.value.as_f64().unwrap_or(1.0) * 0.9;
+                    e.value = json!(eased);
+                }
+                let line = serde_json::to_string(&e).expect("log entries serialize");
+                out.push_str(&format!(":::MLLOG {line}\n"));
+            }
+            run_set.logs[0] = out;
+        }
     }
 }
 
@@ -249,12 +281,14 @@ pub fn synthetic_round(spec: &SyntheticRoundSpec) -> RoundSubmissions {
     for fault in &spec.faults {
         apply_fault(&mut bundles, fault);
     }
-    RoundSubmissions { round: spec.round, references: round_references(), bundles }
+    RoundSubmissions { round: spec.round, references: round_references(spec.round), bundles }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::review::Diagnostic;
+    use crate::round::run_round;
     use mlperf_core::compliance::check_log;
 
     #[test]
@@ -279,12 +313,46 @@ mod tests {
     }
 
     #[test]
+    fn references_carry_round_quality_targets() {
+        let v05 = round_references(Round::V05);
+        let v06 = round_references(Round::V06);
+        let resnet = |refs: &[BenchmarkReference]| {
+            BenchmarkReference::find(refs, BenchmarkId::ImageClassification).unwrap().quality_target
+        };
+        assert_eq!(resnet(&v05), 0.749);
+        assert_eq!(resnet(&v06), 0.759);
+        for r in &v05 {
+            assert!(!r.dataset.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_round_generates_a_full_fleet() {
+        for round in Round::ALL {
+            let subs = synthetic_round(&SyntheticRoundSpec::new(round, 6));
+            assert_eq!(subs.bundles.len(), 2 * Vendor::fleet().len(), "{round}");
+            assert!(subs.bundles.iter().all(|b| !b.run_sets.is_empty()), "{round}");
+        }
+    }
+
+    #[test]
     fn faults_land_on_the_named_org() {
         let spec = SyntheticRoundSpec::new(Round::V05, 3)
             .with_fault(Fault::MissingRunStop { org: "Aurora".into() });
         let subs = synthetic_round(&spec);
         let aurora = subs.bundles.iter().find(|b| b.org == "Aurora").unwrap();
         assert!(!aurora.run_sets[0].logs[0].contains("run_stop"));
+    }
+
+    #[test]
+    fn wrong_quality_target_fault_is_caught_by_review() {
+        let spec = SyntheticRoundSpec::new(Round::V06, 5)
+            .with_fault(Fault::WrongQualityTarget { org: "Cumulus".into() });
+        let outcome = run_round(&synthetic_round(&spec));
+        let report = outcome.quarantined.iter().find(|r| r.org == "Cumulus").unwrap();
+        assert!(report
+            .diagnostics()
+            .any(|(_, d)| matches!(d, Diagnostic::WrongQualityTarget { run: 0, .. })));
     }
 
     #[test]

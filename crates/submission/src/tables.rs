@@ -1,22 +1,165 @@
 //! Cross-round comparison tables computed from ingested logs: the
 //! paper's Figure 4 (fixed-scale speedups) and Figure 5 (scale growth
-//! of the fastest entries).
+//! of the fastest entries), generalized from a fixed v0.5/v0.6 pair to
+//! an ordered [`RoundHistory`] of arbitrarily many rounds — the shape
+//! the disk-backed archive ([`crate::store`]) ingests.
 
 use crate::round::RoundOutcome;
 use mlperf_core::report::{render_round_comparison, RoundComparisonRow};
 use mlperf_core::rules::Division;
 use mlperf_core::suite::BenchmarkId;
+use mlperf_distsim::Round;
+
+/// An ordered history of round outcomes, oldest round first. At most
+/// one outcome per round — pushing a round that is already present
+/// replaces it (re-ingesting an archive round supersedes the stale
+/// outcome).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundHistory {
+    outcomes: Vec<RoundOutcome>,
+}
+
+impl RoundHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        RoundHistory::default()
+    }
+
+    /// Builds a history from outcomes in any order; later duplicates
+    /// of a round replace earlier ones.
+    pub fn from_outcomes(outcomes: Vec<RoundOutcome>) -> Self {
+        let mut history = RoundHistory::new();
+        for outcome in outcomes {
+            history.push(outcome);
+        }
+        history
+    }
+
+    /// Inserts an outcome at its chronological position, replacing any
+    /// existing outcome for the same round.
+    pub fn push(&mut self, outcome: RoundOutcome) {
+        match self.outcomes.binary_search_by_key(&outcome.round, |o| o.round) {
+            Ok(i) => self.outcomes[i] = outcome,
+            Err(i) => self.outcomes.insert(i, outcome),
+        }
+    }
+
+    /// The rounds present, oldest first.
+    pub fn rounds(&self) -> Vec<Round> {
+        self.outcomes.iter().map(|o| o.round).collect()
+    }
+
+    /// All outcomes, oldest round first.
+    pub fn outcomes(&self) -> &[RoundOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome of one round, if present.
+    pub fn get(&self, round: Round) -> Option<&RoundOutcome> {
+        self.outcomes.iter().find(|o| o.round == round)
+    }
+
+    /// The oldest round's outcome.
+    pub fn first(&self) -> Option<&RoundOutcome> {
+        self.outcomes.first()
+    }
+
+    /// The newest round's outcome.
+    pub fn latest(&self) -> Option<&RoundOutcome> {
+        self.outcomes.last()
+    }
+
+    /// Number of rounds in the history.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the history holds no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Figure 4: round-over-round speedup of the fastest entries at a
+    /// fixed system size, one column per round in the history. A
+    /// benchmark appears only when it has an accepted entry at that
+    /// size in *every* round. Ratio is `oldest minutes / newest
+    /// minutes` — above 1.0 means the suite got faster on unchanged
+    /// hardware scale.
+    pub fn speedup_table(&self, chips: usize) -> RoundTable {
+        let rows = BenchmarkId::ALL
+            .into_iter()
+            .filter_map(|id| {
+                let values: Vec<f64> =
+                    self.outcomes.iter().map_while(|o| best_minutes_at(o, id, chips)).collect();
+                if values.len() != self.outcomes.len() || values.is_empty() {
+                    return None;
+                }
+                let ratio = values[0] / values[values.len() - 1];
+                Some(RoundComparisonRow { benchmark: id.to_string(), values, ratio })
+            })
+            .collect();
+        RoundTable {
+            title: format!("Fastest {chips}-chip entries, {} (Figure 4)", self.span_label()),
+            rounds: self.rounds(),
+            value_label: "minutes".into(),
+            ratio_label: "speedup".into(),
+            rows,
+        }
+    }
+
+    /// Figure 5: growth in the system scale of the fastest overall
+    /// entry per benchmark, one column per round. Ratio is `newest
+    /// chips / oldest chips`.
+    pub fn scale_table(&self) -> RoundTable {
+        let rows = BenchmarkId::ALL
+            .into_iter()
+            .filter_map(|id| {
+                let values: Vec<f64> = self
+                    .outcomes
+                    .iter()
+                    .map_while(|o| best_entry_chips(o, id).map(|c| c as f64))
+                    .collect();
+                if values.len() != self.outcomes.len() || values.is_empty() {
+                    return None;
+                }
+                let ratio = values[values.len() - 1] / values[0];
+                Some(RoundComparisonRow { benchmark: id.to_string(), values, ratio })
+            })
+            .collect();
+        RoundTable {
+            title: format!("Chips powering the fastest entry, {} (Figure 5)", self.span_label()),
+            rounds: self.rounds(),
+            value_label: "chips".into(),
+            ratio_label: "growth".into(),
+            rows,
+        }
+    }
+
+    /// `v0.5 vs v0.6` for a pair, `v0.5 through v0.7` for more.
+    fn span_label(&self) -> String {
+        match self.outcomes.as_slice() {
+            [] => "no rounds".to_string(),
+            [only] => only.round.to_string(),
+            [first, .., last] if self.outcomes.len() == 2 => {
+                format!("{} vs {}", first.round, last.round)
+            }
+            [first, .., last] => format!("{} through {}", first.round, last.round),
+        }
+    }
+}
 
 /// One rendered cross-round table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundTable {
     /// Table heading.
     pub title: String,
+    /// The rounds compared, oldest first (one value column each).
+    pub rounds: Vec<Round>,
     /// Unit of the per-round value columns.
     pub value_label: String,
     /// Name of the ratio column.
     pub ratio_label: String,
-    /// One row per benchmark entered in both rounds.
+    /// One row per benchmark entered in every compared round.
     pub rows: Vec<RoundComparisonRow>,
 }
 
@@ -32,7 +175,14 @@ impl RoundTable {
 
     /// Renders the table with the shared report formatter.
     pub fn render(&self) -> String {
-        render_round_comparison(&self.title, &self.value_label, &self.ratio_label, &self.rows)
+        let labels: Vec<String> = self.rounds.iter().map(|r| r.to_string()).collect();
+        render_round_comparison(
+            &self.title,
+            &labels,
+            &self.value_label,
+            &self.ratio_label,
+            &self.rows,
+        )
     }
 }
 
@@ -55,93 +205,102 @@ fn best_entry_chips(outcome: &RoundOutcome, benchmark: BenchmarkId) -> Option<us
         .map(|e| e.chips)
 }
 
-/// Figure 4: round-over-round speedup of the fastest entries at a
-/// fixed system size. Ratio is `v0.5 minutes / v0.6 minutes` — above
-/// 1.0 means v0.6 got faster on unchanged hardware scale.
-pub fn speedup_table(v05: &RoundOutcome, v06: &RoundOutcome, chips: usize) -> RoundTable {
-    let rows = BenchmarkId::ALL
-        .into_iter()
-        .filter_map(|id| {
-            let a = best_minutes_at(v05, id, chips)?;
-            let b = best_minutes_at(v06, id, chips)?;
-            Some(RoundComparisonRow { benchmark: id.to_string(), v05: a, v06: b, ratio: a / b })
-        })
-        .collect();
-    RoundTable {
-        title: format!("Fastest {chips}-chip entries, v0.5 vs v0.6 (Figure 4)"),
-        value_label: "minutes".into(),
-        ratio_label: "speedup".into(),
-        rows,
-    }
-}
-
-/// Figure 5: growth in the system scale of the fastest overall entry
-/// per benchmark. Ratio is `v0.6 chips / v0.5 chips`.
-pub fn scale_table(v05: &RoundOutcome, v06: &RoundOutcome) -> RoundTable {
-    let rows = BenchmarkId::ALL
-        .into_iter()
-        .filter_map(|id| {
-            let a = best_entry_chips(v05, id)?;
-            let b = best_entry_chips(v06, id)?;
-            Some(RoundComparisonRow {
-                benchmark: id.to_string(),
-                v05: a as f64,
-                v06: b as f64,
-                ratio: b as f64 / a as f64,
-            })
-        })
-        .collect();
-    RoundTable {
-        title: "Chips powering the fastest entry, v0.5 vs v0.6 (Figure 5)".into(),
-        value_label: "chips".into(),
-        ratio_label: "growth".into(),
-        rows,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::round::run_round;
     use crate::synthetic::{synthetic_round, SyntheticRoundSpec};
-    use mlperf_distsim::Round;
 
-    fn two_rounds() -> (RoundOutcome, RoundOutcome) {
-        let v05 = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 11)));
-        let v06 = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V06, 11)));
-        (v05, v06)
+    fn history() -> RoundHistory {
+        RoundHistory::from_outcomes(
+            Round::ALL
+                .iter()
+                .map(|&round| run_round(&synthetic_round(&SyntheticRoundSpec::new(round, 11))))
+                .collect(),
+        )
     }
 
     #[test]
-    fn speedup_table_shows_v06_faster_at_fixed_scale() {
-        let (v05, v06) = two_rounds();
-        let table = speedup_table(&v05, &v06, 16);
+    fn speedup_table_shows_rounds_getting_faster_at_fixed_scale() {
+        let table = history().speedup_table(16);
         assert_eq!(table.rows.len(), 5, "all five comparison benchmarks present");
+        assert_eq!(table.rounds, Round::ALL.to_vec());
         let avg = table.average_ratio().unwrap();
-        assert!(avg > 1.0, "v0.6 should be faster at 16 chips, got {avg}");
-        assert!(table.render().contains("speedup"));
+        assert!(avg > 1.0, "later rounds should be faster at 16 chips, got {avg}");
+        // Each row carries one value per round and improves end to end.
+        for row in &table.rows {
+            assert_eq!(row.values.len(), 3);
+            assert!(row.values[0] > row.values[2], "{row:?}");
+        }
+        let rendered = table.render();
+        assert!(rendered.contains("speedup"));
+        assert!(rendered.contains("v0.7 minutes"));
     }
 
     #[test]
     fn scale_table_shows_fastest_systems_growing() {
-        let (v05, v06) = two_rounds();
-        let table = scale_table(&v05, &v06);
+        let table = history().scale_table();
         assert_eq!(table.rows.len(), 5);
         let avg = table.average_ratio().unwrap();
-        assert!(avg > 1.0, "fastest v0.6 systems should be larger, got {avg}");
+        assert!(avg > 1.0, "fastest systems should grow across rounds, got {avg}");
     }
 
     #[test]
-    fn empty_outcomes_give_empty_tables() {
-        let (v05, _) = two_rounds();
-        let empty = RoundOutcome {
+    fn history_sorts_and_replaces_rounds() {
+        let h = history();
+        // Insert out of order: still chronological.
+        let mut rebuilt = RoundHistory::new();
+        rebuilt.push(h.get(Round::V07).unwrap().clone());
+        rebuilt.push(h.get(Round::V05).unwrap().clone());
+        rebuilt.push(h.get(Round::V06).unwrap().clone());
+        assert_eq!(rebuilt.rounds(), vec![Round::V05, Round::V06, Round::V07]);
+        assert_eq!(rebuilt.first().unwrap().round, Round::V05);
+        assert_eq!(rebuilt.latest().unwrap().round, Round::V07);
+
+        // Pushing an existing round replaces, never duplicates.
+        let replacement = RoundOutcome {
             round: Round::V06,
             accepted: Vec::new(),
             quarantined: Vec::new(),
             reports: Vec::new(),
         };
-        let table = speedup_table(&v05, &empty, 16);
-        assert!(table.rows.is_empty());
-        assert!(table.average_ratio().is_none());
+        rebuilt.push(replacement.clone());
+        assert_eq!(rebuilt.len(), 3);
+        assert_eq!(rebuilt.get(Round::V06), Some(&replacement));
+    }
+
+    #[test]
+    fn pair_history_matches_legacy_two_round_comparison() {
+        let h = history();
+        let pair = RoundHistory::from_outcomes(vec![
+            h.get(Round::V05).unwrap().clone(),
+            h.get(Round::V06).unwrap().clone(),
+        ]);
+        let table = pair.speedup_table(16);
+        assert_eq!(table.rows.len(), 5);
+        assert!(table.title.contains("v0.5 vs v0.6"));
+        let avg = table.average_ratio().unwrap();
+        assert!(avg > 1.0, "v0.6 should be faster at 16 chips, got {avg}");
+    }
+
+    #[test]
+    fn empty_and_partial_histories_give_empty_tables() {
+        let empty = RoundHistory::new();
+        assert!(empty.is_empty());
+        assert!(empty.speedup_table(16).rows.is_empty());
+        assert!(empty.scale_table().average_ratio().is_none());
+
+        // A round with no accepted entries empties every row.
+        let h = RoundHistory::from_outcomes(vec![
+            history().get(Round::V05).unwrap().clone(),
+            RoundOutcome {
+                round: Round::V06,
+                accepted: Vec::new(),
+                quarantined: Vec::new(),
+                reports: Vec::new(),
+            },
+        ]);
+        assert!(h.speedup_table(16).rows.is_empty());
+        assert!(h.scale_table().rows.is_empty());
     }
 }

@@ -26,4 +26,35 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = self.size.start + rng.index(span);
         (0..len).map(|_| self.element.sample(rng)).collect()
     }
+
+    /// Shrinks by shortening first — truncation to the minimum length,
+    /// then either half, then each single element — and only then by
+    /// shrinking elements in place. Every candidate respects the
+    /// strategy's minimum length.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.size.start;
+        let len = value.len();
+        let mut out = Vec::new();
+        if len > min {
+            out.push(value[..min].to_vec());
+            let half = len / 2;
+            if half > min {
+                out.push(value[..half].to_vec());
+                out.push(value[len - half..].to_vec());
+            }
+            for i in 0..len {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        for i in 0..len {
+            for candidate in self.element.shrink(&value[i]) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
 }

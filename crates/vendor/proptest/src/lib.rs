@@ -3,9 +3,12 @@
 //! Provides the property-testing surface the workspace uses: the
 //! [`proptest!`] macro, numeric range strategies, a regex-subset string
 //! strategy, tuple and [`collection::vec`] combinators, and the
-//! `prop_assert*` family. Failing cases are reported with their case
-//! number and the values bound for the case; shrinking is not
-//! implemented (a failing input is printed instead).
+//! `prop_assert*` family. A failing case is shrunk to a minimal
+//! counterexample before being reported: integer and float ranges
+//! shrink toward their start, vectors shed elements before shrinking
+//! the survivors in place, and tuples shrink componentwise (see
+//! [`strategy::Strategy::shrink`]). The report carries the case
+//! number, the original value, and the minimal one.
 //!
 //! The number of cases per property defaults to 96 and can be raised or
 //! lowered with the `PROPTEST_CASES` environment variable, like the
@@ -23,7 +26,10 @@ pub mod prelude {
 
 /// Declares property tests: each function parameter is bound by
 /// sampling the strategy to its right, and the body runs once per
-/// generated case.
+/// generated case. The parameter strategies are bundled into one tuple
+/// strategy and handed to
+/// [`run_property`](crate::test_runner::run_property), which shrinks a
+/// failing case to a minimal counterexample before panicking.
 ///
 /// ```ignore
 /// proptest! {
@@ -39,26 +45,16 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
-                let __cases = $crate::test_runner::cases();
-                for __case in 0..__cases {
-                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    match __result {
-                        ::std::result::Result::Ok(()) => {}
-                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
-                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
-                            panic!(
-                                "property `{}` failed at case {}/{}: {}",
-                                stringify!($name), __case + 1, __cases, __msg
-                            );
-                        }
-                    }
-                }
+                let __strategy = ($($strat,)*);
+                $crate::test_runner::run_property(
+                    stringify!($name),
+                    &__strategy,
+                    |__value: &_| {
+                        let ($($pat,)*) = ::std::clone::Clone::clone(__value);
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )*
     };
@@ -165,5 +161,66 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    /// Extracts the panic message from a caught property failure.
+    fn panic_text(result: std::thread::Result<()>) -> String {
+        let payload = result.expect_err("property should have failed");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string")
+    }
+
+    /// The property fails exactly when `x >= 10`, so greedy shrinking
+    /// toward the range start must bottom out at precisely 10 — the
+    /// minimal counterexample — regardless of the sampled value.
+    #[test]
+    fn failing_integer_shrinks_to_the_minimal_counterexample() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn fails_from_ten(x in 0u64..1000) {
+                    prop_assert!(x < 10, "x was {}", x);
+                }
+            }
+            fails_from_ten();
+        });
+        let msg = panic_text(result);
+        assert!(msg.contains("minimal: (10,)"), "{msg}");
+        assert!(msg.contains("x was 10"), "shrunk failure message re-evaluated: {msg}");
+    }
+
+    /// The property fails when any element reaches 7: shrinking must
+    /// discard every other element and then walk the survivor down to
+    /// exactly 7, giving the one-element minimal vector.
+    #[test]
+    fn failing_vec_shrinks_to_a_single_minimal_element() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn fails_on_big_element(v in crate::collection::vec(0u64..100, 1..8)) {
+                    prop_assert!(v.iter().all(|&x| x < 7), "offending vec {:?}", v);
+                }
+            }
+            fails_on_big_element();
+        });
+        let msg = panic_text(result);
+        assert!(msg.contains("minimal: ([7],)"), "{msg}");
+    }
+
+    /// Tuples shrink componentwise: both coordinates reach their own
+    /// minimal failing values independently.
+    #[test]
+    fn failing_tuple_shrinks_both_components() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn fails_in_the_corner(a in 0i32..100, b in 5usize..50) {
+                    prop_assert!(a < 3 || b < 8, "a={} b={}", a, b);
+                }
+            }
+            fails_in_the_corner();
+        });
+        let msg = panic_text(result);
+        assert!(msg.contains("minimal: (3, 8)"), "{msg}");
     }
 }

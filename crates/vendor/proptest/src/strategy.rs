@@ -5,14 +5,27 @@ use std::ops::Range;
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike the real crate there is no value tree or shrinking: `sample`
-/// draws one concrete value directly from the RNG.
+/// Unlike the real crate there is no value tree: `sample` draws one
+/// concrete value directly from the RNG, and [`Strategy::shrink`]
+/// proposes strictly-simpler variants of a failing value after the
+/// fact. The default `shrink` proposes nothing, which keeps the
+/// original failing value as the reported counterexample.
 pub trait Strategy {
     /// The type of value this strategy produces.
-    type Value;
+    type Value: Clone + std::fmt::Debug;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first.
+    ///
+    /// Every candidate must be *strictly simpler* than `value` under
+    /// some well-founded order (smaller magnitude, shorter length, …)
+    /// so the shrink loop in
+    /// [`run_property`](crate::test_runner::run_property) terminates.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -25,6 +38,25 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let r = rng.next_u64() as u128 % span;
                 (self.start as i128 + r as i128) as $t
+            }
+
+            /// Shrinks toward the range start: the start itself, the
+            /// midpoint, and the predecessor — all strictly closer to
+            /// the start than `value`.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (start, v) = (self.start as i128, *value as i128);
+                if v <= start {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                let mid = start + (v - start) / 2;
+                if mid > start {
+                    out.push(mid as $t);
+                }
+                if v - 1 > start && v - 1 != mid {
+                    out.push((v - 1) as $t);
+                }
+                out
             }
         }
     )*};
@@ -43,6 +75,21 @@ impl Strategy for Range<f64> {
             v
         }
     }
+
+    /// Shrinks toward the range start; each candidate at least halves
+    /// the distance, so the chain is finitely long.
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        if v.is_nan() || v <= self.start {
+            return Vec::new();
+        }
+        let mut out = vec![self.start];
+        let mid = self.start + (v - self.start) / 2.0;
+        if mid > self.start && mid < v {
+            out.push(mid);
+        }
+        out
+    }
 }
 
 impl Strategy for Range<f32> {
@@ -52,13 +99,28 @@ impl Strategy for Range<f32> {
         let v = (self.start as f64..self.end as f64).sample(rng) as f32;
         v.clamp(self.start, self.end.next_down())
     }
+
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let v = *value;
+        if v.is_nan() || v <= self.start {
+            return Vec::new();
+        }
+        let mut out = vec![self.start];
+        let mid = self.start + (v - self.start) / 2.0;
+        if mid > self.start && mid < v {
+            out.push(mid);
+        }
+        out
+    }
 }
 
 /// String strategies are regex-subset patterns: literal characters,
 /// backslash escapes, and `[class]` character classes with an optional
 /// `{n}` / `{m,n}` repetition (classes without a quantifier emit one
 /// character). This covers patterns like `"[a-z_]{1,20}"` without a
-/// regex engine.
+/// regex engine. Strings do not shrink: dropping characters could
+/// leave the pattern language, so the sampled string is reported
+/// as-is.
 impl Strategy for &str {
     type Value = String;
 
@@ -136,32 +198,56 @@ impl<S: Strategy> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (*self).sample(rng)
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (*self).shrink(value)
+    }
 }
 
 macro_rules! tuple_strategy {
-    ($($name:ident),*) => {
+    ($(($idx:tt, $name:ident)),*) => {
         impl<$($name: Strategy),*> Strategy for ($($name,)*) {
             type Value = ($($name::Value,)*);
 
-            #[allow(non_snake_case)]
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)*) = self;
-                ($($name.sample(rng),)*)
+                ($(self.$idx.sample(rng),)*)
+            }
+
+            /// Shrinks componentwise: each candidate simplifies one
+            /// position and clones the rest.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )*
+                out
             }
         }
     };
 }
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!((0, A));
+tuple_strategy!((0, A), (1, B));
+tuple_strategy!((0, A), (1, B), (2, C));
+tuple_strategy!((0, A), (1, B), (2, C), (3, D));
+tuple_strategy!((0, A), (1, B), (2, C), (3, D), (4, E));
+tuple_strategy!((0, A), (1, B), (2, C), (3, D), (4, E), (5, F));
+
+/// The nullary strategy, for properties that bind no values.
+impl Strategy for () {
+    type Value = ();
+
+    fn sample(&self, _rng: &mut TestRng) {}
+}
 
 /// A strategy that always yields clones of one value.
 #[derive(Debug, Clone)]
 pub struct Just<T>(pub T);
 
-impl<T: Clone> Strategy for Just<T> {
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     type Value = T;
 
     fn sample(&self, _rng: &mut TestRng) -> T {

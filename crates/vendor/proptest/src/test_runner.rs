@@ -1,5 +1,8 @@
-//! Case-loop plumbing behind the [`proptest!`](crate::proptest) macro.
+//! Case-loop plumbing behind the [`proptest!`](crate::proptest) macro:
+//! the case loop itself plus the greedy shrink search that minimizes a
+//! failing value before reporting it.
 
+use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -15,6 +18,67 @@ pub enum TestCaseError {
 /// How many cases to run per property: `PROPTEST_CASES` or 96.
 pub fn cases() -> usize {
     std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(96)
+}
+
+/// A hard cap on accepted shrink steps, so a pathological `shrink`
+/// implementation cannot spin the test forever. Far above what the
+/// built-in strategies need (halving an `f64` takes ~1100 steps).
+const MAX_SHRINK_STEPS: usize = 4096;
+
+/// The engine behind the [`proptest!`](crate::proptest) macro: runs
+/// `body` over [`cases`] sampled values, and on the first failure
+/// shrinks the value to a minimal counterexample before panicking.
+///
+/// The panic message carries the case number, the failing assertion's
+/// message (re-evaluated on the minimal value), the originally sampled
+/// value, and the minimal one — so a regression is debuggable from the
+/// test output alone.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    strategy: &S,
+    body: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) {
+    let cases = cases();
+    let mut rng = TestRng::deterministic(name);
+    for case in 0..cases {
+        let value = strategy.sample(&mut rng);
+        let message = match body(&value) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(message)) => message,
+        };
+        let (minimal, message, steps) = shrink_failure(strategy, value.clone(), message, &body);
+        panic!(
+            "property `{name}` failed at case {}/{cases}: {message}\n  \
+             original: {value:?}\n  minimal: {minimal:?} ({steps} shrink steps)",
+            case + 1
+        );
+    }
+}
+
+/// Greedy shrink search: repeatedly replace the failing value with the
+/// first of its shrink candidates that still fails, until none do.
+/// Candidates that pass or are rejected by `prop_assume!` are simply
+/// skipped. Returns the minimal value, its failure message, and how
+/// many shrink steps were taken.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut current: S::Value,
+    mut message: String,
+    body: &impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) -> (S::Value, String, usize) {
+    let mut steps = 0;
+    'search: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&current) {
+            if let Err(TestCaseError::Fail(msg)) = body(&candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                continue 'search;
+            }
+        }
+        break;
+    }
+    (current, message, steps)
 }
 
 /// The deterministic RNG driving strategy sampling. Seeded from the

@@ -1,0 +1,210 @@
+//! Integration tests for the disk-backed round archive: the
+//! write/ingest round-trip property, the multi-round history rebuilt
+//! from the archive alone, and fault tolerance against damaged trees —
+//! every fault is a quarantine diagnostic naming the offending path,
+//! never a panic.
+
+use mlperf_suite::distsim::Round;
+use mlperf_suite::submission::{
+    run_round, synthetic_round, FaultReason, RoundArchive, SyntheticRoundSpec,
+};
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_archive(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlperf-archive-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The acceptance property: a synthetic round written to disk and
+/// re-ingested produces an identical `RoundOutcome`.
+#[test]
+fn archived_round_replays_to_an_identical_outcome() {
+    let dir = temp_archive("roundtrip");
+    let archive = RoundArchive::create(&dir).unwrap();
+    for seed in [3u64, 17] {
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V06, seed));
+        archive.write_round(&subs).unwrap();
+        let ingest = archive.read_round(Round::V06).unwrap();
+        assert!(ingest.faults.is_empty(), "{:?}", ingest.faults);
+        assert_eq!(ingest.submissions, subs, "seed {seed}: submissions round-trip");
+        assert_eq!(
+            run_round(&ingest.submissions),
+            run_round(&subs),
+            "seed {seed}: outcome round-trip"
+        );
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The acceptance scenario: three archived rounds rebuild a
+/// `RoundHistory` that renders the Figure 4/5 tables from disk alone.
+#[test]
+fn history_renders_figures_from_the_archive_alone() {
+    let dir = temp_archive("history");
+    {
+        let archive = RoundArchive::create(&dir).unwrap();
+        for round in Round::ALL {
+            archive.write_round(&synthetic_round(&SyntheticRoundSpec::new(round, 41))).unwrap();
+        }
+    }
+    // A fresh handle with no in-memory state: everything comes from disk.
+    let archive = RoundArchive::open(&dir).unwrap();
+    assert_eq!(archive.rounds().unwrap(), vec![Round::V05, Round::V06, Round::V07]);
+    let replay = archive.replay().unwrap();
+    assert!(replay.faults.is_empty(), "{:?}", replay.faults);
+
+    let speedup = replay.history.speedup_table(16);
+    assert_eq!(speedup.rows.len(), 5);
+    assert!(speedup.average_ratio().unwrap() > 1.0);
+    let rendered = speedup.render();
+    assert!(rendered.contains("v0.5 minutes") && rendered.contains("v0.7 minutes"), "{rendered}");
+
+    let scale = replay.history.scale_table();
+    assert_eq!(scale.rows.len(), 5);
+    assert!(scale.average_ratio().unwrap() > 1.0);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+fn seeded_archive(tag: &str) -> (PathBuf, RoundArchive) {
+    let dir = temp_archive(tag);
+    let archive = RoundArchive::create(&dir).unwrap();
+    archive.write_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 7))).unwrap();
+    (dir, archive)
+}
+
+/// A log file truncated mid-line is flagged with its path, the bundle
+/// still loads, and review quarantines the damaged run set while the
+/// round completes.
+#[test]
+fn truncated_log_is_quarantined_with_its_path() {
+    let (dir, archive) = seeded_archive("truncated");
+    let log = dir.join("v0.5/aurora/a900x16/resnet/run_0.log");
+    let text = fs::read_to_string(&log).unwrap();
+    // Cut the file a few bytes short: the final line ends mid-JSON.
+    fs::write(&log, &text[..text.len() - 7]).unwrap();
+
+    let ingest = archive.read_round(Round::V05).unwrap();
+    assert_eq!(ingest.faults.len(), 1, "{:?}", ingest.faults);
+    let fault = &ingest.faults[0];
+    assert_eq!(fault.path, log, "fault names the damaged file");
+    assert!(matches!(fault.reason, FaultReason::MalformedLog(_)), "{fault}");
+
+    // The damaged run set is still handed to review, which quarantines
+    // it; the rest of the round scores normally.
+    let outcome = run_round(&ingest.submissions);
+    assert!(outcome.quarantined.iter().any(|r| r.org == "Aurora"));
+    assert!(outcome.accepted.iter().any(|e| e.org == "Cumulus"));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A bundle directory without `bundle.json` becomes a fault naming the
+/// directory; the other bundles still load.
+#[test]
+fn missing_manifest_is_quarantined_with_its_path() {
+    let (dir, archive) = seeded_archive("manifest");
+    let bundle_dir = dir.join("v0.5/borealis/b12x16");
+    fs::remove_file(bundle_dir.join("bundle.json")).unwrap();
+
+    let ingest = archive.read_round(Round::V05).unwrap();
+    assert_eq!(ingest.faults.len(), 1, "{:?}", ingest.faults);
+    assert_eq!(ingest.faults[0].path, bundle_dir);
+    assert!(matches!(ingest.faults[0].reason, FaultReason::MissingManifest));
+    assert!(
+        !ingest
+            .submissions
+            .bundles
+            .iter()
+            .any(|b| b.system.accelerators == 16 && b.org == "Borealis"),
+        "the manifest-less bundle is skipped"
+    );
+    assert!(
+        ingest.submissions.bundles.iter().any(|b| b.org == "Borealis"),
+        "Borealis's other (at-scale) bundle still loads"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A duplicated bundle directory (same org + system in two places) is
+/// quarantined: the copy is skipped with a fault naming its directory.
+#[test]
+fn duplicate_bundle_directory_is_quarantined() {
+    let (dir, archive) = seeded_archive("dup-bundle");
+    // Clone an existing bundle directory under a new name; its
+    // manifest still declares the same org + system.
+    let original = dir.join("v0.5/aurora/a900x16");
+    let copy = dir.join("v0.5/aurora/a900x16-copy");
+    copy_dir(&original, &copy);
+
+    let before = archive.read_round(Round::V05).unwrap();
+    // Exactly one fault: the duplicate, named by its directory.
+    assert_eq!(before.faults.len(), 1, "{:?}", before.faults);
+    assert_eq!(before.faults[0].path, copy);
+    assert!(matches!(before.faults[0].reason, FaultReason::DuplicateBundle));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A manifest listing the same benchmark twice keeps the first entry
+/// and quarantines the duplicate, naming the manifest.
+#[test]
+fn duplicate_benchmark_entry_is_quarantined() {
+    let (dir, archive) = seeded_archive("dup-bench");
+    let manifest = dir.join("v0.5/aurora/a900x16/bundle.json");
+    let text = fs::read_to_string(&manifest).unwrap();
+    // Duplicate every run-set entry: [A, B] -> [A, B, A, B].
+    let mut value: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let serde_json::Value::Object(map) = &mut value else { panic!("manifest is an object") };
+    let Some(serde_json::Value::Array(run_sets)) = map.get_mut("run_sets") else {
+        panic!("manifest has run_sets")
+    };
+    let copies = run_sets.clone();
+    run_sets.extend(copies);
+    fs::write(&manifest, serde_json::to_string_pretty(&value).unwrap()).unwrap();
+
+    let ingest = archive.read_round(Round::V05).unwrap();
+    assert!(!ingest.faults.is_empty());
+    for fault in &ingest.faults {
+        assert_eq!(fault.path, manifest);
+        assert!(matches!(fault.reason, FaultReason::DuplicateBenchmark(_)), "{fault}");
+    }
+    // The first copy of each benchmark survives.
+    let bundle = ingest
+        .submissions
+        .bundles
+        .iter()
+        .find(|b| b.org == "Aurora" && b.system.accelerators == 16)
+        .unwrap();
+    let mut benchmarks: Vec<_> = bundle.run_sets.iter().map(|rs| rs.benchmark).collect();
+    benchmarks.dedup();
+    assert_eq!(benchmarks.len(), bundle.run_sets.len(), "no duplicate benchmarks survive");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An unreadable round never aborts a whole-archive replay.
+#[test]
+fn corrupt_round_manifest_never_panics_the_replay() {
+    let (dir, archive) = seeded_archive("corrupt-round");
+    archive.write_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V06, 8))).unwrap();
+    fs::write(dir.join("v0.5/round.json"), "{ definitely not json").unwrap();
+
+    let replay = archive.replay().unwrap();
+    assert_eq!(replay.history.rounds(), vec![Round::V06], "the healthy round still replays");
+    assert_eq!(replay.faults.len(), 1);
+    assert_eq!(replay.faults[0].path, dir.join("v0.5"));
+    assert!(matches!(replay.faults[0].reason, FaultReason::UnreadableRound(_)));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+fn copy_dir(from: &PathBuf, to: &PathBuf) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            fs::copy(entry.path(), &target).unwrap();
+        }
+    }
+}

@@ -10,7 +10,7 @@ use mlperf_suite::core::rules::{borrow_hyperparameters, Division, Hyperparameter
 use mlperf_suite::core::suite::BenchmarkId;
 use mlperf_suite::distsim::Round;
 use mlperf_suite::submission::{
-    leaderboards, run_round, synthetic_round, Diagnostic, Fault, SyntheticRoundSpec,
+    leaderboards, run_round, synthetic_round, Diagnostic, Fault, RoundHistory, SyntheticRoundSpec,
 };
 
 #[test]
@@ -89,4 +89,31 @@ fn three_vendor_round_quarantines_and_ranks() {
         .expect("ResNet leaderboard exists");
     assert!(!resnet.entries.iter().any(|e| e.org == "Borealis" && e.chips == 16));
     assert!(resnet.entries.iter().any(|e| e.org == "Borealis" && e.chips != 16));
+}
+
+#[test]
+fn three_round_history_renders_the_papers_figures() {
+    // v0.5 through v0.7, reviewed in memory and stacked into a history:
+    // the Figure 4 speedup table carries one column per round and shows
+    // the suite getting faster at the fixed 16-chip comparison point,
+    // while Figure 5 shows the fastest systems growing.
+    let history = RoundHistory::from_outcomes(
+        Round::ALL
+            .iter()
+            .map(|&round| run_round(&synthetic_round(&SyntheticRoundSpec::new(round, 31))))
+            .collect(),
+    );
+    assert_eq!(history.rounds(), vec![Round::V05, Round::V06, Round::V07]);
+
+    let speedup = history.speedup_table(16);
+    assert_eq!(speedup.rows.len(), 5, "all five comparison benchmarks present");
+    assert!(speedup.average_ratio().unwrap() > 1.0);
+    let rendered = speedup.render();
+    for label in ["v0.5 minutes", "v0.6 minutes", "v0.7 minutes", "speedup"] {
+        assert!(rendered.contains(label), "missing `{label}` in:\n{rendered}");
+    }
+
+    let scale = history.scale_table();
+    assert_eq!(scale.rows.len(), 5);
+    assert!(scale.average_ratio().unwrap() > 1.0, "fastest systems should grow across rounds");
 }
