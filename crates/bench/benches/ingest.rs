@@ -8,7 +8,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlperf_core::mllog::{parse_mllog_line, MlLogger};
 use mlperf_distsim::Round;
-use mlperf_submission::{run_round, synthetic_round, RoundArchive, SyntheticRoundSpec};
+use mlperf_submission::{
+    run_round, run_round_with, synthetic_round, RoundArchive, SyntheticRoundSpec,
+};
+use mlperf_telemetry::Telemetry;
 use std::hint::black_box;
 
 /// One synthetic round at the default fleet size: 6 bundles, ~200 log
@@ -39,6 +42,15 @@ fn bench_run_round(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function(format!("run_round_{}_bundles_{logs}_logs", subs.bundles.len()), |b| {
         b.iter(|| run_round(black_box(&subs)))
+    });
+    // The same workload with telemetry recording: the gap between this
+    // and the line above is the full cost of span + metric capture
+    // (per-log spans included); BENCH.md tracks both.
+    group.bench_function("run_round_traced", |b| {
+        b.iter(|| {
+            let telemetry = Telemetry::recording();
+            run_round_with(black_box(&subs), &telemetry)
+        })
     });
     group.finish();
 }

@@ -3,9 +3,9 @@
 //!
 //! ```sh
 //! round_pipeline write  --archive DIR [--rounds N] [--seed N]
-//! round_pipeline ingest --archive DIR
+//! round_pipeline ingest --archive DIR [--trace FILE]
 //! round_pipeline report --archive DIR [--chips N]
-//! round_pipeline demo              # all three against a temp archive
+//! round_pipeline demo [--trace FILE]  # all three against a temp archive
 //! ```
 //!
 //! `write` generates synthetic multi-vendor rounds (each with a
@@ -15,22 +15,32 @@
 //! over every round, and reports what was accepted, quarantined, or
 //! damaged on disk. `report` renders the per-round leaderboards and
 //! the paper's Figure 4/5 cross-round tables — computed from the
-//! archived logs alone.
+//! archived logs alone. Figure 4 anchors at the data-driven common
+//! scale of the ingested history unless `--chips` pins one.
+//!
+//! `--trace FILE` records telemetry for the run — spans and metrics
+//! from the harness, ingest, and store layers — writes them as Chrome
+//! `trace_event` JSON-lines (load in `chrome://tracing` or Perfetto),
+//! and prints a plain-text summary report.
 
 use mlperf_bench::write_json;
-use mlperf_core::report::render_leaderboard;
+use mlperf_core::benchmarks::NcfBenchmark;
+use mlperf_core::harness::run_benchmark_with;
+use mlperf_core::report::{render_leaderboard, render_telemetry_report};
+use mlperf_core::timing::RealClock;
 use mlperf_distsim::Round;
 use mlperf_submission::{
     leaderboards, synthetic_round, ArchiveReplay, Fault, RoundArchive, SyntheticRoundSpec,
 };
+use mlperf_telemetry::{write_trace, Telemetry};
 use serde_json::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: round_pipeline <write|ingest|report|demo> [--archive DIR] [--rounds N] \
-         [--seed N] [--chips N]"
+        "usage: round_pipeline [write|ingest|report|demo] [--archive DIR] [--rounds N] \
+         [--seed N] [--chips N] [--trace FILE]"
     );
     ExitCode::FAILURE
 }
@@ -41,20 +51,36 @@ struct Args {
     archive: Option<PathBuf>,
     rounds: usize,
     seed: u64,
-    chips: usize,
+    /// Figure 4 anchor; `None` means the history's data-driven
+    /// common scale.
+    chips: Option<usize>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Option<Args> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().unwrap_or_else(|| "demo".to_string());
-    let mut parsed = Args { command, archive: None, rounds: Round::ALL.len(), seed: 21, chips: 16 };
+    let mut args = std::env::args().skip(1).peekable();
+    // A leading flag means the subcommand was omitted: default to demo
+    // so `round_pipeline --trace out.jsonl` works.
+    let command = match args.peek() {
+        Some(first) if !first.starts_with("--") => args.next().unwrap(),
+        _ => "demo".to_string(),
+    };
+    let mut parsed = Args {
+        command,
+        archive: None,
+        rounds: Round::ALL.len(),
+        seed: 21,
+        chips: None,
+        trace: None,
+    };
     while let Some(flag) = args.next() {
         let value = args.next()?;
         match flag.as_str() {
             "--archive" => parsed.archive = Some(PathBuf::from(value)),
             "--rounds" => parsed.rounds = value.parse().ok()?,
             "--seed" => parsed.seed = value.parse().ok()?,
-            "--chips" => parsed.chips = value.parse().ok()?,
+            "--chips" => parsed.chips = Some(value.parse().ok()?),
+            "--trace" => parsed.trace = Some(PathBuf::from(value)),
             _ => return None,
         }
     }
@@ -78,8 +104,14 @@ fn round_spec(round: Round, seed: u64) -> SyntheticRoundSpec {
     }
 }
 
-fn write_archive(dir: &PathBuf, rounds: usize, seed: u64) -> Result<RoundArchive, String> {
-    let archive = RoundArchive::create(dir).map_err(|e| e.to_string())?;
+fn write_archive(
+    dir: &PathBuf,
+    rounds: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<RoundArchive, String> {
+    let archive =
+        RoundArchive::create(dir).map_err(|e| e.to_string())?.with_telemetry(telemetry.clone());
     for (i, round) in Round::ALL.into_iter().take(rounds).enumerate() {
         let subs = synthetic_round(&round_spec(round, seed + i as u64));
         let logs: usize =
@@ -116,7 +148,10 @@ fn ingest_archive(archive: &RoundArchive) -> Result<ArchiveReplay, String> {
     Ok(replay)
 }
 
-fn report_archive(replay: &ArchiveReplay, chips: usize) {
+fn report_archive(replay: &ArchiveReplay, chips: Option<usize>) {
+    // Anchor Figure 4 at the requested scale, else the data-driven
+    // common scale of the ingested history (16 when none is shared).
+    let chips = chips.unwrap_or_else(|| replay.history.common_scale().unwrap_or(16));
     for outcome in replay.history.outcomes() {
         println!("\n=== round {} leaderboards ===\n", outcome.round);
         for board in leaderboards(outcome) {
@@ -131,38 +166,74 @@ fn report_archive(replay: &ArchiveReplay, chips: usize) {
     println!("{}", scale.render());
 }
 
+/// One instrumented real harness run — the NCF benchmark on the wall
+/// clock — so a traced demo carries `harness`-layer spans alongside
+/// the ingest and store layers.
+fn demo_harness_run(telemetry: &Telemetry) {
+    let clock = RealClock::new();
+    let mut bench = NcfBenchmark::new();
+    let result = run_benchmark_with(&mut bench, 7, &clock, telemetry);
+    println!(
+        "harness run ({}, seed {}): {} epochs, quality {:.4}, reached target: {}\n",
+        result.benchmark, result.seed, result.epochs, result.quality, result.reached_target
+    );
+}
+
+/// Writes the Chrome `trace_event` file and prints the plain-text
+/// telemetry summary. No-op without `--trace`.
+fn flush_trace(trace: Option<&PathBuf>, telemetry: &Telemetry) -> Result<(), String> {
+    let Some(path) = trace else {
+        return Ok(());
+    };
+    let snapshot = telemetry.snapshot();
+    write_trace(&snapshot, path).map_err(|e| e.to_string())?;
+    println!("\n{}", render_telemetry_report(&snapshot));
+    println!("wrote trace {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
+    let telemetry =
+        if args.trace.is_some() { Telemetry::recording() } else { Telemetry::disabled() };
     println!("MLPerf submission-round pipeline (Section 4)\n");
 
     let result = match args.command.as_str() {
         "write" => {
-            let Some(dir) = args.archive else {
+            let Some(dir) = args.archive.as_ref() else {
                 eprintln!("write requires --archive DIR");
                 return ExitCode::FAILURE;
             };
-            write_archive(&dir, args.rounds, args.seed).map(|_| ())
+            write_archive(dir, args.rounds, args.seed, &telemetry).map(|_| ())
         }
-        "ingest" => RoundArchive::open(args.archive.unwrap_or_else(|| PathBuf::from(".")))
-            .map_err(|e| e.to_string())
-            .and_then(|archive| ingest_archive(&archive).map(|_| ())),
-        "report" => RoundArchive::open(args.archive.unwrap_or_else(|| PathBuf::from(".")))
+        "ingest" => RoundArchive::open(args.archive.clone().unwrap_or_else(|| PathBuf::from(".")))
             .map_err(|e| e.to_string())
             .and_then(|archive| {
-                let replay = ingest_archive(&archive)?;
+                ingest_archive(&archive.with_telemetry(telemetry.clone())).map(|_| ())
+            }),
+        "report" => RoundArchive::open(args.archive.clone().unwrap_or_else(|| PathBuf::from(".")))
+            .map_err(|e| e.to_string())
+            .and_then(|archive| {
+                let replay = ingest_archive(&archive.with_telemetry(telemetry.clone()))?;
                 report_archive(&replay, args.chips);
                 Ok(())
             }),
         "demo" => {
             let dir = args
                 .archive
+                .clone()
                 .unwrap_or_else(|| mlperf_bench::experiments_dir().join("round_archive"));
-            write_archive(&dir, args.rounds, args.seed).and_then(|archive| {
+            write_archive(&dir, args.rounds, args.seed, &telemetry).and_then(|archive| {
                 println!();
+                if telemetry.is_enabled() {
+                    demo_harness_run(&telemetry);
+                }
                 let replay = ingest_archive(&archive)?;
                 report_archive(&replay, args.chips);
+                let chips =
+                    args.chips.unwrap_or_else(|| replay.history.common_scale().unwrap_or(16));
                 let per_round: Vec<_> = replay
                     .history
                     .outcomes()
@@ -179,7 +250,8 @@ fn main() -> ExitCode {
                     "archive": archive.root().display().to_string(),
                     "rounds": per_round,
                     "storage_faults": replay.faults.len(),
-                    "avg_speedup_at_chips": replay.history.speedup_table(args.chips).average_ratio(),
+                    "anchor_chips": chips,
+                    "avg_speedup_at_chips": replay.history.speedup_table(chips).average_ratio(),
                     "avg_scale_growth": replay.history.scale_table().average_ratio(),
                 });
                 let path = write_json("round_pipeline", &summary);
@@ -189,6 +261,7 @@ fn main() -> ExitCode {
         }
         _ => return usage(),
     };
+    let result = result.and_then(|()| flush_trace(args.trace.as_ref(), &telemetry));
 
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -7,7 +7,8 @@
 use crate::mllog::{keys, MlLogger};
 use crate::suite::BenchmarkId;
 use crate::timing::{Clock, RunTimer};
-use serde_json::json;
+use mlperf_telemetry::{arg, Telemetry};
+use serde_json::{json, Map};
 use std::time::Duration;
 
 /// A trainable workload the harness can time.
@@ -72,11 +73,32 @@ pub struct RunResult {
 
 /// Runs one complete timed training session under the paper's rules.
 pub fn run_benchmark(bench: &mut dyn Benchmark, seed: u64, clock: &dyn Clock) -> RunResult {
+    run_benchmark_with(bench, seed, clock, &Telemetry::disabled())
+}
+
+/// [`run_benchmark`] with instrumentation: emits one `harness`-layer
+/// span per lifecycle stage (`prepare`, `create_model`, each `epoch`
+/// and `eval`) under a root `run` span, all timestamped from the run's
+/// own `clock`, plus `harness.*` counters. With a disabled handle this
+/// is exactly [`run_benchmark`]: no spans, no clock reads beyond the
+/// timer's.
+pub fn run_benchmark_with(
+    bench: &mut dyn Benchmark,
+    seed: u64,
+    clock: &dyn Clock,
+    telemetry: &Telemetry,
+) -> RunResult {
     let mut logger = MlLogger::new();
     let mut timer = RunTimer::new(clock);
     let log_time = |logger: &mut MlLogger, clock: &dyn Clock| {
         logger.set_time_ms(clock.now().as_millis() as u64);
     };
+    let slug = bench.id().slug();
+    let mut scope = telemetry.scope(clock);
+    let run_span = scope.start_with("harness", "run", || {
+        Map::from([arg("benchmark", json!(slug)), arg("seed", json!(seed))])
+    });
+    telemetry.counter("harness.runs").incr();
 
     log_time(&mut logger, clock);
     logger.log(keys::SUBMISSION_BENCHMARK, json!(bench.id().slug()));
@@ -89,10 +111,10 @@ pub fn run_benchmark(bench: &mut dyn Benchmark, seed: u64, clock: &dyn Clock) ->
     // Untimed: system init + data preparation/reformatting.
     logger.log(keys::INIT_START, json!(null));
     timer.begin_reformatting();
-    bench.prepare();
+    scope.record("harness", "prepare", || bench.prepare());
     // Untimed (capped): model creation.
     timer.begin_model_creation();
-    bench.create_model(seed);
+    scope.record("harness", "create_model", || bench.create_model(seed));
     log_time(&mut logger, clock);
     logger.log(keys::INIT_STOP, json!(null));
 
@@ -101,6 +123,7 @@ pub fn run_benchmark(bench: &mut dyn Benchmark, seed: u64, clock: &dyn Clock) ->
     log_time(&mut logger, clock);
     logger.log(keys::RUN_START, json!(null));
     let target = bench.target();
+    let epoch_counter = telemetry.counter("harness.epochs");
     let mut quality = f64::NEG_INFINITY;
     let mut history = Vec::new();
     let mut epochs = 0;
@@ -108,10 +131,16 @@ pub fn run_benchmark(bench: &mut dyn Benchmark, seed: u64, clock: &dyn Clock) ->
     while epochs < bench.max_epochs() {
         log_time(&mut logger, clock);
         logger.log(keys::EPOCH_START, json!(epochs));
+        let epoch_span =
+            scope.start_with("harness", "epoch", || Map::from([arg("epoch", json!(epochs))]));
         bench.train_epoch(epochs);
+        scope.end(epoch_span);
+        epoch_counter.incr();
         log_time(&mut logger, clock);
         logger.log(keys::EPOCH_STOP, json!(epochs));
+        let eval_span = scope.start("harness", "eval");
         quality = bench.evaluate();
+        scope.end_with(eval_span, || Map::from([arg("quality", json!(quality))]));
         history.push(quality);
         log_time(&mut logger, clock);
         logger.log(keys::EVAL_ACCURACY, json!(quality));
@@ -124,6 +153,16 @@ pub fn run_benchmark(bench: &mut dyn Benchmark, seed: u64, clock: &dyn Clock) ->
     timer.stop();
     log_time(&mut logger, clock);
     logger.log(keys::RUN_STOP, json!({"status": if reached { "success" } else { "aborted" }}));
+    if reached {
+        telemetry.counter("harness.epochs_to_target").add(epochs as u64);
+    }
+    scope.end_with(run_span, || {
+        Map::from([
+            arg("epochs", json!(epochs)),
+            arg("quality", json!(quality)),
+            arg("reached_target", json!(reached)),
+        ])
+    });
 
     RunResult {
         benchmark: bench.id(),
@@ -148,6 +187,16 @@ pub fn run_benchmark_set<F>(make: F, seeds: &[u64]) -> Vec<RunResult>
 where
     F: Fn() -> Box<dyn Benchmark> + Sync,
 {
+    run_benchmark_set_with(make, seeds, &Telemetry::disabled())
+}
+
+/// [`run_benchmark_set`] with instrumentation: every run's spans land
+/// in the shared `telemetry` sink, each on its own track, with each
+/// run's per-thread clock aligned onto the sink timeline.
+pub fn run_benchmark_set_with<F>(make: F, seeds: &[u64], telemetry: &Telemetry) -> Vec<RunResult>
+where
+    F: Fn() -> Box<dyn Benchmark> + Sync,
+{
     std::thread::scope(|scope| {
         let handles: Vec<_> = seeds
             .iter()
@@ -156,7 +205,7 @@ where
                 scope.spawn(move || {
                     let mut bench = make();
                     let clock = crate::timing::RealClock::new();
-                    run_benchmark(bench.as_mut(), seed, &clock)
+                    run_benchmark_with(bench.as_mut(), seed, &clock, telemetry)
                 })
             })
             .collect();
@@ -285,6 +334,38 @@ mod tests {
             assert_eq!(result.quality_history, sequential.quality_history);
             assert_eq!(result.epochs, sequential.epochs);
         }
+    }
+
+    #[test]
+    fn instrumented_run_emits_stage_spans_on_the_sim_clock() {
+        let clock = SimClock::new();
+        let mut bench = Scripted::new(clock.clone(), vec![0.1, 0.9], 0.5);
+        let telemetry = Telemetry::recording();
+        let result = run_benchmark_with(&mut bench, 11, &clock, &telemetry);
+        assert!(result.reached_target);
+
+        let snapshot = telemetry.snapshot();
+        // Root run span + prepare + create_model + 2 epochs + 2 evals.
+        assert_eq!(snapshot.spans_in("harness").count(), 7);
+        let run = snapshot.spans.iter().find(|s| s.name == "run").unwrap();
+        assert_eq!(run.parent, None);
+        assert_eq!(run.args.get("benchmark"), Some(&json!("ncf")));
+        assert_eq!(run.args.get("reached_target"), Some(&json!(true)));
+        assert!(
+            snapshot.spans.iter().filter(|s| s.name != "run").all(|s| s.parent == Some(run.id)),
+            "stage spans nest under the run span"
+        );
+        // Durations come from the simulated clock, exactly.
+        let epoch = snapshot.spans.iter().find(|s| s.name == "epoch").unwrap();
+        assert_eq!(epoch.duration_us(), 10_000_000);
+        let prepare = snapshot.spans.iter().find(|s| s.name == "prepare").unwrap();
+        assert_eq!(prepare.duration_us(), 100_000_000);
+
+        let counter =
+            |name: &str| snapshot.counters.iter().find(|c| c.name == name).map(|c| c.value);
+        assert_eq!(counter("harness.runs"), Some(1));
+        assert_eq!(counter("harness.epochs"), Some(2));
+        assert_eq!(counter("harness.epochs_to_target"), Some(2));
     }
 
     #[test]

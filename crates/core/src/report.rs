@@ -5,6 +5,7 @@
 
 use crate::rules::{Category, Division, SystemType};
 use crate::suite::BenchmarkId;
+use mlperf_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -179,6 +180,68 @@ pub fn render_round_comparison(
     out
 }
 
+/// Renders a telemetry snapshot as a plain-text summary: span time
+/// grouped by layer and name (first-seen order), then the counter,
+/// gauge and histogram readings. The plain-text sibling of the Chrome
+/// trace exporter — what `round_pipeline --trace` prints after ingest.
+pub fn render_telemetry_report(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    writeln!(out, "telemetry report").unwrap();
+    if snapshot.is_empty() {
+        writeln!(out, "  (nothing recorded)").unwrap();
+        return out;
+    }
+    if !snapshot.spans.is_empty() {
+        writeln!(
+            out,
+            "{:<8} {:<24} {:>7} {:>12} {:>12}",
+            "layer", "span", "count", "total_ms", "mean_ms"
+        )
+        .unwrap();
+        // Aggregate per (layer, name), first-seen order.
+        let mut groups: Vec<(&str, &str, u64, u64)> = Vec::new();
+        for span in &snapshot.spans {
+            match groups.iter_mut().find(|(l, n, ..)| *l == span.layer && *n == span.name) {
+                Some((.., count, total_us)) => {
+                    *count += 1;
+                    *total_us += span.duration_us();
+                }
+                None => groups.push((&span.layer, &span.name, 1, span.duration_us())),
+            }
+        }
+        for (layer, name, count, total_us) in groups {
+            let total_ms = total_us as f64 / 1e3;
+            writeln!(
+                out,
+                "{layer:<8} {name:<24} {count:>7} {total_ms:>12.3} {:>12.3}",
+                total_ms / count as f64
+            )
+            .unwrap();
+        }
+    }
+    if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
+        writeln!(out, "counters").unwrap();
+        for c in &snapshot.counters {
+            writeln!(out, "  {:<40} {:>12}", c.name, c.value).unwrap();
+        }
+        for g in &snapshot.gauges {
+            writeln!(out, "  {:<40} {:>12}  (gauge)", g.name, g.value).unwrap();
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        writeln!(out, "histograms").unwrap();
+        for h in &snapshot.histograms {
+            let mean = h.mean().map_or_else(|| "-".to_string(), |m| format!("{m:.2}"));
+            write!(out, "  {:<40} count {:>6}  mean {mean:>8}  ", h.name, h.count).unwrap();
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                write!(out, "le_{bound}:{count} ").unwrap();
+            }
+            writeln!(out, "inf:{}", h.counts.last().copied().unwrap_or(0)).unwrap();
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +346,31 @@ mod tests {
         let table = render_round_comparison("Figure 4", &labels, "minutes", "speedup", &rows);
         assert!(table.contains("average speedup: 1.50x"), "table:\n{table}");
         assert!(table.contains("v0.5 minutes") && table.contains("v0.6 minutes"));
+    }
+
+    #[test]
+    fn telemetry_report_groups_spans_and_lists_metrics() {
+        let telemetry = mlperf_telemetry::Telemetry::recording();
+        let mut scope = telemetry.timeline_scope();
+        scope.record("harness", "epoch", || ());
+        scope.record("harness", "epoch", || ());
+        scope.record("ingest", "parse_log", || ());
+        telemetry.counter("ingest.logs").add(3);
+        telemetry.gauge("pool.workers").set(4);
+        telemetry.histogram("latency", &[10.0]).observe(2.0);
+        let report = render_telemetry_report(&telemetry.snapshot());
+        let epoch_line = report.lines().find(|l| l.contains("epoch")).unwrap();
+        assert!(epoch_line.starts_with("harness"), "line: {epoch_line}");
+        assert_eq!(epoch_line.split_whitespace().nth(2), Some("2"), "grouped count");
+        assert!(report.contains("ingest.logs"));
+        assert!(report.contains("(gauge)"));
+        assert!(report.contains("le_10:1"));
+    }
+
+    #[test]
+    fn telemetry_report_handles_empty_snapshot() {
+        let report = render_telemetry_report(&mlperf_telemetry::Telemetry::disabled().snapshot());
+        assert!(report.contains("nothing recorded"));
     }
 
     #[test]

@@ -20,10 +20,10 @@ pub const MODEL_CREATION_CAP: Duration = Duration::from_secs(20 * 60);
 
 /// A monotonic time source. Real runs use [`RealClock`]; the timing
 /// tests use [`SimClock`] to script arbitrary stage durations.
-pub trait Clock {
-    /// Time elapsed since an arbitrary fixed origin.
-    fn now(&self) -> Duration;
-}
+///
+/// Re-exported from `mlperf-telemetry`, so the same clock drives both
+/// the time-to-train timer and the telemetry spans of a run.
+pub use mlperf_telemetry::Clock;
 
 /// Wall-clock time via [`Instant`].
 #[derive(Debug)]

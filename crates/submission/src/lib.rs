@@ -43,7 +43,7 @@ pub mod tables;
 pub use bundle::{BenchmarkReference, RunSet, SubmissionBundle};
 pub use leaderboard::{leaderboards, Leaderboard};
 pub use review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
-pub use round::{run_round, AcceptedEntry, RoundOutcome, RoundSubmissions};
+pub use round::{run_round, run_round_with, AcceptedEntry, RoundOutcome, RoundSubmissions};
 pub use store::{
     ArchiveReplay, FaultReason, RoundArchive, RoundIngest, StoreError, StoreFault, MANIFEST_SCHEMA,
 };

@@ -12,6 +12,8 @@ use mlperf_core::mllog::MlLogger;
 use mlperf_core::rules::Division;
 use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
+use mlperf_telemetry::{arg, Gauge, Histogram, SpanId, Telemetry};
+use serde_json::{json, Map};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -78,8 +80,35 @@ impl RoundOutcome {
 /// Applies `f` to every item on a scoped worker pool (one worker per
 /// available core, capped at the item count) and returns the results
 /// in item order. The pool is a shared atomic cursor, so cheap items
-/// never wait behind an unlucky static partition.
+/// never wait behind an unlucky static partition. The uninstrumented
+/// convenience over [`parallel_map_with`]; production callers thread a
+/// telemetry handle through instead.
+#[cfg(test)]
 pub(crate) fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(items, f, &Telemetry::disabled(), "map", None)
+}
+
+/// Bucket bounds for the items-claimed-per-worker histogram.
+const ITEMS_PER_WORKER_BUCKETS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// The instrumented worker pool: one `ingest`-layer span named `name`
+/// per item (on the claiming worker's track, parented under `parent`),
+/// an `ingest.<name>.workers` gauge with the pool size, and an
+/// `ingest.<name>.items_per_worker` histogram showing how evenly the
+/// atomic cursor spread the work. With a disabled handle the
+/// instrumentation vanishes — the metric names are never even built.
+pub(crate) fn parallel_map_with<T, R, F>(
+    items: &[T],
+    f: F,
+    telemetry: &Telemetry,
+    name: &'static str,
+    parent: Option<SpanId>,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -93,20 +122,39 @@ where
         .unwrap_or(1)
         .min(items.len())
         .max(1);
+    let (pool_gauge, per_worker) = if telemetry.is_enabled() {
+        (
+            telemetry.gauge(&format!("ingest.{name}.workers")),
+            telemetry
+                .histogram(&format!("ingest.{name}.items_per_worker"), &ITEMS_PER_WORKER_BUCKETS),
+        )
+    } else {
+        (Gauge::disabled(), Histogram::disabled())
+    };
+    pool_gauge.set(workers as u64);
 
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| {
+                let per_worker = per_worker.clone();
+                let (next, f) = (&next, &f);
+                scope.spawn(move || {
+                    let mut span_scope = telemetry.timeline_scope_under(parent);
                     let mut out = Vec::new();
+                    let mut claimed = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
+                        claimed += 1;
+                        let span = span_scope
+                            .start_with("ingest", name, || Map::from([arg("item", json!(i))]));
                         out.push((i, f(&items[i])));
+                        span_scope.end(span);
                     }
+                    per_worker.observe(claimed as f64);
                     out
                 })
             })
@@ -126,8 +174,35 @@ where
 /// violations, and even panics inside parsing or review become
 /// quarantined reports. A bad bundle can never abort the round.
 pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
+    run_round_with(submissions, &Telemetry::disabled())
+}
+
+/// [`run_round`] with instrumentation: an `ingest`-layer `run_round`
+/// span wrapping `parse_logs` and `review_bundles` stage spans, a span
+/// per parsed log and per reviewed bundle (each on its claiming
+/// worker's track), worker-pool gauges and utilization histograms, and
+/// `ingest.*` counters. A disabled handle makes this exactly
+/// [`run_round`].
+pub fn run_round_with(submissions: &RoundSubmissions, telemetry: &Telemetry) -> RoundOutcome {
+    run_round_under(submissions, telemetry, None)
+}
+
+/// [`run_round_with`] with the root span parented under `parent` — how
+/// the archive's replay nests each round's ingest under its own span.
+pub(crate) fn run_round_under(
+    submissions: &RoundSubmissions,
+    telemetry: &Telemetry,
+    parent: Option<SpanId>,
+) -> RoundOutcome {
     let bundles = &submissions.bundles;
     let references = &submissions.references;
+    let mut scope = telemetry.timeline_scope_under(parent);
+    let round_span = scope.start_with("ingest", "run_round", || {
+        Map::from([
+            arg("round", json!(submissions.round.label())),
+            arg("bundles", json!(bundles.len())),
+        ])
+    });
 
     // Stage 1: flatten every log across every bundle and parse them
     // concurrently, panics contained per log.
@@ -140,10 +215,21 @@ pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
             })
         })
         .collect();
-    let parsed_flat: Vec<ParsedLog> = parallel_map(&log_refs, |(_, _, _, text)| {
-        catch_unwind(AssertUnwindSafe(|| MlLogger::parse(text)))
-            .unwrap_or_else(|payload| Err(format!("parser panicked: {}", panic_message(&payload))))
-    });
+    let parse_span = scope
+        .start_with("ingest", "parse_logs", || Map::from([arg("logs", json!(log_refs.len()))]));
+    let parsed_flat: Vec<ParsedLog> = parallel_map_with(
+        &log_refs,
+        |(_, _, _, text)| {
+            catch_unwind(AssertUnwindSafe(|| MlLogger::parse(text))).unwrap_or_else(|payload| {
+                Err(format!("parser panicked: {}", panic_message(&payload)))
+            })
+        },
+        telemetry,
+        "parse_log",
+        scope.current(),
+    );
+    scope.end(parse_span);
+    telemetry.counter("ingest.logs_parsed").add(log_refs.len() as u64);
 
     // Reassemble the flat parse results into per-bundle/per-set shape.
     let mut parsed: Vec<Vec<Vec<ParsedLog>>> = bundles
@@ -156,10 +242,19 @@ pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
 
     // Stage 2: review bundles concurrently with their parsed logs.
     let work: Vec<(usize, &SubmissionBundle)> = bundles.iter().enumerate().collect();
-    let reports: Vec<ReviewReport> = parallel_map(&work, |(i, bundle)| {
-        catch_unwind(AssertUnwindSafe(|| review_bundle_parsed(bundle, references, &parsed[*i])))
-            .unwrap_or_else(|payload| panicked_report(bundle, &payload))
-    });
+    let review_span = scope.start("ingest", "review_bundles");
+    let reports: Vec<ReviewReport> = parallel_map_with(
+        &work,
+        |(i, bundle)| {
+            catch_unwind(AssertUnwindSafe(|| review_bundle_parsed(bundle, references, &parsed[*i])))
+                .unwrap_or_else(|payload| panicked_report(bundle, &payload))
+        },
+        telemetry,
+        "review_bundle",
+        scope.current(),
+    );
+    scope.end(review_span);
+    telemetry.counter("ingest.bundles_reviewed").add(bundles.len() as u64);
 
     let mut accepted = Vec::new();
     let mut quarantined = Vec::new();
@@ -181,6 +276,11 @@ pub fn run_round(submissions: &RoundSubmissions) -> RoundOutcome {
             quarantined.push(report.clone());
         }
     }
+    let (n_accepted, n_quarantined) = (accepted.len(), quarantined.len());
+    telemetry.counter("ingest.quarantined").add(n_quarantined as u64);
+    scope.end_with(round_span, || {
+        Map::from([arg("accepted", json!(n_accepted)), arg("quarantined", json!(n_quarantined))])
+    });
 
     RoundOutcome { round: submissions.round, accepted, quarantined, reports }
 }
@@ -258,6 +358,52 @@ mod tests {
         let doubled = parallel_map(&items, |i| i * 2);
         assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
         assert!(parallel_map::<usize, usize, _>(&[], |i| *i).is_empty());
+    }
+
+    #[test]
+    fn instrumented_round_traces_all_three_stages() {
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 3));
+        let telemetry = Telemetry::recording();
+        let outcome = run_round_with(&subs, &telemetry);
+        assert_eq!(outcome, run_round(&subs), "instrumentation must not change the outcome");
+
+        let snapshot = telemetry.snapshot();
+        let total_logs: usize =
+            subs.bundles.iter().flat_map(|b| &b.run_sets).map(|rs| rs.logs.len()).sum();
+        let count = |name: &str| snapshot.spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("parse_log"), total_logs, "one span per parsed log");
+        assert_eq!(count("review_bundle"), subs.bundles.len(), "one span per reviewed bundle");
+
+        // Stage spans nest under run_round; item spans under their
+        // stage, even though workers emit them from their own scopes.
+        let find = |name: &str| snapshot.spans.iter().find(|s| s.name == name).unwrap();
+        let run = find("run_round");
+        let parse = find("parse_logs");
+        let review = find("review_bundles");
+        assert_eq!(run.parent, None);
+        assert_eq!(parse.parent, Some(run.id));
+        assert_eq!(review.parent, Some(run.id));
+        assert!(snapshot
+            .spans
+            .iter()
+            .filter(|s| s.name == "parse_log")
+            .all(|s| s.parent == Some(parse.id)));
+
+        // Pool utilization: gauge with the pool size, histogram whose
+        // observations (items claimed per worker) sum to the item count.
+        let gauge = snapshot.gauges.iter().find(|g| g.name == "ingest.parse_log.workers").unwrap();
+        assert!(gauge.value >= 1);
+        let hist = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "ingest.parse_log.items_per_worker")
+            .unwrap();
+        assert_eq!(hist.sum as usize, total_logs);
+        assert_eq!(hist.count, gauge.value);
+
+        let logs_parsed =
+            snapshot.counters.iter().find(|c| c.name == "ingest.logs_parsed").unwrap();
+        assert_eq!(logs_parsed.value as usize, total_logs);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! corrupt `round.json`) is a fatal [`StoreError`].
 
 use crate::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
-use crate::round::{run_round, RoundOutcome, RoundSubmissions};
+use crate::round::{run_round_under, RoundOutcome, RoundSubmissions};
 use crate::tables::RoundHistory;
 use mlperf_core::equivalence::ModelSignature;
 use mlperf_core::mllog::MlLogger;
@@ -39,8 +39,9 @@ use mlperf_core::report::SystemDescription;
 use mlperf_core::rules::{Category, Division, SystemType};
 use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
+use mlperf_telemetry::{arg, Counter, Telemetry};
 use serde::{Deserialize, Serialize};
-use serde_json::json;
+use serde_json::{json, Map};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
@@ -241,9 +242,20 @@ struct RunSetManifest {
 }
 
 /// A persistent, disk-backed archive of submission rounds.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RoundArchive {
     root: PathBuf,
+    /// Instrumentation handle; disabled unless installed with
+    /// [`RoundArchive::with_telemetry`].
+    telemetry: Telemetry,
+}
+
+/// Archives are equal when they point at the same root; the telemetry
+/// handle is an observer, not part of the archive's identity.
+impl PartialEq for RoundArchive {
+    fn eq(&self, other: &Self) -> bool {
+        self.root == other.root
+    }
 }
 
 impl RoundArchive {
@@ -264,7 +276,7 @@ impl RoundArchive {
         }
         let manifest = ArchiveManifest { schema: MANIFEST_SCHEMA, kind: ARCHIVE_KIND.to_string() };
         write_atomic(&marker, &pretty(&manifest))?;
-        Ok(RoundArchive { root })
+        Ok(RoundArchive { root, telemetry: Telemetry::disabled() })
     }
 
     /// Opens an existing archive.
@@ -289,7 +301,16 @@ impl RoundArchive {
             return Err(StoreError::NotAnArchive { path: root });
         }
         check_schema(&marker, manifest.schema)?;
-        Ok(RoundArchive { root })
+        Ok(RoundArchive { root, telemetry: Telemetry::disabled() })
+    }
+
+    /// Installs an instrumentation handle: archive reads, writes and
+    /// replays emit `store`-layer spans and `store.*` byte/fault
+    /// counters into it, and [`RoundArchive::replay`] threads it into
+    /// each round's ingest.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The archive's root directory.
@@ -306,6 +327,19 @@ impl RoundArchive {
     ///
     /// [`StoreError::Io`] when any file cannot be written.
     pub fn write_round(&self, submissions: &RoundSubmissions) -> Result<(), StoreError> {
+        let mut scope = self.telemetry.timeline_scope();
+        let span = scope.start_with("store", "write_round", || {
+            Map::from([
+                arg("round", json!(submissions.round.label())),
+                arg("bundles", json!(submissions.bundles.len())),
+            ])
+        });
+        let result = self.write_round_inner(submissions);
+        scope.end(span);
+        result
+    }
+
+    fn write_round_inner(&self, submissions: &RoundSubmissions) -> Result<(), StoreError> {
         let round_dir = self.round_dir(submissions.round);
         if round_dir.exists() {
             fs::remove_dir_all(&round_dir).map_err(|e| io_error(&round_dir, &e))?;
@@ -328,7 +362,7 @@ impl RoundArchive {
                 let mut logs = Vec::new();
                 for (run, text) in rs.logs.iter().enumerate() {
                     let rel = format!("{}/run_{run}.log", rs.benchmark.slug());
-                    write_atomic(&bundle_dir.join(&rel), text)?;
+                    self.write_file(&bundle_dir.join(&rel), text)?;
                     logs.push(rel);
                 }
                 run_sets.push(RunSetManifest {
@@ -349,7 +383,7 @@ impl RoundArchive {
                 system_type: bundle.system_type,
                 run_sets,
             };
-            write_atomic(&bundle_dir.join("bundle.json"), &pretty(&manifest))?;
+            self.write_file(&bundle_dir.join("bundle.json"), &pretty(&manifest))?;
         }
 
         let manifest = RoundManifest {
@@ -357,7 +391,14 @@ impl RoundArchive {
             round: submissions.round,
             references: submissions.references.clone(),
         };
-        write_atomic(&round_dir.join("round.json"), &pretty(&manifest))
+        self.write_file(&round_dir.join("round.json"), &pretty(&manifest))
+    }
+
+    /// [`write_atomic`] plus the `store.bytes_written` counter.
+    fn write_file(&self, path: &Path, contents: &str) -> Result<(), StoreError> {
+        write_atomic(path, contents)?;
+        self.telemetry.counter("store.bytes_written").add(contents.len() as u64);
+        Ok(())
     }
 
     /// Persists a round's published outcome as a human-auditable
@@ -406,7 +447,7 @@ impl RoundArchive {
             "quarantined": quarantined,
         });
         let text = serde_json::to_string_pretty(&summary).expect("outcome summaries serialize");
-        write_atomic(&self.round_dir(outcome.round).join("outcome.json"), &text)
+        self.write_file(&self.round_dir(outcome.round).join("outcome.json"), &text)
     }
 
     /// The rounds present in the archive, oldest first. Directories
@@ -446,9 +487,36 @@ impl RoundArchive {
     /// Fatal only for round-level damage: an unreadable round
     /// directory or a missing/corrupt/newer-schema `round.json`.
     pub fn read_round(&self, round: Round) -> Result<RoundIngest, StoreError> {
+        self.read_round_traced(round, None)
+    }
+
+    /// [`RoundArchive::read_round`] with its span parented under
+    /// `parent` (how replay nests per-round reads under its own span).
+    fn read_round_traced(
+        &self,
+        round: Round,
+        parent: Option<mlperf_telemetry::SpanId>,
+    ) -> Result<RoundIngest, StoreError> {
+        let mut scope = self.telemetry.timeline_scope_under(parent);
+        let span = scope
+            .start_with("store", "read_round", || Map::from([arg("round", json!(round.label()))]));
+        let result = self.read_round_inner(round);
+        if let Ok(ingest) = &result {
+            self.telemetry.counter("store.faults").add(ingest.faults.len() as u64);
+            let (bundles, faults) = (ingest.submissions.bundles.len(), ingest.faults.len());
+            scope.end_with(span, || {
+                Map::from([arg("bundles", json!(bundles)), arg("faults", json!(faults))])
+            });
+        }
+        result
+    }
+
+    fn read_round_inner(&self, round: Round) -> Result<RoundIngest, StoreError> {
+        let bytes_read = self.telemetry.counter("store.bytes_read");
         let round_dir = self.round_dir(round);
         let manifest_path = round_dir.join("round.json");
         let text = fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
+        bytes_read.add(text.len() as u64);
         let manifest: RoundManifest = parse_manifest(&manifest_path, &text)?;
         check_schema(&manifest_path, manifest.schema)?;
         if manifest.round != round {
@@ -466,7 +534,7 @@ impl RoundArchive {
         let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
         for bundle_dir in sorted_subdirs(&round_dir, &mut faults) {
             for dir in sorted_subdirs(&bundle_dir, &mut faults) {
-                match self.read_bundle(&dir, &mut faults) {
+                match self.read_bundle(&dir, &mut faults, &bytes_read) {
                     None => continue,
                     Some((index, bundle)) => {
                         let key = (bundle.org.clone(), bundle.system.system_name.clone());
@@ -496,6 +564,7 @@ impl RoundArchive {
         &self,
         dir: &Path,
         faults: &mut Vec<StoreFault>,
+        bytes_read: &Counter,
     ) -> Option<(u64, SubmissionBundle)> {
         let manifest_path = dir.join("bundle.json");
         let text = match fs::read_to_string(&manifest_path) {
@@ -515,6 +584,7 @@ impl RoundArchive {
                 return None;
             }
         };
+        bytes_read.add(text.len() as u64);
         let manifest: BundleManifest = match serde_json::from_str(&text) {
             Ok(m) => m,
             Err(e) => {
@@ -564,6 +634,7 @@ impl RoundArchive {
                         });
                     }
                     Ok(text) => {
+                        bytes_read.add(text.len() as u64);
                         // Flag damaged text here with the precise path;
                         // still hand it to review, which quarantines the
                         // run set with its own parse diagnostic.
@@ -606,20 +677,28 @@ impl RoundArchive {
     ///
     /// [`StoreError::Io`] when the archive root cannot be listed.
     pub fn replay(&self) -> Result<ArchiveReplay, StoreError> {
+        let mut scope = self.telemetry.timeline_scope();
+        let span = scope.start("store", "replay");
+        let parent = scope.current();
         let mut history = RoundHistory::new();
         let mut faults = Vec::new();
         for round in self.rounds()? {
-            match self.read_round(round) {
-                Err(e) => faults.push(StoreFault {
-                    path: self.round_dir(round),
-                    reason: FaultReason::UnreadableRound(e.to_string()),
-                }),
+            match self.read_round_traced(round, parent) {
+                Err(e) => {
+                    self.telemetry.counter("store.faults").incr();
+                    faults.push(StoreFault {
+                        path: self.round_dir(round),
+                        reason: FaultReason::UnreadableRound(e.to_string()),
+                    });
+                }
                 Ok(mut ingest) => {
                     faults.append(&mut ingest.faults);
-                    history.push(run_round(&ingest.submissions));
+                    history.push(run_round_under(&ingest.submissions, &self.telemetry, parent));
                 }
             }
         }
+        let rounds = history.rounds().len();
+        scope.end_with(span, || Map::from([arg("rounds", json!(rounds))]));
         Ok(ArchiveReplay { history, faults })
     }
 
@@ -782,6 +861,67 @@ mod tests {
         assert_eq!(archive.rounds().unwrap(), vec![Round::V06]);
         assert_eq!(archive.read_round(Round::V06).unwrap().submissions, newer);
         fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn instrumented_archive_traces_reads_writes_and_replay() {
+        let root = temp_dir("telemetry");
+        let telemetry = Telemetry::recording();
+        let archive = RoundArchive::create(&root).unwrap().with_telemetry(telemetry.clone());
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 9));
+        archive.write_round(&subs).unwrap();
+        let replay = archive.replay().unwrap();
+        assert!(replay.faults.is_empty());
+
+        let snapshot = telemetry.snapshot();
+        let find = |name: &str| snapshot.spans.iter().find(|s| s.name == name).unwrap();
+        let replay_span = find("replay");
+        // Per-round reads and the re-run ingest nest under the replay.
+        assert_eq!(find("read_round").parent, Some(replay_span.id));
+        assert_eq!(find("run_round").parent, Some(replay_span.id));
+        assert!(find("write_round").args.get("bundles").is_some());
+
+        let counter = |name: &str| {
+            snapshot.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
+        };
+        assert!(counter("store.bytes_written") > 0);
+        // A clean replay reads back every byte that was written.
+        assert_eq!(counter("store.bytes_read"), counter("store.bytes_written"));
+        assert_eq!(counter("store.faults"), 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn faults_are_counted_when_entries_are_quarantined() {
+        let root = temp_dir("fault-count");
+        let telemetry = Telemetry::recording();
+        let archive = RoundArchive::create(&root).unwrap().with_telemetry(telemetry.clone());
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 9));
+        archive.write_round(&subs).unwrap();
+        // Damage one bundle manifest.
+        let manifest = find_file(&root, "bundle.json").expect("a bundle manifest on disk");
+        fs::write(&manifest, "{ not json").unwrap();
+        let ingest = archive.read_round(Round::V05).unwrap();
+        assert_eq!(ingest.faults.len(), 1);
+        let faults =
+            telemetry.snapshot().counters.iter().find(|c| c.name == "store.faults").unwrap().value;
+        assert_eq!(faults, 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// First file named `name` under `dir`, depth-first.
+    fn find_file(dir: &Path, name: &str) -> Option<PathBuf> {
+        for entry in fs::read_dir(dir).ok()?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                if let Some(found) = find_file(&path, name) {
+                    return Some(found);
+                }
+            } else if path.file_name().is_some_and(|n| n == name) {
+                return Some(path);
+            }
+        }
+        None
     }
 
     #[test]

@@ -107,6 +107,43 @@ impl RoundHistory {
         }
     }
 
+    /// The data-driven anchor scale for cross-round comparisons: of
+    /// the chip counts with at least one accepted Closed-division
+    /// entry in *every* round, the one whose fixed-scale comparison
+    /// covers the most benchmarks — ties go to the smaller system.
+    /// `None` when the history is empty or no scale is shared by all
+    /// rounds.
+    pub fn common_scale(&self) -> Option<usize> {
+        let first = self.outcomes.first()?;
+        let mut candidates: Vec<usize> = first
+            .accepted
+            .iter()
+            .filter(|e| e.division == Division::Closed)
+            .map(|e| e.chips)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&chips| {
+            self.outcomes.iter().all(|o| {
+                o.accepted.iter().any(|e| e.division == Division::Closed && e.chips == chips)
+            })
+        });
+        candidates.into_iter().max_by_key(|&chips| {
+            let coverage = BenchmarkId::ALL
+                .into_iter()
+                .filter(|&id| self.outcomes.iter().all(|o| best_minutes_at(o, id, chips).is_some()))
+                .count();
+            (coverage, std::cmp::Reverse(chips))
+        })
+    }
+
+    /// Figure 4 anchored at [`RoundHistory::common_scale`], falling
+    /// back to the paper's 16-chip anchor when the history shares no
+    /// scale (so the Figure 4 reproduction is unchanged by default).
+    pub fn speedup_table_at_common_scale(&self) -> RoundTable {
+        self.speedup_table(self.common_scale().unwrap_or(16))
+    }
+
     /// Figure 5: growth in the system scale of the fastest overall
     /// entry per benchmark, one column per round. Ratio is `newest
     /// chips / oldest chips`.
@@ -235,6 +272,82 @@ mod tests {
         let rendered = table.render();
         assert!(rendered.contains("speedup"));
         assert!(rendered.contains("v0.7 minutes"));
+    }
+
+    #[test]
+    fn common_scale_picks_the_reference_anchor_on_the_synthetic_fleet() {
+        let history = history();
+        // Every synthetic round fields its reference systems at 16
+        // chips, so the data-driven anchor matches the paper's.
+        assert_eq!(history.common_scale(), Some(16));
+        assert_eq!(history.speedup_table_at_common_scale(), history.speedup_table(16));
+        assert!(RoundHistory::new().common_scale().is_none());
+    }
+
+    fn entry(benchmark: BenchmarkId, chips: usize, minutes: f64) -> crate::round::AcceptedEntry {
+        crate::round::AcceptedEntry {
+            org: "org".into(),
+            system: format!("sys-{chips}"),
+            chips,
+            division: Division::Closed,
+            benchmark,
+            minutes,
+            runs: 5,
+        }
+    }
+
+    fn outcome(round: Round, accepted: Vec<crate::round::AcceptedEntry>) -> RoundOutcome {
+        RoundOutcome { round, accepted, quarantined: Vec::new(), reports: Vec::new() }
+    }
+
+    #[test]
+    fn common_scale_prefers_the_scale_covering_the_most_benchmarks() {
+        // 32 chips appears in both rounds for two benchmarks; 64 chips
+        // also appears in both rounds but covers only one; 128 shows
+        // up in a single round and is not a candidate at all.
+        let history = RoundHistory::from_outcomes(vec![
+            outcome(
+                Round::V05,
+                vec![
+                    entry(BenchmarkId::ImageClassification, 32, 20.0),
+                    entry(BenchmarkId::ObjectDetection, 32, 30.0),
+                    entry(BenchmarkId::ImageClassification, 64, 10.0),
+                    entry(BenchmarkId::ImageClassification, 128, 6.0),
+                ],
+            ),
+            outcome(
+                Round::V06,
+                vec![
+                    entry(BenchmarkId::ImageClassification, 32, 15.0),
+                    entry(BenchmarkId::ObjectDetection, 32, 24.0),
+                    entry(BenchmarkId::ImageClassification, 64, 8.0),
+                ],
+            ),
+        ]);
+        assert_eq!(history.common_scale(), Some(32));
+        let table = history.speedup_table_at_common_scale();
+        assert_eq!(table.rows.len(), 2);
+        assert!(table.title.contains("32-chip"), "{}", table.title);
+    }
+
+    #[test]
+    fn common_scale_ties_break_toward_the_smaller_system() {
+        let rounds = [Round::V05, Round::V06];
+        let history = RoundHistory::from_outcomes(
+            rounds
+                .iter()
+                .map(|&round| {
+                    outcome(
+                        round,
+                        vec![
+                            entry(BenchmarkId::ImageClassification, 64, 10.0),
+                            entry(BenchmarkId::ImageClassification, 8, 40.0),
+                        ],
+                    )
+                })
+                .collect(),
+        );
+        assert_eq!(history.common_scale(), Some(8));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Instrumentation for the benchmark suite: hierarchical spans, a
+//! metrics registry, and trace export.
+//!
+//! One [`Telemetry`] handle is threaded through the layers under
+//! measurement — the training harness, the submission-round ingest
+//! pipeline, and the round archive. The handle is either *recording*
+//! (an `Arc`-shared sink: span store, metric registry, and a monotonic
+//! reference clock) or *disabled* (no sink at all). Disabled is the
+//! default everywhere and costs nothing: no allocation, no clock reads,
+//! no atomics — every instrumentation site branches on an `Option`
+//! and moves on, which is what keeps the uninstrumented ingest path at
+//! its BENCH.md baseline.
+//!
+//! Timestamps are explicit: spans are emitted through a [`SpanScope`]
+//! built over a caller-supplied [`Clock`], so the harness can drive
+//! spans from the same simulated clock its tests already use. Scopes
+//! with different clock origins are aligned onto the sink's own
+//! timeline at scope creation, so a trace mixing per-worker clocks
+//! still reads as one coherent run.
+//!
+//! Exporters: [`trace::write_trace`] emits Chrome `trace_event`
+//! JSON-lines (loadable in `chrome://tracing` / Perfetto), and
+//! `mlperf-core`'s `report::render_telemetry_report` renders the same
+//! snapshot as a plain-text summary.
+
+mod clock;
+mod metrics;
+mod snapshot;
+mod span;
+pub mod trace;
+
+pub use clock::{Clock, MonotonicClock};
+pub use metrics::{Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot};
+pub use snapshot::TelemetrySnapshot;
+pub use span::{arg, SpanHandle, SpanId, SpanRecord, SpanScope};
+pub use trace::{render_trace, trace_events, write_trace, TraceWriteError};
+
+use metrics::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The shared sink behind a recording handle.
+#[derive(Debug)]
+struct Inner {
+    /// The reference timeline every scope is aligned onto.
+    clock: MonotonicClock,
+    spans: Mutex<Vec<SpanRecord>>,
+    /// Next span id (1-based; 0 is the null id).
+    next_span: AtomicU64,
+    /// Next scope track (trace viewer lane).
+    next_track: AtomicU64,
+    metrics: Registry,
+}
+
+/// A cloneable instrumentation handle: either a shared recording sink
+/// or a no-op. Clones share the sink, so one handle can be passed down
+/// through the harness, the ingest worker pool, and the archive and
+/// everything lands in one snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A recording handle with a fresh, empty sink. The sink's
+    /// reference clock starts now.
+    pub fn recording() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                clock: MonotonicClock::new(),
+                spans: Mutex::new(Vec::new()),
+                next_span: AtomicU64::new(1),
+                next_track: AtomicU64::new(1),
+                metrics: Registry::default(),
+            })),
+        }
+    }
+
+    /// The no-op handle (also [`Telemetry::default`]). Scopes and
+    /// metric handles minted from it record nothing and never allocate.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A root span scope over the caller's clock, on a fresh track.
+    /// The clock's origin is aligned onto the sink timeline here, once.
+    pub fn scope<'a>(&'a self, clock: &'a dyn Clock) -> SpanScope<'a> {
+        self.scope_under(clock, None)
+    }
+
+    /// Like [`Telemetry::scope`], with every root span in the new scope
+    /// parented under `parent` — how a worker thread nests its spans
+    /// under the coordinating span of another scope.
+    pub fn scope_under<'a>(
+        &'a self,
+        clock: &'a dyn Clock,
+        parent: Option<SpanId>,
+    ) -> SpanScope<'a> {
+        let Some(inner) = &self.inner else {
+            return SpanScope::disabled();
+        };
+        let offset_us = inner.clock.now().as_micros() as i64 - clock.now().as_micros() as i64;
+        let track = inner.next_track.fetch_add(1, Ordering::Relaxed);
+        SpanScope::new(self, clock, offset_us, track, parent)
+    }
+
+    /// A span scope over the sink's own reference clock (no alignment
+    /// needed) — for call sites with no clock of their own.
+    pub fn timeline_scope(&self) -> SpanScope<'_> {
+        self.timeline_scope_under(None)
+    }
+
+    /// [`Telemetry::timeline_scope`] with an explicit parent span.
+    pub fn timeline_scope_under(&self, parent: Option<SpanId>) -> SpanScope<'_> {
+        let Some(inner) = &self.inner else {
+            return SpanScope::disabled();
+        };
+        let track = inner.next_track.fetch_add(1, Ordering::Relaxed);
+        SpanScope::new(self, &inner.clock, 0, track, parent)
+    }
+
+    /// The named counter (registered on first use). A disabled handle
+    /// returns an inert counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.as_ref().map_or_else(Counter::disabled, |inner| inner.metrics.counter(name))
+    }
+
+    /// The named gauge (registered on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.as_ref().map_or_else(Gauge::disabled, |inner| inner.metrics.gauge(name))
+    }
+
+    /// The named histogram. The first registration fixes `bounds`
+    /// (inclusive upper bucket bounds, strictly increasing).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.inner
+            .as_ref()
+            .map_or_else(Histogram::disabled, |inner| inner.metrics.histogram(name, bounds))
+    }
+
+    /// A copy of everything recorded so far. Spans come back sorted by
+    /// `(start_us, id)` regardless of completion order.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = &self.inner else {
+            return TelemetrySnapshot::default();
+        };
+        let mut spans = inner.spans.lock().expect("span sink poisoned").clone();
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        TelemetrySnapshot {
+            spans,
+            counters: inner.metrics.counter_snapshots(),
+            gauges: inner.metrics.gauge_snapshots(),
+            histograms: inner.metrics.histogram_snapshots(),
+        }
+    }
+
+    /// Allocates the next span id. Only called by enabled scopes.
+    pub(crate) fn allocate_span_id(&self) -> u64 {
+        let inner = self.inner.as_ref().expect("span id requested from disabled telemetry");
+        inner.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Stores one completed span. Only called by enabled scopes.
+    pub(crate) fn record_span(&self, record: SpanRecord) {
+        let inner = self.inner.as_ref().expect("span recorded into disabled telemetry");
+        inner.spans.lock().expect("span sink poisoned").push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_handle_is_disabled() {
+        let telemetry = Telemetry::default();
+        assert!(!telemetry.is_enabled());
+        assert!(telemetry.snapshot().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let telemetry = Telemetry::recording();
+        let clone = telemetry.clone();
+        clone.counter("shared").add(2);
+        telemetry.counter("shared").incr();
+        assert_eq!(telemetry.snapshot().counters[0].value, 3);
+
+        let mut scope = clone.timeline_scope();
+        scope.record("test", "from_clone", || ());
+        assert_eq!(telemetry.snapshot().spans.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_sorts_spans_by_start_time() {
+        let telemetry = Telemetry::recording();
+        let mut scope = telemetry.timeline_scope();
+        let outer = scope.start("test", "first");
+        let inner = scope.start("test", "second");
+        scope.end(inner);
+        scope.end(outer);
+        // "second" completes first but starts later; the snapshot
+        // orders by start.
+        let spans = telemetry.snapshot().spans;
+        assert_eq!(spans[0].name, "first");
+        assert_eq!(spans[1].name, "second");
+        assert!(spans[0].id < spans[1].id);
+    }
+
+    #[test]
+    fn snapshot_reports_layers_in_first_seen_order() {
+        let telemetry = Telemetry::recording();
+        let mut scope = telemetry.timeline_scope();
+        scope.record("harness", "run", || ());
+        scope.record("ingest", "parse", || ());
+        scope.record("harness", "run", || ());
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.layers(), vec!["harness", "ingest"]);
+        assert_eq!(snapshot.spans_in("harness").count(), 2);
+    }
+
+    #[test]
+    fn scopes_get_distinct_tracks() {
+        let telemetry = Telemetry::recording();
+        let mut a = telemetry.timeline_scope();
+        let mut b = telemetry.timeline_scope();
+        a.record("test", "a", || ());
+        b.record("test", "b", || ());
+        let spans = telemetry.snapshot().spans;
+        assert_ne!(spans[0].track, spans[1].track);
+    }
+}

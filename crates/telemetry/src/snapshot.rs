@@ -1,0 +1,46 @@
+//! A point-in-time copy of everything a [`crate::Telemetry`] sink has
+//! recorded, decoupled from the live atomics so exporters and report
+//! renderers work on stable data.
+
+use crate::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
+use crate::span::SpanRecord;
+
+/// Everything recorded so far: completed spans (sorted by start time,
+/// then id) and the metric registry's current readings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Completed spans, sorted by `(start_us, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Counters in registration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges in registration order.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// The spans emitted by one instrumented layer (trace category).
+    pub fn spans_in<'a>(&'a self, layer: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.layer == layer)
+    }
+
+    /// The distinct layers that emitted spans, in first-seen order.
+    pub fn layers(&self) -> Vec<&str> {
+        let mut layers: Vec<&str> = Vec::new();
+        for span in &self.spans {
+            if !layers.contains(&span.layer.as_str()) {
+                layers.push(&span.layer);
+            }
+        }
+        layers
+    }
+}

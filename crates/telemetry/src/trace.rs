@@ -1,0 +1,216 @@
+//! Chrome `trace_event` export: one JSON object per line.
+//!
+//! Every span becomes a complete (`"ph": "X"`) event and every metric a
+//! counter (`"ph": "C"`) event, so the file loads directly in
+//! `chrome://tracing` / Perfetto (both accept concatenated JSON
+//! events) while staying trivially greppable and parseable line by
+//! line. The file is written atomically — tmp file then rename — the
+//! same discipline the round archive uses for its manifests, so a
+//! crashed writer never leaves a truncated trace next to the archive.
+
+use crate::snapshot::TelemetrySnapshot;
+use serde_json::{json, Value};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a trace file could not be written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWriteError {
+    /// The path being written.
+    pub path: PathBuf,
+    /// The OS error text.
+    pub error: String,
+}
+
+impl fmt::Display for TraceWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.error)
+    }
+}
+
+impl std::error::Error for TraceWriteError {}
+
+/// The Chrome `trace_event` objects for a snapshot: one complete-span
+/// event per span (chronological), then one counter event per metric.
+pub fn trace_events(snapshot: &TelemetrySnapshot) -> Vec<Value> {
+    let mut events = Vec::new();
+    let last_ts = snapshot.spans.iter().map(|s| s.end_us).max().unwrap_or(0);
+    for span in &snapshot.spans {
+        let mut args = span.args.clone();
+        args.insert("span_id".to_string(), json!(span.id));
+        if let Some(parent) = span.parent {
+            args.insert("parent_id".to_string(), json!(parent));
+        }
+        events.push(json!({
+            "name": span.name,
+            "cat": span.layer,
+            "ph": "X",
+            "pid": 1,
+            "tid": span.track,
+            "ts": span.start_us,
+            "dur": span.duration_us(),
+            "args": Value::Object(args),
+        }));
+    }
+    for counter in &snapshot.counters {
+        events.push(json!({
+            "name": counter.name,
+            "cat": "metric",
+            "ph": "C",
+            "pid": 1,
+            "tid": 0,
+            "ts": last_ts,
+            "args": {"value": counter.value},
+        }));
+    }
+    for gauge in &snapshot.gauges {
+        events.push(json!({
+            "name": gauge.name,
+            "cat": "metric",
+            "ph": "C",
+            "pid": 1,
+            "tid": 0,
+            "ts": last_ts,
+            "args": {"value": gauge.value},
+        }));
+    }
+    for histogram in &snapshot.histograms {
+        let mut args = serde_json::Map::new();
+        args.insert("count".to_string(), json!(histogram.count));
+        args.insert("sum".to_string(), json!(histogram.sum));
+        for (bound, count) in histogram.bounds.iter().zip(&histogram.counts) {
+            args.insert(format!("le_{bound}"), json!(*count));
+        }
+        args.insert("le_inf".to_string(), json!(histogram.counts.last().copied().unwrap_or(0)));
+        events.push(json!({
+            "name": histogram.name,
+            "cat": "metric",
+            "ph": "C",
+            "pid": 1,
+            "tid": 0,
+            "ts": last_ts,
+            "args": Value::Object(args),
+        }));
+    }
+    events
+}
+
+/// Renders a snapshot as JSON-lines trace text (one event per line,
+/// trailing newline when non-empty).
+pub fn render_trace(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for event in trace_events(snapshot) {
+        out.push_str(&serde_json::to_string(&event).expect("trace events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the snapshot's trace to `path` atomically (sibling tmp file,
+/// then rename), so readers never observe a half-written trace.
+///
+/// # Errors
+///
+/// [`TraceWriteError`] when the tmp file cannot be written or renamed.
+pub fn write_trace(snapshot: &TelemetrySnapshot, path: &Path) -> Result<(), TraceWriteError> {
+    let contents = render_trace(snapshot);
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+    let err = |p: &Path, e: &std::io::Error| TraceWriteError {
+        path: p.to_path_buf(),
+        error: e.to_string(),
+    };
+    std::fs::write(&tmp, &contents).map_err(|e| err(&tmp, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| err(path, &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MonotonicClock;
+    use crate::Telemetry;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let telemetry = Telemetry::recording();
+        let clock = MonotonicClock::new();
+        let mut scope = telemetry.scope(&clock);
+        let outer = scope.start("test", "outer");
+        let inner = scope.start("test", "inner");
+        scope.end(inner);
+        scope.end(outer);
+        telemetry.counter("events").add(2);
+        telemetry.gauge("workers").set(4);
+        telemetry.histogram("sizes", &[1.0, 8.0]).observe(3.0);
+        telemetry.snapshot()
+    }
+
+    #[test]
+    fn events_carry_chrome_trace_fields() {
+        let events = trace_events(&sample_snapshot());
+        assert_eq!(events.len(), 2 + 3);
+        for event in &events {
+            assert!(event.get("name").is_some());
+            assert!(event.get("ph").is_some());
+            assert!(event.get("ts").is_some());
+            assert_eq!(event["pid"], json!(1));
+        }
+        let span = &events[0];
+        assert_eq!(span["ph"], json!("X"));
+        assert!(span.get("dur").is_some());
+        let counter = events.iter().find(|e| e["name"] == json!("events")).unwrap();
+        assert_eq!(counter["ph"], json!("C"));
+        assert_eq!(counter["args"]["value"], json!(2));
+    }
+
+    #[test]
+    fn child_events_name_their_parent() {
+        let events = trace_events(&sample_snapshot());
+        let inner = events.iter().find(|e| e["name"] == json!("inner")).unwrap();
+        let outer = events.iter().find(|e| e["name"] == json!("outer")).unwrap();
+        assert_eq!(inner["args"]["parent_id"], outer["args"]["span_id"]);
+        assert!(outer["args"].get("parent_id").is_none());
+    }
+
+    #[test]
+    fn histogram_event_flattens_buckets() {
+        let events = trace_events(&sample_snapshot());
+        let hist = events.iter().find(|e| e["name"] == json!("sizes")).unwrap();
+        assert_eq!(hist["args"]["count"], json!(1));
+        assert_eq!(hist["args"]["le_8"], json!(1));
+        assert_eq!(hist["args"]["le_inf"], json!(0));
+    }
+
+    #[test]
+    fn rendered_trace_is_valid_json_lines() {
+        let text = render_trace(&sample_snapshot());
+        assert!(text.ends_with('\n'));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in lines {
+            let value: Value = serde_json::from_str(line).expect("every line parses alone");
+            assert!(value.as_object().is_some());
+        }
+    }
+
+    #[test]
+    fn write_trace_lands_atomically() {
+        let dir =
+            std::env::temp_dir().join(format!("mlperf-telemetry-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.trace");
+        let snapshot = sample_snapshot();
+        write_trace(&snapshot, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, render_trace(&snapshot));
+        assert!(!dir.join(".out.trace.tmp").exists(), "tmp file renamed away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_trace() {
+        assert_eq!(render_trace(&Telemetry::disabled().snapshot()), "");
+    }
+}

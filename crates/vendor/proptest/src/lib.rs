@@ -6,7 +6,9 @@
 //! `prop_assert*` family. A failing case is shrunk to a minimal
 //! counterexample before being reported: integer and float ranges
 //! shrink toward their start, vectors shed elements before shrinking
-//! the survivors in place, and tuples shrink componentwise (see
+//! the survivors in place, strings shed characters and then simplify
+//! the survivors toward `'a'` (without ever leaving the pattern
+//! language), and tuples shrink componentwise (see
 //! [`strategy::Strategy::shrink`]). The report carries the case
 //! number, the original value, and the minimal one.
 //!
@@ -206,6 +208,41 @@ mod tests {
         });
         let msg = panic_text(result);
         assert!(msg.contains("minimal: ([7],)"), "{msg}");
+    }
+
+    /// The property fails when any character reaches `'m'`: shrinking
+    /// must drop every other character and then walk the survivor down
+    /// code point by code point to exactly `'m'`, giving the
+    /// one-character minimal string — still inside `[a-z]{0,12}`.
+    #[test]
+    fn failing_string_shrinks_to_a_single_minimal_char() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn fails_from_m(s in "[a-z]{0,12}") {
+                    prop_assert!(s.chars().all(|c| c < 'm'), "offending string {:?}", s);
+                }
+            }
+            fails_from_m();
+        });
+        let msg = panic_text(result);
+        assert!(msg.contains("minimal: (\"m\",)"), "{msg}");
+    }
+
+    /// Shrink candidates never leave the pattern language: a literal
+    /// prefix and an exact-repetition class survive every candidate.
+    #[test]
+    fn string_shrink_candidates_stay_in_the_pattern_language() {
+        let pattern = "id-[a-f]{2}";
+        let mut rng = TestRng::deterministic("stay-in-language");
+        for _ in 0..50 {
+            let value = Strategy::sample(&pattern, &mut rng);
+            for candidate in Strategy::shrink(&pattern, &value) {
+                assert_eq!(candidate.len(), 5, "{candidate:?}");
+                assert!(candidate.starts_with("id-"), "{candidate:?}");
+                assert!(candidate[3..].chars().all(|c| ('a'..='f').contains(&c)), "{candidate:?}");
+                assert!(candidate < value, "{candidate:?} not simpler than {value:?}");
+            }
+        }
     }
 
     /// Tuples shrink componentwise: both coordinates reach their own

@@ -114,78 +114,179 @@ impl Strategy for Range<f32> {
     }
 }
 
-/// String strategies are regex-subset patterns: literal characters,
+/// One parsed pattern atom: a set of permitted characters plus a
+/// repetition range. Literal and escaped characters parse to an exact
+/// single-character atom that samples without touching the RNG.
+struct Atom {
+    class: Vec<char>,
+    lo: usize,
+    hi: usize,
+    /// `[class]` atoms draw from the RNG; literals emit directly.
+    sampled: bool,
+}
+
+/// Parses the regex-subset pattern language: literal characters,
 /// backslash escapes, and `[class]` character classes with an optional
 /// `{n}` / `{m,n}` repetition (classes without a quantifier emit one
-/// character). This covers patterns like `"[a-z_]{1,20}"` without a
-/// regex engine. Strings do not shrink: dropping characters could
-/// leave the pattern language, so the sampled string is reported
-/// as-is.
+/// character).
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                let escaped = chars.next().expect("pattern ends with a dangling backslash");
+                atoms.push(Atom { class: vec![escaped], lo: 1, hi: 1, sampled: false });
+            }
+            '[' => {
+                let mut class = Vec::new();
+                loop {
+                    let c = chars.next().expect("unterminated character class");
+                    if c == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if let Some(&hi) = ahead.peek() {
+                            if hi != ']' {
+                                chars.next();
+                                chars.next();
+                                assert!(c <= hi, "invalid class range {c}-{hi}");
+                                class.extend(c..=hi);
+                                continue;
+                            }
+                        }
+                    }
+                    class.push(c);
+                }
+                assert!(!class.is_empty(), "empty character class");
+                let (lo, hi) = if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        let c = chars.next().expect("unterminated repetition");
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad repetition bound"),
+                            n.trim().parse().expect("bad repetition bound"),
+                        ),
+                        None => {
+                            let n: usize = spec.trim().parse().expect("bad repetition bound");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                assert!(lo <= hi, "inverted repetition {{{lo},{hi}}}");
+                atoms.push(Atom { class, lo, hi, sampled: true });
+            }
+            _ => atoms.push(Atom { class: vec![c], lo: 1, hi: 1, sampled: false }),
+        }
+    }
+    atoms
+}
+
+/// Whether `chars` is in the pattern language: backtracking over how
+/// many characters each atom's repetition consumes. Shrink candidates
+/// are filtered through this, so every reported counterexample stays a
+/// string the pattern could have produced.
+fn pattern_matches(atoms: &[Atom], chars: &[char]) -> bool {
+    let Some((atom, rest)) = atoms.split_first() else {
+        return chars.is_empty();
+    };
+    for take in atom.lo..=atom.hi.min(chars.len()) {
+        if !chars[..take].iter().all(|c| atom.class.contains(c)) {
+            return false;
+        }
+        if pattern_matches(rest, &chars[take..]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// String strategies are the regex-subset patterns of
+/// [`parse_pattern`] — enough for patterns like `"[a-z_]{1,20}"`
+/// without a regex engine. A failing string shrinks like a vector of
+/// characters: candidates first shed characters (empty string, each
+/// half, each single-character deletion) and then simplify the
+/// survivors toward `'a'`; only candidates still inside the pattern
+/// language are proposed, so the minimal counterexample remains a
+/// string the pattern could have sampled.
 impl Strategy for &str {
     type Value = String;
 
     fn sample(&self, rng: &mut TestRng) -> String {
         let mut out = String::new();
-        let mut chars = self.chars().peekable();
-        while let Some(c) = chars.next() {
-            match c {
-                '\\' => {
-                    let escaped = chars.next().expect("pattern ends with a dangling backslash");
-                    out.push(escaped);
+        for atom in parse_pattern(self) {
+            if !atom.sampled {
+                out.push(atom.class[0]);
+                continue;
+            }
+            let len = atom.lo + rng.index(atom.hi - atom.lo + 1);
+            for _ in 0..len {
+                out.push(atom.class[rng.index(atom.class.len())]);
+            }
+        }
+        out
+    }
+
+    /// Candidates are strictly simpler — shorter, or equal length with
+    /// one character replaced by a smaller one — so the shrink loop
+    /// terminates.
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let atoms = parse_pattern(self);
+        let chars: Vec<char> = value.chars().collect();
+        let mut out: Vec<String> = Vec::new();
+        let mut propose = |candidate: Vec<char>| {
+            if pattern_matches(&atoms, &candidate) {
+                let s: String = candidate.into_iter().collect();
+                if s != *value && !out.contains(&s) {
+                    out.push(s);
                 }
-                '[' => {
-                    let mut class = Vec::new();
-                    loop {
-                        let c = chars.next().expect("unterminated character class");
-                        if c == ']' {
-                            break;
-                        }
-                        if chars.peek() == Some(&'-') {
-                            let mut ahead = chars.clone();
-                            ahead.next();
-                            if let Some(&hi) = ahead.peek() {
-                                if hi != ']' {
-                                    chars.next();
-                                    chars.next();
-                                    assert!(c <= hi, "invalid class range {c}-{hi}");
-                                    class.extend(c..=hi);
-                                    continue;
-                                }
-                            }
-                        }
-                        class.push(c);
-                    }
-                    assert!(!class.is_empty(), "empty character class");
-                    let (lo, hi) = if chars.peek() == Some(&'{') {
-                        chars.next();
-                        let mut spec = String::new();
-                        loop {
-                            let c = chars.next().expect("unterminated repetition");
-                            if c == '}' {
-                                break;
-                            }
-                            spec.push(c);
-                        }
-                        match spec.split_once(',') {
-                            Some((m, n)) => (
-                                m.trim().parse().expect("bad repetition bound"),
-                                n.trim().parse().expect("bad repetition bound"),
-                            ),
-                            None => {
-                                let n: usize = spec.trim().parse().expect("bad repetition bound");
-                                (n, n)
-                            }
-                        }
-                    } else {
-                        (1, 1)
-                    };
-                    assert!(lo <= hi, "inverted repetition {{{lo},{hi}}}");
-                    let len = lo + rng.index(hi - lo + 1);
-                    for _ in 0..len {
-                        out.push(class[rng.index(class.len())]);
-                    }
+            }
+        };
+        // Shed characters first, most aggressively: the empty string,
+        // each half, then each single-character deletion.
+        if !chars.is_empty() {
+            propose(Vec::new());
+        }
+        if chars.len() >= 2 {
+            propose(chars[..chars.len() / 2].to_vec());
+            propose(chars[chars.len() / 2..].to_vec());
+        }
+        for i in 0..chars.len() {
+            let mut candidate = chars.clone();
+            candidate.remove(i);
+            propose(candidate);
+        }
+        // Then simplify surviving characters toward 'a': the target
+        // itself, the midpoint, and the predecessor — all strictly
+        // smaller code points than the current character.
+        for (i, &c) in chars.iter().enumerate() {
+            let code = c as u32;
+            let toward_a = if c > 'a' {
+                vec!['a' as u32, 'a' as u32 + (code - 'a' as u32) / 2, code - 1]
+            } else {
+                code.checked_sub(1).map(|p| vec![p]).unwrap_or_default()
+            };
+            for candidate_code in toward_a {
+                let Some(replacement) = char::from_u32(candidate_code) else {
+                    continue;
+                };
+                if replacement >= c {
+                    continue;
                 }
-                _ => out.push(c),
+                let mut candidate = chars.clone();
+                candidate[i] = replacement;
+                propose(candidate);
             }
         }
         out

@@ -29,6 +29,10 @@
 //! - [`submission`] — the round pipeline the MLPerf organization runs:
 //!   concurrent bundle ingest, peer review with quarantine,
 //!   leaderboards, and cross-round speedup/scale tables.
+//! - [`telemetry`] — zero-dependency instrumentation shared by the
+//!   harness, ingest, and archive layers: hierarchical spans on
+//!   explicit clocks, counters/gauges/histograms, and a Chrome
+//!   `trace_event` exporter.
 
 #![warn(missing_docs)]
 
@@ -41,4 +45,5 @@ pub use mlperf_models as models;
 pub use mlperf_nn as nn;
 pub use mlperf_optim as optim;
 pub use mlperf_submission as submission;
+pub use mlperf_telemetry as telemetry;
 pub use mlperf_tensor as tensor;

@@ -1,0 +1,158 @@
+//! Integration tests for the telemetry layer at the umbrella level:
+//! concurrent span emission still yields a valid tree, histogram
+//! bucket boundaries are inclusive, a disabled handle records nothing,
+//! and the Chrome `trace_event` file round-trips through `serde_json`.
+
+use mlperf_suite::telemetry::{arg, write_trace, Telemetry};
+use serde_json::{json, Map};
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_trace(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mlperf-telemetry-it-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// Four worker threads each emit spans under one shared root: the
+/// snapshot must form a single tree — unique ids, every parent
+/// resolvable, every child's interval inside its parent's — with each
+/// worker on its own track.
+#[test]
+fn concurrent_span_emission_reconstructs_a_valid_tree() {
+    let telemetry = Telemetry::recording();
+    let mut root_scope = telemetry.timeline_scope();
+    let root = root_scope.start("test", "root");
+    let parent = root_scope.current();
+    std::thread::scope(|s| {
+        for worker in 0..4 {
+            let telemetry = &telemetry;
+            s.spawn(move || {
+                let mut scope = telemetry.timeline_scope_under(parent);
+                for i in 0..8 {
+                    let span = scope.start_with("test", "work", || {
+                        Map::from([arg("worker", json!(worker)), arg("item", json!(i))])
+                    });
+                    scope.end(span);
+                }
+            });
+        }
+    });
+    root_scope.end(root);
+
+    let snapshot = telemetry.snapshot();
+    assert_eq!(snapshot.spans.len(), 1 + 4 * 8);
+
+    let by_id: HashMap<u64, _> = snapshot.spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), snapshot.spans.len(), "span ids are unique");
+
+    let roots: Vec<_> = snapshot.spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1);
+    let root_span = roots[0];
+    assert_eq!(root_span.name, "root");
+
+    let mut worker_tracks = HashSet::new();
+    for span in snapshot.spans.iter().filter(|s| s.parent.is_some()) {
+        let parent = by_id[&span.parent.unwrap()];
+        assert_eq!(parent.id, root_span.id, "all work spans hang off the root");
+        assert!(span.start_us <= span.end_us);
+        assert!(
+            parent.start_us <= span.start_us && span.end_us <= parent.end_us,
+            "child [{}, {}] escapes parent [{}, {}]",
+            span.start_us,
+            span.end_us,
+            parent.start_us,
+            parent.end_us
+        );
+        worker_tracks.insert(span.track);
+    }
+    assert_eq!(worker_tracks.len(), 4, "one track per worker thread");
+    assert!(!worker_tracks.contains(&root_span.track));
+}
+
+/// Bucket upper bounds are inclusive: an observation exactly on a
+/// bound lands in that bucket, just past it lands in the next, and
+/// past the last bound lands in the overflow bucket.
+#[test]
+fn histogram_bucket_boundaries_are_inclusive() {
+    let telemetry = Telemetry::recording();
+    let histogram = telemetry.histogram("boundaries", &[1.0, 10.0, 100.0]);
+    histogram.observe(1.0);
+    histogram.observe(1.0001);
+    histogram.observe(10.0);
+    histogram.observe(100.0);
+    histogram.observe(100.0001);
+
+    let snapshot = telemetry.snapshot();
+    let hist = &snapshot.histograms[0];
+    assert_eq!(hist.name, "boundaries");
+    assert_eq!(hist.bounds, vec![1.0, 10.0, 100.0]);
+    assert_eq!(hist.counts, vec![1, 2, 1, 1], "last bucket is overflow");
+    assert_eq!(hist.count, 5);
+}
+
+/// The disabled handle is inert end to end: spans, counters, gauges,
+/// and histograms all record nothing and the snapshot stays empty.
+#[test]
+fn disabled_handle_emits_nothing() {
+    let telemetry = Telemetry::disabled();
+    assert!(!telemetry.is_enabled());
+    let mut scope = telemetry.timeline_scope();
+    let span = scope.start_with("test", "never", || panic!("args evaluated on disabled path"));
+    scope.end(span);
+    telemetry.counter("c").add(5);
+    telemetry.gauge("g").set(5);
+    telemetry.histogram("h", &[1.0]).observe(5.0);
+
+    let snapshot = telemetry.snapshot();
+    assert!(snapshot.is_empty());
+    assert!(snapshot.spans.is_empty());
+    assert!(snapshot.counters.is_empty());
+    assert!(snapshot.gauges.is_empty());
+    assert!(snapshot.histograms.is_empty());
+}
+
+/// The trace file is JSON-lines Chrome `trace_event` data: every line
+/// re-parses through `serde_json`, span lines carry the complete-event
+/// fields, and counter lines carry the metric value.
+#[test]
+fn trace_file_round_trips_through_serde_json() {
+    let telemetry = Telemetry::recording();
+    let mut scope = telemetry.timeline_scope();
+    let outer = scope.start_with("layer_a", "outer", || Map::from([arg("k", json!("v"))]));
+    let inner = scope.start("layer_b", "inner");
+    scope.end(inner);
+    scope.end(outer);
+    telemetry.counter("events.total").add(42);
+
+    let path = temp_trace("roundtrip");
+    write_trace(&telemetry.snapshot(), &path).unwrap();
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.ends_with('\n'), "trailing newline");
+
+    let lines: Vec<serde_json::Value> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("every line is standalone JSON"))
+        .collect();
+    assert_eq!(lines.len(), 3, "two spans plus one counter");
+
+    let spans: Vec<_> =
+        lines.iter().filter(|v| v.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+    assert_eq!(spans.len(), 2);
+    for span in &spans {
+        assert!(span.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(span.get("cat").and_then(|v| v.as_str()).is_some());
+        assert!(span.get("ts").and_then(|v| v.as_u64()).is_some());
+        assert!(span.get("dur").and_then(|v| v.as_u64()).is_some());
+        assert!(span.get("args").and_then(|v| v.as_object()).is_some());
+    }
+    let cats: HashSet<_> =
+        spans.iter().filter_map(|v| v.get("cat").and_then(|c| c.as_str())).collect();
+    assert_eq!(cats, HashSet::from(["layer_a", "layer_b"]));
+
+    let counters: Vec<_> =
+        lines.iter().filter(|v| v.get("ph").and_then(|p| p.as_str()) == Some("C")).collect();
+    assert_eq!(counters.len(), 1);
+    let args = counters[0].get("args").and_then(|v| v.as_object()).unwrap();
+    assert_eq!(args.get("value").and_then(|v| v.as_u64()), Some(42));
+    fs::remove_file(&path).unwrap();
+}
