@@ -7,9 +7,10 @@
 //! a substantially wider relative spread for MiniGo (whose data comes
 //! from game generation, so seed effects compound).
 
-use mlperf_bench::{mean, render_histogram, std_dev, write_json};
+use mlperf_bench::{flush_trace, mean, render_histogram, std_dev, trace_telemetry, write_json};
 use mlperf_core::benchmarks::{MiniGoBenchmark, NcfBenchmark};
-use mlperf_core::harness::{run_benchmark_set, Benchmark};
+use mlperf_core::harness::{run_benchmark_set_with, Benchmark};
+use mlperf_telemetry::Telemetry;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,12 +23,17 @@ struct VarianceResult {
     relative_spread: f64,
 }
 
-fn study(name: &str, make: impl Fn() -> Box<dyn Benchmark> + Sync, seeds: usize) -> VarianceResult {
+fn study(
+    name: &str,
+    make: impl Fn() -> Box<dyn Benchmark> + Sync,
+    seeds: usize,
+    telemetry: &Telemetry,
+) -> VarianceResult {
     let seed_list: Vec<u64> = (0..seeds as u64).collect();
     // Runs that exhaust the budget are recorded at the budget — visible
     // as the right-edge bucket, like the paper's outliers.
     let epochs: Vec<usize> =
-        run_benchmark_set(make, &seed_list).into_iter().map(|r| r.epochs).collect();
+        run_benchmark_set_with(make, &seed_list, telemetry).into_iter().map(|r| r.epochs).collect();
     let as_f64: Vec<f64> = epochs.iter().map(|&e| e as f64).collect();
     let m = mean(&as_f64);
     let s = std_dev(&as_f64);
@@ -46,13 +52,15 @@ fn study(name: &str, make: impl Fn() -> Box<dyn Benchmark> + Sync, seeds: usize)
 
 fn main() {
     let seeds: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let (telemetry, trace_path) = trace_telemetry();
     println!("Figure 2: run-to-run variation in epochs-to-target\n");
-    let ncf = study("NCF", || Box::new(NcfBenchmark::new()), seeds);
-    let minigo = study("MiniGo", || Box::new(MiniGoBenchmark::new()), seeds);
+    let ncf = study("NCF", || Box::new(NcfBenchmark::new()), seeds, &telemetry);
+    let minigo = study("MiniGo", || Box::new(MiniGoBenchmark::new()), seeds, &telemetry);
     println!(
         "MiniGo relative spread {:.2}x the NCF relative spread",
         minigo.relative_spread / ncf.relative_spread.max(1e-9)
     );
     let path = write_json("fig2_variance", &vec![ncf, minigo]);
     println!("wrote {}", path.display());
+    flush_trace(&telemetry, trace_path.as_ref());
 }

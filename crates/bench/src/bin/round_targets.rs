@@ -7,10 +7,11 @@
 //! threshold, and reporting the epoch inflation the raised target
 //! alone causes.
 
-use mlperf_bench::{mean, write_json};
+use mlperf_bench::{flush_trace, mean, trace_telemetry, write_json};
 use mlperf_core::benchmarks::{ResNetBenchmark, SsdBenchmark};
-use mlperf_core::harness::{run_benchmark_set, Benchmark};
+use mlperf_core::harness::{run_benchmark_set_with, Benchmark};
 use mlperf_core::suite::SuiteVersion;
+use mlperf_telemetry::Telemetry;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -28,9 +29,10 @@ fn measure(
     make: impl Fn() -> Box<dyn Benchmark> + Sync,
     version: SuiteVersion,
     seeds: &[u64],
+    telemetry: &Telemetry,
 ) -> RoundRow {
     let target = make().target();
-    let results = run_benchmark_set(make, seeds);
+    let results = run_benchmark_set_with(make, seeds, telemetry);
     let epochs: Vec<usize> = results.iter().map(|r| r.epochs).collect();
     let reached: Vec<bool> = results.iter().map(|r| r.reached_target).collect();
     let mean_epochs = mean(&epochs.iter().map(|&e| e as f64).collect::<Vec<_>>());
@@ -50,6 +52,7 @@ fn measure(
 
 fn main() {
     let seeds = [3u64, 4, 5];
+    let (telemetry, trace_path) = trace_telemetry();
     println!("Raised-quality-target study: the same workloads to v0.5 vs v0.6 thresholds\n");
     let mut rows = Vec::new();
     for version in [SuiteVersion::V05, SuiteVersion::V06] {
@@ -58,12 +61,14 @@ fn main() {
             || Box::new(ResNetBenchmark::new().with_version(version)),
             version,
             &seeds,
+            &telemetry,
         ));
         rows.push(measure(
             "ssd",
             || Box::new(SsdBenchmark::new().with_version(version)),
             version,
             &seeds,
+            &telemetry,
         ));
     }
     for name in ["resnet", "ssd"] {
@@ -78,4 +83,5 @@ fn main() {
     }
     let path = write_json("round_targets", &rows);
     println!("\nwrote {}", path.display());
+    flush_trace(&telemetry, trace_path.as_ref());
 }

@@ -10,10 +10,11 @@
 //! samples aggregated results at several runs-per-result settings to
 //! show the stabilization the rule buys.
 
-use mlperf_bench::{mean, std_dev, write_json};
+use mlperf_bench::{flush_trace, mean, std_dev, trace_telemetry, write_json};
 use mlperf_core::aggregate::stability_fraction;
 use mlperf_core::benchmarks::{NcfBenchmark, ResNetBenchmark};
-use mlperf_core::harness::{run_benchmark_set, Benchmark};
+use mlperf_core::harness::{run_benchmark_set_with, Benchmark};
+use mlperf_telemetry::Telemetry;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -46,17 +47,25 @@ fn tolerance_for_fraction(times: &[f64], runs: usize, frac: f64) -> f64 {
     hi
 }
 
-fn sample_times(make: impl Fn() -> Box<dyn Benchmark> + Sync, seeds: usize) -> Vec<f64> {
+fn sample_times(
+    make: impl Fn() -> Box<dyn Benchmark> + Sync,
+    seeds: usize,
+    telemetry: &Telemetry,
+) -> Vec<f64> {
     let seed_list: Vec<u64> = (0..seeds as u64).collect();
-    run_benchmark_set(make, &seed_list).into_iter().map(|r| r.time_to_train.as_secs_f64()).collect()
+    run_benchmark_set_with(make, &seed_list, telemetry)
+        .into_iter()
+        .map(|r| r.time_to_train.as_secs_f64())
+        .collect()
 }
 
 fn main() {
     let seeds: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let (telemetry, trace_path) = trace_telemetry();
     println!("Timing-samples study (paper §3.2.2)\n");
     println!("measuring empirical TTT distributions ({seeds} seeds each)…");
-    let ncf_times = sample_times(|| Box::new(NcfBenchmark::new()), seeds);
-    let resnet_times = sample_times(|| Box::new(ResNetBenchmark::new()), seeds.min(8));
+    let ncf_times = sample_times(|| Box::new(NcfBenchmark::new()), seeds, &telemetry);
+    let resnet_times = sample_times(|| Box::new(ResNetBenchmark::new()), seeds.min(8), &telemetry);
     println!(
         "  NCF:    mean {:.3}s  cv {:.1}%",
         mean(&ncf_times),
@@ -97,4 +106,5 @@ fn main() {
     println!("\npaper rule: vision 5 runs -> 90% within 5%; others 10 runs -> 90% within 10%");
     let path = write_json("timing_samples", &Output { ncf_times, resnet_times, rows });
     println!("wrote {}", path.display());
+    flush_trace(&telemetry, trace_path.as_ref());
 }

@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+use mlperf_telemetry::{write_trace, Telemetry};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -65,6 +66,33 @@ pub fn std_dev(values: &[f64]) -> f64 {
     }
     let m = mean(values);
     (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// Telemetry for a figure harness: recording when `--trace FILE` is on
+/// the command line, disabled (and free) otherwise. Pair with
+/// [`flush_trace`] at the end of `main`.
+pub fn trace_telemetry() -> (Telemetry, Option<PathBuf>) {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(flag) = args.next() {
+        if flag == "--trace" {
+            path = args.next().map(PathBuf::from);
+        }
+    }
+    match path {
+        Some(path) => (Telemetry::recording(), Some(path)),
+        None => (Telemetry::disabled(), None),
+    }
+}
+
+/// Writes the recorded trace as Chrome `trace_event` JSON-lines when
+/// [`trace_telemetry`] returned a path; a no-op otherwise.
+pub fn flush_trace(telemetry: &Telemetry, path: Option<&PathBuf>) {
+    let Some(path) = path else {
+        return;
+    };
+    write_trace(&telemetry.snapshot(), path).expect("write trace file");
+    println!("wrote trace {}", path.display());
 }
 
 #[cfg(test)]

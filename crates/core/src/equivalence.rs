@@ -180,6 +180,40 @@ pub fn reference_signature(id: BenchmarkId) -> ModelSignature {
             mlperf_models::MiniGoConfig::default(),
             &mut rng,
         )),
+        BenchmarkId::LanguageModeling => {
+            let data = mlperf_data::MaskedLmConfig::default();
+            ModelSignature::of(&mlperf_models::BertMini::new(
+                mlperf_models::BertConfig {
+                    vocab: data.vocab,
+                    max_len: data.sentence_len(),
+                    ..Default::default()
+                },
+                &mut rng,
+            ))
+        }
+        BenchmarkId::RecommendationDlrm => {
+            let data = mlperf_data::ClickLogConfig::default();
+            ModelSignature::of(&mlperf_models::DlrmMini::new(
+                mlperf_models::DlrmConfig {
+                    dense_dim: data.dense_dim,
+                    categorical_vocabs: data.categorical_vocabs.clone(),
+                    bag_vocab: data.bag_vocab,
+                    ..Default::default()
+                },
+                &mut rng,
+            ))
+        }
+        BenchmarkId::SpeechRecognition => {
+            let data = mlperf_data::SpeechConfig::default();
+            ModelSignature::of(&mlperf_models::RnnTMini::new(
+                mlperf_models::RnnTConfig {
+                    frame_dim: data.frame_dim,
+                    classes: data.classes(),
+                    ..Default::default()
+                },
+                &mut rng,
+            ))
+        }
     }
 }
 

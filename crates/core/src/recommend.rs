@@ -58,6 +58,9 @@ fn reference_point(id: BenchmarkId) -> (usize, f64, RecommendedOptimizer) {
         BenchmarkId::TranslationNonRecurrent => (32, 0.01, RecommendedOptimizer::Adam),
         BenchmarkId::Recommendation => (64, 0.01, RecommendedOptimizer::Adam),
         BenchmarkId::ReinforcementLearning => (32, 0.005, RecommendedOptimizer::Adam),
+        BenchmarkId::LanguageModeling => (16, 0.008, RecommendedOptimizer::Adam),
+        BenchmarkId::RecommendationDlrm => (64, 0.01, RecommendedOptimizer::Adam),
+        BenchmarkId::SpeechRecognition => (16, 0.006, RecommendedOptimizer::Adam),
     }
 }
 
@@ -149,7 +152,7 @@ mod tests {
     #[test]
     fn table_covers_all_benchmarks_and_scales() {
         let table = recommendation_table(&[1, 4, 16, 64]);
-        assert_eq!(table.len(), 7 * 4);
+        assert_eq!(table.len(), BenchmarkId::ALL.len() * 4);
         assert!(table.iter().all(|r| r.learning_rate > 0.0));
         // Monotone lr within each benchmark.
         for id in BenchmarkId::ALL {

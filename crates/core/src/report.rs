@@ -146,7 +146,10 @@ pub struct RoundComparisonRow {
 
 /// Renders a cross-round comparison table — one value column per round
 /// in `round_labels` — plus the average ratio line the paper headlines.
-/// Rows with a different number of values than labels are skipped.
+/// Rows with a different number of values than labels are skipped. NaN
+/// values render as blank cells: a benchmark that joined the suite
+/// mid-history (the v0.7 additions) carries NaN for the rounds before
+/// it existed, and its ratio spans only the rounds it ran in.
 pub fn render_round_comparison(
     title: &str,
     round_labels: &[String],
@@ -168,7 +171,11 @@ pub fn render_round_comparison(
         }
         write!(out, "{:<16}", r.benchmark).unwrap();
         for v in &r.values {
-            write!(out, " {v:>14.1}").unwrap();
+            if v.is_nan() {
+                write!(out, " {:>14}", "-").unwrap();
+            } else {
+                write!(out, " {v:>14.1}").unwrap();
+            }
         }
         writeln!(out, " {:>8.2}x", r.ratio).unwrap();
         ratios.push(r.ratio);
@@ -275,8 +282,8 @@ mod tests {
         );
         let table = render_results_table(&[s]);
         assert!(table.contains("12.50"));
-        // Six omitted benchmarks rendered as dashes.
-        assert_eq!(table.matches(" -").count(), 6, "table:\n{table}");
+        // Every omitted benchmark rendered as a dash.
+        assert_eq!(table.matches(" -").count(), BenchmarkId::ALL.len() - 1, "table:\n{table}");
     }
 
     #[test]
@@ -286,8 +293,8 @@ mod tests {
         let header = table.lines().next().unwrap();
         assert!(!header.to_lowercase().contains("summary"));
         assert!(!header.to_lowercase().contains("overall"));
-        // Exactly the 7 benchmark columns plus the 4 metadata columns.
-        assert_eq!(header.split_whitespace().count(), 4 + 7);
+        // Exactly one column per benchmark plus the 4 metadata columns.
+        assert_eq!(header.split_whitespace().count(), 4 + BenchmarkId::ALL.len());
     }
 
     #[test]
@@ -393,5 +400,22 @@ mod tests {
         }];
         let skipped = render_round_comparison("Figure 4", &labels, "minutes", "speedup", &short);
         assert!(!skipped.contains("ssd"));
+    }
+
+    #[test]
+    fn round_comparison_blanks_rounds_before_a_benchmark_joined() {
+        // A v0.7 addition has no v0.5/v0.6 scores: NaN cells render as
+        // dashes and the ratio still prints for the present span.
+        let labels: Vec<String> = ["v0.5", "v0.6", "v0.7"].map(String::from).to_vec();
+        let rows = vec![RoundComparisonRow {
+            benchmark: "bert".into(),
+            values: vec![f64::NAN, f64::NAN, 9.0],
+            ratio: 1.0,
+        }];
+        let table = render_round_comparison("Figure 4", &labels, "minutes", "speedup", &rows);
+        let bert = table.lines().find(|l| l.starts_with("bert")).unwrap();
+        assert_eq!(bert.matches(" -").count(), 2, "row: {bert}");
+        assert!(bert.contains("9.0"));
+        assert!(bert.contains("1.00x"));
     }
 }

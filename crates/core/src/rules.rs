@@ -105,6 +105,12 @@ impl HyperparameterRules {
             BenchmarkId::Recommendation => {
                 modifiable.push("negative_samples".into());
             }
+            // v0.7 additions: BERT submissions may tune the optimizer's
+            // second-moment decay (the LAMB/Adam beta family); DLRM and
+            // RNN-T are covered by the always-modifiable trio.
+            BenchmarkId::LanguageModeling => {
+                modifiable.push("adam_beta2".into());
+            }
             _ => {}
         }
         HyperparameterRules { benchmark, modifiable }

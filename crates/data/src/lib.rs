@@ -1,5 +1,7 @@
-//! Synthetic datasets and data pipelines for the seven MLPerf Training
-//! benchmark tasks.
+//! Synthetic datasets and data pipelines for the MLPerf Training
+//! benchmark tasks: the seven v0.5 workloads plus the v0.7 additions
+//! (masked token streams for BERT, click logs for DLRM, aligned frame
+//! sequences for RNN-T).
 //!
 //! The paper's suite uses ImageNet, COCO, WMT EN–DE, MovieLens-20M and
 //! professional Go games. None of those are available to this
@@ -20,21 +22,27 @@
 
 mod augment;
 mod cf;
+mod click_log;
 mod fractal;
 mod loader;
+mod masked_lm;
 mod minigo_data;
 mod reformat;
 mod shapes;
+mod speech;
 mod synth_imagenet;
 mod translation;
 
 pub use augment::{Augmentation, BrightnessJitter, Compose, RandomCrop, RandomFlip};
 pub use cf::{CfConfig, InteractionSet, SyntheticCf};
+pub use click_log::{auc, ClickLogConfig, Impression, SyntheticClickLog};
 pub use fractal::AffinityMatrix;
 pub use loader::{epoch_batches, shard, BatchPlan};
+pub use masked_lm::{MaskedLmConfig, MaskedSentence, SyntheticMaskedLm, MASK_TOKEN};
 pub use minigo_data::{reference_games, self_play_games, GoDataset, GoSample};
 pub use reformat::{PackedImages, ReformatStats};
 pub use shapes::{BoxLabel, DetectionSample, ShapeClass, ShapesConfig, SyntheticShapes};
+pub use speech::{SpeechConfig, SyntheticSpeech, Utterance, BLANK};
 pub use synth_imagenet::{ImageNetConfig, ImageSet, SyntheticImageNet};
 pub use translation::{
     PaddedBatch, SyntheticTranslation, TranslationConfig, TranslationPair, BOS, EOS, PAD,

@@ -170,6 +170,75 @@ impl SimBenchmark {
         ]
     }
 
+    /// The three workloads the v0.7 round added: BERT, DLRM and RNN-T.
+    /// They have no earlier-round history, so their round factors are
+    /// all 1 — the convergence model *is* the v0.7 baseline.
+    pub fn v07_additions() -> Vec<SimBenchmark> {
+        vec![
+            SimBenchmark {
+                name: "BERT".into(),
+                flops_per_sample: 0.5e12,
+                param_bytes: 340e6 * 4.0,
+                activation_bytes: 400e6,
+                dataset_size: 3.0e6,
+                convergence: ConvergenceModel {
+                    min_epochs: 1.5,
+                    critical_batch: 8_192.0,
+                    target_factor: 1.0,
+                    noise: 0.06,
+                },
+                v06_target_factor: 1.0,
+                v06_batch_factor: 1.0,
+                v07_target_factor: 1.0,
+                v07_batch_factor: 1.0,
+            },
+            SimBenchmark {
+                name: "DLRM".into(),
+                flops_per_sample: 3e9,
+                param_bytes: 60e6 * 4.0, // dense part only; embeddings stay sharded
+                activation_bytes: 2e6,
+                dataset_size: 3.3e8,
+                convergence: ConvergenceModel {
+                    min_epochs: 1.0,
+                    critical_batch: 65_536.0,
+                    target_factor: 1.0,
+                    noise: 0.04,
+                },
+                v06_target_factor: 1.0,
+                v06_batch_factor: 1.0,
+                v07_target_factor: 1.0,
+                v07_batch_factor: 1.0,
+            },
+            SimBenchmark {
+                name: "RNN-T".into(),
+                flops_per_sample: 80e9,
+                param_bytes: 120e6 * 4.0,
+                activation_bytes: 300e6,
+                dataset_size: 288e3,
+                convergence: ConvergenceModel {
+                    min_epochs: 60.0,
+                    critical_batch: 2_048.0,
+                    target_factor: 1.0,
+                    noise: 0.05,
+                },
+                v06_target_factor: 1.0,
+                v06_batch_factor: 1.0,
+                v07_target_factor: 1.0,
+                v07_batch_factor: 1.0,
+            },
+        ]
+    }
+
+    /// Every workload contested in a round: the cross-round comparison
+    /// suite, plus the v0.7 additions once they exist.
+    pub fn benchmarks_for_round(round: Round) -> Vec<SimBenchmark> {
+        let mut suite = SimBenchmark::round_comparison_suite();
+        if round >= Round::V07 {
+            suite.extend(SimBenchmark::v07_additions());
+        }
+        suite
+    }
+
     /// The convergence model in effect for a round.
     pub fn convergence_for(&self, round: Round) -> ConvergenceModel {
         match round {
@@ -528,6 +597,22 @@ mod tests {
             let b06 = best_overall(&vendors, Round::V06, &bench, 2).unwrap();
             let b07 = best_overall(&vendors, Round::V07, &bench, 2).unwrap();
             assert!(b07.minutes < b06.minutes, "{}: v0.7 best time regressed", bench.name);
+        }
+    }
+
+    #[test]
+    fn v07_round_contests_the_added_workloads() {
+        let v06 = SimBenchmark::benchmarks_for_round(Round::V06);
+        assert_eq!(v06.len(), SimBenchmark::round_comparison_suite().len());
+        let v07 = SimBenchmark::benchmarks_for_round(Round::V07);
+        assert_eq!(v07.len(), v06.len() + 3);
+        let vendors = Vendor::fleet();
+        for bench in SimBenchmark::v07_additions() {
+            assert!(!v06.iter().any(|b| b.name == bench.name), "{} leaked early", bench.name);
+            // Every addition must be runnable at the 16-chip comparison
+            // point by at least one vendor.
+            let best = best_time_at_scale(&vendors, Round::V07, &bench, 16, 1);
+            assert!(best.is_some(), "{} infeasible at 16 chips", bench.name);
         }
     }
 

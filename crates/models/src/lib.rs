@@ -12,6 +12,9 @@
 //! | Translation (recurrent) | GNMT | [`GnmtMini`] (LSTM enc/dec with attention) |
 //! | Recommendation | NCF | [`Ncf`] (GMF + MLP fusion) |
 //! | Reinforcement learning | MiniGo | [`MiniGoNet`] (policy + value heads) |
+//! | Language modeling (v0.7) | BERT | [`BertMini`] (bidirectional encoder + masked-LM head) |
+//! | Recommendation (v0.7) | DLRM | [`DlrmMini`] (embedding bag + pairwise interactions) |
+//! | Speech recognition (v0.7) | RNN-T | [`RnnTMini`] (LSTM encoder + CTC-style loss) |
 //!
 //! Models follow the paper's "reference implementation" role: they
 //! define the network and training procedure precisely (layer-by-layer,
@@ -21,21 +24,27 @@
 #![warn(missing_docs)]
 
 mod alexnet;
+mod bert;
 mod common;
+mod dlrm;
 mod gnmt;
 mod maskrcnn;
 mod minigo;
 mod ncf;
 mod resnet;
+mod rnnt;
 mod ssd;
 mod transformer;
 
 pub use alexnet::AlexNetMini;
+pub use bert::{BertConfig, BertMini};
 pub use common::{nms, sinusoidal_positions, Detection};
+pub use dlrm::{DlrmConfig, DlrmMini};
 pub use gnmt::{GnmtConfig, GnmtMini};
 pub use maskrcnn::{MaskRcnnConfig, MaskRcnnMini, MaskRcnnOutput};
 pub use minigo::{MiniGoConfig, MiniGoNet};
 pub use ncf::{Ncf, NcfConfig};
 pub use resnet::{ResNetConfig, ResNetMini};
+pub use rnnt::{RnnTConfig, RnnTMini};
 pub use ssd::{SsdConfig, SsdMini};
 pub use transformer::{TransformerConfig, TransformerMini};

@@ -25,15 +25,21 @@
 
 mod attention;
 mod conv;
+mod ctc;
 mod embedding;
+mod embedding_bag;
 mod linear;
+mod mlm;
 mod norm;
 mod rnn;
 
 pub use attention::{causal_mask, MultiHeadAttention};
 pub use conv::Conv2d;
+pub use ctc::{ctc_alignment_loss, edit_distance, greedy_ctc_decode, label_error_rate};
 pub use embedding::Embedding;
+pub use embedding_bag::{BagMode, EmbeddingBag};
 pub use linear::Linear;
+pub use mlm::MaskedLmHead;
 pub use norm::{BatchNorm2d, LayerNorm};
 pub use rnn::{LstmCell, LstmState};
 

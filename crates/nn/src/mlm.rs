@@ -1,0 +1,141 @@
+//! Masked-language-model head — BERT's pretraining objective over an
+//! encoder stack.
+
+use crate::{collect_params, LayerNorm, Linear, Module};
+use mlperf_autograd::Var;
+use mlperf_tensor::TensorRng;
+
+/// The BERT masked-LM head: a dense transform with nonlinearity and
+/// layer norm, then a projection to vocabulary logits. The loss is
+/// cross-entropy over the *masked positions only* — unmasked tokens
+/// contribute nothing, exactly the sparse supervision that makes the
+/// objective self-supervised.
+#[derive(Debug)]
+pub struct MaskedLmHead {
+    transform: Linear,
+    norm: LayerNorm,
+    proj: Linear,
+    vocab: usize,
+}
+
+impl MaskedLmHead {
+    /// Creates a head for `model_dim`-wide encoder states over a
+    /// `vocab`-token vocabulary.
+    pub fn new(model_dim: usize, vocab: usize, rng: &mut TensorRng) -> Self {
+        MaskedLmHead {
+            transform: Linear::new(model_dim, model_dim, true, rng),
+            norm: LayerNorm::new(model_dim),
+            proj: Linear::new(model_dim, vocab, true, rng),
+            vocab,
+        }
+    }
+
+    /// Vocabulary logits `[batch, seq, vocab]` for encoder states
+    /// `[batch, seq, model_dim]`.
+    pub fn forward(&self, hidden: &Var) -> Var {
+        self.proj.forward(&self.norm.forward(&self.transform.forward(hidden).relu()))
+    }
+
+    /// Cross-entropy over the masked positions.
+    ///
+    /// `hidden` is `[batch, seq, model_dim]`; each entry of `masked`
+    /// names one supervised position `(batch, seq, original_token)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `masked` is empty or names an out-of-range position
+    /// or token.
+    pub fn loss(&self, hidden: &Var, masked: &[(usize, usize, usize)]) -> Var {
+        let (rows, labels) = self.masked_rows(hidden, masked);
+        let shape = hidden.shape();
+        let flat = self.forward(hidden).reshape(&[shape[0] * shape[1], self.vocab]);
+        flat.gather_rows(&rows).cross_entropy_logits(&labels)
+    }
+
+    /// Fraction of masked positions whose argmax logit is the original
+    /// token — the paper's masked-LM accuracy metric.
+    pub fn accuracy(&self, hidden: &Var, masked: &[(usize, usize, usize)]) -> f64 {
+        let (rows, labels) = self.masked_rows(hidden, masked);
+        let shape = hidden.shape();
+        let flat = self.forward(hidden).reshape(&[shape[0] * shape[1], self.vocab]);
+        let predicted = flat.value().gather_rows(&rows).argmax_last_axis();
+        let hits = predicted.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        hits as f64 / labels.len() as f64
+    }
+
+    /// Flattened row indices and labels for the masked positions.
+    fn masked_rows(
+        &self,
+        hidden: &Var,
+        masked: &[(usize, usize, usize)],
+    ) -> (Vec<usize>, Vec<usize>) {
+        assert!(!masked.is_empty(), "no masked positions");
+        let shape = hidden.shape();
+        let (batch, seq) = (shape[0], shape[1]);
+        let mut rows = Vec::with_capacity(masked.len());
+        let mut labels = Vec::with_capacity(masked.len());
+        for &(b, t, token) in masked {
+            assert!(b < batch && t < seq, "masked position ({b}, {t}) out of range");
+            assert!(token < self.vocab, "token {token} out of vocabulary {}", self.vocab);
+            rows.push(b * seq + t);
+            labels.push(token);
+        }
+        (rows, labels)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+impl Module for MaskedLmHead {
+    fn params(&self) -> Vec<Var> {
+        collect_params(&[&self.transform, &self.norm, &self.proj])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlperf_tensor::Tensor;
+
+    #[test]
+    fn logits_cover_the_vocabulary() {
+        let mut rng = TensorRng::new(0);
+        let head = MaskedLmHead::new(8, 12, &mut rng);
+        let hidden = Var::constant(Tensor::ones(&[2, 5, 8]));
+        assert_eq!(head.forward(&hidden).shape(), vec![2, 5, 12]);
+    }
+
+    #[test]
+    fn loss_only_sees_masked_positions() {
+        let mut rng = TensorRng::new(1);
+        let head = MaskedLmHead::new(4, 6, &mut rng);
+        let hidden = Var::param(TensorRng::new(9).normal(&[1, 3, 4], 0.0, 1.0));
+        head.loss(&hidden, &[(0, 1, 2)]).backward();
+        let g = hidden.grad().unwrap();
+        // Gradient reaches only the supervised time step.
+        let row = |t: usize| &g.data()[t * 4..(t + 1) * 4];
+        assert!(row(1).iter().any(|v| *v != 0.0));
+        assert!(row(0).iter().all(|v| *v == 0.0));
+        assert!(row(2).iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn accuracy_is_a_fraction() {
+        let mut rng = TensorRng::new(2);
+        let head = MaskedLmHead::new(4, 6, &mut rng);
+        let hidden = Var::constant(TensorRng::new(3).normal(&[2, 4, 4], 0.0, 1.0));
+        let acc = head.accuracy(&hidden, &[(0, 0, 1), (1, 3, 5)]);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        let mut rng = TensorRng::new(4);
+        let head = MaskedLmHead::new(4, 6, &mut rng);
+        head.loss(&Var::constant(Tensor::ones(&[1, 2, 4])), &[(0, 2, 0)]);
+    }
+}

@@ -273,6 +273,18 @@ pub(crate) fn run_round_under(
             }
         }
         if !report.is_clean() {
+            // One instant event per diagnostic, naming the org, the
+            // benchmark, and the fault — the quarantine decision shows
+            // up as a tick on the round's trace lane.
+            for (benchmark, diagnostic) in report.diagnostics() {
+                scope.event_with("ingest", "quarantine", || {
+                    Map::from([
+                        arg("org", json!(report.org)),
+                        arg("benchmark", json!(benchmark.to_string())),
+                        arg("fault", json!(diagnostic.to_string())),
+                    ])
+                });
+            }
             quarantined.push(report.clone());
         }
     }
@@ -404,6 +416,36 @@ mod tests {
         let logs_parsed =
             snapshot.counters.iter().find(|c| c.name == "ingest.logs_parsed").unwrap();
         assert_eq!(logs_parsed.value as usize, total_logs);
+    }
+
+    #[test]
+    fn quarantine_decisions_emit_instant_events() {
+        let subs = synthetic_round(
+            &SyntheticRoundSpec::new(Round::V05, 9)
+                .with_fault(Fault::MissingRunStop { org: "Borealis".into() }),
+        );
+        let telemetry = Telemetry::recording();
+        let outcome = run_round_with(&subs, &telemetry);
+        assert_eq!(outcome.quarantined.len(), 1);
+
+        let snapshot = telemetry.snapshot();
+        let events: Vec<_> = snapshot.events_in("ingest").collect();
+        let expected: usize = outcome.quarantined.iter().map(|r| r.diagnostics().count()).sum();
+        assert_eq!(events.len(), expected, "one event per quarantine diagnostic");
+        let run = snapshot.spans.iter().find(|s| s.name == "run_round").unwrap();
+        for event in &events {
+            assert_eq!(event.name, "quarantine");
+            assert_eq!(event.parent, Some(run.id), "events nest under the round span");
+            assert!(run.start_us <= event.ts_us && event.ts_us <= run.end_us);
+            assert_eq!(event.args.get("org"), Some(&json!("Borealis")));
+            let fault = event.args.get("fault").and_then(|f| f.as_str()).unwrap();
+            assert!(!fault.is_empty(), "the event names its fault");
+        }
+
+        // A clean round emits no quarantine events at all.
+        let clean = Telemetry::recording();
+        run_round_with(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 9)), &clean);
+        assert!(clean.snapshot().events.is_empty());
     }
 
     #[test]

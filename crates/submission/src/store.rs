@@ -934,7 +934,9 @@ mod tests {
         let replay = archive.replay().unwrap();
         assert!(replay.faults.is_empty(), "{:?}", replay.faults);
         assert_eq!(replay.history.rounds(), Round::ALL.to_vec());
-        assert_eq!(replay.history.speedup_table(16).rows.len(), 5);
+        // Five original workloads plus the three v0.7 additions,
+        // which appear as suffix rows once the v0.7 round lands.
+        assert_eq!(replay.history.speedup_table(16).rows.len(), 8);
         fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -83,22 +83,30 @@ pub fn suite_version(round: Round) -> SuiteVersion {
     }
 }
 
-/// The simulator benchmarks paired with their suite identities.
+fn sim_identity(b: &SimBenchmark) -> BenchmarkId {
+    match b.name.as_str() {
+        "ResNet-50 v1.5" => BenchmarkId::ImageClassification,
+        "SSD-ResNet-34" => BenchmarkId::ObjectDetection,
+        "Mask R-CNN" => BenchmarkId::InstanceSegmentation,
+        "GNMT" => BenchmarkId::TranslationRecurrent,
+        "Transformer" => BenchmarkId::TranslationNonRecurrent,
+        "BERT" => BenchmarkId::LanguageModeling,
+        "DLRM" => BenchmarkId::RecommendationDlrm,
+        "RNN-T" => BenchmarkId::SpeechRecognition,
+        other => unreachable!("unknown sim benchmark {other}"),
+    }
+}
+
+/// The cross-round comparison benchmarks paired with their suite
+/// identities (contested in every round — the Figure 4/5 set).
 pub fn comparison_benchmarks() -> Vec<(BenchmarkId, SimBenchmark)> {
-    SimBenchmark::round_comparison_suite()
-        .into_iter()
-        .map(|b| {
-            let id = match b.name.as_str() {
-                "ResNet-50 v1.5" => BenchmarkId::ImageClassification,
-                "SSD-ResNet-34" => BenchmarkId::ObjectDetection,
-                "Mask R-CNN" => BenchmarkId::InstanceSegmentation,
-                "GNMT" => BenchmarkId::TranslationRecurrent,
-                "Transformer" => BenchmarkId::TranslationNonRecurrent,
-                other => unreachable!("unknown sim benchmark {other}"),
-            };
-            (id, b)
-        })
-        .collect()
+    SimBenchmark::round_comparison_suite().into_iter().map(|b| (sim_identity(&b), b)).collect()
+}
+
+/// Every benchmark contested in a round, paired with its suite
+/// identity: the comparison set plus, from v0.7, the added workloads.
+pub fn round_benchmarks(round: Round) -> Vec<(BenchmarkId, SimBenchmark)> {
+    SimBenchmark::benchmarks_for_round(round).into_iter().map(|b| (sim_identity(&b), b)).collect()
 }
 
 /// Reference hyperparameters every Closed submission is validated
@@ -117,14 +125,14 @@ fn reference_hyperparameters() -> BTreeMap<String, f64> {
 /// the round's quality targets and datasets.
 pub fn round_references(round: Round) -> Vec<BenchmarkReference> {
     let version = suite_version(round);
-    comparison_benchmarks()
+    round_benchmarks(round)
         .into_iter()
         .map(|(id, _)| BenchmarkReference {
             benchmark: id,
             dataset: id.spec().dataset.to_string(),
             quality_target: id
                 .quality_for(version)
-                .expect("comparison benchmarks exist in every round")
+                .expect("round benchmarks exist in their round")
                 .value,
             hyperparameters: reference_hyperparameters(),
             signature: reference_signature(id),
@@ -141,7 +149,7 @@ fn render_run_log(
     result: &SimResult,
 ) -> String {
     let target =
-        id.quality_for(suite_version(round)).expect("comparison benchmarks exist in every round");
+        id.quality_for(suite_version(round)).expect("round benchmarks exist in their round");
     let duration_ms = (result.minutes * 60_000.0).max(1.0) as u64;
     // Cap the rendered epoch count so large-scale entries do not blow
     // up log sizes; timing comes from `minutes`, not the epoch lines.
@@ -178,7 +186,7 @@ fn render_run_log(
 /// set per comparison benchmark the system can run.
 fn vendor_bundle(vendor: &Vendor, round: Round, chips: usize, base_seed: u64) -> SubmissionBundle {
     let mut run_sets = Vec::new();
-    for (bench_idx, (id, bench)) in comparison_benchmarks().into_iter().enumerate() {
+    for (bench_idx, (id, bench)) in round_benchmarks(round).into_iter().enumerate() {
         let seed = base_seed.wrapping_add(101 * bench_idx as u64);
         let runs = id.runs_required();
         let Some(results) = simulate_run_set(vendor, round, &bench, chips, seed, runs) else {
@@ -310,6 +318,30 @@ mod tests {
         let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V06, 2));
         assert_eq!(subs.bundles.len(), 2 * Vendor::fleet().len());
         assert_eq!(subs.references.len(), 5);
+    }
+
+    #[test]
+    fn v07_round_contests_the_added_workloads() {
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V07, 4));
+        assert_eq!(subs.references.len(), 8);
+        for id in [
+            BenchmarkId::LanguageModeling,
+            BenchmarkId::RecommendationDlrm,
+            BenchmarkId::SpeechRecognition,
+        ] {
+            assert!(BenchmarkReference::find(&subs.references, id).is_some(), "{id}");
+            // At least one bundle actually ran the new workload.
+            assert!(
+                subs.bundles.iter().any(|b| b.run_sets.iter().any(|rs| rs.benchmark == id)),
+                "{id}: no bundle ran it"
+            );
+        }
+        // Earlier rounds never mention the additions.
+        let v06 = synthetic_round(&SyntheticRoundSpec::new(Round::V06, 4));
+        assert!(v06
+            .bundles
+            .iter()
+            .all(|b| b.run_sets.iter().all(|rs| rs.benchmark != BenchmarkId::LanguageModeling)));
     }
 
     #[test]

@@ -81,21 +81,22 @@ impl RoundHistory {
 
     /// Figure 4: round-over-round speedup of the fastest entries at a
     /// fixed system size, one column per round in the history. A
-    /// benchmark appears only when it has an accepted entry at that
-    /// size in *every* round. Ratio is `oldest minutes / newest
-    /// minutes` — above 1.0 means the suite got faster on unchanged
-    /// hardware scale.
+    /// benchmark appears when its accepted entries at that size form a
+    /// *suffix* of the history — present from some round through the
+    /// newest (the v0.7 additions joined mid-history; rounds before a
+    /// benchmark existed render as blank cells). Ratio is `oldest
+    /// present minutes / newest minutes` — above 1.0 means the suite
+    /// got faster on unchanged hardware scale.
     pub fn speedup_table(&self, chips: usize) -> RoundTable {
         let rows = BenchmarkId::ALL
             .into_iter()
             .filter_map(|id| {
-                let values: Vec<f64> =
-                    self.outcomes.iter().map_while(|o| best_minutes_at(o, id, chips)).collect();
-                if values.len() != self.outcomes.len() || values.is_empty() {
-                    return None;
-                }
-                let ratio = values[0] / values[values.len() - 1];
-                Some(RoundComparisonRow { benchmark: id.to_string(), values, ratio })
+                suffix_row(
+                    &self.outcomes,
+                    id,
+                    |o| best_minutes_at(o, id, chips),
+                    |first, last| first / last,
+                )
             })
             .collect();
         RoundTable {
@@ -145,22 +146,19 @@ impl RoundHistory {
     }
 
     /// Figure 5: growth in the system scale of the fastest overall
-    /// entry per benchmark, one column per round. Ratio is `newest
-    /// chips / oldest chips`.
+    /// entry per benchmark, one column per round. Presence follows the
+    /// same suffix rule as [`RoundHistory::speedup_table`]. Ratio is
+    /// `newest chips / oldest present chips`.
     pub fn scale_table(&self) -> RoundTable {
         let rows = BenchmarkId::ALL
             .into_iter()
             .filter_map(|id| {
-                let values: Vec<f64> = self
-                    .outcomes
-                    .iter()
-                    .map_while(|o| best_entry_chips(o, id).map(|c| c as f64))
-                    .collect();
-                if values.len() != self.outcomes.len() || values.is_empty() {
-                    return None;
-                }
-                let ratio = values[values.len() - 1] / values[0];
-                Some(RoundComparisonRow { benchmark: id.to_string(), values, ratio })
+                suffix_row(
+                    &self.outcomes,
+                    id,
+                    |o| best_entry_chips(o, id).map(|c| c as f64),
+                    |first, last| last / first,
+                )
             })
             .collect();
         RoundTable {
@@ -223,6 +221,31 @@ impl RoundTable {
     }
 }
 
+/// Builds one comparison row when a benchmark's per-round values form
+/// a suffix of the history: absent for zero or more leading rounds
+/// (rendered as NaN → blank cells), then present through the newest
+/// round. Gaps or a missing newest round drop the row. The ratio is
+/// computed from the first and last *present* values.
+fn suffix_row(
+    outcomes: &[RoundOutcome],
+    id: BenchmarkId,
+    value: impl Fn(&RoundOutcome) -> Option<f64>,
+    ratio: impl Fn(f64, f64) -> f64,
+) -> Option<RoundComparisonRow> {
+    let per_round: Vec<Option<f64>> = outcomes.iter().map(value).collect();
+    let first_present = per_round.iter().position(Option::is_some)?;
+    if per_round[first_present..].iter().any(Option::is_none) {
+        return None; // a gap, or the benchmark vanished — not a suffix
+    }
+    let values: Vec<f64> = per_round.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+    let present = &values[first_present..];
+    Some(RoundComparisonRow {
+        benchmark: id.to_string(),
+        ratio: ratio(present[0], present[present.len() - 1]),
+        values,
+    })
+}
+
 /// The fastest accepted Closed-division minutes for a benchmark at one
 /// exact system size.
 fn best_minutes_at(outcome: &RoundOutcome, benchmark: BenchmarkId, chips: usize) -> Option<f64> {
@@ -260,18 +283,33 @@ mod tests {
     #[test]
     fn speedup_table_shows_rounds_getting_faster_at_fixed_scale() {
         let table = history().speedup_table(16);
-        assert_eq!(table.rows.len(), 5, "all five comparison benchmarks present");
+        assert_eq!(table.rows.len(), 8, "five comparison benchmarks plus the v0.7 additions");
         assert_eq!(table.rounds, Round::ALL.to_vec());
         let avg = table.average_ratio().unwrap();
         assert!(avg > 1.0, "later rounds should be faster at 16 chips, got {avg}");
-        // Each row carries one value per round and improves end to end.
+        // Each row carries one value per round; full-history rows
+        // improve end to end, v0.7 joiners are blank before v0.7.
         for row in &table.rows {
             assert_eq!(row.values.len(), 3);
-            assert!(row.values[0] > row.values[2], "{row:?}");
+            if row.values[0].is_nan() {
+                assert!(row.values[1].is_nan() && row.values[2].is_finite(), "{row:?}");
+            } else {
+                assert!(row.values[0] > row.values[2], "{row:?}");
+            }
         }
+        let joined: Vec<&str> = table
+            .rows
+            .iter()
+            .filter(|r| r.values[0].is_nan())
+            .map(|r| r.benchmark.as_str())
+            .collect();
+        assert_eq!(joined.len(), 3, "BERT, DLRM and RNN-T join in v0.7: {joined:?}");
         let rendered = table.render();
         assert!(rendered.contains("speedup"));
         assert!(rendered.contains("v0.7 minutes"));
+        for name in &joined {
+            assert!(rendered.contains(name), "{name} missing from rendered table:\n{rendered}");
+        }
     }
 
     #[test]
@@ -280,7 +318,12 @@ mod tests {
         // Every synthetic round fields its reference systems at 16
         // chips, so the data-driven anchor matches the paper's.
         assert_eq!(history.common_scale(), Some(16));
-        assert_eq!(history.speedup_table_at_common_scale(), history.speedup_table(16));
+        // Compare via the rendered text: suffix rows carry NaN cells
+        // for pre-join rounds, and NaN != NaN under PartialEq.
+        assert_eq!(
+            history.speedup_table_at_common_scale().render(),
+            history.speedup_table(16).render()
+        );
         assert!(RoundHistory::new().common_scale().is_none());
     }
 
@@ -353,9 +396,14 @@ mod tests {
     #[test]
     fn scale_table_shows_fastest_systems_growing() {
         let table = history().scale_table();
-        assert_eq!(table.rows.len(), 5);
+        assert_eq!(table.rows.len(), 8);
         let avg = table.average_ratio().unwrap();
         assert!(avg > 1.0, "fastest systems should grow across rounds, got {avg}");
+        // A benchmark present in one round only carries a unit ratio —
+        // it cannot contribute growth it never had time to show.
+        for row in table.rows.iter().filter(|r| r.values[..2].iter().all(|v| v.is_nan())) {
+            assert_eq!(row.ratio, 1.0, "{row:?}");
+        }
     }
 
     #[test]

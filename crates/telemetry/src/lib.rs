@@ -32,7 +32,7 @@ pub mod trace;
 pub use clock::{Clock, MonotonicClock};
 pub use metrics::{Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot};
 pub use snapshot::TelemetrySnapshot;
-pub use span::{arg, SpanHandle, SpanId, SpanRecord, SpanScope};
+pub use span::{arg, EventRecord, SpanHandle, SpanId, SpanRecord, SpanScope};
 pub use trace::{render_trace, trace_events, write_trace, TraceWriteError};
 
 use metrics::Registry;
@@ -45,6 +45,7 @@ struct Inner {
     /// The reference timeline every scope is aligned onto.
     clock: MonotonicClock,
     spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
     /// Next span id (1-based; 0 is the null id).
     next_span: AtomicU64,
     /// Next scope track (trace viewer lane).
@@ -69,6 +70,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 clock: MonotonicClock::new(),
                 spans: Mutex::new(Vec::new()),
+                events: Mutex::new(Vec::new()),
                 next_span: AtomicU64::new(1),
                 next_track: AtomicU64::new(1),
                 metrics: Registry::default(),
@@ -151,8 +153,11 @@ impl Telemetry {
         };
         let mut spans = inner.spans.lock().expect("span sink poisoned").clone();
         spans.sort_by_key(|s| (s.start_us, s.id));
+        let mut events = inner.events.lock().expect("event sink poisoned").clone();
+        events.sort_by_key(|e| (e.ts_us, e.id));
         TelemetrySnapshot {
             spans,
+            events,
             counters: inner.metrics.counter_snapshots(),
             gauges: inner.metrics.gauge_snapshots(),
             histograms: inner.metrics.histogram_snapshots(),
@@ -169,6 +174,12 @@ impl Telemetry {
     pub(crate) fn record_span(&self, record: SpanRecord) {
         let inner = self.inner.as_ref().expect("span recorded into disabled telemetry");
         inner.spans.lock().expect("span sink poisoned").push(record);
+    }
+
+    /// Stores one instant event. Only called by enabled scopes.
+    pub(crate) fn record_event(&self, record: EventRecord) {
+        let inner = self.inner.as_ref().expect("event recorded into disabled telemetry");
+        inner.events.lock().expect("event sink poisoned").push(record);
     }
 }
 

@@ -3,14 +3,17 @@
 //! renderers work on stable data.
 
 use crate::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
-use crate::span::SpanRecord;
+use crate::span::{EventRecord, SpanRecord};
 
 /// Everything recorded so far: completed spans (sorted by start time,
-/// then id) and the metric registry's current readings.
+/// then id), instant events (sorted by timestamp, then id), and the
+/// metric registry's current readings.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetrySnapshot {
     /// Completed spans, sorted by `(start_us, id)`.
     pub spans: Vec<SpanRecord>,
+    /// Instant events, sorted by `(ts_us, id)`.
+    pub events: Vec<EventRecord>,
     /// Counters in registration order.
     pub counters: Vec<CounterSnapshot>,
     /// Gauges in registration order.
@@ -23,9 +26,15 @@ impl TelemetrySnapshot {
     /// Whether nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
+            && self.events.is_empty()
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
+    }
+
+    /// The instant events emitted by one instrumented layer.
+    pub fn events_in<'a>(&'a self, layer: &'a str) -> impl Iterator<Item = &'a EventRecord> {
+        self.events.iter().filter(move |e| e.layer == layer)
     }
 
     /// The spans emitted by one instrumented layer (trace category).

@@ -56,6 +56,28 @@ impl SpanRecord {
     }
 }
 
+/// One instant event: a point on the timeline rather than an interval.
+/// Used for decisions and state changes with no meaningful duration —
+/// e.g. review quarantining a bundle — which Chrome traces render as a
+/// vertical tick on the emitting track.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Unique id within the sink (shares the span id space).
+    pub id: u64,
+    /// The open span the event happened inside, `None` at top level.
+    pub parent: Option<u64>,
+    /// The emitting scope's lane.
+    pub track: u64,
+    /// Which instrumented layer emitted this — the trace category.
+    pub layer: String,
+    /// Event name (`quarantine`, `storage_fault`, …).
+    pub name: String,
+    /// Timestamp on the sink timeline, microseconds.
+    pub ts_us: u64,
+    /// Structured key/value annotations.
+    pub args: Map,
+}
+
 /// A span opened by [`SpanScope::start`] and not yet ended.
 #[derive(Debug)]
 struct OpenSpan {
@@ -207,6 +229,32 @@ impl<'a> SpanScope<'a> {
                 args: record_args,
             });
         }
+    }
+
+    /// Records an instant event under the innermost open span (or the
+    /// scope's parent) — a point on the timeline, not an interval.
+    pub fn event(&mut self, layer: &'static str, name: &str) {
+        self.event_with(layer, name, Map::new)
+    }
+
+    /// Like [`SpanScope::event`], with annotations. `args` is a closure
+    /// so a disabled scope never evaluates (or allocates) them.
+    pub fn event_with(&mut self, layer: &'static str, name: &str, args: impl FnOnce() -> Map) {
+        let Some(state) = self.state.as_mut() else {
+            return;
+        };
+        let ts_us = scope_now_us(state.clock, state.offset_us);
+        let id = state.telemetry.allocate_span_id();
+        let parent = state.stack.last().map(|s| s.id).or(state.parent);
+        state.telemetry.record_event(EventRecord {
+            id,
+            parent,
+            track: state.track,
+            layer: layer.to_string(),
+            name: name.to_string(),
+            ts_us,
+            args: args(),
+        });
     }
 
     /// Convenience: times `f` inside a span.
@@ -368,7 +416,41 @@ mod tests {
         let h = scope.start_with("test", "nothing", || panic!("args must not be evaluated"));
         assert!(!h.id.is_recorded());
         scope.end_with(h, || panic!("args must not be evaluated"));
+        scope.event_with("test", "nothing", || panic!("args must not be evaluated"));
         assert!(telemetry.snapshot().spans.is_empty());
+        assert!(telemetry.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn events_record_a_point_under_the_open_span() {
+        let telemetry = Telemetry::recording();
+        let clock = TestClock::new();
+        let mut scope = telemetry.scope(&clock);
+        let outer = scope.start("test", "review");
+        clock.advance_us(4);
+        scope.event_with("test", "quarantine", || Map::from([arg("org", json!("Borealis"))]));
+        clock.advance_us(4);
+        scope.end(outer);
+
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.events.len(), 1);
+        let event = &snapshot.events[0];
+        let span = &snapshot.spans[0];
+        assert_eq!(event.name, "quarantine");
+        assert_eq!(event.parent, Some(span.id), "event nests under the open span");
+        assert!(span.start_us <= event.ts_us && event.ts_us <= span.end_us);
+        assert_eq!(event.args.get("org"), Some(&json!("Borealis")));
+    }
+
+    #[test]
+    fn top_level_events_have_no_parent() {
+        let telemetry = Telemetry::recording();
+        let clock = TestClock::new();
+        let mut scope = telemetry.scope(&clock);
+        scope.event("test", "lone");
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.events.len(), 1);
+        assert_eq!(snapshot.events[0].parent, None);
     }
 
     #[test]

@@ -31,10 +31,17 @@ impl fmt::Display for TraceWriteError {
 impl std::error::Error for TraceWriteError {}
 
 /// The Chrome `trace_event` objects for a snapshot: one complete-span
-/// event per span (chronological), then one counter event per metric.
+/// event per span (chronological), one instant (`"ph": "i"`) event per
+/// recorded [`crate::EventRecord`], then one counter event per metric.
 pub fn trace_events(snapshot: &TelemetrySnapshot) -> Vec<Value> {
     let mut events = Vec::new();
-    let last_ts = snapshot.spans.iter().map(|s| s.end_us).max().unwrap_or(0);
+    let last_ts = snapshot
+        .spans
+        .iter()
+        .map(|s| s.end_us)
+        .chain(snapshot.events.iter().map(|e| e.ts_us))
+        .max()
+        .unwrap_or(0);
     for span in &snapshot.spans {
         let mut args = span.args.clone();
         args.insert("span_id".to_string(), json!(span.id));
@@ -49,6 +56,24 @@ pub fn trace_events(snapshot: &TelemetrySnapshot) -> Vec<Value> {
             "tid": span.track,
             "ts": span.start_us,
             "dur": span.duration_us(),
+            "args": Value::Object(args),
+        }));
+    }
+    for instant in &snapshot.events {
+        let mut args = instant.args.clone();
+        args.insert("event_id".to_string(), json!(instant.id));
+        if let Some(parent) = instant.parent {
+            args.insert("parent_id".to_string(), json!(parent));
+        }
+        events.push(json!({
+            "name": instant.name,
+            "cat": instant.layer,
+            "ph": "i",
+            // Thread scope: the tick renders on the emitting track only.
+            "s": "t",
+            "pid": 1,
+            "tid": instant.track,
+            "ts": instant.ts_us,
             "args": Value::Object(args),
         }));
     }
@@ -207,6 +232,28 @@ mod tests {
         assert_eq!(text, render_trace(&snapshot));
         assert!(!dir.join(".out.trace.tmp").exists(), "tmp file renamed away");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn instant_events_render_as_chrome_instants() {
+        use crate::arg;
+        use serde_json::Map;
+        let telemetry = Telemetry::recording();
+        let clock = MonotonicClock::new();
+        let mut scope = telemetry.scope(&clock);
+        let review = scope.start("ingest", "review");
+        scope.event_with("ingest", "quarantine", || Map::from([arg("org", json!("Borealis"))]));
+        scope.end(review);
+
+        let events = trace_events(&telemetry.snapshot());
+        let instant = events.iter().find(|e| e["ph"] == json!("i")).unwrap();
+        assert_eq!(instant["name"], json!("quarantine"));
+        assert_eq!(instant["cat"], json!("ingest"));
+        assert_eq!(instant["s"], json!("t"), "instants are thread-scoped ticks");
+        assert_eq!(instant["args"]["org"], json!("Borealis"));
+        let span = events.iter().find(|e| e["name"] == json!("review")).unwrap();
+        assert_eq!(instant["args"]["parent_id"], span["args"]["span_id"]);
+        assert_eq!(instant["tid"], span["tid"], "the tick lands on the emitting track");
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! The number of cases per property defaults to 96 and can be raised or
 //! lowered with the `PROPTEST_CASES` environment variable, like the
 //! real crate.
+//!
+//! Failing cases are persisted: each case samples from its own seed,
+//! and the first failure's seed is appended to the consuming crate's
+//! `proptest-regressions/<source file stem>.txt` as a
+//! `cc <property> <seed>` line. The next run replays every persisted
+//! seed before sampling anything new, so a fixed regression is
+//! re-checked first and a still-broken one fails immediately. Set
+//! `PROPTEST_PERSIST=0` to turn persistence off.
 
 pub mod collection;
 pub mod strategy;
@@ -48,8 +56,14 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __strategy = ($($strat,)*);
-                $crate::test_runner::run_property(
+                let __persistence = $crate::test_runner::Persistence::from_macro(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
                     stringify!($name),
+                );
+                $crate::test_runner::run_property_with(
+                    stringify!($name),
+                    &__persistence,
                     &__strategy,
                     |__value: &_| {
                         let ($($pat,)*) = ::std::clone::Clone::clone(__value);
@@ -154,9 +168,17 @@ mod tests {
         }
     }
 
+    /// The meta-tests below drive deliberately-failing properties, so
+    /// they switch persistence off: the stub's own regression files
+    /// would otherwise churn on every test run.
+    fn without_persistence() {
+        std::env::set_var("PROPTEST_PERSIST", "0");
+    }
+
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failures_report_case_number() {
+        without_persistence();
         proptest! {
             fn always_fails(x in 0u8..10) {
                 prop_assert!(x > 100, "x was {}", x);
@@ -180,6 +202,7 @@ mod tests {
     /// minimal counterexample — regardless of the sampled value.
     #[test]
     fn failing_integer_shrinks_to_the_minimal_counterexample() {
+        without_persistence();
         let result = std::panic::catch_unwind(|| {
             proptest! {
                 fn fails_from_ten(x in 0u64..1000) {
@@ -198,6 +221,7 @@ mod tests {
     /// exactly 7, giving the one-element minimal vector.
     #[test]
     fn failing_vec_shrinks_to_a_single_minimal_element() {
+        without_persistence();
         let result = std::panic::catch_unwind(|| {
             proptest! {
                 fn fails_on_big_element(v in crate::collection::vec(0u64..100, 1..8)) {
@@ -216,6 +240,7 @@ mod tests {
     /// one-character minimal string — still inside `[a-z]{0,12}`.
     #[test]
     fn failing_string_shrinks_to_a_single_minimal_char() {
+        without_persistence();
         let result = std::panic::catch_unwind(|| {
             proptest! {
                 fn fails_from_m(s in "[a-z]{0,12}") {
@@ -249,6 +274,7 @@ mod tests {
     /// minimal failing values independently.
     #[test]
     fn failing_tuple_shrinks_both_components() {
+        without_persistence();
         let result = std::panic::catch_unwind(|| {
             proptest! {
                 fn fails_in_the_corner(a in 0i32..100, b in 5usize..50) {

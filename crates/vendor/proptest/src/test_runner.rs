@@ -5,6 +5,7 @@
 use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::path::{Path, PathBuf};
 
 /// Why a generated case did not pass.
 #[derive(Debug)]
@@ -25,34 +26,147 @@ pub fn cases() -> usize {
 /// built-in strategies need (halving an `f64` takes ~1100 steps).
 const MAX_SHRINK_STEPS: usize = 4096;
 
-/// The engine behind the [`proptest!`](crate::proptest) macro: runs
-/// `body` over [`cases`] sampled values, and on the first failure
-/// shrinks the value to a minimal counterexample before panicking.
+/// Where a property's failing case seeds are persisted, and replayed
+/// from on the next run — the stub's version of proptest's
+/// `proptest-regressions/` files.
 ///
-/// The panic message carries the case number, the failing assertion's
-/// message (re-evaluated on the minimal value), the originally sampled
-/// value, and the minimal one — so a regression is debuggable from the
-/// test output alone.
+/// The file lives at `<dir>/<source file stem>.txt` and holds one
+/// `cc <property name> <16-hex seed>` line per persisted failure, so
+/// every property in one source file shares a file. All IO is
+/// best-effort: an unreadable or unwritable file degrades to running
+/// the property without persistence, never to a panic of its own.
+#[derive(Debug, Clone)]
+pub struct Persistence {
+    /// The regression file, `None` when persistence is off.
+    path: Option<PathBuf>,
+    /// The property whose `cc` lines this handle reads and writes.
+    name: String,
+}
+
+impl Persistence {
+    /// Persistence for one property at an explicit regression file.
+    pub fn at_file(path: impl Into<PathBuf>, name: &str) -> Persistence {
+        Persistence { path: Some(path.into()), name: name.to_string() }
+    }
+
+    /// No persistence: nothing is read, nothing is written.
+    pub fn disabled(name: &str) -> Persistence {
+        Persistence { path: None, name: name.to_string() }
+    }
+
+    /// The persistence the [`proptest!`](crate::proptest) macro builds
+    /// from its expansion site: the regression file is
+    /// `<crate>/proptest-regressions/<source file stem>.txt`. Setting
+    /// the `PROPTEST_PERSIST` environment variable to `0` or `off`
+    /// disables persistence (the stub's own intentionally-failing
+    /// meta-tests rely on this to avoid writing regression files).
+    pub fn from_macro(manifest_dir: &str, source_file: &str, name: &str) -> Persistence {
+        match std::env::var("PROPTEST_PERSIST").as_deref() {
+            Ok("0") | Ok("off") => return Persistence::disabled(name),
+            _ => {}
+        }
+        let stem = Path::new(source_file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "proptest".to_string());
+        let path = Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"));
+        Persistence::at_file(path, name)
+    }
+
+    /// The persisted failing seeds for this property, oldest first.
+    fn load(&self) -> Vec<u64> {
+        let Some(path) = &self.path else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some("cc"), Some(name), Some(seed)) if name == self.name => {
+                        u64::from_str_radix(seed, 16).ok()
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Appends one failing seed, deduplicated. IO errors are ignored.
+    fn save(&self, seed: u64) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        let line = format!("cc {} {seed:016x}", self.name);
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        if existing.lines().any(|l| l.trim() == line) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, format!("{existing}{line}\n"));
+    }
+}
+
+/// The engine behind the [`proptest!`](crate::proptest) macro: replays
+/// any persisted failing seeds first, then runs `body` over [`cases`]
+/// freshly sampled values. On the first failure the value is shrunk to
+/// a minimal counterexample, the case's seed is persisted through
+/// `persistence`, and the property panics.
+///
+/// The panic message carries the case number (or the replayed seed),
+/// the failing assertion's message (re-evaluated on the minimal value),
+/// the originally sampled value, and the minimal one — so a regression
+/// is debuggable from the test output alone.
+pub fn run_property_with<S: Strategy>(
+    name: &str,
+    persistence: &Persistence,
+    strategy: &S,
+    body: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) {
+    // Replay persisted regressions before exploring anything new.
+    for seed in persistence.load() {
+        let value = strategy.sample(&mut TestRng::from_seed(seed));
+        if let Err(TestCaseError::Fail(message)) = body(&value) {
+            let (minimal, message, steps) = shrink_failure(strategy, value.clone(), message, &body);
+            panic!(
+                "property `{name}` failed at case cc {seed:016x} (persisted regression): \
+                 {message}\n  original: {value:?}\n  minimal: {minimal:?} ({steps} shrink steps)"
+            );
+        }
+    }
+    let cases = cases();
+    // Each case gets its own seed off the name-keyed stream, so a
+    // failing case is reproducible from its seed alone.
+    let mut seed_rng = TestRng::deterministic(name);
+    for case in 0..cases {
+        let seed = seed_rng.next_u64();
+        let value = strategy.sample(&mut TestRng::from_seed(seed));
+        let message = match body(&value) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(message)) => message,
+        };
+        persistence.save(seed);
+        let (minimal, message, steps) = shrink_failure(strategy, value.clone(), message, &body);
+        panic!(
+            "property `{name}` failed at case {}/{cases} (seed cc {seed:016x}): {message}\n  \
+             original: {value:?}\n  minimal: {minimal:?} ({steps} shrink steps)",
+            case + 1
+        );
+    }
+}
+
+/// [`run_property_with`] without persistence, for direct callers
+/// outside the macro.
 pub fn run_property<S: Strategy>(
     name: &str,
     strategy: &S,
     body: impl Fn(&S::Value) -> Result<(), TestCaseError>,
 ) {
-    let cases = cases();
-    let mut rng = TestRng::deterministic(name);
-    for case in 0..cases {
-        let value = strategy.sample(&mut rng);
-        let message = match body(&value) {
-            Ok(()) | Err(TestCaseError::Reject(_)) => continue,
-            Err(TestCaseError::Fail(message)) => message,
-        };
-        let (minimal, message, steps) = shrink_failure(strategy, value.clone(), message, &body);
-        panic!(
-            "property `{name}` failed at case {}/{cases}: {message}\n  \
-             original: {value:?}\n  minimal: {minimal:?} ({steps} shrink steps)",
-            case + 1
-        );
-    }
+    run_property_with(name, &Persistence::disabled(name), strategy, body)
 }
 
 /// Greedy shrink search: repeatedly replace the failing value with the
@@ -95,6 +209,11 @@ impl TestRng {
         let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
         });
+        TestRng::from_seed(seed)
+    }
+
+    /// A generator replaying one persisted case seed.
+    pub fn from_seed(seed: u64) -> TestRng {
         TestRng { rng: StdRng::seed_from_u64(seed) }
     }
 
@@ -116,5 +235,123 @@ impl TestRng {
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
         (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn temp_regression_file(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("regressions.txt")
+    }
+
+    /// A failing run persists its case seed; the next run replays that
+    /// seed first, before any freshly sampled case.
+    #[test]
+    fn failing_seed_is_persisted_and_replayed_first() {
+        let path = temp_regression_file("replay");
+        let persistence = Persistence::at_file(&path, "fails_high");
+        let strategy = (0u64..1000,);
+
+        let result = std::panic::catch_unwind(|| {
+            run_property_with("fails_high", &persistence, &strategy, |&(x,)| {
+                if x < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::Fail(format!("x was {x}")))
+                }
+            });
+        });
+        assert!(result.is_err(), "the property must fail its first run");
+
+        let text = std::fs::read_to_string(&path).expect("regression file written");
+        let seed_hex = text
+            .lines()
+            .find_map(|l| l.strip_prefix("cc fails_high "))
+            .expect("a `cc` line for the property");
+        let seed = u64::from_str_radix(seed_hex.trim(), 16).expect("seed parses");
+        let persisted_value = strategy.sample(&mut TestRng::from_seed(seed));
+
+        // Second run: record sampling order. The persisted value must
+        // come back first, ahead of every fresh case.
+        let sampled: RefCell<Vec<(u64,)>> = RefCell::new(Vec::new());
+        run_property_with("fails_high", &persistence, &strategy, |&value| {
+            sampled.borrow_mut().push(value);
+            Ok(())
+        });
+        let sampled = sampled.into_inner();
+        assert_eq!(sampled[0], persisted_value, "persisted case replays first");
+        assert_eq!(sampled.len(), cases() + 1, "then every fresh case still runs");
+
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// A still-broken persisted seed fails during replay, labelled as a
+    /// persisted regression, without sampling any new cases.
+    #[test]
+    fn persisted_seed_fails_replay_while_still_broken() {
+        let path = temp_regression_file("still-broken");
+        let persistence = Persistence::at_file(&path, "always_fails");
+        let strategy = (0u64..1000,);
+        let body = |_: &(u64,)| Err(TestCaseError::Fail("still broken".to_string()));
+
+        for run in 0..2 {
+            let result = std::panic::catch_unwind(|| {
+                run_property_with("always_fails", &persistence, &strategy, body);
+            });
+            let payload = result.expect_err("property fails every run");
+            let message = payload.downcast_ref::<String>().expect("string panic");
+            if run == 1 {
+                assert!(message.contains("persisted regression"), "{message}");
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "replay failures are not re-persisted: {text}");
+
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// Seeds are deduplicated per property, and properties sharing a
+    /// file do not read each other's lines.
+    #[test]
+    fn regression_file_lines_are_per_property_and_deduplicated() {
+        let path = temp_regression_file("shared");
+        let a = Persistence::at_file(&path, "prop_a");
+        let b = Persistence::at_file(&path, "prop_b");
+        a.save(7);
+        a.save(7);
+        b.save(9);
+        assert_eq!(a.load(), vec![7]);
+        assert_eq!(b.load(), vec![9]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "cc prop_a 0000000000000007\ncc prop_b 0000000000000009\n");
+
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// Disabled persistence never touches the filesystem.
+    #[test]
+    fn disabled_persistence_writes_nothing() {
+        let disabled = Persistence::disabled("nothing");
+        disabled.save(3);
+        assert!(disabled.load().is_empty());
+    }
+
+    /// `from_macro` derives the file from the expansion site and honors
+    /// the `PROPTEST_PERSIST=0` override.
+    #[test]
+    fn from_macro_derives_the_regression_path() {
+        let p = Persistence::from_macro("/tmp/some-crate", "src/lib.rs", "prop");
+        match std::env::var("PROPTEST_PERSIST").as_deref() {
+            Ok("0") | Ok("off") => assert_eq!(p.path, None),
+            _ => assert_eq!(
+                p.path.as_deref(),
+                Some(Path::new("/tmp/some-crate/proptest-regressions/lib.txt"))
+            ),
+        }
     }
 }

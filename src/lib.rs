@@ -5,7 +5,7 @@
 //!
 //! ```
 //! use mlperf_suite::core::suite::BenchmarkId;
-//! assert_eq!(BenchmarkId::ALL.len(), 7);
+//! assert_eq!(BenchmarkId::ALL.len(), 10);
 //! ```
 //!
 //! The subsystems:
@@ -15,9 +15,9 @@
 //! - [`nn`] — neural-network layers and losses.
 //! - [`optim`] — optimizers (two SGD momentum variants, Adam, LARS) and
 //!   learning-rate schedules.
-//! - [`data`] — synthetic dataset generators and loaders for all seven
-//!   benchmark tasks.
-//! - [`models`] — the seven miniaturized reference models (plus AlexNet
+//! - [`data`] — synthetic dataset generators and loaders for every
+//!   benchmark task, the v0.7 additions included.
+//! - [`models`] — the miniaturized reference models (plus AlexNet
 //!   for the Figure 1 precision study).
 //! - [`gomini`] — a complete 9×9 Go engine used by the MiniGo benchmark.
 //! - [`distsim`] — analytic distributed-training simulator used to

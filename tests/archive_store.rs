@@ -55,14 +55,19 @@ fn history_renders_figures_from_the_archive_alone() {
     let replay = archive.replay().unwrap();
     assert!(replay.faults.is_empty(), "{:?}", replay.faults);
 
+    // Five workloads span every round; BERT, DLRM and RNN-T join in
+    // v0.7 and appear as suffix rows with blank earlier cells.
     let speedup = replay.history.speedup_table(16);
-    assert_eq!(speedup.rows.len(), 5);
+    assert_eq!(speedup.rows.len(), 8);
     assert!(speedup.average_ratio().unwrap() > 1.0);
     let rendered = speedup.render();
     assert!(rendered.contains("v0.5 minutes") && rendered.contains("v0.7 minutes"), "{rendered}");
+    for name in ["bert", "dlrm", "rnnt"] {
+        assert!(rendered.contains(name), "{name} missing from Figure 4 table:\n{rendered}");
+    }
 
     let scale = replay.history.scale_table();
-    assert_eq!(scale.rows.len(), 5);
+    assert_eq!(scale.rows.len(), 8);
     assert!(scale.average_ratio().unwrap() > 1.0);
     fs::remove_dir_all(&dir).unwrap();
 }

@@ -5,6 +5,8 @@ use mlperf_suite::core::aggregate::olympic_mean;
 use mlperf_suite::core::compliance::check_log;
 use mlperf_suite::core::metrics::bleu;
 use mlperf_suite::core::mllog::{LogEntry, MlLogger};
+use mlperf_suite::core::recommend::recommend;
+use mlperf_suite::core::suite::{BenchmarkId, SuiteVersion};
 use mlperf_suite::distsim::ConvergenceModel;
 use mlperf_suite::gomini::{Board, Player, RandomPlayer};
 use mlperf_suite::tensor::{broadcast_shapes, Precision, TensorRng};
@@ -129,6 +131,36 @@ proptest! {
         prop_assert!(m.epochs(lo) <= m.epochs(hi));
         let scaled = m.with_target_factor(f);
         prop_assert!((scaled.epochs(b1) / m.epochs(b1) - f).abs() < 1e-9);
+    }
+
+    /// Suite membership is complete in every round: each fielded
+    /// benchmark has a finite quality target, reference hyperparameters
+    /// at any scale-up of its reference batch, and a slug that
+    /// round-trips back to the same id (the mllog benchmark name).
+    #[test]
+    fn every_fielded_benchmark_is_fully_specified(batch in 1usize..4096, vi in 0usize..3) {
+        let version = [SuiteVersion::V05, SuiteVersion::V06, SuiteVersion::V07][vi];
+        let fielded = BenchmarkId::in_version(version);
+        prop_assert!(!fielded.is_empty());
+        for id in fielded {
+            let target = id.quality_for(version).expect("fielded benchmarks have targets");
+            prop_assert!(target.value.is_finite() && target.value > 0.0, "{id} {version}");
+            prop_assert!(!target.metric.is_empty(), "{id} {version}");
+            let spec = id.spec();
+            prop_assert_eq!(spec.id, id);
+            let rec = recommend(id, batch);
+            prop_assert!(rec.learning_rate > 0.0 && rec.learning_rate.is_finite(), "{id}");
+            prop_assert!(rec.warmup_epochs >= 0.0, "{id}");
+            prop_assert_eq!(BenchmarkId::from_slug(id.slug()), Some(id));
+        }
+        // The v0.7 additions are fielded in v0.7 and nowhere earlier.
+        for id in [
+            BenchmarkId::LanguageModeling,
+            BenchmarkId::RecommendationDlrm,
+            BenchmarkId::SpeechRecognition,
+        ] {
+            prop_assert_eq!(id.quality_for(version).is_some(), version == SuiteVersion::V07);
+        }
     }
 
     /// The compliance checker never panics on arbitrary log soups, and

@@ -106,14 +106,21 @@ fn three_round_history_renders_the_papers_figures() {
     assert_eq!(history.rounds(), vec![Round::V05, Round::V06, Round::V07]);
 
     let speedup = history.speedup_table(16);
-    assert_eq!(speedup.rows.len(), 5, "all five comparison benchmarks present");
+    assert_eq!(
+        speedup.rows.len(),
+        8,
+        "five all-round benchmarks plus the three v0.7 additions as suffix rows"
+    );
     assert!(speedup.average_ratio().unwrap() > 1.0);
     let rendered = speedup.render();
     for label in ["v0.5 minutes", "v0.6 minutes", "v0.7 minutes", "speedup"] {
         assert!(rendered.contains(label), "missing `{label}` in:\n{rendered}");
     }
+    for name in ["bert", "dlrm", "rnnt"] {
+        assert!(rendered.contains(name), "v0.7 addition `{name}` missing in:\n{rendered}");
+    }
 
     let scale = history.scale_table();
-    assert_eq!(scale.rows.len(), 5);
+    assert_eq!(scale.rows.len(), 8);
     assert!(scale.average_ratio().unwrap() > 1.0, "fastest systems should grow across rounds");
 }
