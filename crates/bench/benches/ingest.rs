@@ -6,7 +6,7 @@
 //! Baseline numbers live in `BENCH.md` at the repository root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mlperf_core::mllog::{parse_mllog_line, MlLogger};
+use mlperf_core::mllog::{parse_mllog_line, parse_mllog_line_serde, MlLogger};
 use mlperf_distsim::Round;
 use mlperf_submission::{
     run_round, run_round_with, synthetic_round, RoundArchive, SyntheticRoundSpec,
@@ -28,6 +28,11 @@ fn bench_parse_mllog_line(c: &mut Criterion) {
     let mut group = c.benchmark_group("mllog");
     group.bench_function("parse_line", |b| {
         b.iter(|| parse_mllog_line(black_box(&line)).expect("line parses"))
+    });
+    // The pure-serde reference path the zero-copy scanner is measured
+    // against (and falls back to on non-canonical lines).
+    group.bench_function("parse_line_serde", |b| {
+        b.iter(|| parse_mllog_line_serde(black_box(&line)).expect("line parses"))
     });
     group.bench_function("parse_log", |b| {
         b.iter(|| MlLogger::parse(black_box(log)).expect("log parses"))
@@ -74,6 +79,17 @@ fn bench_archive_ingest(c: &mut Criterion) {
         b.iter(|| {
             let ingest = archive.read_round(black_box(Round::V05)).expect("read round");
             run_round(&ingest.submissions)
+        })
+    });
+    // The bounded-memory streaming path over the same round: parse and
+    // review per bundle as it comes off disk, never materializing the
+    // round.
+    group.bench_function("stream_round_and_review", |b| {
+        b.iter(|| {
+            let (outcome, faults) =
+                archive.review_round_streaming(black_box(Round::V05)).expect("stream round");
+            assert!(faults.is_empty());
+            outcome
         })
     });
     group.finish();

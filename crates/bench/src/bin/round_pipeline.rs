@@ -2,26 +2,32 @@
 //! over a persistent, disk-backed round archive.
 //!
 //! ```sh
-//! round_pipeline write  --archive DIR [--rounds N] [--seed N]
-//! round_pipeline ingest --archive DIR [--trace FILE]
-//! round_pipeline report --archive DIR [--chips N]
+//! round_pipeline write  --archive DIR [--rounds N] [--seed N] [--bundles N]
+//! round_pipeline ingest --archive DIR [--streaming] [--trace FILE] [--sample N]
+//! round_pipeline report --archive DIR [--chips N] [--streaming]
 //! round_pipeline demo [--trace FILE]  # all three against a temp archive
 //! ```
 //!
 //! `write` generates synthetic multi-vendor rounds (each with a
 //! deliberately corrupted bundle, so ingest has something to
 //! quarantine) and persists them as real `:::MLLOG` log files plus
-//! JSON manifests. `ingest` reads the archive back, replays review
-//! over every round, and reports what was accepted, quarantined, or
-//! damaged on disk. `report` renders the per-round leaderboards and
-//! the paper's Figure 4/5 cross-round tables — computed from the
-//! archived logs alone. Figure 4 anchors at the data-driven common
-//! scale of the ingested history unless `--chips` pins one.
+//! JSON manifests; `--bundles N` writes stress rounds of N small
+//! single-benchmark bundles instead, for scale runs. `ingest` reads
+//! the archive back, replays review over every round, and reports what
+//! was accepted, quarantined, or damaged on disk — with `--streaming`
+//! it ingests bundles one directory at a time in bounded memory.
+//! `report` renders the per-round leaderboards and the paper's
+//! Figure 4/5 cross-round tables — computed from the archived logs
+//! alone. Figure 4 anchors at the data-driven common scale of the
+//! ingested history unless `--chips` pins one.
 //!
 //! `--trace FILE` records telemetry for the run — spans and metrics
 //! from the harness, ingest, and store layers — writes them as Chrome
 //! `trace_event` JSON-lines (load in `chrome://tracing` or Perfetto),
-//! and prints a plain-text summary report.
+//! and prints a plain-text summary report. `--sample N` arms 1-in-N
+//! per-log span sampling once a round crosses
+//! [`SPAN_SAMPLING_THRESHOLD`] items, keeping traces of huge rounds
+//! small; counters and metrics stay exact.
 
 use mlperf_bench::write_json;
 use mlperf_core::benchmarks::NcfBenchmark;
@@ -30,17 +36,22 @@ use mlperf_core::report::{render_leaderboard, render_telemetry_report};
 use mlperf_core::timing::RealClock;
 use mlperf_distsim::Round;
 use mlperf_submission::{
-    leaderboards, synthetic_round, ArchiveReplay, Fault, RoundArchive, SyntheticRoundSpec,
+    leaderboards, synthetic_round, synthetic_stress_round, ArchiveReplay, Fault, RoundArchive,
+    SyntheticRoundSpec,
 };
-use mlperf_telemetry::{write_trace, Telemetry};
+use mlperf_telemetry::{write_trace, SpanSampling, Telemetry};
 use serde_json::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Stage size (items) above which `--sample N` starts thinning
+/// per-item spans to 1-in-N.
+const SPAN_SAMPLING_THRESHOLD: u64 = 512;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: round_pipeline [write|ingest|report|demo] [--archive DIR] [--rounds N] \
-         [--seed N] [--chips N] [--trace FILE]"
+         [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] [--sample N]"
     );
     ExitCode::FAILURE
 }
@@ -51,10 +62,17 @@ struct Args {
     archive: Option<PathBuf>,
     rounds: usize,
     seed: u64,
+    /// `write`: generate stress rounds of this many small bundles
+    /// instead of the fleet rounds.
+    bundles: Option<usize>,
     /// Figure 4 anchor; `None` means the history's data-driven
     /// common scale.
     chips: Option<usize>,
+    /// Ingest through the bounded-memory streaming reader.
+    streaming: bool,
     trace: Option<PathBuf>,
+    /// 1-in-N span sampling for large rounds.
+    sample: Option<u64>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -70,22 +88,36 @@ fn parse_args() -> Option<Args> {
         archive: None,
         rounds: Round::ALL.len(),
         seed: 21,
+        bundles: None,
         chips: None,
+        streaming: false,
         trace: None,
+        sample: None,
     };
     while let Some(flag) = args.next() {
+        // Boolean flags take no value.
+        if flag == "--streaming" {
+            parsed.streaming = true;
+            continue;
+        }
         let value = args.next()?;
         match flag.as_str() {
             "--archive" => parsed.archive = Some(PathBuf::from(value)),
             "--rounds" => parsed.rounds = value.parse().ok()?,
             "--seed" => parsed.seed = value.parse().ok()?,
+            "--bundles" => parsed.bundles = Some(value.parse().ok()?),
             "--chips" => parsed.chips = Some(value.parse().ok()?),
             "--trace" => parsed.trace = Some(PathBuf::from(value)),
+            "--sample" => parsed.sample = Some(value.parse().ok()?),
             _ => return None,
         }
     }
     if parsed.rounds == 0 || parsed.rounds > Round::ALL.len() {
         eprintln!("--rounds must be 1..={}", Round::ALL.len());
+        return None;
+    }
+    if parsed.bundles == Some(0) || parsed.sample == Some(0) {
+        eprintln!("--bundles and --sample must be positive");
         return None;
     }
     Some(parsed)
@@ -108,12 +140,16 @@ fn write_archive(
     dir: &PathBuf,
     rounds: usize,
     seed: u64,
+    bundles: Option<usize>,
     telemetry: &Telemetry,
 ) -> Result<RoundArchive, String> {
     let archive =
         RoundArchive::create(dir).map_err(|e| e.to_string())?.with_telemetry(telemetry.clone());
     for (i, round) in Round::ALL.into_iter().take(rounds).enumerate() {
-        let subs = synthetic_round(&round_spec(round, seed + i as u64));
+        let subs = match bundles {
+            Some(n) => synthetic_stress_round(round, n, seed + i as u64),
+            None => synthetic_round(&round_spec(round, seed + i as u64)),
+        };
         let logs: usize =
             subs.bundles.iter().flat_map(|b| &b.run_sets).map(|rs| rs.logs.len()).sum();
         archive.write_round(&subs).map_err(|e| e.to_string())?;
@@ -126,8 +162,13 @@ fn write_archive(
     Ok(archive)
 }
 
-fn ingest_archive(archive: &RoundArchive) -> Result<ArchiveReplay, String> {
-    let replay = archive.replay().map_err(|e| e.to_string())?;
+fn ingest_archive(archive: &RoundArchive, streaming: bool) -> Result<ArchiveReplay, String> {
+    let replay = if streaming {
+        println!("ingesting archive with the bounded-memory streaming reader");
+        archive.replay_streaming().map_err(|e| e.to_string())?
+    } else {
+        archive.replay().map_err(|e| e.to_string())?
+    };
     for outcome in replay.history.outcomes() {
         println!(
             "round {}: accepted {} run sets, quarantined {} bundle(s)",
@@ -196,8 +237,12 @@ fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
-    let telemetry =
+    let mut telemetry =
         if args.trace.is_some() { Telemetry::recording() } else { Telemetry::disabled() };
+    if let Some(every) = args.sample {
+        telemetry = telemetry
+            .with_span_sampling(SpanSampling { threshold: SPAN_SAMPLING_THRESHOLD, every });
+    }
     println!("MLPerf submission-round pipeline (Section 4)\n");
 
     let result = match args.command.as_str() {
@@ -206,17 +251,19 @@ fn main() -> ExitCode {
                 eprintln!("write requires --archive DIR");
                 return ExitCode::FAILURE;
             };
-            write_archive(dir, args.rounds, args.seed, &telemetry).map(|_| ())
+            write_archive(dir, args.rounds, args.seed, args.bundles, &telemetry).map(|_| ())
         }
         "ingest" => RoundArchive::open(args.archive.clone().unwrap_or_else(|| PathBuf::from(".")))
             .map_err(|e| e.to_string())
             .and_then(|archive| {
-                ingest_archive(&archive.with_telemetry(telemetry.clone())).map(|_| ())
+                ingest_archive(&archive.with_telemetry(telemetry.clone()), args.streaming)
+                    .map(|_| ())
             }),
         "report" => RoundArchive::open(args.archive.clone().unwrap_or_else(|| PathBuf::from(".")))
             .map_err(|e| e.to_string())
             .and_then(|archive| {
-                let replay = ingest_archive(&archive.with_telemetry(telemetry.clone()))?;
+                let replay =
+                    ingest_archive(&archive.with_telemetry(telemetry.clone()), args.streaming)?;
                 report_archive(&replay, args.chips);
                 Ok(())
             }),
@@ -225,39 +272,41 @@ fn main() -> ExitCode {
                 .archive
                 .clone()
                 .unwrap_or_else(|| mlperf_bench::experiments_dir().join("round_archive"));
-            write_archive(&dir, args.rounds, args.seed, &telemetry).and_then(|archive| {
-                println!();
-                if telemetry.is_enabled() {
-                    demo_harness_run(&telemetry);
-                }
-                let replay = ingest_archive(&archive)?;
-                report_archive(&replay, args.chips);
-                let chips =
-                    args.chips.unwrap_or_else(|| replay.history.common_scale().unwrap_or(16));
-                let per_round: Vec<_> = replay
-                    .history
-                    .outcomes()
-                    .iter()
-                    .map(|o| {
-                        json!({
-                            "round": o.round.to_string(),
-                            "accepted": o.accepted.len(),
-                            "quarantined": o.quarantined.len(),
+            write_archive(&dir, args.rounds, args.seed, args.bundles, &telemetry).and_then(
+                |archive| {
+                    println!();
+                    if telemetry.is_enabled() {
+                        demo_harness_run(&telemetry);
+                    }
+                    let replay = ingest_archive(&archive, args.streaming)?;
+                    report_archive(&replay, args.chips);
+                    let chips =
+                        args.chips.unwrap_or_else(|| replay.history.common_scale().unwrap_or(16));
+                    let per_round: Vec<_> = replay
+                        .history
+                        .outcomes()
+                        .iter()
+                        .map(|o| {
+                            json!({
+                                "round": o.round.to_string(),
+                                "accepted": o.accepted.len(),
+                                "quarantined": o.quarantined.len(),
+                            })
                         })
-                    })
-                    .collect();
-                let summary = json!({
-                    "archive": archive.root().display().to_string(),
-                    "rounds": per_round,
-                    "storage_faults": replay.faults.len(),
-                    "anchor_chips": chips,
-                    "avg_speedup_at_chips": replay.history.speedup_table(chips).average_ratio(),
-                    "avg_scale_growth": replay.history.scale_table().average_ratio(),
-                });
-                let path = write_json("round_pipeline", &summary);
-                println!("wrote {}", path.display());
-                Ok(())
-            })
+                        .collect();
+                    let summary = json!({
+                        "archive": archive.root().display().to_string(),
+                        "rounds": per_round,
+                        "storage_faults": replay.faults.len(),
+                        "anchor_chips": chips,
+                        "avg_speedup_at_chips": replay.history.speedup_table(chips).average_ratio(),
+                        "avg_scale_growth": replay.history.scale_table().average_ratio(),
+                    });
+                    let path = write_json("round_pipeline", &summary);
+                    println!("wrote {}", path.display());
+                    Ok(())
+                },
+            )
         }
         _ => return usage(),
     };

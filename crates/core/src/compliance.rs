@@ -147,7 +147,7 @@ mod tests {
     use serde_json::json;
 
     fn entry(time_ms: u64, key: &str, value: Value) -> LogEntry {
-        LogEntry { time_ms, key: key.to_string(), value }
+        LogEntry { time_ms, key: key.into(), value }
     }
 
     fn minimal_valid() -> Vec<LogEntry> {

@@ -6,10 +6,20 @@
 //! hyper-parameter choices … These logs form the foundation for
 //! subsequent result analysis." The real suite uses the `mlperf-logging`
 //! line format — `:::MLLOG {json}` — which this module reproduces.
+//!
+//! Parsing is the innermost loop of archive ingest (ROADMAP: a round is
+//! hundreds of log files, thousands of lines), so [`parse_mllog_line`]
+//! runs a zero-copy scanner over the canonical rendered shape and only
+//! falls back to the full `serde_json` parser for exotic payloads, and
+//! [`LogKey`] interns the standard vocabulary so the common case
+//! allocates nothing per line.
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
+use std::borrow::Borrow;
+use std::fmt;
 use std::fmt::Write as _;
+use std::ops::Deref;
 
 /// Standard log keys (the subset of the mlperf-logging vocabulary the
 /// harness emits and the compliance checker requires).
@@ -42,16 +52,215 @@ pub mod keys {
     pub const QUALITY_TARGET: &str = "quality_target";
 }
 
+/// Returns the interned static form of a standard key, or `None` for a
+/// custom key. A `match` on the string compiles to a length switch plus
+/// one memcmp — far cheaper than allocating.
+fn intern(s: &str) -> Option<&'static str> {
+    Some(match s {
+        "submission_benchmark" => keys::SUBMISSION_BENCHMARK,
+        "submission_org" => keys::SUBMISSION_ORG,
+        "submission_division" => keys::SUBMISSION_DIVISION,
+        "init_start" => keys::INIT_START,
+        "init_stop" => keys::INIT_STOP,
+        "run_start" => keys::RUN_START,
+        "run_stop" => keys::RUN_STOP,
+        "epoch_start" => keys::EPOCH_START,
+        "epoch_stop" => keys::EPOCH_STOP,
+        "eval_accuracy" => keys::EVAL_ACCURACY,
+        "seed" => keys::SEED,
+        "hyperparameter" => keys::HYPERPARAMETER,
+        "quality_target" => keys::QUALITY_TARGET,
+        _ => return None,
+    })
+}
+
+/// A log entry's event key: one of the standard [`keys`] interned to a
+/// `&'static str` (no allocation), or an owned string for custom keys.
+/// Compares, hashes, and renders by content, so `entry.key ==
+/// keys::RUN_STOP` and `&entry.key` as a `&str` both keep working.
+#[derive(Debug, Clone)]
+pub struct LogKey(KeyRepr);
+
+#[derive(Debug, Clone)]
+enum KeyRepr {
+    Interned(&'static str),
+    Owned(Box<str>),
+}
+
+impl LogKey {
+    /// Builds a key, interning the standard vocabulary.
+    pub fn new(s: &str) -> LogKey {
+        match intern(s) {
+            Some(k) => LogKey(KeyRepr::Interned(k)),
+            None => LogKey(KeyRepr::Owned(s.into())),
+        }
+    }
+
+    /// The key text.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            KeyRepr::Interned(s) => s,
+            KeyRepr::Owned(s) => s,
+        }
+    }
+
+    /// True when this key is one of the interned standard [`keys`].
+    pub fn is_standard(&self) -> bool {
+        matches!(self.0, KeyRepr::Interned(_))
+    }
+}
+
+impl Deref for LogKey {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for LogKey {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for LogKey {
+    fn from(s: &str) -> LogKey {
+        LogKey::new(s)
+    }
+}
+
+impl From<String> for LogKey {
+    fn from(s: String) -> LogKey {
+        match intern(&s) {
+            Some(k) => LogKey(KeyRepr::Interned(k)),
+            None => LogKey(KeyRepr::Owned(s.into_boxed_str())),
+        }
+    }
+}
+
+impl PartialEq for LogKey {
+    fn eq(&self, other: &LogKey) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for LogKey {}
+
+impl PartialEq<str> for LogKey {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for LogKey {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<LogKey> for str {
+    fn eq(&self, other: &LogKey) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<LogKey> for &str {
+    fn eq(&self, other: &LogKey) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl std::hash::Hash for LogKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl fmt::Display for LogKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for LogKey {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for LogKey {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        match v {
+            Value::String(s) => Ok(LogKey::new(s)),
+            _ => Err(serde::de::Error::custom("expected string log key")),
+        }
+    }
+}
+
 /// One structured log record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogEntry {
     /// Milliseconds since the logger was created.
     pub time_ms: u64,
     /// The event key (see [`keys`]).
-    pub key: String,
+    pub key: LogKey,
     /// The event payload.
     pub value: Value,
 }
+
+/// One malformed line in a rendered log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineFault {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Why the line failed to parse.
+    pub reason: String,
+    /// True when this is the final line of a log that ends mid-line
+    /// (no trailing newline) — the signature of a writer that crashed
+    /// mid-record, as opposed to ordinary corruption.
+    pub truncated: bool,
+}
+
+impl fmt::Display for LineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.truncated {
+            write!(f, "line {}: truncated final record ({})", self.line, self.reason)
+        } else {
+            write!(f, "line {}: {}", self.line, self.reason)
+        }
+    }
+}
+
+/// Parse failure for a whole log: every malformed line with its reason,
+/// in line order, so quarantine reports can name all offending lines
+/// instead of only the first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Each malformed line, in line order. Never empty.
+    pub faults: Vec<LineFault>,
+}
+
+impl ParseError {
+    /// True when the only damage is a truncated final line — an
+    /// otherwise intact log whose writer crashed mid-record.
+    pub fn truncated_tail_only(&self) -> bool {
+        matches!(self.faults.as_slice(), [only] if only.truncated)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// An in-memory structured logger that renders to the `:::MLLOG` line
 /// format.
@@ -76,7 +285,7 @@ impl MlLogger {
 
     /// Appends an entry at the current logical time.
     pub fn log(&mut self, key: &str, value: Value) {
-        self.entries.push(LogEntry { time_ms: self.now_ms, key: key.to_string(), value });
+        self.entries.push(LogEntry { time_ms: self.now_ms, key: LogKey::new(key), value });
     }
 
     /// All entries in order.
@@ -98,16 +307,33 @@ impl MlLogger {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first malformed line.
-    pub fn parse(text: &str) -> Result<Vec<LogEntry>, String> {
+    /// Returns a [`ParseError`] naming **every** malformed line (not
+    /// just the first), with a truncated final line — the crashed-writer
+    /// case — classified distinctly.
+    pub fn parse(text: &str) -> Result<Vec<LogEntry>, ParseError> {
         let mut out = Vec::new();
-        for (i, line) in text.lines().enumerate() {
-            match parse_mllog_line(line).map_err(|e| format!("line {}: {e}", i + 1))? {
-                Some(entry) => out.push(entry),
-                None => continue,
+        let mut faults = Vec::new();
+        let complete_tail = text.ends_with('\n');
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, line)) = lines.next() {
+            match parse_mllog_line(line) {
+                Ok(Some(entry)) => out.push(entry),
+                Ok(None) => {}
+                Err(reason) => {
+                    let is_last = lines.peek().is_none();
+                    faults.push(LineFault {
+                        line: i + 1,
+                        reason,
+                        truncated: is_last && !complete_tail,
+                    });
+                }
             }
         }
-        Ok(out)
+        if faults.is_empty() {
+            Ok(out)
+        } else {
+            Err(ParseError { faults })
+        }
     }
 }
 
@@ -115,6 +341,10 @@ impl MlLogger {
 /// `Ok(None)`. This is the innermost unit of log ingest — the round
 /// pipeline parses archived log files line by line through it, and the
 /// ingest benchmarks time it in isolation.
+///
+/// The hot path is a zero-copy scanner over the canonical rendered
+/// shape; any deviation falls back to [`parse_mllog_line_serde`], so
+/// the two always agree (a property `tests/properties.rs` checks).
 ///
 /// # Errors
 ///
@@ -126,8 +356,100 @@ pub fn parse_mllog_line(line: &str) -> Result<Option<LogEntry>, String> {
     }
     let body =
         line.strip_prefix(":::MLLOG ").ok_or_else(|| "missing :::MLLOG prefix".to_string())?;
+    if let Some(entry) = parse_body_fast(body) {
+        return Ok(Some(entry));
+    }
     let entry: LogEntry = serde_json::from_str(body).map_err(|e| e.to_string())?;
     Ok(Some(entry))
+}
+
+/// The reference parser: the full `serde_json` path that
+/// [`parse_mllog_line`]'s zero-copy scanner falls back to. Exposed so
+/// differential tests can check the scanner against it on arbitrary
+/// rendered logs.
+pub fn parse_mllog_line_serde(line: &str) -> Result<Option<LogEntry>, String> {
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let body =
+        line.strip_prefix(":::MLLOG ").ok_or_else(|| "missing :::MLLOG prefix".to_string())?;
+    let entry: LogEntry = serde_json::from_str(body).map_err(|e| e.to_string())?;
+    Ok(Some(entry))
+}
+
+/// Zero-copy scanner for the canonical rendered body shape
+/// `{"key":"…","time_ms":N,"value":V}` — exactly what [`MlLogger::render`]
+/// emits (the vendored `serde_json::Map` is a `BTreeMap`, so fields
+/// always render in this order, compactly). Returns `None` for any
+/// deviation — whitespace, escapes in the key, reordered or duplicate
+/// fields — which the caller routes to the full serde parser, so this
+/// path only has to be right about bodies it accepts.
+fn parse_body_fast(body: &str) -> Option<LogEntry> {
+    let rest = body.strip_prefix("{\"key\":\"")?;
+    // Scan the key: plain bytes up to the closing quote. An escape or a
+    // control byte means a non-canonical key — let serde handle it.
+    let key_end = rest.bytes().position(|b| b == b'"' || b == b'\\' || b < 0x20)?;
+    if rest.as_bytes()[key_end] != b'"' {
+        return None;
+    }
+    let (key, rest) = rest.split_at(key_end);
+    let rest = rest.strip_prefix("\",\"time_ms\":")?;
+    let digits = rest.bytes().take_while(|b| b.is_ascii_digit()).count();
+    if digits == 0 {
+        return None;
+    }
+    let (num, rest) = rest.split_at(digits);
+    // Overflowing u64 digits (or a float continuing after them) fall
+    // back; the serde number grammar is otherwise a plain digit run.
+    if rest.as_bytes().first().copied() != Some(b',') {
+        return None;
+    }
+    let time_ms: u64 = num.parse().ok()?;
+    let rest = rest.strip_prefix(",\"value\":")?;
+    let value_text = rest.strip_suffix('}')?;
+    let value = parse_value_fast(value_text)?;
+    Some(LogEntry { time_ms, key: LogKey::new(key), value })
+}
+
+/// Parses the value slice of a canonical body. Simple scalars are
+/// handled inline; everything else (floats, objects, arrays, escaped
+/// strings) is delegated to `serde_json::from_str`, which demands the
+/// slice be exactly one JSON value — the same judgment the full-body
+/// parser would make, so agreement is structural.
+fn parse_value_fast(text: &str) -> Option<Value> {
+    match text.as_bytes().first()? {
+        b'n' | b't' | b'f' => match text {
+            "null" => Some(Value::Null),
+            "true" => Some(Value::Bool(true)),
+            "false" => Some(Value::Bool(false)),
+            _ => serde_json::from_str(text).ok(),
+        },
+        b'0'..=b'9' => {
+            let bytes = text.as_bytes();
+            if bytes.iter().all(|b| b.is_ascii_digit()) {
+                // The vendored number grammar parses a digit run as u64
+                // (leading zeros and all), overflowing to float — which
+                // the fallback below reproduces.
+                match text.parse::<u64>() {
+                    Ok(u) => Some(Value::Number(u.into())),
+                    Err(_) => serde_json::from_str(text).ok(),
+                }
+            } else {
+                serde_json::from_str(text).ok()
+            }
+        }
+        b'"' => {
+            let inner = &text.as_bytes()[1..];
+            match inner.iter().position(|&b| b == b'"' || b == b'\\' || b < 0x20) {
+                // A simple string: no escapes, closing quote ends the slice.
+                Some(end) if inner[end] == b'"' && end + 2 == text.len() => {
+                    Some(Value::String(text[1..=end].to_string()))
+                }
+                _ => serde_json::from_str(text).ok(),
+            }
+        }
+        _ => serde_json::from_str(text).ok(),
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +494,96 @@ mod tests {
         }
         let times: Vec<u64> = logger.entries().iter().map(|e| e.time_ms).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn standard_keys_are_interned_and_compare_by_content() {
+        let interned = LogKey::new(keys::RUN_STOP);
+        assert!(interned.is_standard());
+        let custom = LogKey::new("my_custom_key");
+        assert!(!custom.is_standard());
+        assert_eq!(interned, keys::RUN_STOP);
+        assert_eq!(interned.as_str(), "run_stop");
+        assert_eq!(LogKey::from("run_stop".to_string()), interned);
+        assert_ne!(interned, custom);
+        // Deref lets a &LogKey stand in for &str.
+        let s: &str = &interned;
+        assert_eq!(s, "run_stop");
+    }
+
+    #[test]
+    fn parse_collects_every_malformed_line() {
+        // Satellite regression: one corrupt byte no longer hides the
+        // diagnostics for later lines.
+        let mut logger = MlLogger::new();
+        logger.log(keys::SEED, json!(7));
+        let good = logger.render();
+        let text = format!("bogus one\n{good}:::MLLOG not-json\n{good}also bad\n");
+        let err = MlLogger::parse(&text).unwrap_err();
+        assert_eq!(err.faults.len(), 3);
+        assert_eq!(
+            err.faults.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![1, 3, 5],
+            "faults name every offending line: {err}"
+        );
+        assert!(err.faults.iter().all(|f| !f.truncated));
+        assert!(!err.truncated_tail_only());
+        let msg = err.to_string();
+        assert!(msg.contains("line 1:") && msg.contains("line 3:") && msg.contains("line 5:"));
+    }
+
+    #[test]
+    fn parse_classifies_truncated_final_line() {
+        // Crashed-writer case: the log ends mid-record with no newline.
+        let mut logger = MlLogger::new();
+        logger.log(keys::RUN_START, json!(null));
+        logger.log(keys::SEED, json!(7));
+        let rendered = logger.render();
+        let cut = rendered.len() - 20;
+        let truncated = &rendered[..cut];
+        assert!(!truncated.ends_with('\n'));
+        let err = MlLogger::parse(truncated).unwrap_err();
+        assert!(err.truncated_tail_only(), "single truncated tail fault: {err:?}");
+        assert_eq!(err.faults[0].line, 2);
+        assert!(err.to_string().contains("truncated final record"));
+        // The same damaged line mid-log (a newline follows) is ordinary
+        // corruption, not a truncated tail.
+        let mid = format!("{truncated}\n{rendered}");
+        let err = MlLogger::parse(&mid).unwrap_err();
+        assert!(!err.truncated_tail_only());
+        assert!(!err.faults[0].truncated);
+    }
+
+    #[test]
+    fn fast_and_serde_parsers_agree_on_edge_cases() {
+        // Exotic payloads the fast path must route to the fallback
+        // without changing the verdict.
+        let cases = [
+            r#":::MLLOG {"key":"seed","time_ms":1,"value":7}"#,
+            r#":::MLLOG {"key":"eval_accuracy","time_ms":12,"value":0.53}"#,
+            r#":::MLLOG {"key":"run_stop","time_ms":3,"value":{"status":"success"}}"#,
+            r#":::MLLOG {"key":"k","time_ms":0,"value":"plain"}"#,
+            r#":::MLLOG {"key":"k","time_ms":0,"value":"esc\naped"}"#,
+            r#":::MLLOG {"key":"esc","time_ms":0,"value":null}"#,
+            r#":::MLLOG { "key": "spaced", "time_ms": 5, "value": true }"#,
+            r#":::MLLOG {"time_ms":5,"value":true,"key":"reordered"}"#,
+            r#":::MLLOG {"key":"k","time_ms":007,"value":[1,2,3]}"#,
+            r#":::MLLOG {"key":"k","time_ms":18446744073709551616,"value":null}"#,
+            r#":::MLLOG {"key":"k","time_ms":-1,"value":null}"#,
+            r#":::MLLOG {"key":"k","time_ms":1.5,"value":null}"#,
+            r#":::MLLOG {"key":"k","time_ms":1,"value":99999999999999999999}"#,
+            r#":::MLLOG {"key":"k","time_ms":1,"value":12}trailing"#,
+            r#":::MLLOG {"key":"k","time_ms":1,"value":{}}"#,
+            r#":::MLLOG {"key":"k","time_ms":1}"#,
+            r#":::MLLOG {"key":"k","time_ms":1,"value":"unterminated"#,
+        ];
+        for line in cases {
+            let fast = parse_mllog_line(line);
+            let serde = parse_mllog_line_serde(line);
+            assert_eq!(fast.is_ok(), serde.is_ok(), "verdicts differ for {line}");
+            if let (Ok(a), Ok(b)) = (&fast, &serde) {
+                assert_eq!(a, b, "parses differ for {line}");
+            }
+        }
     }
 }

@@ -6,9 +6,10 @@ use crate::round::{AcceptedEntry, RoundOutcome};
 use mlperf_core::report::LeaderboardRow;
 use mlperf_core::rules::Division;
 use mlperf_core::suite::BenchmarkId;
+use std::collections::BTreeMap;
 
 /// The ranked results of one benchmark in one division.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Leaderboard {
     /// Which benchmark.
     pub benchmark: BenchmarkId,
@@ -59,6 +60,71 @@ pub fn leaderboards(outcome: &RoundOutcome) -> Vec<Leaderboard> {
     boards
 }
 
+/// Incrementally builds a round's leaderboards as accepted entries
+/// stream in, sharded per (benchmark, division): each entry touches
+/// only its own shard, so a many-thousand-bundle streaming ingest
+/// ranks as it goes instead of re-scanning the whole outcome at the
+/// end. Fed the entries of a [`RoundOutcome`] in order,
+/// [`LeaderboardAccumulator::finish`] is exactly [`leaderboards`] —
+/// same boards, same order, same tie-breaks.
+#[derive(Debug, Clone, Default)]
+pub struct LeaderboardAccumulator {
+    /// One shard per (Table-1 benchmark position, 0=Closed/1=Open),
+    /// created on first entry. Each holds `(arrival, entry)` so the
+    /// final ranking breaks minute ties by feed order, matching the
+    /// stable sort in [`leaderboards`].
+    shards: BTreeMap<(usize, u8), Vec<(usize, AcceptedEntry)>>,
+    arrivals: usize,
+}
+
+impl LeaderboardAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LeaderboardAccumulator::default()
+    }
+
+    /// Files one accepted entry into its shard.
+    pub fn add(&mut self, entry: AcceptedEntry) {
+        let benchmark = BenchmarkId::ALL
+            .iter()
+            .position(|&id| id == entry.benchmark)
+            .expect("accepted entries carry Table-1 benchmarks");
+        let division = match entry.division {
+            Division::Closed => 0,
+            Division::Open => 1,
+        };
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        self.shards.entry((benchmark, division)).or_default().push((arrival, entry));
+    }
+
+    /// Entries filed so far, across all shards.
+    pub fn len(&self) -> usize {
+        self.arrivals
+    }
+
+    /// True when no entry has been filed.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals == 0
+    }
+
+    /// Ranks every shard: Table-1 benchmark order, Closed before Open,
+    /// fastest first, ties by feed order.
+    pub fn finish(self) -> Vec<Leaderboard> {
+        self.shards
+            .into_iter()
+            .map(|((benchmark, division), mut entries)| {
+                entries.sort_by(|(i, a), (j, b)| a.minutes.total_cmp(&b.minutes).then(i.cmp(j)));
+                Leaderboard {
+                    benchmark: BenchmarkId::ALL[benchmark],
+                    division: if division == 0 { Division::Closed } else { Division::Open },
+                    entries: entries.into_iter().map(|(_, e)| e).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +145,39 @@ mod tests {
             assert_eq!(rows[0].rank, 1);
             assert_eq!(rows.len(), board.entries.len());
         }
+    }
+
+    #[test]
+    fn accumulator_matches_batch_leaderboards() {
+        let outcome = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V07, 40)));
+        let mut acc = LeaderboardAccumulator::new();
+        assert!(acc.is_empty());
+        for entry in &outcome.accepted {
+            acc.add(entry.clone());
+        }
+        assert_eq!(acc.len(), outcome.accepted.len());
+        assert_eq!(acc.finish(), leaderboards(&outcome));
+    }
+
+    #[test]
+    fn accumulator_breaks_minute_ties_by_feed_order() {
+        let entry = |org: &str, minutes: f64| AcceptedEntry {
+            org: org.to_string(),
+            system: "sys".to_string(),
+            chips: 8,
+            division: mlperf_core::rules::Division::Closed,
+            benchmark: mlperf_core::suite::BenchmarkId::Recommendation,
+            minutes,
+            runs: 5,
+        };
+        let mut acc = LeaderboardAccumulator::new();
+        acc.add(entry("First", 2.0));
+        acc.add(entry("Second", 2.0));
+        acc.add(entry("Faster", 1.0));
+        let boards = acc.finish();
+        assert_eq!(boards.len(), 1);
+        let orgs: Vec<&str> = boards[0].entries.iter().map(|e| e.org.as_str()).collect();
+        assert_eq!(orgs, vec!["Faster", "First", "Second"]);
     }
 
     #[test]

@@ -41,11 +41,14 @@ pub mod synthetic;
 pub mod tables;
 
 pub use bundle::{BenchmarkReference, RunSet, SubmissionBundle};
-pub use leaderboard::{leaderboards, Leaderboard};
+pub use leaderboard::{leaderboards, Leaderboard, LeaderboardAccumulator};
 pub use review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
-pub use round::{run_round, run_round_with, AcceptedEntry, RoundOutcome, RoundSubmissions};
-pub use store::{
-    ArchiveReplay, FaultReason, RoundArchive, RoundIngest, StoreError, StoreFault, MANIFEST_SCHEMA,
+pub use round::{
+    run_round, run_round_with, AcceptedEntry, RoundOutcome, RoundSubmissions, StreamingReview,
 };
-pub use synthetic::{synthetic_round, Fault, SyntheticRoundSpec};
+pub use store::{
+    ArchiveReplay, FaultReason, RoundArchive, RoundIngest, RoundStream, StoreError, StoreFault,
+    StreamedBundle, MANIFEST_SCHEMA,
+};
+pub use synthetic::{synthetic_round, synthetic_stress_round, Fault, SyntheticRoundSpec};
 pub use tables::{RoundHistory, RoundTable};

@@ -279,7 +279,9 @@ pub fn review_bundle(bundle: &SubmissionBundle, references: &[BenchmarkReference
     let parsed: Vec<Vec<Result<Vec<LogEntry>, String>>> = bundle
         .run_sets
         .iter()
-        .map(|rs| rs.logs.iter().map(|text| MlLogger::parse(text)).collect())
+        .map(|rs| {
+            rs.logs.iter().map(|text| MlLogger::parse(text).map_err(|e| e.to_string())).collect()
+        })
         .collect();
     review_bundle_parsed(bundle, references, &parsed)
 }

@@ -12,7 +12,7 @@ use mlperf_core::mllog::MlLogger;
 use mlperf_core::rules::Division;
 use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
-use mlperf_telemetry::{arg, Gauge, Histogram, SpanId, Telemetry};
+use mlperf_telemetry::{arg, Gauge, Histogram, SpanId, SpanScope, Telemetry};
 use serde_json::{json, Map};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +114,32 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // 1-in-N span sampling for very large stages (see
+    // `Telemetry::with_span_sampling`): only every `stride`th item gets
+    // a span; counters and histograms stay exact.
+    let stride = telemetry.span_stride(items.len() as u64) as usize;
+    parallel_map_sampled(items, f, telemetry, name, parent, stride)
+}
+
+/// [`parallel_map_with`] with the span-sampling stride chosen by the
+/// caller instead of derived from this stage's item count: spans go to
+/// every `stride`th item, or to no item at all when `stride` is zero.
+/// The streaming ingest uses this to thin per-log spans by the round's
+/// *cumulative* bundle count — each per-bundle stage is far too small
+/// to ever cross the stage-size threshold on its own.
+pub(crate) fn parallel_map_sampled<T, R, F>(
+    items: &[T],
+    f: F,
+    telemetry: &Telemetry,
+    name: &'static str,
+    parent: Option<SpanId>,
+    stride: usize,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
@@ -149,10 +175,14 @@ where
                             break;
                         }
                         claimed += 1;
-                        let span = span_scope
-                            .start_with("ingest", name, || Map::from([arg("item", json!(i))]));
+                        let span = (stride != 0 && i % stride == 0).then(|| {
+                            span_scope
+                                .start_with("ingest", name, || Map::from([arg("item", json!(i))]))
+                        });
                         out.push((i, f(&items[i])));
-                        span_scope.end(span);
+                        if let Some(span) = span {
+                            span_scope.end(span);
+                        }
                     }
                     per_worker.observe(claimed as f64);
                     out
@@ -220,7 +250,7 @@ pub(crate) fn run_round_under(
     let parsed_flat: Vec<ParsedLog> = parallel_map_with(
         &log_refs,
         |(_, _, _, text)| {
-            catch_unwind(AssertUnwindSafe(|| MlLogger::parse(text))).unwrap_or_else(|payload| {
+            catch_unwind(AssertUnwindSafe(|| parse_one_log(text))).unwrap_or_else(|payload| {
                 Err(format!("parser panicked: {}", panic_message(&payload)))
             })
         },
@@ -259,32 +289,9 @@ pub(crate) fn run_round_under(
     let mut accepted = Vec::new();
     let mut quarantined = Vec::new();
     for (bundle, report) in bundles.iter().zip(&reports) {
-        for review in &report.benchmarks {
-            if let Some(minutes) = review.minutes {
-                accepted.push(AcceptedEntry {
-                    org: bundle.org.clone(),
-                    system: bundle.system.system_name.clone(),
-                    chips: bundle.system.accelerators,
-                    division: bundle.division,
-                    benchmark: review.benchmark,
-                    minutes,
-                    runs: review.runs,
-                });
-            }
-        }
+        accepted.extend(accepted_entries(bundle, report));
         if !report.is_clean() {
-            // One instant event per diagnostic, naming the org, the
-            // benchmark, and the fault — the quarantine decision shows
-            // up as a tick on the round's trace lane.
-            for (benchmark, diagnostic) in report.diagnostics() {
-                scope.event_with("ingest", "quarantine", || {
-                    Map::from([
-                        arg("org", json!(report.org)),
-                        arg("benchmark", json!(benchmark.to_string())),
-                        arg("fault", json!(diagnostic.to_string())),
-                    ])
-                });
-            }
+            emit_quarantine_events(&mut scope, report);
             quarantined.push(report.clone());
         }
     }
@@ -295,6 +302,178 @@ pub(crate) fn run_round_under(
     });
 
     RoundOutcome { round: submissions.round, accepted, quarantined, reports }
+}
+
+/// Parses one log's text for ingest, flattening the structured
+/// [`mlperf_core::mllog::ParseError`] (which names every malformed
+/// line) into the review pipeline's string diagnostic.
+fn parse_one_log(text: &str) -> ParsedLog {
+    MlLogger::parse(text).map_err(|e| e.to_string())
+}
+
+/// The accepted entries one reviewed bundle contributes, in the
+/// bundle's own run-set order.
+fn accepted_entries(bundle: &SubmissionBundle, report: &ReviewReport) -> Vec<AcceptedEntry> {
+    report
+        .benchmarks
+        .iter()
+        .filter_map(|review| {
+            review.minutes.map(|minutes| AcceptedEntry {
+                org: bundle.org.clone(),
+                system: bundle.system.system_name.clone(),
+                chips: bundle.system.accelerators,
+                division: bundle.division,
+                benchmark: review.benchmark,
+                minutes,
+                runs: review.runs,
+            })
+        })
+        .collect()
+}
+
+/// One instant event per quarantine diagnostic, naming the org, the
+/// benchmark, and the fault — the quarantine decision shows up as a
+/// tick on the round's trace lane.
+fn emit_quarantine_events(scope: &mut SpanScope<'_>, report: &ReviewReport) {
+    for (benchmark, diagnostic) in report.diagnostics() {
+        scope.event_with("ingest", "quarantine", || {
+            Map::from([
+                arg("org", json!(report.org)),
+                arg("benchmark", json!(benchmark.to_string())),
+                arg("fault", json!(diagnostic.to_string())),
+            ])
+        });
+    }
+}
+
+/// Incremental round review for streaming ingest: bundles are fed one
+/// at a time — each parsed and reviewed on the scoped worker pool, its
+/// log text droppable as soon as [`StreamingReview::add_bundle`]
+/// returns — and [`StreamingReview::finish`] publishes a
+/// [`RoundOutcome`] identical to [`run_round`] over the same bundles
+/// ordered by their `(index, arrival)` feed keys. Only the per-bundle
+/// reports and accepted entries stay resident, so a
+/// many-thousand-bundle round never holds more than one bundle's logs
+/// in memory.
+#[derive(Debug)]
+pub struct StreamingReview {
+    round: Round,
+    references: Vec<BenchmarkReference>,
+    telemetry: Telemetry,
+    /// Parent span for per-bundle spans and quarantine events.
+    parent: Option<SpanId>,
+    /// Per-bundle results keyed by the caller's ordering key.
+    results: Vec<((u64, usize), Vec<AcceptedEntry>, ReviewReport)>,
+}
+
+impl StreamingReview {
+    /// An uninstrumented streaming review of one round.
+    pub fn new(round: Round, references: Vec<BenchmarkReference>) -> Self {
+        StreamingReview::traced(round, references, &Telemetry::disabled(), None)
+    }
+
+    /// [`StreamingReview::new`] with instrumentation: per-bundle
+    /// `stream_bundle` spans (and their per-log parse spans) parented
+    /// under `parent`.
+    pub fn traced(
+        round: Round,
+        references: Vec<BenchmarkReference>,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Self {
+        StreamingReview {
+            round,
+            references,
+            telemetry: telemetry.clone(),
+            parent,
+            results: Vec::new(),
+        }
+    }
+
+    /// Parses and reviews one bundle now. `index` is the bundle's
+    /// manifest submission-order position and `arrival` its ingest
+    /// order; together they decide where the bundle's results land in
+    /// the finished outcome, so feeding order never changes it.
+    pub fn add_bundle(&mut self, index: u64, arrival: usize, bundle: &SubmissionBundle) {
+        // Streaming span sampling works on the *cumulative* bundle
+        // count (each per-bundle stage is tiny on its own): once the
+        // stream passes the armed threshold, only every Nth bundle
+        // records its `stream_bundle` span and per-log parse spans.
+        // Counters, pool metrics, and quarantine events stay exact.
+        let stride = self.telemetry.span_stride(arrival as u64 + 1) as usize;
+        let recorded = arrival.is_multiple_of(stride);
+        let mut scope = self.telemetry.timeline_scope_under(self.parent);
+        let span = recorded.then(|| {
+            scope.start_with("ingest", "stream_bundle", || {
+                Map::from([arg("org", json!(bundle.org)), arg("index", json!(index))])
+            })
+        });
+
+        // Stage 1: this bundle's logs in parallel, panics contained.
+        let log_refs: Vec<(usize, &str)> = bundle
+            .run_sets
+            .iter()
+            .enumerate()
+            .flat_map(|(s, rs)| rs.logs.iter().map(move |text| (s, text.as_str())))
+            .collect();
+        let parsed_flat: Vec<ParsedLog> = parallel_map_sampled(
+            &log_refs,
+            |(_, text)| {
+                catch_unwind(AssertUnwindSafe(|| parse_one_log(text))).unwrap_or_else(|payload| {
+                    Err(format!("parser panicked: {}", panic_message(&payload)))
+                })
+            },
+            &self.telemetry,
+            "parse_log",
+            scope.current(),
+            if recorded { 1 } else { 0 },
+        );
+        self.telemetry.counter("ingest.logs_parsed").add(log_refs.len() as u64);
+        let mut parsed: Vec<Vec<ParsedLog>> =
+            bundle.run_sets.iter().map(|rs| Vec::with_capacity(rs.logs.len())).collect();
+        for ((s, _), result) in log_refs.iter().zip(parsed_flat) {
+            parsed[*s].push(result);
+        }
+
+        // Stage 2: review the bundle with its parsed logs.
+        let report = catch_unwind(AssertUnwindSafe(|| {
+            review_bundle_parsed(bundle, &self.references, &parsed)
+        }))
+        .unwrap_or_else(|payload| panicked_report(bundle, &payload));
+        self.telemetry.counter("ingest.bundles_reviewed").incr();
+
+        let entries = accepted_entries(bundle, &report);
+        if !report.is_clean() {
+            emit_quarantine_events(&mut scope, &report);
+        }
+        if let Some(span) = span {
+            scope.end(span);
+        }
+        self.results.push(((index, arrival), entries, report));
+    }
+
+    /// Bundles reviewed so far.
+    pub fn bundles_reviewed(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Publishes the outcome: results are ordered by their feed keys,
+    /// exactly as the materialized path orders bundles.
+    pub fn finish(mut self) -> RoundOutcome {
+        self.results.sort_by_key(|(order, _, _)| *order);
+        let mut accepted = Vec::new();
+        let mut quarantined = Vec::new();
+        let mut reports = Vec::with_capacity(self.results.len());
+        for (_, entries, report) in self.results {
+            accepted.extend(entries);
+            if !report.is_clean() {
+                quarantined.push(report.clone());
+            }
+            reports.push(report);
+        }
+        self.telemetry.counter("ingest.quarantined").add(quarantined.len() as u64);
+        RoundOutcome { round: self.round, accepted, quarantined, reports }
+    }
 }
 
 /// Best-effort panic payload text.
@@ -446,6 +625,74 @@ mod tests {
         let clean = Telemetry::recording();
         run_round_with(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 9)), &clean);
         assert!(clean.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn streaming_review_is_feed_order_independent() {
+        let subs = synthetic_round(
+            &SyntheticRoundSpec::new(Round::V06, 12)
+                .with_fault(Fault::GarbageLine { org: "Aurora".into() }),
+        );
+        let batch = run_round(&subs);
+        let mut review = StreamingReview::new(subs.round, subs.references.clone());
+        // Feed bundles in reverse: the (index, arrival) keys restore
+        // submission order at finish.
+        for (i, bundle) in subs.bundles.iter().enumerate().rev() {
+            review.add_bundle(i as u64, subs.bundles.len() - 1 - i, bundle);
+        }
+        assert_eq!(review.bundles_reviewed(), subs.bundles.len());
+        assert_eq!(review.finish(), batch);
+    }
+
+    #[test]
+    fn span_sampling_thins_spans_without_changing_outcomes() {
+        use mlperf_telemetry::SpanSampling;
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 6));
+        let total_logs: usize =
+            subs.bundles.iter().flat_map(|b| &b.run_sets).map(|rs| rs.logs.len()).sum();
+        assert!(total_logs > 16);
+
+        // Materialized path: the parse stage crosses the threshold, so
+        // only every 8th log records a span; counters stay exact.
+        let sampled =
+            Telemetry::recording().with_span_sampling(SpanSampling { threshold: 16, every: 8 });
+        let outcome = run_round_with(&subs, &sampled);
+        assert_eq!(outcome, run_round(&subs), "sampling must not change the outcome");
+        let snapshot = sampled.snapshot();
+        let spans = |name: &str| snapshot.spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(spans("parse_log"), total_logs.div_ceil(8));
+        let counter = |name: &str| {
+            snapshot.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
+        };
+        assert_eq!(counter("ingest.logs_parsed") as usize, total_logs);
+
+        // Streaming path: sampling keys off the cumulative bundle
+        // count — all bundles below the threshold record, then 1-in-N.
+        let streaming =
+            Telemetry::recording().with_span_sampling(SpanSampling { threshold: 2, every: 4 });
+        let mut review =
+            StreamingReview::traced(subs.round, subs.references.clone(), &streaming, None);
+        for (i, bundle) in subs.bundles.iter().enumerate() {
+            review.add_bundle(i as u64, i, bundle);
+        }
+        assert_eq!(review.finish(), outcome);
+        let snapshot = streaming.snapshot();
+        let expected = (0..subs.bundles.len())
+            .filter(|&a| {
+                let stride = if a as u64 + 1 >= 2 { 4 } else { 1 };
+                a % stride == 0
+            })
+            .count();
+        let streamed = snapshot.spans.iter().filter(|s| s.name == "stream_bundle").count();
+        assert_eq!(streamed, expected);
+        assert!(streamed < subs.bundles.len(), "sampling actually thinned the spans");
+        let reviewed = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == "ingest.bundles_reviewed")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert_eq!(reviewed as usize, subs.bundles.len());
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! corrupt `round.json`) is a fatal [`StoreError`].
 
 use crate::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
-use crate::round::{run_round_under, RoundOutcome, RoundSubmissions};
+use crate::round::{run_round_under, RoundOutcome, RoundSubmissions, StreamingReview};
 use crate::tables::RoundHistory;
 use mlperf_core::equivalence::ModelSignature;
 use mlperf_core::mllog::MlLogger;
@@ -42,6 +42,7 @@ use mlperf_distsim::Round;
 use mlperf_telemetry::{arg, Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Map};
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
@@ -124,10 +125,20 @@ pub enum FaultReason {
     /// A manifest references a log file that does not exist or cannot
     /// be read.
     MissingLog(String),
-    /// A log file exists but is not valid `:::MLLOG` text (e.g.
-    /// truncated mid-line). The run set is still handed to review,
-    /// which quarantines it with a parse diagnostic of its own.
+    /// A log file exists but is not valid `:::MLLOG` text. The fault
+    /// text names every malformed line. The run set is still handed to
+    /// review, which quarantines it with a parse diagnostic of its own.
     MalformedLog(String),
+    /// A log file is intact except for a truncated final line — the
+    /// signature of a writer that crashed mid-record, distinct from
+    /// ordinary corruption. Handled like [`FaultReason::MalformedLog`]
+    /// otherwise.
+    TruncatedLog(String),
+    /// Two bundle manifests in the round declare the same submission
+    /// `index`. Both bundles are kept (ordered deterministically by
+    /// arrival), but the collision is reported instead of silently
+    /// reordering the round.
+    DuplicateIndex(u64),
     /// A manifest references a log path that escapes its bundle
     /// directory.
     EscapingLogPath(String),
@@ -153,6 +164,12 @@ impl fmt::Display for FaultReason {
             }
             FaultReason::MissingLog(e) => write!(f, "log file unreadable: {e}"),
             FaultReason::MalformedLog(e) => write!(f, "log file is not valid :::MLLOG text: {e}"),
+            FaultReason::TruncatedLog(e) => {
+                write!(f, "log file ends mid-record (writer crash?): {e}")
+            }
+            FaultReason::DuplicateIndex(index) => {
+                write!(f, "another bundle manifest already declares submission index {index}")
+            }
             FaultReason::EscapingLogPath(p) => {
                 write!(f, "log path `{p}` escapes the bundle directory")
             }
@@ -511,7 +528,35 @@ impl RoundArchive {
         result
     }
 
+    /// The materialized read: drains [`RoundArchive::stream_round`]
+    /// into one `RoundSubmissions`. Sharing the stream guarantees the
+    /// two ingest paths see identical bundles and faults.
     fn read_round_inner(&self, round: Round) -> Result<RoundIngest, StoreError> {
+        let mut stream = self.stream_round(round)?;
+        let mut indexed: Vec<(u64, usize, SubmissionBundle)> = Vec::new();
+        while let Some(item) = stream.next_bundle() {
+            indexed.push((item.index, item.arrival, item.bundle));
+        }
+        indexed.sort_by_key(|(index, arrival, _)| (*index, *arrival));
+        let bundles = indexed.into_iter().map(|(_, _, b)| b).collect();
+        let (references, faults) = stream.finish();
+
+        Ok(RoundIngest { submissions: RoundSubmissions { round, references, bundles }, faults })
+    }
+
+    /// Opens one round for streaming ingest: the round manifest is read
+    /// and validated up front (the same fatal errors as
+    /// [`RoundArchive::read_round`]), then
+    /// [`RoundStream::next_bundle`] reads bundles one directory at a
+    /// time in name order — bounded memory no matter how many bundles
+    /// the round holds. Bundle-level damage accumulates as faults on
+    /// the stream, exactly as the materialized read reports it.
+    ///
+    /// # Errors
+    ///
+    /// Fatal only for round-level damage: an unreadable round directory
+    /// or a missing/corrupt/newer-schema `round.json`.
+    pub fn stream_round(&self, round: Round) -> Result<RoundStream<'_>, StoreError> {
         let bytes_read = self.telemetry.counter("store.bytes_read");
         let round_dir = self.round_dir(round);
         let manifest_path = round_dir.join("round.json");
@@ -530,33 +575,72 @@ impl RoundArchive {
         }
 
         let mut faults = Vec::new();
-        let mut indexed: Vec<(u64, usize, SubmissionBundle)> = Vec::new();
-        let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
-        for bundle_dir in sorted_subdirs(&round_dir, &mut faults) {
-            for dir in sorted_subdirs(&bundle_dir, &mut faults) {
-                match self.read_bundle(&dir, &mut faults, &bytes_read) {
-                    None => continue,
-                    Some((index, bundle)) => {
-                        let key = (bundle.org.clone(), bundle.system.system_name.clone());
-                        if !seen.insert(key) {
-                            faults.push(StoreFault {
-                                path: dir,
-                                reason: FaultReason::DuplicateBundle,
-                            });
-                            continue;
-                        }
-                        indexed.push((index, indexed.len(), bundle));
-                    }
-                }
-            }
-        }
-        indexed.sort_by_key(|(index, arrival, _)| (*index, *arrival));
-        let bundles = indexed.into_iter().map(|(_, _, b)| b).collect();
-
-        Ok(RoundIngest {
-            submissions: RoundSubmissions { round, references: manifest.references, bundles },
+        let org_dirs = sorted_subdirs(&round_dir, &mut faults).into_iter();
+        Ok(RoundStream {
+            archive: self,
+            round,
+            references: manifest.references,
+            org_dirs,
+            current: Vec::new().into_iter(),
+            seen: BTreeSet::new(),
+            seen_indices: BTreeMap::new(),
             faults,
+            arrivals: 0,
+            bytes_read,
         })
+    }
+
+    /// Streaming ingest and review of one round: bundles are read one
+    /// directory at a time, parsed and reviewed on the scoped worker
+    /// pool, and dropped before the next directory is touched — resident
+    /// memory is one bundle plus the accumulated reports, not the whole
+    /// round. Produces exactly the [`RoundOutcome`] (and faults) that
+    /// [`RoundArchive::read_round`] + [`crate::run_round`] would.
+    ///
+    /// # Errors
+    ///
+    /// The same fatal cases as [`RoundArchive::stream_round`].
+    pub fn review_round_streaming(
+        &self,
+        round: Round,
+    ) -> Result<(RoundOutcome, Vec<StoreFault>), StoreError> {
+        self.review_round_streaming_traced(round, None)
+    }
+
+    /// [`RoundArchive::review_round_streaming`] with its `stream_round`
+    /// span parented under `parent`.
+    fn review_round_streaming_traced(
+        &self,
+        round: Round,
+        parent: Option<mlperf_telemetry::SpanId>,
+    ) -> Result<(RoundOutcome, Vec<StoreFault>), StoreError> {
+        let mut scope = self.telemetry.timeline_scope_under(parent);
+        let span = scope.start_with("store", "stream_round", || {
+            Map::from([arg("round", json!(round.label()))])
+        });
+        let mut stream = self.stream_round(round)?;
+        let mut review = StreamingReview::traced(
+            round,
+            stream.references().to_vec(),
+            &self.telemetry,
+            scope.current(),
+        );
+        while let Some(item) = stream.next_bundle() {
+            review.add_bundle(item.index, item.arrival, &item.bundle);
+        }
+        let bundles = review.bundles_reviewed();
+        let outcome = review.finish();
+        let (_, faults) = stream.finish();
+        self.telemetry.counter("store.faults").add(faults.len() as u64);
+        let (accepted, n_faults) = (outcome.accepted.len(), faults.len());
+        scope.end_with(span, || {
+            Map::from([
+                arg("bundles", json!(bundles)),
+                arg("accepted", json!(accepted)),
+                arg("faults", json!(n_faults)),
+            ])
+        });
+        Ok((outcome, faults))
     }
 
     /// Reads one bundle directory; quarantines instead of failing.
@@ -637,9 +721,16 @@ impl RoundArchive {
                         bytes_read.add(text.len() as u64);
                         // Flag damaged text here with the precise path;
                         // still hand it to review, which quarantines the
-                        // run set with its own parse diagnostic.
+                        // run set with its own parse diagnostic. A lone
+                        // truncated final line is classified apart from
+                        // general corruption (crashed writer, not rot).
                         if let Err(e) = MlLogger::parse(&text) {
-                            faults.push(StoreFault { path, reason: FaultReason::MalformedLog(e) });
+                            let reason = if e.truncated_tail_only() {
+                                FaultReason::TruncatedLog(e.to_string())
+                            } else {
+                                FaultReason::MalformedLog(e.to_string())
+                            };
+                            faults.push(StoreFault { path, reason });
                         }
                         logs.push(text);
                     }
@@ -702,8 +793,153 @@ impl RoundArchive {
         Ok(ArchiveReplay { history, faults })
     }
 
+    /// [`RoundArchive::replay`] over the streaming ingest path: each
+    /// round is reviewed straight off its [`RoundStream`], so replaying
+    /// an archive of many-thousand-bundle rounds never materializes a
+    /// round. The resulting history and faults are identical to
+    /// [`RoundArchive::replay`]'s.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the archive root cannot be listed.
+    pub fn replay_streaming(&self) -> Result<ArchiveReplay, StoreError> {
+        let mut scope = self.telemetry.timeline_scope();
+        let span = scope.start("store", "replay");
+        let parent = scope.current();
+        let mut history = RoundHistory::new();
+        let mut faults = Vec::new();
+        for round in self.rounds()? {
+            match self.review_round_streaming_traced(round, parent) {
+                Err(e) => {
+                    self.telemetry.counter("store.faults").incr();
+                    faults.push(StoreFault {
+                        path: self.round_dir(round),
+                        reason: FaultReason::UnreadableRound(e.to_string()),
+                    });
+                }
+                Ok((outcome, mut round_faults)) => {
+                    faults.append(&mut round_faults);
+                    history.push(outcome);
+                }
+            }
+        }
+        let rounds = history.rounds().len();
+        scope.end_with(span, || Map::from([arg("rounds", json!(rounds))]));
+        Ok(ArchiveReplay { history, faults })
+    }
+
     fn round_dir(&self, round: Round) -> PathBuf {
         self.root.join(round.label())
+    }
+}
+
+/// One bundle yielded by [`RoundStream`]: the manifest's submission
+/// `index`, the stream `arrival` position, and the bundle itself.
+/// `(index, arrival)` is the bundle's position in materialized order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedBundle {
+    /// Position declared in the bundle manifest (original submission
+    /// order).
+    pub index: u64,
+    /// Position in stream order (directory name order), counting only
+    /// bundles that actually loaded.
+    pub arrival: usize,
+    /// The reconstructed bundle.
+    pub bundle: SubmissionBundle,
+}
+
+/// A round being read one bundle directory at a time — the
+/// bounded-memory ingest path behind
+/// [`RoundArchive::review_round_streaming`], also drained by the
+/// materialized [`RoundArchive::read_round`] so both paths share one
+/// reader. Faults accumulate on the stream in the same order the
+/// materialized read reports them.
+#[derive(Debug)]
+pub struct RoundStream<'a> {
+    archive: &'a RoundArchive,
+    round: Round,
+    references: Vec<BenchmarkReference>,
+    /// Org directories not yet visited, in name order.
+    org_dirs: std::vec::IntoIter<PathBuf>,
+    /// Bundle directories of the org currently being visited.
+    current: std::vec::IntoIter<PathBuf>,
+    /// (org, system) pairs already yielded, for duplicate detection.
+    seen: BTreeSet<(String, String)>,
+    /// Manifest `index` values already yielded and the directory that
+    /// claimed each first, for collision diagnostics.
+    seen_indices: BTreeMap<u64, PathBuf>,
+    faults: Vec<StoreFault>,
+    arrivals: usize,
+    bytes_read: Counter,
+}
+
+impl RoundStream<'_> {
+    /// Which round is streaming.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The round's review references, from `round.json`.
+    pub fn references(&self) -> &[BenchmarkReference] {
+        &self.references
+    }
+
+    /// Faults recorded so far. More may appear as the stream advances;
+    /// [`RoundStream::finish`] returns the complete list.
+    pub fn faults(&self) -> &[StoreFault] {
+        &self.faults
+    }
+
+    /// Reads the next bundle off disk, skipping quarantined directories
+    /// (each recorded as a fault) until one loads or the round is
+    /// exhausted. Only the returned bundle is resident; previous ones
+    /// are whatever the caller kept.
+    pub fn next_bundle(&mut self) -> Option<StreamedBundle> {
+        loop {
+            let dir = loop {
+                if let Some(dir) = self.current.next() {
+                    break dir;
+                }
+                let org_dir = self.org_dirs.next()?;
+                self.current = sorted_subdirs(&org_dir, &mut self.faults).into_iter();
+            };
+            let Some((index, bundle)) =
+                self.archive.read_bundle(&dir, &mut self.faults, &self.bytes_read)
+            else {
+                continue;
+            };
+            let key = (bundle.org.clone(), bundle.system.system_name.clone());
+            if !self.seen.insert(key) {
+                self.faults.push(StoreFault { path: dir, reason: FaultReason::DuplicateBundle });
+                continue;
+            }
+            // An index collision is diagnosed but both bundles are
+            // kept: `(index, arrival)` ordering is still deterministic,
+            // the round is just no longer silently reordered.
+            match self.seen_indices.entry(index) {
+                Entry::Vacant(slot) => {
+                    slot.insert(dir.clone());
+                }
+                Entry::Occupied(_) => {
+                    self.faults.push(StoreFault {
+                        path: dir.clone(),
+                        reason: FaultReason::DuplicateIndex(index),
+                    });
+                }
+            }
+            let arrival = self.arrivals;
+            self.arrivals += 1;
+            return Some(StreamedBundle { index, arrival, bundle });
+        }
+    }
+
+    /// Consumes the stream, returning the round references and every
+    /// fault recorded (including any from bundles never pulled).
+    pub fn finish(mut self) -> (Vec<BenchmarkReference>, Vec<StoreFault>) {
+        // Drain remaining directories so the fault list is complete
+        // even when the caller stopped early.
+        while self.next_bundle().is_some() {}
+        (self.references, self.faults)
     }
 }
 
@@ -937,6 +1173,97 @@ mod tests {
         // Five original workloads plus the three v0.7 additions,
         // which appear as suffix rows once the v0.7 round lands.
         assert_eq!(replay.history.speedup_table(16).rows.len(), 8);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Recursively copies a bundle directory (manifest plus logs).
+    fn copy_dir(src: &Path, dst: &Path) {
+        fs::create_dir_all(dst).unwrap();
+        for entry in fs::read_dir(src).unwrap().filter_map(Result::ok) {
+            let from = entry.path();
+            let to = dst.join(entry.file_name());
+            if from.is_dir() {
+                copy_dir(&from, &to);
+            } else {
+                fs::copy(&from, &to).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn index_collisions_are_diagnosed_and_both_bundles_kept() {
+        let root = temp_dir("dup-index");
+        let archive = RoundArchive::create(&root).unwrap();
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 17));
+        archive.write_round(&subs).unwrap();
+        // Clone one org's directory under a new organization whose
+        // manifest keeps the original submission `index`.
+        let round_dir = root.join(Round::V05.label());
+        let aurora = round_dir.join("aurora");
+        assert!(aurora.is_dir());
+        copy_dir(&aurora, &round_dir.join("aurora-mirror"));
+        let manifest = find_file(&round_dir.join("aurora-mirror"), "bundle.json").unwrap();
+        let text = fs::read_to_string(&manifest).unwrap().replace("Aurora", "Aurora-Mirror");
+        fs::write(&manifest, text).unwrap();
+
+        let ingest = archive.read_round(Round::V05).unwrap();
+        let collisions: Vec<_> = ingest
+            .faults
+            .iter()
+            .filter(|f| matches!(f.reason, FaultReason::DuplicateIndex(_)))
+            .collect();
+        assert_eq!(collisions.len(), 1, "{:?}", ingest.faults);
+        assert!(collisions[0].path.starts_with(&round_dir));
+        // The colliding bundle is kept, not dropped or reordered: one
+        // extra bundle, in deterministic (index, arrival) order.
+        assert_eq!(ingest.submissions.bundles.len(), subs.bundles.len() + 1);
+        assert!(ingest.submissions.bundles.iter().any(|b| b.org == "Aurora-Mirror"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_lines_are_classified_distinctly() {
+        let root = temp_dir("truncated");
+        let archive = RoundArchive::create(&root).unwrap();
+        archive.write_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 23))).unwrap();
+        // Chop the tail off one log — the crashed-writer signature.
+        let log = find_file(&root, "run_0.log").unwrap();
+        let text = fs::read_to_string(&log).unwrap();
+        fs::write(&log, &text[..text.len() - 20]).unwrap();
+        // Splice garbage into the middle of another — ordinary damage.
+        let other = find_file(&root, "run_1.log").unwrap();
+        let mangled = fs::read_to_string(&other).unwrap().replacen(":::MLLOG", "#:MLLOG", 1);
+        fs::write(&other, mangled).unwrap();
+
+        let ingest = archive.read_round(Round::V05).unwrap();
+        let reason_for =
+            |path: &Path| ingest.faults.iter().find(|f| f.path == path).map(|f| &f.reason).unwrap();
+        assert!(
+            matches!(reason_for(&log), FaultReason::TruncatedLog(e) if e.contains("truncated")),
+            "{:?}",
+            reason_for(&log)
+        );
+        assert!(matches!(reason_for(&other), FaultReason::MalformedLog(_)));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn streaming_review_matches_materialized_review() {
+        let root = temp_dir("stream-eq");
+        let telemetry = Telemetry::recording();
+        let archive = RoundArchive::create(&root).unwrap().with_telemetry(telemetry.clone());
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V06, 29));
+        archive.write_round(&subs).unwrap();
+
+        let ingest = archive.read_round(Round::V06).unwrap();
+        let materialized = crate::round::run_round(&ingest.submissions);
+        let (streamed, faults) = archive.review_round_streaming(Round::V06).unwrap();
+        assert_eq!(streamed, materialized);
+        assert_eq!(faults, ingest.faults);
+        assert_eq!(archive.replay_streaming().unwrap(), archive.replay().unwrap());
+
+        let snapshot = telemetry.snapshot();
+        assert!(snapshot.spans.iter().any(|s| s.name == "stream_round"));
         fs::remove_dir_all(&root).unwrap();
     }
 }

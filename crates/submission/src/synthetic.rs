@@ -272,6 +272,63 @@ fn apply_fault(bundles: &mut [SubmissionBundle], fault: &Fault) {
     }
 }
 
+/// Generates a stress round of `bundles` deliberately small bundles —
+/// one run set each, a handful of rendered epochs per log — so
+/// many-thousand-bundle rounds are cheap to write, archive, and ingest
+/// in scale tests of the streaming reader. Every bundle has a unique
+/// organization and system name; benchmarks rotate through the round's
+/// contested set so every leaderboard shard sees traffic. Generation
+/// is deterministic in `seed`.
+pub fn synthetic_stress_round(round: Round, bundles: usize, seed: u64) -> RoundSubmissions {
+    let benches = round_benchmarks(round);
+    let mut out = Vec::with_capacity(bundles);
+    for i in 0..bundles {
+        let id = benches[i % benches.len()].0;
+        let org = format!("Org-{i:04}");
+        let chips = 8 + (i % 8) * 8;
+        let base = seed.wrapping_add(31 * i as u64);
+        let logs = (0..id.runs_required())
+            .map(|r| {
+                // Cheap deterministic jitter so run sets are not flat
+                // and leaderboard ties stay rare.
+                let jitter =
+                    (base.wrapping_add(r as u64).wrapping_mul(2_654_435_761) % 997) as f64 / 997.0;
+                let result = SimResult {
+                    vendor: org.clone(),
+                    chips,
+                    batch: 256,
+                    epochs: 3.0,
+                    minutes: 5.0 + (i % 211) as f64 * 0.1 + jitter,
+                };
+                render_run_log(&org, id, round, base.wrapping_add(r as u64), &result)
+            })
+            .collect();
+        let run_set = RunSet {
+            benchmark: id,
+            dataset: id.spec().dataset.to_string(),
+            hyperparameters: reference_hyperparameters(),
+            signature: reference_signature(id),
+            logs,
+        };
+        out.push(SubmissionBundle {
+            org: org.clone(),
+            system: SystemDescription {
+                submitter: org.clone(),
+                system_name: format!("StressNode-{i:04}"),
+                accelerators: chips,
+                accelerator_model: "StressChip".to_string(),
+                host_processors: (chips / 8).max(1),
+                software: format!("stress stack {round}"),
+            },
+            division: Division::Closed,
+            category: Category::Available,
+            system_type: SystemType::OnPremise,
+            run_sets: vec![run_set],
+        });
+    }
+    RoundSubmissions { round, references: round_references(round), bundles: out }
+}
+
 /// Generates a full multi-vendor round: every fleet vendor submits two
 /// bundles — one at the spec's reference system size, one at the
 /// largest system it can field this round — then injects the spec's
@@ -385,6 +442,28 @@ mod tests {
         assert!(report
             .diagnostics()
             .any(|(_, d)| matches!(d, Diagnostic::WrongQualityTarget { run: 0, .. })));
+    }
+
+    #[test]
+    fn stress_round_bundles_are_lean_and_accepted() {
+        let subs = synthetic_stress_round(Round::V07, 40, 11);
+        assert_eq!(subs.bundles.len(), 40);
+        // Unique identities, one small run set each.
+        let orgs: std::collections::BTreeSet<_> =
+            subs.bundles.iter().map(|b| b.org.as_str()).collect();
+        assert_eq!(orgs.len(), 40);
+        for bundle in &subs.bundles {
+            assert_eq!(bundle.run_sets.len(), 1);
+            for log in &bundle.run_sets[0].logs {
+                assert!(log.len() < 4_096, "stress logs stay small ({} bytes)", log.len());
+            }
+        }
+        // Every bundle survives review.
+        let outcome = run_round(&subs);
+        assert_eq!(outcome.accepted.len(), 40);
+        assert!(outcome.quarantined.is_empty());
+        // Deterministic in the seed.
+        assert_eq!(synthetic_stress_round(Round::V07, 40, 11).bundles, subs.bundles);
     }
 
     #[test]

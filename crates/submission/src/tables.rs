@@ -200,12 +200,25 @@ pub struct RoundTable {
 
 impl RoundTable {
     /// The average ratio the paper headlines (1.3× speedup, 5.5×
-    /// scale), or `None` for an empty table.
+    /// scale), or `None` when no row spans at least two rounds.
+    ///
+    /// Only rows whose present span covers two or more rounds count: a
+    /// benchmark that joined in the newest round has a degenerate
+    /// one-round ratio (always 1.0 — its first and last present values
+    /// are the same value) that would dilute the average without
+    /// measuring any improvement. Such rows still render; they just
+    /// don't vote.
     pub fn average_ratio(&self) -> Option<f64> {
-        if self.rows.is_empty() {
+        let spanning: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.values.iter().filter(|v| v.is_finite()).count() >= 2)
+            .map(|r| r.ratio)
+            .collect();
+        if spanning.is_empty() {
             return None;
         }
-        Some(self.rows.iter().map(|r| r.ratio).sum::<f64>() / self.rows.len() as f64)
+        Some(spanning.iter().sum::<f64>() / spanning.len() as f64)
     }
 
     /// Renders the table with the shared report formatter.
@@ -404,6 +417,38 @@ mod tests {
         for row in table.rows.iter().filter(|r| r.values[..2].iter().all(|v| v.is_nan())) {
             assert_eq!(row.ratio, 1.0, "{row:?}");
         }
+    }
+
+    #[test]
+    fn average_ratio_excludes_rows_spanning_fewer_than_two_rounds() {
+        // Regression: a benchmark that joined in the newest round has a
+        // degenerate one-round ratio of exactly 1.0. It must render but
+        // not dilute the paper's headline averages.
+        let history = RoundHistory::from_outcomes(vec![
+            outcome(Round::V06, vec![entry(BenchmarkId::ImageClassification, 16, 20.0)]),
+            outcome(
+                Round::V07,
+                vec![
+                    entry(BenchmarkId::ImageClassification, 16, 10.0),
+                    entry(BenchmarkId::LanguageModeling, 16, 8.0),
+                ],
+            ),
+        ]);
+        let table = history.speedup_table(16);
+        assert_eq!(table.rows.len(), 2, "the v0.7-only row still renders");
+        let joiner = table.rows.iter().find(|r| r.values[0].is_nan()).unwrap();
+        assert_eq!(joiner.ratio, 1.0, "degenerate single-round ratio");
+        // Before the fix this averaged (2.0 + 1.0) / 2 = 1.5.
+        assert_eq!(table.average_ratio(), Some(2.0));
+
+        // A history whose every row is single-round has no ratio at all.
+        let only_joiners = RoundHistory::from_outcomes(vec![
+            outcome(Round::V06, vec![]),
+            outcome(Round::V07, vec![entry(BenchmarkId::LanguageModeling, 16, 8.0)]),
+        ]);
+        let table = only_joiners.speedup_table(16);
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.average_ratio(), None, "no row spans two rounds");
     }
 
     #[test]

@@ -53,6 +53,20 @@ struct Inner {
     metrics: Registry,
 }
 
+/// 1-in-N per-item span sampling for very large workloads. Metrics
+/// (counters, gauges, histograms) are never sampled — only the
+/// per-item span volume is thinned, so tracing a many-thousand-bundle
+/// round stays cheap while the aggregates stay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSampling {
+    /// Sampling kicks in only when a stage has at least this many
+    /// items; smaller stages keep full per-item span detail.
+    pub threshold: u64,
+    /// Record every Nth per-item span once over the threshold
+    /// (`1` = record all).
+    pub every: u64,
+}
+
 /// A cloneable instrumentation handle: either a shared recording sink
 /// or a no-op. Clones share the sink, so one handle can be passed down
 /// through the harness, the ingest worker pool, and the archive and
@@ -60,6 +74,10 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
+    /// Per-item span sampling; rides on the handle (not the sink) so a
+    /// caller can thin one pipeline's spans while other holders of the
+    /// same sink keep recording everything.
+    sampling: Option<SpanSampling>,
 }
 
 impl Telemetry {
@@ -75,18 +93,42 @@ impl Telemetry {
                 next_track: AtomicU64::new(1),
                 metrics: Registry::default(),
             })),
+            sampling: None,
         }
     }
 
     /// The no-op handle (also [`Telemetry::default`]). Scopes and
     /// metric handles minted from it record nothing and never allocate.
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry { inner: None, sampling: None }
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Returns this handle with 1-in-N per-item span sampling armed.
+    /// Instrumented loops consult [`Telemetry::span_stride`] with their
+    /// item count; stages below `sampling.threshold` are unaffected.
+    pub fn with_span_sampling(mut self, sampling: SpanSampling) -> Self {
+        self.sampling = Some(sampling);
+        self
+    }
+
+    /// The sampling configuration, if armed.
+    pub fn span_sampling(&self) -> Option<SpanSampling> {
+        self.sampling
+    }
+
+    /// The per-item span stride for a stage of `items` items: `every`
+    /// when sampling is armed and the stage meets the threshold,
+    /// otherwise 1 (record every span).
+    pub fn span_stride(&self, items: u64) -> u64 {
+        match self.sampling {
+            Some(s) if self.is_enabled() && items >= s.threshold => s.every.max(1),
+            _ => 1,
+        }
     }
 
     /// A root span scope over the caller's clock, on a fresh track.
@@ -192,6 +234,32 @@ mod tests {
         let telemetry = Telemetry::default();
         assert!(!telemetry.is_enabled());
         assert!(telemetry.snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_stride_respects_threshold_and_handle_state() {
+        let plain = Telemetry::recording();
+        assert_eq!(plain.span_stride(1_000_000), 1, "no sampling unless armed");
+
+        let sampled =
+            Telemetry::recording().with_span_sampling(SpanSampling { threshold: 100, every: 8 });
+        assert_eq!(sampled.span_stride(99), 1, "below threshold records everything");
+        assert_eq!(sampled.span_stride(100), 8);
+        assert_eq!(sampled.span_stride(100_000), 8);
+        assert_eq!(sampled.span_sampling(), Some(SpanSampling { threshold: 100, every: 8 }));
+
+        // Sampling rides on the handle, not the sink: a plain clone of
+        // the same sink still records everything.
+        let clone = Telemetry { inner: sampled.inner.clone(), sampling: None };
+        assert_eq!(clone.span_stride(100_000), 1);
+
+        let disabled =
+            Telemetry::disabled().with_span_sampling(SpanSampling { threshold: 0, every: 4 });
+        assert_eq!(disabled.span_stride(1_000), 1, "disabled handles have no spans to thin");
+
+        let degenerate =
+            Telemetry::recording().with_span_sampling(SpanSampling { threshold: 0, every: 0 });
+        assert_eq!(degenerate.span_stride(10), 1, "every=0 clamps to recording all");
     }
 
     #[test]

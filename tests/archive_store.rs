@@ -6,7 +6,8 @@
 
 use mlperf_suite::distsim::Round;
 use mlperf_suite::submission::{
-    run_round, synthetic_round, FaultReason, RoundArchive, SyntheticRoundSpec,
+    leaderboards, run_round, synthetic_round, synthetic_stress_round, FaultReason,
+    LeaderboardAccumulator, RoundArchive, SyntheticRoundSpec,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -79,9 +80,10 @@ fn seeded_archive(tag: &str) -> (PathBuf, RoundArchive) {
     (dir, archive)
 }
 
-/// A log file truncated mid-line is flagged with its path, the bundle
-/// still loads, and review quarantines the damaged run set while the
-/// round completes.
+/// A log file truncated mid-line is flagged with its path — classified
+/// as the crashed-writer case, distinct from ordinary corruption — the
+/// bundle still loads, and review quarantines the damaged run set
+/// while the round completes.
 #[test]
 fn truncated_log_is_quarantined_with_its_path() {
     let (dir, archive) = seeded_archive("truncated");
@@ -94,7 +96,7 @@ fn truncated_log_is_quarantined_with_its_path() {
     assert_eq!(ingest.faults.len(), 1, "{:?}", ingest.faults);
     let fault = &ingest.faults[0];
     assert_eq!(fault.path, log, "fault names the damaged file");
-    assert!(matches!(fault.reason, FaultReason::MalformedLog(_)), "{fault}");
+    assert!(matches!(fault.reason, FaultReason::TruncatedLog(_)), "{fault}");
 
     // The damaged run set is still handed to review, which quarantines
     // it; the rest of the round scores normally.
@@ -198,6 +200,37 @@ fn corrupt_round_manifest_never_panics_the_replay() {
     assert_eq!(replay.faults.len(), 1);
     assert_eq!(replay.faults[0].path, dir.join("v0.5"));
     assert!(matches!(replay.faults[0].reason, FaultReason::UnreadableRound(_)));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The streaming acceptance property at scale: a synthetic
+/// 1000-bundle round ingested through `review_round_streaming` — which
+/// holds one bundle's logs at a time — produces a `RoundOutcome`
+/// identical to materializing the whole round and reviewing it, and
+/// the incrementally-built leaderboards match the batch ones.
+#[test]
+fn thousand_bundle_round_streams_to_the_materialized_outcome() {
+    let dir = temp_archive("stress-1k");
+    let archive = RoundArchive::create(&dir).unwrap();
+    let subs = synthetic_stress_round(Round::V07, 1_000, 41);
+    archive.write_round(&subs).unwrap();
+
+    let ingest = archive.read_round(Round::V07).unwrap();
+    assert!(ingest.faults.is_empty(), "{:?}", ingest.faults);
+    let materialized = run_round(&ingest.submissions);
+
+    let (streamed, faults) = archive.review_round_streaming(Round::V07).unwrap();
+    assert!(faults.is_empty(), "{:?}", faults);
+    assert_eq!(streamed, materialized);
+    assert_eq!(streamed.accepted.len(), 1_000);
+    assert!(streamed.quarantined.is_empty());
+
+    // Incremental leaderboards agree with the batch build.
+    let mut acc = LeaderboardAccumulator::new();
+    for entry in &streamed.accepted {
+        acc.add(entry.clone());
+    }
+    assert_eq!(acc.finish(), leaderboards(&materialized));
     fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -4,7 +4,7 @@
 use mlperf_suite::core::aggregate::olympic_mean;
 use mlperf_suite::core::compliance::check_log;
 use mlperf_suite::core::metrics::bleu;
-use mlperf_suite::core::mllog::{LogEntry, MlLogger};
+use mlperf_suite::core::mllog::{parse_mllog_line, parse_mllog_line_serde, LogEntry, MlLogger};
 use mlperf_suite::core::recommend::recommend;
 use mlperf_suite::core::suite::{BenchmarkId, SuiteVersion};
 use mlperf_suite::distsim::ConvergenceModel;
@@ -175,7 +175,7 @@ proptest! {
             .into_iter()
             .map(|(t, key, v)| LogEntry {
                 time_ms: t,
-                key,
+                key: key.into(),
                 value: serde_json::json!(v),
             })
             .collect();
@@ -211,6 +211,11 @@ proptest! {
             logger.log(key, value);
         }
         let first = logger.render();
+        // Differential check: on every rendered line, the zero-copy
+        // fast path and the pure-serde reference path agree exactly.
+        for line in first.lines() {
+            prop_assert_eq!(parse_mllog_line(line), parse_mllog_line_serde(line));
+        }
         let parsed = MlLogger::parse(&first).expect("rendered log parses");
         let mut relogger = MlLogger::new();
         for e in parsed {
