@@ -6,6 +6,7 @@
 //! round_pipeline ingest --archive DIR [--streaming] [--trace FILE] [--sample N]
 //! round_pipeline report --archive DIR [--chips N] [--streaming]
 //! round_pipeline demo [--trace FILE]  # all three against a temp archive
+//! round_pipeline loadgen [--seed N] [--log-dir DIR] [--trace FILE]
 //! ```
 //!
 //! `write` generates synthetic multi-vendor rounds (each with a
@@ -21,6 +22,13 @@
 //! alone. Figure 4 anchors at the data-driven common scale of the
 //! ingested history unless `--chips` pins one.
 //!
+//! `loadgen` runs the inference-style scenario driver instead: the
+//! SingleStream, Server, and Offline scenarios over simulated served
+//! models (NCF and BERT) on a deterministic simulated clock, packages
+//! the scenario logs as a submission bundle, reviews it through
+//! `run_round`, and renders the scenario leaderboards. `--log-dir DIR`
+//! additionally writes each scenario's raw `:::MLLOG` log there.
+//!
 //! `--trace FILE` records telemetry for the run — spans and metrics
 //! from the harness, ingest, and store layers — writes them as Chrome
 //! `trace_event` JSON-lines (load in `chrome://tracing` or Perfetto),
@@ -32,12 +40,18 @@
 use mlperf_bench::write_json;
 use mlperf_core::benchmarks::NcfBenchmark;
 use mlperf_core::harness::run_benchmark_with;
-use mlperf_core::report::{render_leaderboard, render_telemetry_report};
+use mlperf_core::report::{
+    render_leaderboard, render_scenario_leaderboard, render_telemetry_report, SystemDescription,
+};
+use mlperf_core::suite::BenchmarkId;
 use mlperf_core::timing::RealClock;
 use mlperf_distsim::Round;
+use mlperf_loadgen::{
+    loadgen_bundle, loadgen_reference, loadgen_run_set, simulated_scenario_sweep,
+};
 use mlperf_submission::{
-    leaderboards, synthetic_round, synthetic_stress_round, ArchiveReplay, Fault, RoundArchive,
-    SyntheticRoundSpec,
+    leaderboards, run_round_with, scenario_leaderboards, synthetic_round, synthetic_stress_round,
+    ArchiveReplay, Fault, RoundArchive, RoundSubmissions, SyntheticRoundSpec,
 };
 use mlperf_telemetry::{write_trace, SpanSampling, Telemetry};
 use serde_json::json;
@@ -50,8 +64,9 @@ const SPAN_SAMPLING_THRESHOLD: u64 = 512;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: round_pipeline [write|ingest|report|demo] [--archive DIR] [--rounds N] \
-         [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] [--sample N]"
+        "usage: round_pipeline [write|ingest|report|demo|loadgen] [--archive DIR] [--rounds N] \
+         [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] [--sample N] \
+         [--log-dir DIR]"
     );
     ExitCode::FAILURE
 }
@@ -73,6 +88,8 @@ struct Args {
     trace: Option<PathBuf>,
     /// 1-in-N span sampling for large rounds.
     sample: Option<u64>,
+    /// `loadgen`: also write each scenario's raw `:::MLLOG` log here.
+    log_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -93,6 +110,7 @@ fn parse_args() -> Option<Args> {
         streaming: false,
         trace: None,
         sample: None,
+        log_dir: None,
     };
     while let Some(flag) = args.next() {
         // Boolean flags take no value.
@@ -109,6 +127,7 @@ fn parse_args() -> Option<Args> {
             "--chips" => parsed.chips = Some(value.parse().ok()?),
             "--trace" => parsed.trace = Some(PathBuf::from(value)),
             "--sample" => parsed.sample = Some(value.parse().ok()?),
+            "--log-dir" => parsed.log_dir = Some(PathBuf::from(value)),
             _ => return None,
         }
     }
@@ -220,6 +239,92 @@ fn demo_harness_run(telemetry: &Telemetry) {
     );
 }
 
+/// The `loadgen` subcommand: scenario sweeps over simulated served
+/// models on a deterministic simulated clock, packaged as a Closed
+/// bundle, reviewed through `run_round`, and rendered as scenario
+/// leaderboards. Every sweep is run twice and checked bit-identical —
+/// the driver's determinism contract under `SimClock` — before its
+/// logs are submitted.
+fn run_loadgen(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
+    let benchmarks = [BenchmarkId::Recommendation, BenchmarkId::LanguageModeling];
+    let mut references = Vec::new();
+    let mut run_sets = Vec::new();
+    let mut scenario_rows = Vec::new();
+    for benchmark in benchmarks {
+        let results = simulated_scenario_sweep(benchmark, args.seed, telemetry);
+        let replay = simulated_scenario_sweep(benchmark, args.seed, &Telemetry::disabled());
+        if results != replay {
+            return Err(format!("{benchmark}: sweep is not deterministic under SimClock"));
+        }
+        println!("{benchmark}: {} scenarios, bit-identical across repeated sweeps", results.len());
+        if let Some(dir) = &args.log_dir {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            for result in &results {
+                let path =
+                    dir.join(format!("{}_{}.mllog", benchmark.slug(), result.scenario.slug()));
+                std::fs::write(&path, &result.log).map_err(|e| e.to_string())?;
+                println!("  wrote {}", path.display());
+            }
+        }
+        scenario_rows.extend(results.iter().map(|r| {
+            json!({
+                "benchmark": r.benchmark.slug(),
+                "scenario": r.scenario.slug(),
+                "seed": r.seed,
+                "queries": r.queries,
+                "duration_ms": r.duration.as_millis() as u64,
+                "p50_ms": r.p50_ms,
+                "p90_ms": r.p90_ms,
+                "p99_ms": r.p99_ms,
+                "qps": r.qps,
+                "slo_ms": r.slo_ms,
+                "slo_satisfied": r.slo_satisfied,
+            })
+        }));
+        let reference = loadgen_reference(benchmark);
+        run_sets.push(loadgen_run_set(&reference, &results));
+        references.push(reference);
+    }
+
+    let system = SystemDescription {
+        submitter: "SimServe".to_string(),
+        system_name: "SimServe-1".to_string(),
+        accelerators: 1,
+        accelerator_model: "SimChip".to_string(),
+        host_processors: 1,
+        software: "mlperf-loadgen (simulated clock)".to_string(),
+    };
+    let bundle = loadgen_bundle("SimServe", system, run_sets);
+    let subs = RoundSubmissions { round: Round::V07, references, bundles: vec![bundle] };
+    let outcome = run_round_with(&subs, telemetry);
+    for report in &outcome.quarantined {
+        for (benchmark, diagnostic) in report.diagnostics() {
+            eprintln!("quarantine {} [{benchmark}]: {diagnostic}", report.org);
+        }
+    }
+    if !outcome.quarantined.is_empty() {
+        return Err("loadgen bundle failed review".to_string());
+    }
+    println!("\nreview accepted {} scenario measurements\n", outcome.scenarios.len());
+    for board in scenario_leaderboards(&outcome) {
+        let title =
+            format!("{} {} ({} division)", board.benchmark, board.scenario.slug(), board.division);
+        print!("{}", render_scenario_leaderboard(&title, &board.rows()));
+        println!();
+    }
+
+    let summary = json!({
+        "seed": args.seed,
+        "deterministic": true,
+        "accepted_scenarios": outcome.scenarios.len(),
+        "quarantined": outcome.quarantined.len(),
+        "scenarios": scenario_rows,
+    });
+    let path = write_json("loadgen", &summary);
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 /// Writes the Chrome `trace_event` file and prints the plain-text
 /// telemetry summary. No-op without `--trace`.
 fn flush_trace(trace: Option<&PathBuf>, telemetry: &Telemetry) -> Result<(), String> {
@@ -308,6 +413,7 @@ fn main() -> ExitCode {
                 },
             )
         }
+        "loadgen" => run_loadgen(&args, &telemetry),
         _ => return usage(),
     };
     let result = result.and_then(|()| flush_trace(args.trace.as_ref(), &telemetry));

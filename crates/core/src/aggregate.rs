@@ -6,6 +6,8 @@
 //! runs are required, so 90% of entries from the same system were
 //! within 10%."
 
+use crate::mllog::{keys, LogEntry};
+use crate::rules::Scenario;
 use crate::suite::BenchmarkId;
 use std::fmt;
 
@@ -82,6 +84,53 @@ pub fn aggregate_runs(id: BenchmarkId, runs: &[RunSummary]) -> Result<f64, Aggre
     }
     let times: Vec<f64> = runs.iter().map(|r| r.seconds).collect();
     Ok(olympic_mean(&times))
+}
+
+/// One loadgen scenario run's reported measurement, as extracted from
+/// its scenario-tagged run log. The inference-side analogue of
+/// [`RunSummary`]: review collects one per scenario log and publishes
+/// them on accepted entries instead of a time-to-train score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSummary {
+    /// Which scenario produced the measurement.
+    pub scenario: Scenario,
+    /// Queries issued.
+    pub queries: u64,
+    /// Measured duration in milliseconds.
+    pub duration_ms: u64,
+    /// Median query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile query latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Achieved queries per second (Server: max sustainable).
+    pub qps: f64,
+    /// The latency SLO bound, when the scenario binds one.
+    pub slo_ms: Option<f64>,
+    /// Whether the SLO was met, when the scenario binds one.
+    pub slo_satisfied: Option<bool>,
+}
+
+/// Extracts the scenario measurement from a parsed run log: `Some` iff
+/// the log carries a known `loadgen_scenario` tag and every scenario
+/// result key (which compliance has checked by the time review calls
+/// this), `None` for ordinary training logs.
+pub fn scenario_summary(entries: &[LogEntry]) -> Option<ScenarioSummary> {
+    let value_of = |key: &str| entries.iter().find(|e| e.key == key).map(|e| &e.value);
+    let f64_of = |key: &str| value_of(key).and_then(|v| v.as_f64());
+    let scenario = value_of(keys::LOADGEN_SCENARIO)?.as_str().and_then(Scenario::from_slug)?;
+    Some(ScenarioSummary {
+        scenario,
+        queries: value_of(keys::LOADGEN_QUERY_COUNT)?.as_u64()?,
+        duration_ms: value_of(keys::LOADGEN_DURATION_MS)?.as_u64()?,
+        p50_ms: f64_of(keys::LOADGEN_LATENCY_P50_MS)?,
+        p90_ms: f64_of(keys::LOADGEN_LATENCY_P90_MS)?,
+        p99_ms: f64_of(keys::LOADGEN_LATENCY_P99_MS)?,
+        qps: f64_of(keys::LOADGEN_QPS)?,
+        slo_ms: f64_of(keys::LOADGEN_SLO_MS),
+        slo_satisfied: value_of(keys::LOADGEN_SLO_SATISFIED).and_then(|v| v.as_bool()),
+    })
 }
 
 /// Monte-Carlo check of the §3.2.2 stability claim: draws `trials` run
@@ -199,5 +248,69 @@ mod tests {
         let a = stability_fraction(&times, 5, 100, 0.05, 7);
         let b = stability_fraction(&times, 5, 100, 0.05, 7);
         assert_eq!(a, b);
+    }
+
+    fn loadgen_entry(key: &str, value: serde_json::Value) -> LogEntry {
+        LogEntry { time_ms: 0, key: key.into(), value }
+    }
+
+    fn loadgen_entries(scenario: &str) -> Vec<LogEntry> {
+        use serde_json::json;
+        vec![
+            loadgen_entry(keys::LOADGEN_SCENARIO, json!(scenario)),
+            loadgen_entry(keys::LOADGEN_QUERY_COUNT, json!(256)),
+            loadgen_entry(keys::LOADGEN_DURATION_MS, json!(2000)),
+            loadgen_entry(keys::LOADGEN_LATENCY_P50_MS, json!(1.5)),
+            loadgen_entry(keys::LOADGEN_LATENCY_P90_MS, json!(2.5)),
+            loadgen_entry(keys::LOADGEN_LATENCY_P99_MS, json!(4.0)),
+            loadgen_entry(keys::LOADGEN_QPS, json!(128.0)),
+            loadgen_entry(keys::LOADGEN_SLO_MS, json!(10.0)),
+            loadgen_entry(keys::LOADGEN_SLO_SATISFIED, json!(true)),
+        ]
+    }
+
+    #[test]
+    fn scenario_summary_extracts_every_field() {
+        let summary = scenario_summary(&loadgen_entries("server")).unwrap();
+        assert_eq!(
+            summary,
+            ScenarioSummary {
+                scenario: Scenario::Server,
+                queries: 256,
+                duration_ms: 2000,
+                p50_ms: 1.5,
+                p90_ms: 2.5,
+                p99_ms: 4.0,
+                qps: 128.0,
+                slo_ms: Some(10.0),
+                slo_satisfied: Some(true),
+            }
+        );
+    }
+
+    #[test]
+    fn scenario_summary_slo_keys_are_optional() {
+        let mut entries = loadgen_entries("offline");
+        entries.retain(|e| e.key != keys::LOADGEN_SLO_MS && e.key != keys::LOADGEN_SLO_SATISFIED);
+        let summary = scenario_summary(&entries).unwrap();
+        assert_eq!(summary.scenario, Scenario::Offline);
+        assert_eq!(summary.slo_ms, None);
+        assert_eq!(summary.slo_satisfied, None);
+    }
+
+    #[test]
+    fn scenario_summary_rejects_training_and_partial_logs() {
+        use serde_json::json;
+        let training = vec![
+            loadgen_entry(keys::RUN_START, json!(null)),
+            loadgen_entry(keys::RUN_STOP, json!({"status": "success"})),
+        ];
+        assert_eq!(scenario_summary(&training), None);
+        let mut partial = loadgen_entries("single_stream");
+        partial.retain(|e| e.key != keys::LOADGEN_QPS);
+        assert_eq!(scenario_summary(&partial), None);
+        let mut unknown = loadgen_entries("multi_stream");
+        unknown[0] = loadgen_entry(keys::LOADGEN_SCENARIO, json!("multi_stream"));
+        assert_eq!(scenario_summary(&unknown), None);
     }
 }

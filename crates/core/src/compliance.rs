@@ -3,6 +3,7 @@
 //! events in a legal order before results are published.
 
 use crate::mllog::{keys, LogEntry};
+use crate::rules::Scenario;
 use serde_json::Value;
 use std::fmt;
 
@@ -38,6 +39,34 @@ pub enum ComplianceIssue {
     },
     /// No evaluation results between run start and stop.
     NoEvaluations,
+    /// A `loadgen_scenario` entry names no known scenario.
+    UnknownScenario {
+        /// Index of the scenario entry.
+        entry: usize,
+    },
+    /// A loadgen run issued fewer queries than the scenario requires.
+    TooFewQueries {
+        /// Index of the `loadgen_query_count` entry.
+        entry: usize,
+        /// Queries actually issued.
+        issued: u64,
+        /// The scenario's minimum.
+        required: u64,
+    },
+    /// A loadgen run was shorter than the scenario's minimum duration.
+    ScenarioTooShort {
+        /// Index of the `loadgen_duration_ms` entry.
+        entry: usize,
+        /// Measured duration in milliseconds.
+        duration_ms: u64,
+        /// The scenario's minimum in milliseconds.
+        required_ms: u64,
+    },
+    /// A latency-bound scenario did not satisfy its SLO.
+    SloViolated {
+        /// Index of the `loadgen_slo_satisfied` entry.
+        entry: usize,
+    },
 }
 
 impl ComplianceIssue {
@@ -48,7 +77,11 @@ impl ComplianceIssue {
             ComplianceIssue::MissingKey(_) | ComplianceIssue::NoEvaluations => None,
             ComplianceIssue::OutOfOrder { early_entry, .. } => Some(*early_entry),
             ComplianceIssue::RunStopWithoutStatus { entry }
-            | ComplianceIssue::NonMonotonicTimestamps { entry } => Some(*entry),
+            | ComplianceIssue::NonMonotonicTimestamps { entry }
+            | ComplianceIssue::UnknownScenario { entry }
+            | ComplianceIssue::TooFewQueries { entry, .. }
+            | ComplianceIssue::ScenarioTooShort { entry, .. }
+            | ComplianceIssue::SloViolated { entry } => Some(*entry),
         }
     }
 }
@@ -71,6 +104,24 @@ impl fmt::Display for ComplianceIssue {
             }
             ComplianceIssue::NoEvaluations => {
                 write!(f, "no eval_accuracy entries inside the timed region")
+            }
+            ComplianceIssue::UnknownScenario { entry } => {
+                write!(f, "`loadgen_scenario` (line {entry}) names no known scenario")
+            }
+            ComplianceIssue::TooFewQueries { entry, issued, required } => {
+                write!(
+                    f,
+                    "loadgen issued {issued} queries (line {entry}), scenario requires {required}"
+                )
+            }
+            ComplianceIssue::ScenarioTooShort { entry, duration_ms, required_ms } => {
+                write!(
+                    f,
+                    "loadgen ran {duration_ms} ms (line {entry}), scenario requires {required_ms}"
+                )
+            }
+            ComplianceIssue::SloViolated { entry } => {
+                write!(f, "latency SLO not satisfied (line {entry})")
             }
         }
     }
@@ -125,17 +176,88 @@ pub fn check_log(entries: &[LogEntry]) -> Vec<ComplianceIssue> {
         issues.push(ComplianceIssue::NonMonotonicTimestamps { entry: i + 1 });
     }
 
-    if let (Some(start), Some(stop)) = (pos(keys::RUN_START), pos(keys::RUN_STOP)) {
-        let evals = entries[start..=stop.min(entries.len() - 1)]
-            .iter()
-            .filter(|e| e.key == keys::EVAL_ACCURACY)
-            .count();
-        if evals == 0 {
-            issues.push(ComplianceIssue::NoEvaluations);
+    // Loadgen runs measure inference traffic over an already-trained
+    // model: they carry scenario result keys instead of in-training
+    // evaluations, and are bound by the scenario rules.
+    let loadgen = pos(keys::LOADGEN_SCENARIO);
+    if loadgen.is_none() {
+        if let (Some(start), Some(stop)) = (pos(keys::RUN_START), pos(keys::RUN_STOP)) {
+            let evals = entries[start..=stop.min(entries.len() - 1)]
+                .iter()
+                .filter(|e| e.key == keys::EVAL_ACCURACY)
+                .count();
+            if evals == 0 {
+                issues.push(ComplianceIssue::NoEvaluations);
+            }
         }
     }
 
+    if let Some(scenario_at) = loadgen {
+        check_loadgen(entries, scenario_at, &mut issues);
+    }
+
     issues
+}
+
+/// The loadgen-specific checks: result keys present, scenario known,
+/// and the scenario rules (minimum query count, minimum duration, SLO
+/// satisfied where the scenario binds a latency percentile) honoured.
+fn check_loadgen(entries: &[LogEntry], scenario_at: usize, issues: &mut Vec<ComplianceIssue>) {
+    let pos = |key: &str| entries.iter().position(|e| e.key == key);
+
+    for required in [
+        keys::LOADGEN_QUERY_COUNT,
+        keys::LOADGEN_DURATION_MS,
+        keys::LOADGEN_LATENCY_P50_MS,
+        keys::LOADGEN_LATENCY_P90_MS,
+        keys::LOADGEN_LATENCY_P99_MS,
+        keys::LOADGEN_QPS,
+    ] {
+        if pos(required).is_none() {
+            issues.push(ComplianceIssue::MissingKey(required));
+        }
+    }
+
+    let Some(scenario) = entries[scenario_at].value.as_str().and_then(Scenario::from_slug) else {
+        issues.push(ComplianceIssue::UnknownScenario { entry: scenario_at });
+        return;
+    };
+    let rules = scenario.rules();
+
+    if let Some(i) = pos(keys::LOADGEN_QUERY_COUNT) {
+        if let Some(issued) = entries[i].value.as_u64() {
+            if issued < rules.min_query_count {
+                issues.push(ComplianceIssue::TooFewQueries {
+                    entry: i,
+                    issued,
+                    required: rules.min_query_count,
+                });
+            }
+        }
+    }
+
+    if let Some(i) = pos(keys::LOADGEN_DURATION_MS) {
+        if let Some(duration_ms) = entries[i].value.as_u64() {
+            if duration_ms < rules.min_duration_ms {
+                issues.push(ComplianceIssue::ScenarioTooShort {
+                    entry: i,
+                    duration_ms,
+                    required_ms: rules.min_duration_ms,
+                });
+            }
+        }
+    }
+
+    if rules.latency_percentile.is_some() {
+        match pos(keys::LOADGEN_SLO_SATISFIED) {
+            None => issues.push(ComplianceIssue::MissingKey(keys::LOADGEN_SLO_SATISFIED)),
+            Some(i) => {
+                if entries[i].value.as_bool() != Some(true) {
+                    issues.push(ComplianceIssue::SloViolated { entry: i });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +343,85 @@ mod tests {
         let log: Vec<LogEntry> =
             minimal_valid().into_iter().filter(|e| e.key != keys::EVAL_ACCURACY).collect();
         assert!(check_log(&log).contains(&ComplianceIssue::NoEvaluations));
+    }
+
+    /// A compliant Server-scenario loadgen log: base lifecycle keys
+    /// plus the scenario result keys, satisfying the scenario rules.
+    fn minimal_loadgen(scenario: &str) -> Vec<LogEntry> {
+        vec![
+            entry(0, keys::SUBMISSION_BENCHMARK, json!("ncf")),
+            entry(0, keys::SEED, json!(1)),
+            entry(0, keys::QUALITY_TARGET, json!(0.635)),
+            entry(1, keys::INIT_START, json!(null)),
+            entry(5, keys::RUN_START, json!(null)),
+            entry(5, keys::LOADGEN_SCENARIO, json!(scenario)),
+            entry(2005, keys::LOADGEN_QUERY_COUNT, json!(256)),
+            entry(2005, keys::LOADGEN_DURATION_MS, json!(2000)),
+            entry(2005, keys::LOADGEN_LATENCY_P50_MS, json!(1.5)),
+            entry(2005, keys::LOADGEN_LATENCY_P90_MS, json!(2.5)),
+            entry(2005, keys::LOADGEN_LATENCY_P99_MS, json!(4.0)),
+            entry(2005, keys::LOADGEN_QPS, json!(128.0)),
+            entry(2005, keys::LOADGEN_SLO_MS, json!(10.0)),
+            entry(2005, keys::LOADGEN_SLO_SATISFIED, json!(true)),
+            entry(2006, keys::RUN_STOP, json!({"status": "success"})),
+        ]
+    }
+
+    #[test]
+    fn valid_loadgen_log_passes_without_evaluations() {
+        for scenario in ["single_stream", "server", "offline"] {
+            let issues = check_log(&minimal_loadgen(scenario));
+            assert!(issues.is_empty(), "{scenario}: {issues:?}");
+        }
+    }
+
+    #[test]
+    fn loadgen_log_missing_result_keys_flagged() {
+        let log: Vec<LogEntry> =
+            minimal_loadgen("server").into_iter().filter(|e| e.key != keys::LOADGEN_QPS).collect();
+        assert!(check_log(&log).contains(&ComplianceIssue::MissingKey(keys::LOADGEN_QPS)));
+    }
+
+    #[test]
+    fn unknown_scenario_flagged() {
+        let mut log = minimal_loadgen("server");
+        log[5].value = json!("multi_stream");
+        assert!(check_log(&log).contains(&ComplianceIssue::UnknownScenario { entry: 5 }));
+    }
+
+    #[test]
+    fn too_few_queries_flagged() {
+        let mut log = minimal_loadgen("server");
+        log[6].value = json!(17);
+        assert!(check_log(&log).contains(&ComplianceIssue::TooFewQueries {
+            entry: 6,
+            issued: 17,
+            required: 128,
+        }));
+    }
+
+    #[test]
+    fn scenario_too_short_flagged() {
+        let mut log = minimal_loadgen("server");
+        log[7].value = json!(40);
+        assert!(check_log(&log).contains(&ComplianceIssue::ScenarioTooShort {
+            entry: 7,
+            duration_ms: 40,
+            required_ms: 1000,
+        }));
+    }
+
+    #[test]
+    fn slo_violation_flagged_for_latency_bound_scenarios() {
+        let mut log = minimal_loadgen("server");
+        log[13].value = json!(false);
+        assert!(check_log(&log).contains(&ComplianceIssue::SloViolated { entry: 13 }));
+        // Offline has no latency bound: dropping the SLO keys is fine.
+        let log: Vec<LogEntry> = minimal_loadgen("offline")
+            .into_iter()
+            .filter(|e| e.key != keys::LOADGEN_SLO_MS && e.key != keys::LOADGEN_SLO_SATISFIED)
+            .collect();
+        assert!(check_log(&log).is_empty());
     }
 
     /// The harness's own logs must pass the compliance checker — the

@@ -50,6 +50,25 @@ pub mod keys {
     pub const HYPERPARAMETER: &str = "hyperparameter";
     /// The quality threshold in effect.
     pub const QUALITY_TARGET: &str = "quality_target";
+    /// Loadgen: which scenario produced this log; value is the
+    /// scenario slug (`single_stream` / `server` / `offline`).
+    pub const LOADGEN_SCENARIO: &str = "loadgen_scenario";
+    /// Loadgen: how many queries the scenario issued.
+    pub const LOADGEN_QUERY_COUNT: &str = "loadgen_query_count";
+    /// Loadgen: measured duration of the scenario in milliseconds.
+    pub const LOADGEN_DURATION_MS: &str = "loadgen_duration_ms";
+    /// Loadgen: median (p50) query latency in milliseconds.
+    pub const LOADGEN_LATENCY_P50_MS: &str = "loadgen_latency_p50_ms";
+    /// Loadgen: 90th-percentile query latency in milliseconds.
+    pub const LOADGEN_LATENCY_P90_MS: &str = "loadgen_latency_p90_ms";
+    /// Loadgen: 99th-percentile query latency in milliseconds.
+    pub const LOADGEN_LATENCY_P99_MS: &str = "loadgen_latency_p99_ms";
+    /// Loadgen: achieved queries per second (Server: max sustainable).
+    pub const LOADGEN_QPS: &str = "loadgen_qps";
+    /// Loadgen: the Server scenario's latency SLO in milliseconds.
+    pub const LOADGEN_SLO_MS: &str = "loadgen_slo_ms";
+    /// Loadgen: whether the scenario met its latency SLO.
+    pub const LOADGEN_SLO_SATISFIED: &str = "loadgen_slo_satisfied";
 }
 
 /// Returns the interned static form of a standard key, or `None` for a
@@ -70,6 +89,15 @@ fn intern(s: &str) -> Option<&'static str> {
         "seed" => keys::SEED,
         "hyperparameter" => keys::HYPERPARAMETER,
         "quality_target" => keys::QUALITY_TARGET,
+        "loadgen_scenario" => keys::LOADGEN_SCENARIO,
+        "loadgen_query_count" => keys::LOADGEN_QUERY_COUNT,
+        "loadgen_duration_ms" => keys::LOADGEN_DURATION_MS,
+        "loadgen_latency_p50_ms" => keys::LOADGEN_LATENCY_P50_MS,
+        "loadgen_latency_p90_ms" => keys::LOADGEN_LATENCY_P90_MS,
+        "loadgen_latency_p99_ms" => keys::LOADGEN_LATENCY_P99_MS,
+        "loadgen_qps" => keys::LOADGEN_QPS,
+        "loadgen_slo_ms" => keys::LOADGEN_SLO_MS,
+        "loadgen_slo_satisfied" => keys::LOADGEN_SLO_SATISFIED,
         _ => return None,
     })
 }

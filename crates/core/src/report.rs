@@ -129,6 +129,59 @@ pub fn render_leaderboard(title: &str, rows: &[LeaderboardRow]) -> String {
     out
 }
 
+/// One entry's row in a scenario (loadgen) leaderboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// 1-based rank by throughput.
+    pub rank: usize,
+    /// Submitting organization.
+    pub organization: String,
+    /// System name.
+    pub system: String,
+    /// Accelerator chips in the system.
+    pub chips: usize,
+    /// Median query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile query latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Achieved queries per second (Server: max sustainable).
+    pub qps: f64,
+    /// Queries behind the measurement.
+    pub queries: u64,
+}
+
+/// Renders one benchmark/division/scenario leaderboard: ranked rows,
+/// highest throughput first.
+pub fn render_scenario_leaderboard(title: &str, rows: &[ScenarioRow]) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(
+        out,
+        "{:>4} {:<16} {:<24} {:>6} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "rank", "org", "system", "chips", "p50 ms", "p90 ms", "p99 ms", "qps", "queries"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>4} {:<16} {:<24} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>10.1} {:>8}",
+            r.rank,
+            r.organization,
+            r.system,
+            r.chips,
+            r.p50_ms,
+            r.p90_ms,
+            r.p99_ms,
+            r.qps,
+            r.queries
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// One benchmark's cross-round comparison (a Figure 4/5-style row):
 /// one value per round in the history, oldest round first, plus the
 /// endpoint ratio.
@@ -417,5 +470,26 @@ mod tests {
         assert_eq!(bert.matches(" -").count(), 2, "row: {bert}");
         assert!(bert.contains("9.0"));
         assert!(bert.contains("1.00x"));
+    }
+
+    #[test]
+    fn scenario_leaderboard_renders_percentiles_and_qps() {
+        let rows = vec![ScenarioRow {
+            rank: 1,
+            organization: "Aurora".into(),
+            system: "aurora-16".into(),
+            chips: 16,
+            p50_ms: 0.813,
+            p90_ms: 1.204,
+            p99_ms: 3.5,
+            qps: 912.4,
+            queries: 1024,
+        }];
+        let table = render_scenario_leaderboard("ncf / closed / server", &rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("ncf / closed / server"));
+        assert!(lines[1].contains("p99 ms") && lines[1].contains("qps"));
+        assert!(lines[2].starts_with("   1 Aurora"));
+        assert!(lines[2].contains("0.813") && lines[2].contains("912.4"));
     }
 }

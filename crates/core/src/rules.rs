@@ -148,6 +148,85 @@ impl HyperparameterRules {
     }
 }
 
+/// An inference-style load scenario (MLPerf Inference, Reddi et al.):
+/// the traffic pattern the loadgen drives a trained model under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// One query at a time, back to back; judged on p90 latency.
+    SingleStream,
+    /// Poisson query arrivals against a p99 latency SLO; judged on the
+    /// maximum sustainable arrival rate (QPS).
+    Server,
+    /// The whole query pool issued at once and processed in batch;
+    /// judged on throughput, with no latency bound.
+    Offline,
+}
+
+impl Scenario {
+    /// Every scenario, in reporting order.
+    pub const ALL: [Scenario; 3] = [Scenario::SingleStream, Scenario::Server, Scenario::Offline];
+
+    /// The scenario's log/CLI slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Scenario::SingleStream => "single_stream",
+            Scenario::Server => "server",
+            Scenario::Offline => "offline",
+        }
+    }
+
+    /// Parses a slug back into a scenario.
+    pub fn from_slug(slug: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.slug() == slug)
+    }
+
+    /// The compliance bounds a run of this scenario must satisfy.
+    pub fn rules(self) -> ScenarioRules {
+        match self {
+            Scenario::SingleStream => ScenarioRules {
+                scenario: self,
+                min_query_count: 64,
+                min_duration_ms: 500,
+                latency_percentile: Some(90.0),
+            },
+            Scenario::Server => ScenarioRules {
+                scenario: self,
+                min_query_count: 128,
+                min_duration_ms: 1000,
+                latency_percentile: Some(99.0),
+            },
+            Scenario::Offline => ScenarioRules {
+                scenario: self,
+                min_query_count: 64,
+                min_duration_ms: 500,
+                latency_percentile: None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// The scenario compliance bounds (the loadgen analogue of §3.2.2's
+/// run-count rules): a scenario run shorter than these is not a valid
+/// measurement and is quarantined during review.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRules {
+    /// The scenario these bounds govern.
+    pub scenario: Scenario,
+    /// Minimum number of issued queries.
+    pub min_query_count: u64,
+    /// Minimum measured duration in milliseconds.
+    pub min_duration_ms: u64,
+    /// The latency percentile the scenario's SLO binds, when it has
+    /// one (`None` for Offline, which is throughput-only).
+    pub latency_percentile: Option<f64>,
+}
+
 /// Review-period hyperparameter borrowing (§4.1): "if a submission uses
 /// hyperparameters that would also benefit other submissions, we want
 /// to ensure that those systems have an opportunity to adopt those
@@ -239,5 +318,27 @@ mod tests {
     fn display_names() {
         assert_eq!(Division::Closed.to_string(), "closed");
         assert_eq!(Category::Research.to_string(), "research");
+    }
+
+    #[test]
+    fn scenario_slugs_round_trip() {
+        for scenario in Scenario::ALL {
+            assert_eq!(Scenario::from_slug(scenario.slug()), Some(scenario));
+            assert_eq!(scenario.to_string(), scenario.slug());
+        }
+        assert_eq!(Scenario::from_slug("multi_stream"), None);
+    }
+
+    #[test]
+    fn scenario_rules_are_sane() {
+        for scenario in Scenario::ALL {
+            let rules = scenario.rules();
+            assert_eq!(rules.scenario, scenario);
+            assert!(rules.min_query_count > 0, "{scenario}");
+            assert!(rules.min_duration_ms > 0, "{scenario}");
+        }
+        assert_eq!(Scenario::SingleStream.rules().latency_percentile, Some(90.0));
+        assert_eq!(Scenario::Server.rules().latency_percentile, Some(99.0));
+        assert_eq!(Scenario::Offline.rules().latency_percentile, None);
     }
 }

@@ -1,0 +1,102 @@
+//! Packaging scenario measurements for the round pipeline.
+//!
+//! A loadgen measurement enters review exactly like a training result:
+//! as a [`RunSet`] of rendered `:::MLLOG` logs inside a
+//! [`SubmissionBundle`], validated against a [`BenchmarkReference`].
+//! The helpers here build all three so a scenario sweep round-trips
+//! through `run_round` clean — dataset, quality target, and model
+//! fingerprint all taken from the benchmark's spec, hyperparameter
+//! deltas empty (a served model tunes nothing).
+
+use crate::driver::ScenarioResult;
+use mlperf_core::equivalence::reference_signature;
+use mlperf_core::report::SystemDescription;
+use mlperf_core::rules::{Category, Division, SystemType};
+use mlperf_core::suite::BenchmarkId;
+use mlperf_submission::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
+use std::collections::BTreeMap;
+
+/// The review-side reference a loadgen submission for `benchmark`
+/// validates against: the spec's dataset and quality target, the
+/// reference model fingerprint, and no hyperparameters (serving tunes
+/// nothing). [`crate::ScenarioConfig::for_benchmark`] echoes the same
+/// quality target into the run logs, so the two always agree.
+pub fn loadgen_reference(benchmark: BenchmarkId) -> BenchmarkReference {
+    let spec = benchmark.spec();
+    BenchmarkReference {
+        benchmark,
+        dataset: spec.dataset.to_string(),
+        quality_target: spec.quality.value,
+        hyperparameters: BTreeMap::new(),
+        signature: reference_signature(benchmark),
+    }
+}
+
+/// One benchmark's run set carrying one scenario log per result. All
+/// results must belong to `reference.benchmark`.
+///
+/// # Panics
+///
+/// Panics if a result's benchmark differs from the reference's.
+pub fn loadgen_run_set(reference: &BenchmarkReference, results: &[ScenarioResult]) -> RunSet {
+    for r in results {
+        assert_eq!(
+            r.benchmark, reference.benchmark,
+            "scenario result for {} packed against reference for {}",
+            r.benchmark, reference.benchmark
+        );
+    }
+    RunSet {
+        benchmark: reference.benchmark,
+        dataset: reference.dataset.clone(),
+        hyperparameters: reference.hyperparameters.clone(),
+        signature: reference.signature.clone(),
+        logs: results.iter().map(|r| r.log.clone()).collect(),
+    }
+}
+
+/// A complete Closed-division loadgen submission bundle over the given
+/// run sets, ready for `run_round` review.
+pub fn loadgen_bundle(
+    org: &str,
+    system: SystemDescription,
+    run_sets: Vec<RunSet>,
+) -> SubmissionBundle {
+    SubmissionBundle {
+        org: org.to_string(),
+        system,
+        division: Division::Closed,
+        category: Category::Available,
+        system_type: SystemType::OnPremise,
+        run_sets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::simulated_scenario_sweep;
+    use mlperf_telemetry::Telemetry;
+
+    #[test]
+    fn run_set_copies_reference_identity() {
+        let reference = loadgen_reference(BenchmarkId::Recommendation);
+        let results =
+            simulated_scenario_sweep(BenchmarkId::Recommendation, 1, &Telemetry::disabled());
+        let run_set = loadgen_run_set(&reference, &results);
+        assert_eq!(run_set.benchmark, BenchmarkId::Recommendation);
+        assert_eq!(run_set.dataset, reference.dataset);
+        assert_eq!(run_set.signature, reference.signature);
+        assert!(run_set.hyperparameters.is_empty());
+        assert_eq!(run_set.logs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed against reference")]
+    fn mismatched_benchmark_is_rejected() {
+        let reference = loadgen_reference(BenchmarkId::Recommendation);
+        let results =
+            simulated_scenario_sweep(BenchmarkId::LanguageModeling, 1, &Telemetry::disabled());
+        loadgen_run_set(&reference, &results);
+    }
+}

@@ -2,9 +2,9 @@
 //! entries — the tables the MLPerf organization publishes at round
 //! close.
 
-use crate::round::{AcceptedEntry, RoundOutcome};
-use mlperf_core::report::LeaderboardRow;
-use mlperf_core::rules::Division;
+use crate::round::{AcceptedEntry, RoundOutcome, ScenarioEntry};
+use mlperf_core::report::{LeaderboardRow, ScenarioRow};
+use mlperf_core::rules::{Division, Scenario};
 use mlperf_core::suite::BenchmarkId;
 use std::collections::BTreeMap;
 
@@ -55,6 +55,68 @@ pub fn leaderboards(outcome: &RoundOutcome) -> Vec<Leaderboard> {
             }
             entries.sort_by(|a, b| a.minutes.total_cmp(&b.minutes));
             boards.push(Leaderboard { benchmark, division, entries });
+        }
+    }
+    boards
+}
+
+/// The ranked loadgen results of one benchmark, division, and
+/// scenario — the inference-side counterpart of [`Leaderboard`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioLeaderboard {
+    /// Which benchmark served the queries.
+    pub benchmark: BenchmarkId,
+    /// Which division.
+    pub division: Division,
+    /// Which loadgen scenario.
+    pub scenario: Scenario,
+    /// Scenario entries, highest sustained QPS first.
+    pub entries: Vec<ScenarioEntry>,
+}
+
+impl ScenarioLeaderboard {
+    /// The winning entry, if anyone served.
+    pub fn winner(&self) -> Option<&ScenarioEntry> {
+        self.entries.first()
+    }
+
+    /// Renders the ranking as report rows.
+    pub fn rows(&self) -> Vec<ScenarioRow> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ScenarioRow {
+                rank: i + 1,
+                organization: e.org.clone(),
+                system: e.system.clone(),
+                chips: e.chips,
+                p50_ms: e.summary.p50_ms,
+                p90_ms: e.summary.p90_ms,
+                p99_ms: e.summary.p99_ms,
+                qps: e.summary.qps,
+                queries: e.summary.queries,
+            })
+            .collect()
+    }
+}
+
+/// Builds every non-empty scenario leaderboard of a round: Table 1
+/// benchmark order, Closed before Open, scenarios in
+/// SingleStream/Server/Offline order, ranked by sustained QPS
+/// descending (ties by feed order).
+pub fn scenario_leaderboards(outcome: &RoundOutcome) -> Vec<ScenarioLeaderboard> {
+    let mut boards = Vec::new();
+    for benchmark in BenchmarkId::ALL {
+        for division in [Division::Closed, Division::Open] {
+            for scenario in Scenario::ALL {
+                let mut entries: Vec<ScenarioEntry> =
+                    outcome.scenarios_for(benchmark, division, scenario).cloned().collect();
+                if entries.is_empty() {
+                    continue;
+                }
+                entries.sort_by(|a, b| b.summary.qps.total_cmp(&a.summary.qps));
+                boards.push(ScenarioLeaderboard { benchmark, division, scenario, entries });
+            }
         }
     }
     boards
@@ -185,5 +247,52 @@ mod tests {
         let outcome = run_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 4)));
         let total: usize = leaderboards(&outcome).iter().map(|b| b.entries.len()).sum();
         assert_eq!(total, outcome.accepted.len());
+    }
+
+    #[test]
+    fn scenario_leaderboards_rank_by_sustained_qps() {
+        use mlperf_core::aggregate::ScenarioSummary;
+        let entry = |org: &str, scenario: Scenario, qps: f64| ScenarioEntry {
+            org: org.to_string(),
+            system: format!("{org}-serving"),
+            chips: 4,
+            division: Division::Closed,
+            benchmark: BenchmarkId::Recommendation,
+            summary: ScenarioSummary {
+                scenario,
+                queries: 256,
+                duration_ms: 2_000,
+                p50_ms: 1.0,
+                p90_ms: 2.0,
+                p99_ms: 4.0,
+                qps,
+                slo_ms: Some(10.0),
+                slo_satisfied: Some(true),
+            },
+        };
+        let outcome = RoundOutcome {
+            round: Round::V07,
+            accepted: Vec::new(),
+            scenarios: vec![
+                entry("Slower", Scenario::Server, 80.0),
+                entry("Faster", Scenario::Server, 160.0),
+                entry("Solo", Scenario::Offline, 400.0),
+            ],
+            quarantined: Vec::new(),
+            reports: Vec::new(),
+        };
+        let boards = scenario_leaderboards(&outcome);
+        assert_eq!(boards.len(), 2, "one board per contested (benchmark, division, scenario)");
+        assert_eq!(boards[0].scenario, Scenario::Server);
+        let orgs: Vec<&str> = boards[0].entries.iter().map(|e| e.org.as_str()).collect();
+        assert_eq!(orgs, vec!["Faster", "Slower"], "highest QPS wins");
+        assert_eq!(boards[0].winner().unwrap().org, "Faster");
+        assert_eq!(boards[1].scenario, Scenario::Offline);
+
+        let rows = boards[0].rows();
+        assert_eq!(rows[0].rank, 1);
+        assert_eq!(rows[0].qps, 160.0);
+        assert_eq!(rows[0].p99_ms, 4.0);
+        assert_eq!(rows[1].organization, "Slower");
     }
 }

@@ -41,10 +41,13 @@ pub mod synthetic;
 pub mod tables;
 
 pub use bundle::{BenchmarkReference, RunSet, SubmissionBundle};
-pub use leaderboard::{leaderboards, Leaderboard, LeaderboardAccumulator};
+pub use leaderboard::{
+    leaderboards, scenario_leaderboards, Leaderboard, LeaderboardAccumulator, ScenarioLeaderboard,
+};
 pub use review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
 pub use round::{
-    run_round, run_round_with, AcceptedEntry, RoundOutcome, RoundSubmissions, StreamingReview,
+    run_round, run_round_with, AcceptedEntry, RoundOutcome, RoundSubmissions, ScenarioEntry,
+    StreamingReview,
 };
 pub use store::{
     ArchiveReplay, FaultReason, RoundArchive, RoundIngest, RoundStream, StoreError, StoreFault,

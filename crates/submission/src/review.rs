@@ -3,12 +3,16 @@
 //! structured diagnostic instead of an abort.
 
 use crate::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
-use mlperf_core::aggregate::{aggregate_runs, AggregateError, RunSummary};
+use mlperf_core::aggregate::{
+    aggregate_runs, scenario_summary, AggregateError, RunSummary, ScenarioSummary,
+};
 use mlperf_core::compliance::{check_log, ComplianceIssue};
 use mlperf_core::equivalence::{check_equivalence, EquivalenceIssue};
 use mlperf_core::mllog::{keys, LogEntry, MlLogger};
 use mlperf_core::rules::{Division, HyperparameterRules};
 use mlperf_core::suite::BenchmarkId;
+use mlperf_telemetry::{arg, SpanScope};
+use serde_json::{json, Map};
 use std::fmt;
 
 /// The result of parsing one run log: its entries, or the parser's
@@ -106,12 +110,16 @@ pub struct BenchmarkReview {
     pub minutes: Option<f64>,
     /// Timed runs in the set.
     pub runs: usize,
+    /// Loadgen scenario measurements extracted from the set's
+    /// scenario-tagged logs (empty for ordinary training run sets).
+    pub scenarios: Vec<ScenarioSummary>,
 }
 
 impl BenchmarkReview {
-    /// Whether this run set passed review with a score.
+    /// Whether this run set passed review with a result: a
+    /// time-to-train score, loadgen scenario measurements, or both.
     pub fn accepted(&self) -> bool {
-        self.diagnostics.is_empty() && self.minutes.is_some()
+        self.diagnostics.is_empty() && (self.minutes.is_some() || !self.scenarios.is_empty())
     }
 }
 
@@ -172,6 +180,7 @@ fn review_run_set(
 ) -> BenchmarkReview {
     let mut diagnostics = Vec::new();
     let mut summaries = Vec::new();
+    let mut scenarios = Vec::new();
     let mut compliant: Vec<(usize, &[LogEntry])> = Vec::new();
 
     for (run, result) in parsed.iter().enumerate() {
@@ -182,7 +191,12 @@ fn review_run_set(
             Ok(entries) => {
                 let issues = check_log(entries);
                 if issues.is_empty() {
-                    if let Some(summary) = run_summary(entries) {
+                    // A scenario-tagged log is a loadgen measurement,
+                    // not a timed training run: it contributes a
+                    // scenario summary instead of an aggregation input.
+                    if let Some(summary) = scenario_summary(entries) {
+                        scenarios.push(summary);
+                    } else if let Some(summary) = run_summary(entries) {
                         summaries.push(summary);
                     }
                     compliant.push((run, entries));
@@ -237,7 +251,11 @@ fn review_run_set(
         }
     }
 
-    let minutes = if diagnostics.is_empty() {
+    // A pure loadgen run set carries no time-to-train score, so there
+    // is nothing to aggregate; mixed sets still aggregate their
+    // training runs under the usual run-count rules.
+    let loadgen_only = summaries.is_empty() && !scenarios.is_empty();
+    let minutes = if diagnostics.is_empty() && !loadgen_only {
         match aggregate_runs(run_set.benchmark, &summaries) {
             Ok(seconds) => Some(seconds / 60.0),
             Err(e) => {
@@ -249,7 +267,34 @@ fn review_run_set(
         None
     };
 
-    BenchmarkReview { benchmark: run_set.benchmark, diagnostics, minutes, runs: run_set.logs.len() }
+    BenchmarkReview {
+        benchmark: run_set.benchmark,
+        diagnostics,
+        minutes,
+        runs: run_set.logs.len(),
+        scenarios,
+    }
+}
+
+/// Instant span events for review-stage rejections, mirroring the
+/// quarantine events the ingest stage emits for its decisions: one
+/// `review`-layer event per rules or equivalence diagnostic, naming
+/// the org, benchmark, and cause.
+pub(crate) fn emit_rejection_events(scope: &mut SpanScope<'_>, report: &ReviewReport) {
+    for (benchmark, diagnostic) in report.diagnostics() {
+        let name = match diagnostic {
+            Diagnostic::RuleViolation { .. } => "rules_rejection",
+            Diagnostic::Equivalence(_) => "equivalence_rejection",
+            _ => continue,
+        };
+        scope.event_with("review", name, || {
+            Map::from([
+                arg("org", json!(report.org)),
+                arg("benchmark", json!(benchmark.to_string())),
+                arg("cause", json!(diagnostic.to_string())),
+            ])
+        });
+    }
 }
 
 /// Reviews one bundle whose logs were already parsed (outer index =
@@ -473,5 +518,103 @@ mod tests {
             d,
             Diagnostic::Aggregation(AggregateError::FailedRun { index: 4 })
         )));
+    }
+
+    fn scenario_log(scenario: &str, slo_satisfied: bool) -> String {
+        let mut logger = MlLogger::new();
+        logger.log(keys::SUBMISSION_BENCHMARK, json!("resnet"));
+        logger.log(keys::SEED, json!(3));
+        logger.log(keys::QUALITY_TARGET, json!(TARGET));
+        logger.log(keys::INIT_START, json!(null));
+        logger.set_time_ms(5);
+        logger.log(keys::RUN_START, json!(null));
+        logger.log(keys::LOADGEN_SCENARIO, json!(scenario));
+        logger.set_time_ms(2005);
+        logger.log(keys::LOADGEN_QUERY_COUNT, json!(256));
+        logger.log(keys::LOADGEN_DURATION_MS, json!(2000));
+        logger.log(keys::LOADGEN_LATENCY_P50_MS, json!(1.5));
+        logger.log(keys::LOADGEN_LATENCY_P90_MS, json!(2.5));
+        logger.log(keys::LOADGEN_LATENCY_P99_MS, json!(4.0));
+        logger.log(keys::LOADGEN_QPS, json!(128.0));
+        logger.log(keys::LOADGEN_SLO_MS, json!(10.0));
+        logger.log(keys::LOADGEN_SLO_SATISFIED, json!(slo_satisfied));
+        logger.set_time_ms(2006);
+        logger.log(keys::RUN_STOP, json!({"status": "success"}));
+        logger.render()
+    }
+
+    fn loadgen_run_set() -> RunSet {
+        let reference = reference();
+        RunSet {
+            benchmark: BenchmarkId::ImageClassification,
+            dataset: DATASET.into(),
+            hyperparameters: reference.hyperparameters.clone(),
+            signature: reference.signature.clone(),
+            logs: ["single_stream", "server", "offline"].map(|s| scenario_log(s, true)).to_vec(),
+        }
+    }
+
+    #[test]
+    fn loadgen_run_set_is_accepted_with_scenario_summaries() {
+        let report = review_bundle(&bundle(vec![loadgen_run_set()]), &[reference()]);
+        assert!(report.is_clean(), "diagnostics: {:?}", report.benchmarks[0].diagnostics);
+        let review = &report.benchmarks[0];
+        assert!(review.accepted());
+        assert_eq!(review.minutes, None, "a loadgen set has no time-to-train score");
+        assert_eq!(review.scenarios.len(), 3);
+        assert_eq!(review.scenarios[1].qps, 128.0);
+    }
+
+    #[test]
+    fn mixed_run_set_scores_and_reports_scenarios() {
+        let mut rs = clean_run_set();
+        rs.logs.push(scenario_log("server", true));
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(report.is_clean(), "diagnostics: {:?}", report.benchmarks[0].diagnostics);
+        let review = &report.benchmarks[0];
+        assert!(review.minutes.is_some(), "training runs still aggregate");
+        assert_eq!(review.scenarios.len(), 1);
+    }
+
+    #[test]
+    fn slo_violation_quarantines_a_loadgen_run_set() {
+        let mut rs = loadgen_run_set();
+        rs.logs[1] = scenario_log("server", false);
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        assert!(!report.is_clean());
+        assert!(report.diagnostics().any(|(_, d)| matches!(
+            d,
+            Diagnostic::Compliance { run: 1, issue: ComplianceIssue::SloViolated { .. } }
+        )));
+    }
+
+    #[test]
+    fn rules_and_equivalence_rejections_emit_review_events() {
+        let mut rs = clean_run_set();
+        rs.hyperparameters.insert("momentum".into(), 0.95);
+        rs.signature = ModelSignature::from_shapes(vec![vec![1, 2]]);
+        let report = review_bundle(&bundle(vec![rs]), &[reference()]);
+        let expected = report
+            .diagnostics()
+            .filter(|(_, d)| {
+                matches!(d, Diagnostic::RuleViolation { .. } | Diagnostic::Equivalence(_))
+            })
+            .count();
+        assert!(expected >= 2, "need both rejection kinds, got {expected}");
+
+        let telemetry = mlperf_telemetry::Telemetry::recording();
+        let mut scope = telemetry.timeline_scope();
+        emit_rejection_events(&mut scope, &report);
+        drop(scope);
+        let snapshot = telemetry.snapshot();
+        let events: Vec<_> = snapshot.events_in("review").collect();
+        assert_eq!(events.len(), expected, "one event per rejection diagnostic");
+        assert!(events.iter().any(|e| e.name == "rules_rejection"));
+        assert!(events.iter().any(|e| e.name == "equivalence_rejection"));
+        for event in events {
+            assert_eq!(event.args["org"], json!("TestOrg"));
+            assert_eq!(event.args["benchmark"], json!("resnet"));
+            assert!(event.args["cause"].as_str().is_some_and(|c| !c.is_empty()));
+        }
     }
 }

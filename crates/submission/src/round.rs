@@ -7,9 +7,13 @@
 //! with the pre-parsed logs.
 
 use crate::bundle::{BenchmarkReference, SubmissionBundle};
-use crate::review::{review_bundle_parsed, BenchmarkReview, Diagnostic, ParsedLog, ReviewReport};
+use crate::review::{
+    emit_rejection_events, review_bundle_parsed, BenchmarkReview, Diagnostic, ParsedLog,
+    ReviewReport,
+};
+use mlperf_core::aggregate::ScenarioSummary;
 use mlperf_core::mllog::MlLogger;
-use mlperf_core::rules::Division;
+use mlperf_core::rules::{Division, Scenario};
 use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
 use mlperf_telemetry::{arg, Gauge, Histogram, SpanId, SpanScope, Telemetry};
@@ -49,6 +53,32 @@ pub struct AcceptedEntry {
     pub runs: usize,
 }
 
+/// One loadgen scenario measurement that survived review, flattened
+/// for publication: the inference-side counterpart of
+/// [`AcceptedEntry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEntry {
+    /// Submitting organization.
+    pub org: String,
+    /// System name.
+    pub system: String,
+    /// Accelerator chips in the system.
+    pub chips: usize,
+    /// The bundle's division.
+    pub division: Division,
+    /// Which benchmark served the queries.
+    pub benchmark: BenchmarkId,
+    /// The reviewed scenario measurement (latency percentiles, QPS).
+    pub summary: ScenarioSummary,
+}
+
+impl ScenarioEntry {
+    /// The scenario this entry was measured under.
+    pub fn scenario(&self) -> Scenario {
+        self.summary.scenario
+    }
+}
+
 /// The published outcome of a round. `PartialEq` so the archive
 /// round-trip property — write a round to disk, re-ingest, re-review —
 /// can assert outcome identity.
@@ -58,6 +88,9 @@ pub struct RoundOutcome {
     pub round: Round,
     /// Every run set that passed review, in bundle order.
     pub accepted: Vec<AcceptedEntry>,
+    /// Every loadgen scenario measurement that passed review, in
+    /// bundle order.
+    pub scenarios: Vec<ScenarioEntry>,
     /// Reports of bundles with at least one diagnostic. A quarantined
     /// bundle's *clean* run sets still score — review isolates faults
     /// at run-set granularity.
@@ -74,6 +107,18 @@ impl RoundOutcome {
         division: Division,
     ) -> impl Iterator<Item = &AcceptedEntry> {
         self.accepted.iter().filter(move |e| e.benchmark == benchmark && e.division == division)
+    }
+
+    /// Scenario entries for one benchmark, division, and scenario.
+    pub fn scenarios_for(
+        &self,
+        benchmark: BenchmarkId,
+        division: Division,
+        scenario: Scenario,
+    ) -> impl Iterator<Item = &ScenarioEntry> {
+        self.scenarios.iter().filter(move |e| {
+            e.benchmark == benchmark && e.division == division && e.scenario() == scenario
+        })
     }
 }
 
@@ -287,11 +332,14 @@ pub(crate) fn run_round_under(
     telemetry.counter("ingest.bundles_reviewed").add(bundles.len() as u64);
 
     let mut accepted = Vec::new();
+    let mut scenarios = Vec::new();
     let mut quarantined = Vec::new();
     for (bundle, report) in bundles.iter().zip(&reports) {
         accepted.extend(accepted_entries(bundle, report));
+        scenarios.extend(scenario_entries(bundle, report));
         if !report.is_clean() {
             emit_quarantine_events(&mut scope, report);
+            emit_rejection_events(&mut scope, report);
             quarantined.push(report.clone());
         }
     }
@@ -301,7 +349,7 @@ pub(crate) fn run_round_under(
         Map::from([arg("accepted", json!(n_accepted)), arg("quarantined", json!(n_quarantined))])
     });
 
-    RoundOutcome { round: submissions.round, accepted, quarantined, reports }
+    RoundOutcome { round: submissions.round, accepted, scenarios, quarantined, reports }
 }
 
 /// Parses one log's text for ingest, flattening the structured
@@ -331,6 +379,29 @@ fn accepted_entries(bundle: &SubmissionBundle, report: &ReviewReport) -> Vec<Acc
         .collect()
 }
 
+/// The scenario entries one reviewed bundle contributes, in the
+/// bundle's own run-set and log order. Like time-to-train scores,
+/// scenario measurements publish only from benchmark reviews with no
+/// diagnostics — a quarantined run set's latencies never reach the
+/// leaderboard.
+fn scenario_entries(bundle: &SubmissionBundle, report: &ReviewReport) -> Vec<ScenarioEntry> {
+    report
+        .benchmarks
+        .iter()
+        .filter(|review| review.diagnostics.is_empty())
+        .flat_map(|review| {
+            review.scenarios.iter().map(|summary| ScenarioEntry {
+                org: bundle.org.clone(),
+                system: bundle.system.system_name.clone(),
+                chips: bundle.system.accelerators,
+                division: bundle.division,
+                benchmark: review.benchmark,
+                summary: *summary,
+            })
+        })
+        .collect()
+}
+
 /// One instant event per quarantine diagnostic, naming the org, the
 /// benchmark, and the fault — the quarantine decision shows up as a
 /// tick on the round's trace lane.
@@ -345,6 +416,11 @@ fn emit_quarantine_events(scope: &mut SpanScope<'_>, report: &ReviewReport) {
         });
     }
 }
+
+/// One reviewed bundle held by [`StreamingReview`]: the caller's
+/// `(index, arrival)` ordering key, the accepted time-to-train
+/// entries, the published scenario entries, and the review report.
+type StreamedResult = ((u64, usize), Vec<AcceptedEntry>, Vec<ScenarioEntry>, ReviewReport);
 
 /// Incremental round review for streaming ingest: bundles are fed one
 /// at a time — each parsed and reviewed on the scoped worker pool, its
@@ -363,7 +439,7 @@ pub struct StreamingReview {
     /// Parent span for per-bundle spans and quarantine events.
     parent: Option<SpanId>,
     /// Per-bundle results keyed by the caller's ordering key.
-    results: Vec<((u64, usize), Vec<AcceptedEntry>, ReviewReport)>,
+    results: Vec<StreamedResult>,
 }
 
 impl StreamingReview {
@@ -443,13 +519,15 @@ impl StreamingReview {
         self.telemetry.counter("ingest.bundles_reviewed").incr();
 
         let entries = accepted_entries(bundle, &report);
+        let scenarios = scenario_entries(bundle, &report);
         if !report.is_clean() {
             emit_quarantine_events(&mut scope, &report);
+            emit_rejection_events(&mut scope, &report);
         }
         if let Some(span) = span {
             scope.end(span);
         }
-        self.results.push(((index, arrival), entries, report));
+        self.results.push(((index, arrival), entries, scenarios, report));
     }
 
     /// Bundles reviewed so far.
@@ -460,19 +538,21 @@ impl StreamingReview {
     /// Publishes the outcome: results are ordered by their feed keys,
     /// exactly as the materialized path orders bundles.
     pub fn finish(mut self) -> RoundOutcome {
-        self.results.sort_by_key(|(order, _, _)| *order);
+        self.results.sort_by_key(|(order, _, _, _)| *order);
         let mut accepted = Vec::new();
+        let mut scenarios = Vec::new();
         let mut quarantined = Vec::new();
         let mut reports = Vec::with_capacity(self.results.len());
-        for (_, entries, report) in self.results {
+        for (_, entries, scenario_entries, report) in self.results {
             accepted.extend(entries);
+            scenarios.extend(scenario_entries);
             if !report.is_clean() {
                 quarantined.push(report.clone());
             }
             reports.push(report);
         }
         self.telemetry.counter("ingest.quarantined").add(quarantined.len() as u64);
-        RoundOutcome { round: self.round, accepted, quarantined, reports }
+        RoundOutcome { round: self.round, accepted, scenarios, quarantined, reports }
     }
 }
 
@@ -502,6 +582,7 @@ fn panicked_report(
                 diagnostics: vec![Diagnostic::Panicked(msg.clone())],
                 minutes: None,
                 runs: rs.logs.len(),
+                scenarios: Vec::new(),
             })
             .collect(),
     }
@@ -707,5 +788,137 @@ mod tests {
         let serial: Vec<ReviewReport> =
             subs.bundles.iter().map(|b| review_bundle(b, &subs.references)).collect();
         assert_eq!(outcome.reports, serial);
+    }
+
+    /// A hand-rendered loadgen scenario log for the v0.5 ResNet-50
+    /// reference (quality target 0.749), mirroring what
+    /// `mlperf-loadgen` emits.
+    fn scenario_log(scenario: &str, slo_satisfied: bool) -> String {
+        use mlperf_core::mllog::keys;
+        let mut logger = MlLogger::new();
+        logger.log(keys::SUBMISSION_BENCHMARK, json!("resnet"));
+        logger.log(keys::SEED, json!(17));
+        logger.log(keys::QUALITY_TARGET, json!(0.749));
+        logger.log(keys::INIT_START, json!(null));
+        logger.set_time_ms(5);
+        logger.log(keys::RUN_START, json!(null));
+        logger.log(keys::LOADGEN_SCENARIO, json!(scenario));
+        logger.set_time_ms(2005);
+        logger.log(keys::LOADGEN_QUERY_COUNT, json!(256));
+        logger.log(keys::LOADGEN_DURATION_MS, json!(2000));
+        logger.log(keys::LOADGEN_LATENCY_P50_MS, json!(1.5));
+        logger.log(keys::LOADGEN_LATENCY_P90_MS, json!(2.5));
+        logger.log(keys::LOADGEN_LATENCY_P99_MS, json!(4.0));
+        logger.log(keys::LOADGEN_QPS, json!(128.0));
+        logger.log(keys::LOADGEN_SLO_MS, json!(10.0));
+        logger.log(keys::LOADGEN_SLO_SATISFIED, json!(slo_satisfied));
+        logger.set_time_ms(2006);
+        logger.log(keys::RUN_STOP, json!({"status": "success"}));
+        logger.render()
+    }
+
+    /// A loadgen-only bundle matching the round's ResNet reference,
+    /// with an SLO knob for the server scenario.
+    fn loadgen_bundle(
+        org: &str,
+        reference: &BenchmarkReference,
+        slo_satisfied: bool,
+    ) -> SubmissionBundle {
+        use mlperf_core::report::SystemDescription;
+        use mlperf_core::rules::{Category, SystemType};
+        SubmissionBundle {
+            org: org.to_string(),
+            system: SystemDescription {
+                submitter: org.to_string(),
+                system_name: format!("{org}-serving"),
+                accelerators: 4,
+                accelerator_model: "ServeChip".into(),
+                host_processors: 1,
+                software: "loadgen".into(),
+            },
+            division: Division::Closed,
+            category: Category::Available,
+            system_type: SystemType::OnPremise,
+            run_sets: vec![crate::bundle::RunSet {
+                benchmark: BenchmarkId::ImageClassification,
+                dataset: reference.dataset.clone(),
+                hyperparameters: reference.hyperparameters.clone(),
+                signature: reference.signature.clone(),
+                logs: vec![
+                    scenario_log("single_stream", true),
+                    scenario_log("server", slo_satisfied),
+                    scenario_log("offline", true),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn loadgen_bundles_publish_scenario_entries_on_both_paths() {
+        let references = crate::synthetic::round_references(Round::V05);
+        let reference =
+            BenchmarkReference::find(&references, BenchmarkId::ImageClassification).unwrap();
+        let subs = RoundSubmissions {
+            round: Round::V05,
+            references: references.clone(),
+            bundles: vec![
+                loadgen_bundle("ServeCo", reference, true),
+                // An SLO violation: quarantined, so none of its
+                // scenario measurements may publish.
+                loadgen_bundle("LagCo", reference, false),
+            ],
+        };
+        let outcome = run_round(&subs);
+        assert!(outcome.accepted.is_empty(), "loadgen sets carry no time-to-train score");
+        assert_eq!(outcome.quarantined.len(), 1);
+        assert_eq!(outcome.quarantined[0].org, "LagCo");
+        assert_eq!(outcome.scenarios.len(), 3, "only the clean bundle publishes");
+        assert!(outcome.scenarios.iter().all(|e| e.org == "ServeCo"));
+        let scenarios: Vec<Scenario> = outcome.scenarios.iter().map(|e| e.scenario()).collect();
+        assert_eq!(scenarios, Scenario::ALL.to_vec());
+        let server = outcome
+            .scenarios_for(BenchmarkId::ImageClassification, Division::Closed, Scenario::Server)
+            .collect::<Vec<_>>();
+        assert_eq!(server.len(), 1);
+        assert_eq!(server[0].summary.qps, 128.0);
+        assert_eq!(server[0].summary.slo_satisfied, Some(true));
+
+        // The streaming path publishes the identical outcome.
+        let mut review = StreamingReview::new(subs.round, subs.references.clone());
+        for (i, bundle) in subs.bundles.iter().enumerate().rev() {
+            review.add_bundle(i as u64, subs.bundles.len() - 1 - i, bundle);
+        }
+        assert_eq!(review.finish(), outcome);
+    }
+
+    #[test]
+    fn foreign_model_fault_emits_equivalence_rejection_event() {
+        let subs = synthetic_round(
+            &SyntheticRoundSpec::new(Round::V05, 21)
+                .with_fault(Fault::ForeignModel { org: "Aurora".into() }),
+        );
+        let telemetry = Telemetry::recording();
+        let outcome = run_round_with(&subs, &telemetry);
+        assert!(outcome.quarantined.iter().any(|r| r.org == "Aurora"));
+
+        let snapshot = telemetry.snapshot();
+        let events: Vec<_> = snapshot.events_in("review").collect();
+        assert!(!events.is_empty(), "review rejections surface as instant events");
+        assert!(events.iter().all(|e| e.name == "equivalence_rejection"));
+        for event in &events {
+            assert_eq!(event.args.get("org"), Some(&json!("Aurora")));
+            assert!(event.args.get("cause").and_then(|c| c.as_str()).is_some());
+        }
+
+        // Streaming ingest emits the same review events.
+        let streaming = Telemetry::recording();
+        let mut review =
+            StreamingReview::traced(subs.round, subs.references.clone(), &streaming, None);
+        for (i, bundle) in subs.bundles.iter().enumerate() {
+            review.add_bundle(i as u64, i, bundle);
+        }
+        assert_eq!(review.finish(), outcome);
+        let streamed = streaming.snapshot();
+        assert_eq!(streamed.events_in("review").count(), events.len());
     }
 }

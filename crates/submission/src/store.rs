@@ -442,6 +442,28 @@ impl RoundArchive {
                 })
             })
             .collect();
+        let scenarios: Vec<serde_json::Value> = outcome
+            .scenarios
+            .iter()
+            .map(|e| {
+                json!({
+                    "org": e.org,
+                    "system": e.system,
+                    "chips": e.chips,
+                    "division": e.division.to_string(),
+                    "benchmark": e.benchmark.slug(),
+                    "scenario": e.scenario().slug(),
+                    "queries": e.summary.queries,
+                    "duration_ms": e.summary.duration_ms,
+                    "p50_ms": e.summary.p50_ms,
+                    "p90_ms": e.summary.p90_ms,
+                    "p99_ms": e.summary.p99_ms,
+                    "qps": e.summary.qps,
+                    "slo_ms": e.summary.slo_ms,
+                    "slo_satisfied": e.summary.slo_satisfied,
+                })
+            })
+            .collect();
         let quarantined: Vec<serde_json::Value> = outcome
             .quarantined
             .iter()
@@ -461,6 +483,7 @@ impl RoundArchive {
             "schema": MANIFEST_SCHEMA,
             "round": outcome.round.to_string(),
             "accepted": accepted,
+            "scenarios": scenarios,
             "quarantined": quarantined,
         });
         let text = serde_json::to_string_pretty(&summary).expect("outcome summaries serialize");

@@ -45,6 +45,13 @@ pub enum Fault {
         /// Organization whose bundle gets the fault.
         org: String,
     },
+    /// Swap the org's first run set onto a foreign model signature — a
+    /// Closed submission whose architecture no longer matches the
+    /// reference (equivalence rejection).
+    ForeignModel {
+        /// Organization whose bundle gets the fault.
+        org: String,
+    },
 }
 
 /// Parameters of a synthetic round.
@@ -231,7 +238,8 @@ fn apply_fault(bundles: &mut [SubmissionBundle], fault: &Fault) {
         Fault::MissingRunStop { org }
         | Fault::GarbageLine { org }
         | Fault::IllegalHyperparameter { org, .. }
-        | Fault::WrongQualityTarget { org } => org,
+        | Fault::WrongQualityTarget { org }
+        | Fault::ForeignModel { org } => org,
     };
     let Some(bundle) = bundles.iter_mut().find(|b| b.org == *org) else {
         return;
@@ -268,6 +276,10 @@ fn apply_fault(bundles: &mut [SubmissionBundle], fault: &Fault) {
                 out.push_str(&format!(":::MLLOG {line}\n"));
             }
             run_set.logs[0] = out;
+        }
+        Fault::ForeignModel { .. } => {
+            run_set.signature =
+                mlperf_core::equivalence::ModelSignature::from_shapes(vec![vec![404, 404]]);
         }
     }
 }
@@ -442,6 +454,15 @@ mod tests {
         assert!(report
             .diagnostics()
             .any(|(_, d)| matches!(d, Diagnostic::WrongQualityTarget { run: 0, .. })));
+    }
+
+    #[test]
+    fn foreign_model_fault_is_caught_by_equivalence_review() {
+        let spec = SyntheticRoundSpec::new(Round::V06, 7)
+            .with_fault(Fault::ForeignModel { org: "Aurora".into() });
+        let outcome = run_round(&synthetic_round(&spec));
+        let report = outcome.quarantined.iter().find(|r| r.org == "Aurora").unwrap();
+        assert!(report.diagnostics().any(|(_, d)| matches!(d, Diagnostic::Equivalence(_))));
     }
 
     #[test]

@@ -353,7 +353,13 @@ mod tests {
     }
 
     fn outcome(round: Round, accepted: Vec<crate::round::AcceptedEntry>) -> RoundOutcome {
-        RoundOutcome { round, accepted, quarantined: Vec::new(), reports: Vec::new() }
+        RoundOutcome {
+            round,
+            accepted,
+            scenarios: Vec::new(),
+            quarantined: Vec::new(),
+            reports: Vec::new(),
+        }
     }
 
     #[test]
@@ -467,6 +473,7 @@ mod tests {
         let replacement = RoundOutcome {
             round: Round::V06,
             accepted: Vec::new(),
+            scenarios: Vec::new(),
             quarantined: Vec::new(),
             reports: Vec::new(),
         };
@@ -502,6 +509,7 @@ mod tests {
             RoundOutcome {
                 round: Round::V06,
                 accepted: Vec::new(),
+                scenarios: Vec::new(),
                 quarantined: Vec::new(),
                 reports: Vec::new(),
             },

@@ -30,8 +30,32 @@ pub mod test_runner;
 
 /// The imports property tests conventionally glob in.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::strategy::{Just, Map, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Builds a [`Union`](crate::strategy::Union) over the listed
+/// strategies: each case samples one of them uniformly. All strategies
+/// must produce the same value type; they may otherwise be of
+/// different types (constants, ranges, mapped strategies), which is
+/// why the macro boxes each arm.
+///
+/// Shrinking re-anchors failing values onto *earlier* arms (see
+/// [`Union`](crate::strategy::Union)), so list arms simplest first:
+///
+/// ```ignore
+/// prop_oneof![Just(0u64), 10u64..100, (100u64..200).prop_map(|x| x * 2)]
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let variants: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(variants)
+    }};
 }
 
 /// Declares property tests: each function parameter is bound by
@@ -285,5 +309,85 @@ mod tests {
         });
         let msg = panic_text(result);
         assert!(msg.contains("minimal: (3, 8)"), "{msg}");
+    }
+
+    #[test]
+    fn prop_oneof_samples_every_variant_and_stays_in_their_union() {
+        use crate::strategy::Just;
+        let strategy = prop_oneof![Just(3u64), Just(40u64), 100u64..1000];
+        let mut rng = TestRng::deterministic("oneof-coverage");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            match v {
+                3 => seen[0] = true,
+                40 => seen[1] = true,
+                100..=999 => seen[2] = true,
+                other => panic!("{other} escapes every variant"),
+            }
+        }
+        assert_eq!(seen, [true; 3], "200 draws must hit every variant");
+    }
+
+    /// The property fails exactly when `v >= 40`. Sampled failures come
+    /// from the `100..1000` arm (or the `Just(40)` arm directly), and
+    /// the minimal counterexample is 40 — reachable **only** by
+    /// re-anchoring onto the constant `Just(40)` arm, proving `Just`
+    /// participates in shrinking.
+    #[test]
+    fn failing_oneof_shrinks_onto_a_just_arm() {
+        use crate::strategy::Just;
+        without_persistence();
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn fails_from_forty(v in prop_oneof![Just(3u64), Just(40u64), 100u64..1000]) {
+                    prop_assert!(v < 40, "v was {}", v);
+                }
+            }
+            fails_from_forty();
+        });
+        let msg = panic_text(result);
+        assert!(msg.contains("minimal: (40,)"), "{msg}");
+        assert!(msg.contains("v was 40"), "shrunk failure message re-evaluated: {msg}");
+    }
+
+    /// The property fails exactly when `v >= 20`, i.e. when the source
+    /// is at least 10: shrinking must walk the *source* down to 10 and
+    /// report the re-mapped minimal value 20, which stays in the image
+    /// of the mapping (even numbers only).
+    #[test]
+    fn failing_prop_map_shrinks_through_the_mapping() {
+        without_persistence();
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn fails_from_twenty(v in (0u64..1000).prop_map(|x| x * 2)) {
+                    prop_assert!(v < 20, "v was {}", v);
+                }
+            }
+            fails_from_twenty();
+        });
+        let msg = panic_text(result);
+        assert!(msg.contains("minimal: (20,)"), "{msg}");
+    }
+
+    proptest! {
+        /// `prop_map` and `prop_oneof!` compose inside the macro; every
+        /// sampled value stays in the union of the arms' images.
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            crate::strategy::Just(0u64),
+            (1u64..10).prop_map(|x| x * 3),
+        ]) {
+            prop_assert!(v == 0 || (v % 3 == 0 && (3..30).contains(&v)), "v was {}", v);
+        }
+    }
+
+    #[test]
+    fn simplest_values_anchor_ranges_justs_and_maps() {
+        use crate::strategy::Just;
+        assert_eq!(Strategy::simplest(&(5u64..100)), Some(5));
+        assert_eq!(Strategy::simplest(&(0.25f64..0.75)), Some(0.25));
+        assert_eq!(Strategy::simplest(&Just("anchor")), Some("anchor"));
+        assert_eq!(Strategy::simplest(&(2u64..9).prop_map(|x| x * 10)), Some(20));
     }
 }

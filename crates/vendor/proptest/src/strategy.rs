@@ -1,6 +1,9 @@
 //! Value-generation strategies sampled by the [`proptest!`](crate::proptest) macro.
 
 use crate::test_runner::TestRng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::ops::Range;
 
 /// A recipe for generating values of `Self::Value`.
@@ -25,6 +28,33 @@ pub trait Strategy {
     /// [`run_property`](crate::test_runner::run_property) terminates.
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
+    }
+
+    /// The simplest value this strategy can produce, when one exists:
+    /// a range's start, a [`Just`]'s constant. [`Union`] consults this
+    /// to re-anchor a failing value onto an *earlier* variant during
+    /// shrinking — which is how `Just` arms of [`prop_oneof!`]
+    /// participate in shrinking despite having no shrinks of their
+    /// own. The default is `None`: combinators without an obvious
+    /// least element opt out.
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    fn simplest(&self) -> Option<Self::Value> {
+        None
+    }
+
+    /// Maps every produced value through `map`, shrinking through the
+    /// mapping: a failing output is traced back to the source value
+    /// that produced it, the *source* is shrunk, and each candidate is
+    /// re-mapped. The minimal counterexample therefore stays in the
+    /// image of `map`.
+    fn prop_map<T, F>(self, map: F) -> Map<Self, T, F>
+    where
+        Self: Sized,
+        T: Clone + std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map, preimages: RefCell::new(HashMap::new()), _marker: PhantomData }
     }
 }
 
@@ -58,6 +88,10 @@ macro_rules! int_range_strategy {
                 }
                 out
             }
+
+            fn simplest(&self) -> Option<$t> {
+                Some(self.start)
+            }
         }
     )*};
 }
@@ -90,6 +124,10 @@ impl Strategy for Range<f64> {
         }
         out
     }
+
+    fn simplest(&self) -> Option<f64> {
+        Some(self.start)
+    }
 }
 
 impl Strategy for Range<f32> {
@@ -111,6 +149,10 @@ impl Strategy for Range<f32> {
             out.push(mid);
         }
         out
+    }
+
+    fn simplest(&self) -> Option<f32> {
+        Some(self.start)
     }
 }
 
@@ -303,6 +345,26 @@ impl<S: Strategy> Strategy for &S {
     fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
         (*self).shrink(value)
     }
+
+    fn simplest(&self) -> Option<S::Value> {
+        (*self).simplest()
+    }
+}
+
+impl<V: Clone + std::fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
+
+    fn simplest(&self) -> Option<V> {
+        (**self).simplest()
+    }
 }
 
 macro_rules! tuple_strategy {
@@ -345,6 +407,11 @@ impl Strategy for () {
 }
 
 /// A strategy that always yields clones of one value.
+///
+/// A constant has no shrinks of its own, but it still participates in
+/// shrinking through [`Strategy::simplest`]: inside a [`Union`] (and
+/// so inside [`prop_oneof!`](crate::prop_oneof)) a failing value from
+/// a later variant can re-anchor onto a `Just` arm's constant.
 #[derive(Debug, Clone)]
 pub struct Just<T>(pub T);
 
@@ -353,5 +420,161 @@ impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
 
     fn sample(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
+    }
+
+    fn simplest(&self) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// [`Strategy::prop_map`]'s combinator: samples the source strategy
+/// and maps each value through `F`.
+///
+/// Shrinking has to run against the *source* (the mapping is not
+/// invertible in general), so the combinator remembers the preimage of
+/// every value it hands out, keyed by the value's `Debug` rendering —
+/// the only identity available without extra bounds. A failing output
+/// is traced back to its recorded source value, the source strategy
+/// shrinks that, and every candidate is re-mapped (and itself
+/// recorded, so the chain can continue). Candidates that map back onto
+/// the current output are dropped: the output would not be strictly
+/// simpler, and the shrink loop must stay well-founded.
+pub struct Map<S: Strategy, T, F: Fn(S::Value) -> T> {
+    source: S,
+    map: F,
+    /// `Debug`-keyed preimages of every produced value.
+    preimages: RefCell<HashMap<String, S::Value>>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<S: Strategy, T: Clone + std::fmt::Debug, F: Fn(S::Value) -> T> Map<S, T, F> {
+    /// Maps `value` through `F`, recording the preimage for shrinking.
+    fn produce(&self, value: S::Value) -> T {
+        let mapped = (self.map)(value.clone());
+        self.preimages.borrow_mut().insert(format!("{mapped:?}"), value);
+        mapped
+    }
+}
+
+impl<S: Strategy, T: Clone + std::fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, T, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let value = self.source.sample(rng);
+        self.produce(value)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let key = format!("{value:?}");
+        let Some(source) = self.preimages.borrow().get(&key).cloned() else {
+            return Vec::new();
+        };
+        self.source
+            .shrink(&source)
+            .into_iter()
+            .map(|candidate| self.produce(candidate))
+            .filter(|mapped| format!("{mapped:?}") != key)
+            .collect()
+    }
+
+    fn simplest(&self) -> Option<T> {
+        self.source.simplest().map(|v| self.produce(v))
+    }
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> std::fmt::Debug for Map<S, T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
+/// [`prop_oneof!`](crate::prop_oneof)'s combinator: each sample picks
+/// one of the variant strategies uniformly and draws from it.
+///
+/// Shrinking moves in two directions, and both strictly decrease the
+/// well-founded measure `(variant index, value order)`:
+///
+/// 1. *Re-anchor earlier*: for every variant before the one that
+///    produced the failing value, propose that variant's
+///    [`Strategy::simplest`] value (or, lacking one, a deterministic
+///    sample). This is what lets constant [`Just`] arms — which have
+///    no shrinks of their own — absorb failures from later variants.
+/// 2. *Shrink in place*: the producing variant's own shrink
+///    candidates.
+///
+/// Like [`Map`], the combinator remembers which variant produced each
+/// value (keyed by the value's `Debug` rendering) so a failing value
+/// shrinks against the right arm.
+pub struct Union<V> {
+    variants: Vec<Box<dyn Strategy<Value = V>>>,
+    /// `Debug`-keyed variant index of every produced value.
+    origins: RefCell<HashMap<String, usize>>,
+}
+
+impl<V: Clone + std::fmt::Debug> Union<V> {
+    /// A strategy drawing uniformly from `variants`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `variants` is empty.
+    pub fn new(variants: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!variants.is_empty(), "a union needs at least one variant");
+        Union { variants, origins: RefCell::new(HashMap::new()) }
+    }
+
+    /// Records that variant `index` produced `value`.
+    fn record(&self, value: &V, index: usize) {
+        self.origins.borrow_mut().insert(format!("{value:?}"), index);
+    }
+}
+
+impl<V: Clone + std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let index = rng.index(self.variants.len());
+        let value = self.variants[index].sample(rng);
+        self.record(&value, index);
+        value
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        let key = format!("{value:?}");
+        // A value with no recorded origin (never sampled by this
+        // instance) is attributed to the last variant, so every
+        // earlier arm still gets to re-anchor it.
+        let origin = self.origins.borrow().get(&key).copied().unwrap_or(self.variants.len() - 1);
+        let mut out = Vec::new();
+        let propose = |candidate: V, index: usize, out: &mut Vec<V>| {
+            if format!("{candidate:?}") != key {
+                self.record(&candidate, index);
+                out.push(candidate);
+            }
+        };
+        for (index, variant) in self.variants.iter().enumerate().take(origin) {
+            // Earlier variants re-anchor at their simplest value; a
+            // variant without one contributes a deterministic sample
+            // so it still participates.
+            let anchor = variant
+                .simplest()
+                .unwrap_or_else(|| variant.sample(&mut TestRng::from_seed(index as u64)));
+            propose(anchor, index, &mut out);
+        }
+        for candidate in self.variants[origin].shrink(value) {
+            propose(candidate, origin, &mut out);
+        }
+        out
+    }
+
+    fn simplest(&self) -> Option<V> {
+        let value = self.variants[0].simplest()?;
+        self.record(&value, 0);
+        Some(value)
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union").field("variants", &self.variants.len()).finish()
     }
 }

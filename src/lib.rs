@@ -29,6 +29,10 @@
 //! - [`submission`] — the round pipeline the MLPerf organization runs:
 //!   concurrent bundle ingest, peer review with quarantine,
 //!   leaderboards, and cross-round speedup/scale tables.
+//! - [`loadgen`] — the inference-style scenario driver: SingleStream,
+//!   Server, and Offline traffic over trained (or simulated) models,
+//!   deterministic under a simulated clock, feeding the same review
+//!   pipeline.
 //! - [`telemetry`] — zero-dependency instrumentation shared by the
 //!   harness, ingest, and archive layers: hierarchical spans on
 //!   explicit clocks, counters/gauges/histograms, and a Chrome
@@ -41,6 +45,7 @@ pub use mlperf_core as core;
 pub use mlperf_data as data;
 pub use mlperf_distsim as distsim;
 pub use mlperf_gomini as gomini;
+pub use mlperf_loadgen as loadgen;
 pub use mlperf_models as models;
 pub use mlperf_nn as nn;
 pub use mlperf_optim as optim;
