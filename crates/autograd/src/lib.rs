@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod check;
+mod fused;
 mod nnops;
 mod ops;
 mod var;

@@ -223,7 +223,24 @@ impl Var {
         Var::from_op(
             out,
             vec![self.clone(), rhs.clone()],
-            Box::new(move |g| vec![Some(g.matmul(&b.transpose())), Some(a.transpose().matmul(g))]),
+            Box::new(move |g| vec![Some(g.matmul_abt(&b)), Some(a.matmul_atb(g))]),
+        )
+    }
+
+    /// Fused affine map `self · rhs + bias` (dense-layer forward) —
+    /// numerically identical to `matmul` followed by `add`, in one
+    /// kernel pass with no intermediate tensor.
+    pub fn matmul_bias(&self, rhs: &Var, bias: &Var) -> Var {
+        let a = self.value_clone();
+        let b = rhs.value_clone();
+        let bias_shape = bias.shape();
+        let out = a.matmul_bias(&b, &bias.value());
+        Var::from_op(
+            out,
+            vec![self.clone(), rhs.clone(), bias.clone()],
+            Box::new(move |g| {
+                vec![Some(g.matmul_abt(&b)), Some(a.matmul_atb(g)), Some(g.sum_to(&bias_shape))]
+            }),
         )
     }
 
@@ -235,9 +252,7 @@ impl Var {
         Var::from_op(
             out,
             vec![self.clone(), rhs.clone()],
-            Box::new(move |g| {
-                vec![Some(g.bmm(&b.transpose_last2())), Some(a.transpose_last2().bmm(g))]
-            }),
+            Box::new(move |g| vec![Some(g.bmm_abt(&b)), Some(a.bmm_atb(g))]),
         )
     }
 

@@ -1,0 +1,69 @@
+//! Criterion benchmarks comparing the `Reference` and `Blocked` tensor
+//! backends on the kernels the backend abstraction exists for, plus a
+//! whole BertMini training epoch through the harness. The measured
+//! ratios are recorded in `BENCH.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use mlperf_core::benchmarks::BertBenchmark;
+use mlperf_core::harness::Benchmark;
+use mlperf_tensor::{BackendKind, Conv2dSpec, TensorRng};
+use std::hint::black_box;
+
+/// The GEMM shapes that dominate the suite's training steps:
+/// `192x16x16` is BertMini's token-by-hidden projection (batch 16 ×
+/// seq 12 rows), `256^3` a square shape big enough to leave L1 and
+/// take the Blocked backend's packed-panel path.
+fn bench_matmul_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/matmul");
+    let mut rng = TensorRng::new(0);
+    for (m, k, n) in [(192usize, 16usize, 16usize), (256, 256, 256)] {
+        let a = rng.normal(&[m, k], 0.0, 1.0);
+        let b = rng.normal(&[k, n], 0.0, 1.0);
+        for kind in BackendKind::ALL {
+            let a = a.clone().on(kind);
+            let b = b.clone().on(kind);
+            let id = CriterionId::new(kind.label(), format!("{m}x{k}x{n}"));
+            group.bench_with_input(id, &kind, |bch, _| {
+                bch.iter(|| black_box(&a).matmul(black_box(&b)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_conv_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/conv2d");
+    let mut rng = TensorRng::new(1);
+    let x = rng.normal(&[4, 8, 12, 12], 0.0, 1.0);
+    let w = rng.normal(&[16, 8, 3, 3], 0.0, 0.5);
+    let bias = rng.normal(&[16], 0.0, 0.5);
+    let spec = Conv2dSpec::new(3, 1, 1);
+    for kind in BackendKind::ALL {
+        let x = x.clone().on(kind);
+        group.bench_function(CriterionId::from_parameter(kind.label()), |b| {
+            b.iter(|| black_box(&x).conv2d(black_box(&w), Some(&bias), spec))
+        });
+    }
+    group.finish();
+}
+
+/// One full BertMini training epoch (all batches: forward, backward,
+/// Adam update) per backend — the epoch time behind the suite's
+/// time-to-train scores, and the number the `BENCH.md` speedup table
+/// quotes.
+fn bench_bert_epoch_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend/bert_mini_epoch");
+    group.sample_size(10);
+    for kind in BackendKind::ALL {
+        let mut bench = BertBenchmark::new().with_backend(kind);
+        bench.prepare();
+        bench.create_model(21);
+        group.bench_function(CriterionId::from_parameter(kind.label()), |b| {
+            b.iter(|| bench.train_epoch(0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_backends, bench_conv_backends, bench_bert_epoch_backends);
+criterion_main!(benches);

@@ -6,8 +6,11 @@
 //! round_pipeline ingest --archive DIR [--streaming] [--trace FILE] [--sample N]
 //! round_pipeline report --archive DIR [--chips N] [--streaming]
 //! round_pipeline demo [--trace FILE]  # all three against a temp archive
-//! round_pipeline loadgen [--seed N] [--log-dir DIR] [--trace FILE]
+//! round_pipeline loadgen [--seed N] [--archive DIR] [--log-dir DIR] [--trace FILE]
 //! ```
+//!
+//! Every subcommand accepts `--backend reference|blocked` to pin the
+//! tensor backend the run executes on (default: `reference`).
 //!
 //! `write` generates synthetic multi-vendor rounds (each with a
 //! deliberately corrupted bundle, so ingest has something to
@@ -26,8 +29,11 @@
 //! SingleStream, Server, and Offline scenarios over simulated served
 //! models (NCF and BERT) on a deterministic simulated clock, packages
 //! the scenario logs as a submission bundle, reviews it through
-//! `run_round`, and renders the scenario leaderboards. `--log-dir DIR`
-//! additionally writes each scenario's raw `:::MLLOG` log there.
+//! `run_round`, and renders the scenario leaderboards. With
+//! `--archive DIR` the scenario round is persisted through the same
+//! `RoundArchive` as training rounds, re-ingested, and checked to
+//! review identically from disk. `--log-dir DIR` additionally writes
+//! each scenario's raw `:::MLLOG` log there.
 //!
 //! `--trace FILE` records telemetry for the run — spans and metrics
 //! from the harness, ingest, and store layers — writes them as Chrome
@@ -54,6 +60,7 @@ use mlperf_submission::{
     ArchiveReplay, Fault, RoundArchive, RoundSubmissions, SyntheticRoundSpec,
 };
 use mlperf_telemetry::{write_trace, SpanSampling, Telemetry};
+use mlperf_tensor::{set_default_backend, BackendKind};
 use serde_json::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -66,7 +73,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: round_pipeline [write|ingest|report|demo|loadgen] [--archive DIR] [--rounds N] \
          [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] [--sample N] \
-         [--log-dir DIR]"
+         [--log-dir DIR] [--backend reference|blocked]"
     );
     ExitCode::FAILURE
 }
@@ -90,6 +97,8 @@ struct Args {
     sample: Option<u64>,
     /// `loadgen`: also write each scenario's raw `:::MLLOG` log here.
     log_dir: Option<PathBuf>,
+    /// Tensor backend the run executes on (process default when unset).
+    backend: Option<BackendKind>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -111,6 +120,7 @@ fn parse_args() -> Option<Args> {
         trace: None,
         sample: None,
         log_dir: None,
+        backend: None,
     };
     while let Some(flag) = args.next() {
         // Boolean flags take no value.
@@ -128,6 +138,7 @@ fn parse_args() -> Option<Args> {
             "--trace" => parsed.trace = Some(PathBuf::from(value)),
             "--sample" => parsed.sample = Some(value.parse().ok()?),
             "--log-dir" => parsed.log_dir = Some(PathBuf::from(value)),
+            "--backend" => parsed.backend = Some(BackendKind::parse(&value)?),
             _ => return None,
         }
     }
@@ -306,6 +317,44 @@ fn run_loadgen(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
         return Err("loadgen bundle failed review".to_string());
     }
     println!("\nreview accepted {} scenario measurements\n", outcome.scenarios.len());
+
+    // Persist the scenario round like any training round and prove the
+    // archived copy reviews identically when read back from disk.
+    if let Some(dir) = &args.archive {
+        let archive =
+            RoundArchive::create(dir).map_err(|e| e.to_string())?.with_telemetry(telemetry.clone());
+        archive.write_round(&subs).map_err(|e| e.to_string())?;
+        let replay = if args.streaming {
+            archive.replay_streaming().map_err(|e| e.to_string())?
+        } else {
+            archive.replay().map_err(|e| e.to_string())?
+        };
+        for fault in &replay.faults {
+            println!("storage fault: {fault}");
+        }
+        let replayed = replay
+            .history
+            .outcomes()
+            .iter()
+            .find(|o| o.round == subs.round)
+            .ok_or_else(|| "archived scenario round did not re-ingest".to_string())?;
+        if replayed.scenarios != outcome.scenarios || !replayed.quarantined.is_empty() {
+            return Err(format!(
+                "archived scenario round diverged on re-ingest: {} scenario entries \
+                 (live review had {}), {} quarantined",
+                replayed.scenarios.len(),
+                outcome.scenarios.len(),
+                replayed.quarantined.len()
+            ));
+        }
+        archive.write_outcome(replayed).map_err(|e| e.to_string())?;
+        println!(
+            "archived scenario round {} -> {} (re-ingests identically)\n",
+            subs.round,
+            archive.root().display()
+        );
+    }
+
     for board in scenario_leaderboards(&outcome) {
         let title =
             format!("{} {} ({} division)", board.benchmark, board.scenario.slug(), board.division);
@@ -318,6 +367,7 @@ fn run_loadgen(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
         "deterministic": true,
         "accepted_scenarios": outcome.scenarios.len(),
         "quarantined": outcome.quarantined.len(),
+        "archived": args.archive.is_some(),
         "scenarios": scenario_rows,
     });
     let path = write_json("loadgen", &summary);
@@ -348,7 +398,11 @@ fn main() -> ExitCode {
         telemetry = telemetry
             .with_span_sampling(SpanSampling { threshold: SPAN_SAMPLING_THRESHOLD, every });
     }
-    println!("MLPerf submission-round pipeline (Section 4)\n");
+    if let Some(kind) = args.backend {
+        set_default_backend(kind);
+    }
+    println!("MLPerf submission-round pipeline (Section 4)");
+    println!("tensor backend: {}\n", mlperf_tensor::default_backend());
 
     let result = match args.command.as_str() {
         "write" => {

@@ -36,6 +36,7 @@ pub use transformer::TransformerBenchmark;
 
 use crate::harness::Benchmark;
 use crate::suite::BenchmarkId;
+use mlperf_tensor::BackendKind;
 
 /// Builds the default-scale implementation of any suite benchmark.
 pub fn build(id: BenchmarkId) -> Box<dyn Benchmark> {
@@ -53,9 +54,54 @@ pub fn build(id: BenchmarkId) -> Box<dyn Benchmark> {
     }
 }
 
+/// Builds the default-scale implementation pinned to a tensor backend,
+/// independent of the process default (safe under concurrent tests).
+pub fn build_on(id: BenchmarkId, backend: BackendKind) -> Box<dyn Benchmark> {
+    match id {
+        BenchmarkId::ImageClassification => Box::new(ResNetBenchmark::new().with_backend(backend)),
+        BenchmarkId::ObjectDetection => Box::new(SsdBenchmark::new().with_backend(backend)),
+        BenchmarkId::InstanceSegmentation => {
+            Box::new(MaskRcnnBenchmark::new().with_backend(backend))
+        }
+        BenchmarkId::TranslationRecurrent => Box::new(GnmtBenchmark::new().with_backend(backend)),
+        BenchmarkId::TranslationNonRecurrent => {
+            Box::new(TransformerBenchmark::new().with_backend(backend))
+        }
+        BenchmarkId::Recommendation => Box::new(NcfBenchmark::new().with_backend(backend)),
+        BenchmarkId::ReinforcementLearning => {
+            Box::new(MiniGoBenchmark::new().with_backend(backend))
+        }
+        BenchmarkId::LanguageModeling => Box::new(BertBenchmark::new().with_backend(backend)),
+        BenchmarkId::RecommendationDlrm => Box::new(DlrmBenchmark::new().with_backend(backend)),
+        BenchmarkId::SpeechRecognition => Box::new(RnnTBenchmark::new().with_backend(backend)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[ignore = "full convergence runs on both backends; run in the release CI step"]
+    fn blocked_backend_converges_identically() {
+        // The Blocked backend preserves per-element summation order, so
+        // for the (finite) tensors these workloads produce, whole runs
+        // — every weight update, every eval — are bit-identical to
+        // Reference: same quality, same epochs-to-target.
+        use crate::harness::run_benchmark;
+        use crate::timing::RealClock;
+        let clock = RealClock::new();
+        for id in [BenchmarkId::LanguageModeling, BenchmarkId::RecommendationDlrm] {
+            let mut reference = build_on(id, BackendKind::Reference);
+            let mut blocked = build_on(id, BackendKind::Blocked);
+            let r = run_benchmark(reference.as_mut(), 21, &clock);
+            let b = run_benchmark(blocked.as_mut(), 21, &clock);
+            assert!(r.reached_target, "{id}: reference run missed its target");
+            assert!(b.reached_target, "{id}: blocked run missed its target");
+            assert_eq!(r.quality, b.quality, "{id}: converged quality diverged across backends");
+            assert_eq!(r.epochs, b.epochs, "{id}: epochs-to-target diverged across backends");
+        }
+    }
 
     #[test]
     fn build_covers_all_ids() {

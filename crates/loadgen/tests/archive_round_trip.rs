@@ -1,0 +1,75 @@
+//! Regression test: a loadgen scenario round persists through the same
+//! `RoundArchive` as training rounds and re-ingests to an identical
+//! reviewed outcome — scenario entries and all.
+
+use mlperf_core::report::SystemDescription;
+use mlperf_core::suite::BenchmarkId;
+use mlperf_distsim::Round;
+use mlperf_loadgen::{
+    loadgen_bundle, loadgen_reference, loadgen_run_set, simulated_scenario_sweep,
+};
+use mlperf_submission::{run_round, RoundArchive, RoundSubmissions};
+use mlperf_telemetry::Telemetry;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mlperf-loadgen-archive-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scenario_round(seed: u64) -> RoundSubmissions {
+    let mut references = Vec::new();
+    let mut run_sets = Vec::new();
+    for benchmark in [BenchmarkId::Recommendation, BenchmarkId::LanguageModeling] {
+        let results = simulated_scenario_sweep(benchmark, seed, &Telemetry::disabled());
+        let reference = loadgen_reference(benchmark);
+        run_sets.push(loadgen_run_set(&reference, &results));
+        references.push(reference);
+    }
+    let system = SystemDescription {
+        submitter: "SimServe".to_string(),
+        system_name: "SimServe-1".to_string(),
+        accelerators: 1,
+        accelerator_model: "SimChip".to_string(),
+        host_processors: 1,
+        software: "mlperf-loadgen (simulated clock)".to_string(),
+    };
+    let bundle = loadgen_bundle("SimServe", system, run_sets);
+    RoundSubmissions { round: Round::V07, references, bundles: vec![bundle] }
+}
+
+#[test]
+fn archived_scenario_round_reviews_identically_from_disk() {
+    let subs = scenario_round(11);
+    let live = run_round(&subs);
+    assert!(live.quarantined.is_empty(), "live loadgen round failed review");
+    assert!(!live.scenarios.is_empty(), "live review published no scenario entries");
+
+    let root = temp_dir("replay");
+    let archive = RoundArchive::create(&root).expect("create archive");
+    archive.write_round(&subs).expect("persist scenario round");
+
+    // Both the eager and the bounded-memory streaming reader must
+    // reproduce the live review from the archived logs alone.
+    for (label, replay) in [("eager", archive.replay()), ("streaming", archive.replay_streaming())]
+    {
+        let replay = replay.expect("replay archived round");
+        assert!(replay.faults.is_empty(), "{label}: storage faults {:?}", replay.faults);
+        let outcomes = replay.history.outcomes();
+        assert_eq!(outcomes.len(), 1, "{label}: expected exactly the archived round");
+        let replayed = &outcomes[0];
+        assert_eq!(replayed.round, subs.round);
+        assert!(replayed.quarantined.is_empty(), "{label}: archived round was quarantined");
+        assert_eq!(
+            replayed.scenarios, live.scenarios,
+            "{label}: scenario entries diverged across the disk round trip"
+        );
+        assert_eq!(
+            replayed.accepted, live.accepted,
+            "{label}: accepted entries diverged across the disk round trip"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -3,7 +3,7 @@
 
 use crate::{Linear, Module};
 use mlperf_autograd::Var;
-use mlperf_tensor::{Tensor, TensorRng};
+use mlperf_tensor::{BackendKind, Tensor, TensorRng};
 
 /// Multi-head attention with separate query/key/value/output
 /// projections, after Vaswani et al. (2017).
@@ -50,6 +50,19 @@ impl MultiHeadAttention {
         let (b, tq, d) = dims3(query);
         let (_, tk, _) = dims3(key);
         assert_eq!(d, self.model_dim, "attention model-dim mismatch");
+        if query.value().backend() == BackendKind::Blocked {
+            // One fused graph node for everything between the q/k/v
+            // projections and the output projection, bit-identical to
+            // the composition below.
+            let merged = Var::attention_core(
+                &self.wq.forward(query),
+                &self.wk.forward(key),
+                &self.wv.forward(value),
+                mask,
+                self.heads,
+            );
+            return self.wo.forward(&merged);
+        }
         let q = self.split_heads(&self.wq.forward(query), b, tq);
         let k = self.split_heads(&self.wk.forward(key), b, tk);
         let v = self.split_heads(&self.wv.forward(value), b, tk);

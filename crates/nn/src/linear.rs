@@ -48,10 +48,10 @@ impl Linear {
         );
         let lead: usize = shape[..shape.len() - 1].iter().product();
         let flat = x.reshape(&[lead, self.in_features]);
-        let mut y = flat.matmul(&self.weight);
-        if let Some(b) = &self.bias {
-            y = y.add(b);
-        }
+        let y = match &self.bias {
+            Some(b) => flat.matmul_bias(&self.weight, b),
+            None => flat.matmul(&self.weight),
+        };
         let mut out_shape = shape;
         *out_shape.last_mut().expect("rank >= 1") = self.out_features;
         y.reshape(&out_shape)

@@ -3,7 +3,7 @@
 
 use crate::Module;
 use mlperf_autograd::Var;
-use mlperf_tensor::Tensor;
+use mlperf_tensor::{BackendKind, Tensor};
 use std::cell::RefCell;
 
 /// Batch normalization over the channel dimension of NCHW inputs, with
@@ -127,6 +127,11 @@ impl LayerNorm {
 
     /// Normalizes the last axis of `x`.
     ///
+    /// On the `Blocked` backend this runs as a single fused graph node
+    /// (bit-identical to the composition below — see
+    /// `mlperf-autograd`'s fused module); the `Reference` backend keeps
+    /// the primitive-op composition.
+    ///
     /// # Panics
     ///
     /// Panics if the trailing dimension differs from `dim`.
@@ -138,6 +143,9 @@ impl LayerNorm {
             "layer norm expects trailing dim {}, got {}",
             self.dim, shape[last_axis]
         );
+        if x.value().backend() == BackendKind::Blocked {
+            return x.layer_norm_fused(&self.gamma, &self.beta, self.eps);
+        }
         let mean = x.mean_axis(last_axis, true);
         let centered = x.sub(&mean);
         let var = centered.square().mean_axis(last_axis, true);

@@ -1,0 +1,269 @@
+//! A scoped worker pool with an atomic work cursor.
+//!
+//! This is the one pool idiom the whole workspace shares: `N` scoped
+//! threads (one per available core, capped at the item count) pull work
+//! items off a shared [`AtomicUsize`] cursor, so cheap items never wait
+//! behind an unlucky static partition. It was born in the submission
+//! ingest pipeline (`mlperf-submission`) and is now also the outer loop
+//! of the `Blocked` tensor backend (`mlperf-tensor`), which is why it
+//! lives at the bottom of the dependency graph with no dependencies of
+//! its own.
+//!
+//! Two families of entry points:
+//!
+//! - [`parallel_map`] / [`parallel_map_workers`] apply a function to
+//!   every item of a slice and return the results in item order. The
+//!   `_workers` variant threads explicit per-worker state through
+//!   (created on the worker, torn down with the worker's claimed-item
+//!   count), which is how the ingest pipeline hangs telemetry scopes
+//!   and histograms off the pool without this crate knowing what
+//!   telemetry is.
+//! - [`parallel_chunks_mut`] / [`parallel_chunks_mut_with`] split one
+//!   mutable buffer into disjoint chunks and process each chunk on the
+//!   pool — the shape tensor kernels want, where workers write disjoint
+//!   slices of a shared output buffer.
+//!
+//! On a single-core host (or for a single item/chunk) every entry point
+//! degrades to an inline serial loop on the calling thread: no threads
+//! are spawned, so using the pool never costs anything when there is no
+//! parallelism to be had.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Number of pool workers for `items` work items: one per available
+/// core, capped at the item count, and at least one.
+pub fn workers_for(items: usize) -> usize {
+    thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1).min(items).max(1)
+}
+
+/// Applies `f` to every item on the pool and returns the results in
+/// item order.
+///
+/// The uninstrumented convenience over [`parallel_map_workers`]: no
+/// per-worker state, the body sees only the item.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_workers(items, || (), |(), _, item| f(item), |(), _| ())
+}
+
+/// The fully general pool map: applies `f` to every item and returns
+/// the results in item order, threading explicit per-worker state
+/// through.
+///
+/// Each worker calls `init` once when it starts, passes the state to
+/// every `f(state, index, item)` call for the items it claims, and
+/// finally calls `done(state, claimed)` with how many items it claimed
+/// — the hook instrumented callers use for per-worker histograms.
+///
+/// With one worker (single core, or a single item) everything runs
+/// inline on the calling thread.
+///
+/// # Panics
+///
+/// A panic in `f` on a worker thread propagates to the caller once the
+/// scope joins; callers that must survive faulty items should catch
+/// panics inside `f` (as the submission ingest pipeline does).
+pub fn parallel_map_workers<T, R, S, I, F, D>(items: &[T], init: I, f: F, done: D) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    D: Fn(S, u64) + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers_for(items.len());
+    if workers == 1 {
+        let mut state = init();
+        let out = items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
+        done(state, items.len() as u64);
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, init, f, done) = (&next, &init, &f, &done);
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    let mut claimed = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        claimed += 1;
+                        out.push((i, f(&mut state, i, &items[i])));
+                    }
+                    done(state, claimed);
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("pool worker panicked")).collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `data` into chunks of `chunk_len` elements (the last chunk
+/// may be shorter) and runs `f(chunk_index, chunk)` for each on the
+/// pool. Chunks are disjoint, so workers mutate them without
+/// synchronization.
+pub fn parallel_chunks_mut<E, F>(data: &mut [E], chunk_len: usize, f: F)
+where
+    E: Send,
+    F: Fn(usize, &mut [E]) + Sync,
+{
+    parallel_chunks_mut_with(data, chunk_len, || (), |(), i, chunk| f(i, chunk));
+}
+
+/// [`parallel_chunks_mut`] with per-worker scratch state: each worker
+/// calls `init` once and passes the state to every chunk it claims.
+/// Tensor kernels use this to reuse one scratch buffer (an im2col
+/// lowering, a packed GEMM panel) across all the chunks a worker
+/// processes instead of allocating per chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero (with non-empty data); a panic in `f`
+/// propagates to the caller.
+pub fn parallel_chunks_mut_with<E, S, I, F>(data: &mut [E], chunk_len: usize, init: I, f: F)
+where
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [E]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = workers_for(n_chunks);
+    if workers == 1 {
+        let mut state = init();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(&mut state, i, chunk);
+        }
+        return;
+    }
+    // Hand each chunk to exactly one worker through a take-once slot;
+    // the mutex is uncontended (each slot is locked once) and keeps the
+    // distribution safe without unsafe pointer arithmetic.
+    let chunks: Vec<Mutex<Option<&mut [E]>>> =
+        data.chunks_mut(chunk_len).map(|c| Mutex::new(Some(c))).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let (next, chunks, init, f) = (&next, &chunks, &init, &f);
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let chunk = chunks[i]
+                        .lock()
+                        .expect("chunk slot poisoned")
+                        .take()
+                        .expect("chunk claimed twice");
+                    f(&mut state, i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = parallel_map(&items, |i| i * 2);
+        assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        assert!(parallel_map::<usize, usize, _>(&[], |i| *i).is_empty());
+    }
+
+    #[test]
+    fn workers_state_counts_every_item() {
+        let items: Vec<u64> = (0..100).collect();
+        let total_claimed = AtomicU64::new(0);
+        let inits = AtomicU64::new(0);
+        let sums: Vec<u64> = parallel_map_workers(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |state, i, item| {
+                *state += 1;
+                item + i as u64
+            },
+            |_, claimed| {
+                total_claimed.fetch_add(claimed, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(sums, (0..100).map(|i| 2 * i).collect::<Vec<u64>>());
+        assert_eq!(total_claimed.load(Ordering::Relaxed), 100);
+        let inits = inits.load(Ordering::Relaxed);
+        assert!(inits >= 1 && inits <= workers_for(100) as u64);
+    }
+
+    #[test]
+    fn chunks_mut_covers_whole_buffer() {
+        let mut data = vec![0u32; 1000];
+        parallel_chunks_mut(&mut data, 7, |i, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 7 + off) as u32;
+            }
+        });
+        assert_eq!(data, (0..1000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn chunks_mut_with_reuses_worker_scratch() {
+        let mut data = vec![1.0f32; 64];
+        parallel_chunks_mut_with(
+            &mut data,
+            16,
+            || vec![2.0f32; 16],
+            |scratch, _, chunk| {
+                for (v, s) in chunk.iter_mut().zip(scratch.iter()) {
+                    *v *= s;
+                }
+            },
+        );
+        assert_eq!(data, vec![2.0f32; 64]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        parallel_chunks_mut::<u8, _>(&mut [], 4, |_, _| panic!("no chunks expected"));
+        let mut one = [5u8];
+        parallel_chunks_mut(&mut one, 100, |i, chunk| {
+            assert_eq!(i, 0);
+            chunk[0] += 1;
+        });
+        assert_eq!(one, [6]);
+    }
+
+    #[test]
+    fn workers_for_bounds() {
+        assert_eq!(workers_for(0), 1);
+        assert_eq!(workers_for(1), 1);
+        assert!(workers_for(1_000_000) >= 1);
+    }
+}

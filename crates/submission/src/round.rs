@@ -19,8 +19,6 @@ use mlperf_distsim::Round;
 use mlperf_telemetry::{arg, Gauge, Histogram, SpanId, SpanScope, Telemetry};
 use serde_json::{json, Map};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::thread;
 
 /// Everything a round ingests: the round label, the per-benchmark
 /// references review validates against, and the submitted bundles.
@@ -122,12 +120,10 @@ impl RoundOutcome {
     }
 }
 
-/// Applies `f` to every item on a scoped worker pool (one worker per
-/// available core, capped at the item count) and returns the results
-/// in item order. The pool is a shared atomic cursor, so cheap items
-/// never wait behind an unlucky static partition. The uninstrumented
-/// convenience over [`parallel_map_with`]; production callers thread a
-/// telemetry handle through instead.
+/// Applies `f` to every item on the shared scoped worker pool
+/// ([`mlperf_pool`]) and returns the results in item order. The
+/// uninstrumented convenience over [`parallel_map_with`]; production
+/// callers thread a telemetry handle through instead.
 #[cfg(test)]
 pub(crate) fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -172,6 +168,11 @@ where
 /// The streaming ingest uses this to thin per-log spans by the round's
 /// *cumulative* bundle count — each per-bundle stage is far too small
 /// to ever cross the stage-size threshold on its own.
+///
+/// The pool itself is [`mlperf_pool::parallel_map_workers`] (this
+/// module is where the idiom originated before it was hoisted); the
+/// per-worker state hook carries each worker's telemetry span scope,
+/// and the teardown hook feeds the claimed-item histogram.
 pub(crate) fn parallel_map_sampled<T, R, F>(
     items: &[T],
     f: F,
@@ -188,11 +189,6 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let workers = thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len())
-        .max(1);
     let (pool_gauge, per_worker) = if telemetry.is_enabled() {
         (
             telemetry.gauge(&format!("ingest.{name}.workers")),
@@ -202,45 +198,23 @@ where
     } else {
         (Gauge::disabled(), Histogram::disabled())
     };
-    pool_gauge.set(workers as u64);
+    pool_gauge.set(mlperf_pool::workers_for(items.len()) as u64);
 
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let per_worker = per_worker.clone();
-                let (next, f) = (&next, &f);
-                scope.spawn(move || {
-                    let mut span_scope = telemetry.timeline_scope_under(parent);
-                    let mut out = Vec::new();
-                    let mut claimed = 0u64;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        claimed += 1;
-                        let span = (stride != 0 && i % stride == 0).then(|| {
-                            span_scope
-                                .start_with("ingest", name, || Map::from([arg("item", json!(i))]))
-                        });
-                        out.push((i, f(&items[i])));
-                        if let Some(span) = span {
-                            span_scope.end(span);
-                        }
-                    }
-                    per_worker.observe(claimed as f64);
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("workers contain panics via catch_unwind in f"))
-            .collect()
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    mlperf_pool::parallel_map_workers(
+        items,
+        || telemetry.timeline_scope_under(parent),
+        |span_scope, i, item| {
+            let span = (stride != 0 && i % stride == 0).then(|| {
+                span_scope.start_with("ingest", name, || Map::from([arg("item", json!(i))]))
+            });
+            let out = f(item);
+            if let Some(span) = span {
+                span_scope.end(span);
+            }
+            out
+        },
+        |_, claimed| per_worker.observe(claimed as f64),
+    )
 }
 
 /// Runs review over every bundle and publishes the outcome. Log

@@ -1,0 +1,1085 @@
+//! Execution backends: who actually runs the matmul/bmm/conv and fused
+//! map-reduce kernels.
+//!
+//! The [`Backend`] trait owns kernel execution, in the style of
+//! autograph's `Device`-parameterized tensors and dfdx's split between
+//! op definition and op registration: [`Tensor`](crate::Tensor) methods
+//! validate shapes and allocate outputs, then dispatch the inner loops
+//! to the backend both operands resolve to.
+//!
+//! Two backends exist:
+//!
+//! - [`BackendKind::Reference`] is the original scalar code of this
+//!   crate, extracted verbatim. It is the semantic baseline: every
+//!   convergence result in the workspace is defined by this backend,
+//!   and it must never change numerically.
+//! - [`BackendKind::Blocked`] adds register-tiled and cache-blocked
+//!   GEMM kernels, fused transposed-GEMM variants (so backward passes
+//!   skip materializing `Aᵀ`/`Bᵀ` copies), buffer-reusing convolution,
+//!   and a multithreaded outer loop on the shared scoped worker pool
+//!   (`mlperf-pool`, the same pool the submission ingest uses).
+//!
+//! # Numerical contract
+//!
+//! `Blocked` preserves the *per-output-element summation order* of
+//! `Reference` in every kernel: each output element accumulates its
+//! `k` products in ascending-`k` order into an accumulator that starts
+//! at `+0.0`, exactly like the reference `ikj` loop. Tiling changes
+//! which elements are computed near each other in time, never the
+//! order of additions within one element, so for finite inputs the two
+//! backends are **bit-identical**. The only divergence is non-finite
+//! propagation: the reference GEMM skips `a` values that equal zero
+//! (so `0 × ∞` never happens), while the blocked kernels multiply
+//! through (yielding `NaN`); this is unobservable for finite data.
+//!
+//! # Selection
+//!
+//! Every tensor carries a [`BackendKind`] tag. Freshly constructed
+//! tensors take the process-global default (see
+//! [`set_default_backend`]); binary operations resolve to
+//! [`BackendKind::join`] of their operands, so a model whose weights
+//! were initialized on `Blocked` pulls the whole training step onto
+//! `Blocked` without any per-callsite changes — activations, gradients
+//! and optimizer state inherit the tag through the ops that produce
+//! them.
+
+use crate::conv::{col2im_one, im2col_into, im2col_one, nchw, Conv2dSpec};
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which execution backend a tensor's kernels run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum BackendKind {
+    /// The original scalar kernels, verbatim — the numerical baseline.
+    Reference = 0,
+    /// Register-tiled, cache-blocked, pool-parallel kernels that are
+    /// bit-identical to [`BackendKind::Reference`] on finite inputs.
+    Blocked = 1,
+}
+
+impl BackendKind {
+    /// Every backend, for parity sweeps.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Reference, BackendKind::Blocked];
+
+    /// The implementation behind this kind.
+    pub fn imp(self) -> &'static dyn Backend {
+        match self {
+            BackendKind::Reference => &Reference,
+            BackendKind::Blocked => &Blocked,
+        }
+    }
+
+    /// Stable lower-case label (`"reference"` / `"blocked"`), also
+    /// accepted by [`BackendKind::parse`] — the CLI `--backend` flag
+    /// round-trips through these.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Reference => "reference",
+            BackendKind::Blocked => "blocked",
+        }
+    }
+
+    /// Parses a [`BackendKind::label`]; `None` for anything else.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "reference" => Some(BackendKind::Reference),
+            "blocked" => Some(BackendKind::Blocked),
+            _ => None,
+        }
+    }
+
+    /// Backend a binary op resolves to: `Blocked` wins, so a single
+    /// `Blocked` operand (typically the model weights) is infectious.
+    pub fn join(self, other: BackendKind) -> BackendKind {
+        if self == BackendKind::Blocked || other == BackendKind::Blocked {
+            BackendKind::Blocked
+        } else {
+            BackendKind::Reference
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Process-global default backend for freshly constructed tensors.
+/// Global (not thread-local) because the harness fans seeds out across
+/// OS threads and all of them must honor one selection.
+static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(BackendKind::Reference as u8);
+
+/// Sets the backend newly constructed tensors (and [`crate::TensorRng`]
+/// streams) default to. The CLI `--backend` flag calls this once at
+/// startup; tests that need a specific backend on one tensor should
+/// prefer [`Tensor::on`], which cannot race with other tests in the
+/// same process.
+pub fn set_default_backend(kind: BackendKind) {
+    DEFAULT_BACKEND.store(kind as u8, Ordering::Relaxed);
+}
+
+/// The current process-global default backend.
+pub fn default_backend() -> BackendKind {
+    if DEFAULT_BACKEND.load(Ordering::Relaxed) == BackendKind::Blocked as u8 {
+        BackendKind::Blocked
+    } else {
+        BackendKind::Reference
+    }
+}
+
+/// Kernel executor: the inner loops of matrix multiplication,
+/// convolution, and the fused row-wise map-reduce ops.
+///
+/// All GEMM-family methods assume `out` is zero-filled (callers
+/// allocate with `vec![0.0; ..]`) and may either accumulate into it or
+/// overwrite it — the two are indistinguishable under that contract.
+pub trait Backend: Sync {
+    /// The backend's [`BackendKind::label`].
+    fn name(&self) -> &'static str;
+
+    /// `out += a[m,k] · b[k,n]`, `out` pre-zeroed.
+    fn gemm(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// `out = a[m,k] · b[n,k]ᵀ` (`b` row-major `[n, k]`), `out`
+    /// pre-zeroed. The backward-pass form `grad · Bᵀ` without the
+    /// transpose copy.
+    fn gemm_abt(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// `out = a[k,m]ᵀ · b[k,n]` (`a` row-major `[k, m]`), `out`
+    /// pre-zeroed. The backward-pass form `Aᵀ · grad` without the
+    /// transpose copy.
+    fn gemm_atb(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// Batched [`Backend::gemm`] over `batch` independent problems.
+    #[allow(clippy::too_many_arguments)]
+    fn bmm(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Batched [`Backend::gemm_abt`].
+    #[allow(clippy::too_many_arguments)]
+    fn bmm_abt(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Batched [`Backend::gemm_atb`].
+    #[allow(clippy::too_many_arguments)]
+    fn bmm_atb(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Fused `out = a[m,k] · b[k,n] + bias[n]` (bias broadcast over
+    /// rows), `out` pre-zeroed. One pass and zero intermediate
+    /// allocations where `matmul` + broadcast-add needed two.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_bias(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Full conv2d forward (`input` NCHW, `weight` `[oc, c, k, k]`).
+    fn conv2d(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+    ) -> Tensor;
+
+    /// Full conv2d backward: `(grad_input, grad_weight, grad_bias)`.
+    fn conv2d_backward(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        spec: Conv2dSpec,
+    ) -> (Tensor, Tensor, Tensor);
+
+    /// Row-wise fused softmax: `rows` rows of `inner` elements.
+    fn softmax_rows(&self, src: &[f32], out: &mut [f32], rows: usize, inner: usize);
+
+    /// Row-wise fused log-softmax.
+    fn log_softmax_rows(&self, src: &[f32], out: &mut [f32], rows: usize, inner: usize);
+
+    /// Axis sum: `src` viewed as `[outer, extent, inner]`, reduced over
+    /// `extent` into `out` of `outer * inner` zeros.
+    fn sum_axis(&self, src: &[f32], out: &mut [f32], outer: usize, extent: usize, inner: usize);
+}
+
+// ---------------------------------------------------------------------
+// Reference backend: the original scalar kernels, verbatim.
+// ---------------------------------------------------------------------
+
+/// The original scalar kernels of this crate, extracted verbatim.
+pub struct Reference;
+
+/// The reference accumulating GEMM kernel, exactly as it was before
+/// backends existed: i-k-j loop order with a zero-skip on `a`.
+pub(crate) fn reference_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            let orow = &mut out[i * n..i * n + n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The reference 2-D transpose loop (as in `Tensor::transpose`),
+/// operating on raw buffers so the reference transposed-GEMM variants
+/// compose it with [`reference_gemm`] exactly like the pre-backend
+/// call sites did.
+fn reference_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            out[j * rows + i] = src[i * cols + j];
+        }
+    }
+    out
+}
+
+impl Backend for Reference {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn gemm(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        reference_gemm(a, b, out, m, k, n);
+    }
+
+    fn gemm_abt(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        // Verbatim composition of the pre-backend call sites:
+        // `a.matmul(&b.transpose())`.
+        let bt = reference_transpose(b, n, k); // [n,k] -> [k,n]
+        reference_gemm(a, &bt, out, m, k, n);
+    }
+
+    fn gemm_atb(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        // Verbatim composition of `a.transpose().matmul(b)`.
+        let at = reference_transpose(a, k, m); // [k,m] -> [m,k]
+        reference_gemm(&at, b, out, m, k, n);
+    }
+
+    fn bmm(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for bi in 0..batch {
+            reference_gemm(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * k * n..(bi + 1) * k * n],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+
+    fn bmm_abt(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for bi in 0..batch {
+            self.gemm_abt(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * n * k..(bi + 1) * n * k],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+
+    fn bmm_atb(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for bi in 0..batch {
+            self.gemm_atb(
+                &a[bi * k * m..(bi + 1) * k * m],
+                &b[bi * k * n..(bi + 1) * k * n],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+
+    fn gemm_bias(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        reference_gemm(a, b, out, m, k, n);
+        for i in 0..m {
+            for (o, &bv) in out[i * n..i * n + n].iter_mut().zip(bias.iter()) {
+                *o += bv;
+            }
+        }
+    }
+
+    fn conv2d(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+    ) -> Tensor {
+        let (n, c, h, w) = nchw(input);
+        let ws = weight.shape();
+        assert_eq!(ws.len(), 4, "conv2d weight must be 4-D, got {:?}", ws);
+        let (oc, wc, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        assert_eq!(wc, c, "conv2d channel mismatch: input {c}, weight {wc}");
+        assert_eq!(kh, spec.kernel, "weight kernel height disagrees with spec");
+        assert_eq!(kw, spec.kernel, "weight kernel width disagrees with spec");
+        let oh = spec.out_extent(h);
+        let ow = spec.out_extent(w);
+        let wmat = weight.reshape(&[oc, c * kh * kw]);
+        let mut out = Vec::with_capacity(n * oc * oh * ow);
+        for ni in 0..n {
+            let cols = im2col_one(input, ni, spec, oh, ow);
+            let mut prod = vec![0.0f32; oc * oh * ow];
+            reference_gemm(wmat.data(), cols.data(), &mut prod, oc, c * kh * kw, oh * ow);
+            out.extend_from_slice(&prod);
+        }
+        let mut out = Tensor::from_vec(out, &[n, oc, oh, ow]);
+        if let Some(b) = bias {
+            assert_eq!(b.shape(), &[oc], "conv2d bias must be [{oc}]");
+            let data = out.data_mut();
+            for ni in 0..n {
+                for o in 0..oc {
+                    let bv = b.data()[o];
+                    let base = (ni * oc + o) * oh * ow;
+                    for v in &mut data[base..base + oh * ow] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn conv2d_backward(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        spec: Conv2dSpec,
+    ) -> (Tensor, Tensor, Tensor) {
+        let (n, c, h, w) = nchw(input);
+        let ws = weight.shape();
+        let (oc, _, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        let oh = spec.out_extent(h);
+        let ow = spec.out_extent(w);
+        assert_eq!(
+            grad_out.shape(),
+            &[n, oc, oh, ow],
+            "grad_out shape mismatch in conv2d_backward"
+        );
+        let wmat = weight.reshape(&[oc, c * kh * kw]);
+        let wmat_t = wmat.transpose(); // [c*kh*kw, oc]
+        let mut grad_w = Tensor::zeros(&[oc, c * kh * kw]);
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let mut grad_b = Tensor::zeros(&[oc]);
+        for ni in 0..n {
+            let go = grad_out.narrow(0, ni, 1).reshape(&[oc, oh * ow]);
+            let cols = im2col_one(input, ni, spec, oh, ow); // [c*kh*kw, oh*ow]
+            grad_w.axpy(1.0, &{
+                let mut prod = vec![0.0f32; oc * c * kh * kw];
+                let cols_t = reference_transpose(cols.data(), c * kh * kw, oh * ow);
+                reference_gemm(go.data(), &cols_t, &mut prod, oc, oh * ow, c * kh * kw);
+                Tensor::from_vec(prod, &[oc, c * kh * kw])
+            });
+            let mut dcols = vec![0.0f32; c * kh * kw * oh * ow];
+            reference_gemm(wmat_t.data(), go.data(), &mut dcols, c * kh * kw, oc, oh * ow);
+            let dcols = Tensor::from_vec(dcols, &[c * kh * kw, oh * ow]);
+            col2im_one(&dcols, &mut grad_in, ni, c, h, w, spec, oh, ow);
+            for o in 0..oc {
+                let s: f32 = go.data()[o * oh * ow..(o + 1) * oh * ow].iter().sum();
+                grad_b.data_mut()[o] += s;
+            }
+        }
+        (grad_in, grad_w.reshape(&[oc, c, kh, kw]), grad_b)
+    }
+
+    fn softmax_rows(&self, src: &[f32], out: &mut [f32], rows: usize, inner: usize) {
+        for r in 0..rows {
+            let row = &src[r * inner..(r + 1) * inner];
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut z = 0.0;
+            for (i, &v) in row.iter().enumerate() {
+                let e = (v - m).exp();
+                out[r * inner + i] = e;
+                z += e;
+            }
+            for slot in &mut out[r * inner..(r + 1) * inner] {
+                *slot /= z;
+            }
+        }
+    }
+
+    fn log_softmax_rows(&self, src: &[f32], out: &mut [f32], rows: usize, inner: usize) {
+        for r in 0..rows {
+            let row = &src[r * inner..(r + 1) * inner];
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for (i, &v) in row.iter().enumerate() {
+                out[r * inner + i] = v - lse;
+            }
+        }
+    }
+
+    fn sum_axis(&self, src: &[f32], out: &mut [f32], outer: usize, extent: usize, inner: usize) {
+        for o in 0..outer {
+            for e in 0..extent {
+                let base = (o * extent + e) * inner;
+                for i in 0..inner {
+                    out[o * inner + i] += src[base + i];
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocked backend: register-tiled, cache-blocked, pool-parallel.
+// ---------------------------------------------------------------------
+
+/// Register-tiled, cache-blocked kernels with a pooled outer loop.
+pub struct Blocked;
+
+/// Microkernel tile height (rows of `a` held in registers).
+const MR: usize = 4;
+/// Microkernel tile width (columns of `b` held in registers).
+const NR: usize = 16;
+/// Use the direct (unpacked) kernel while `b` fits in L1; above this,
+/// pack `b` into `k × NR` panels first.
+const PACK_B_ABOVE: usize = 8 * 1024;
+/// Rows of `a` below which packing cannot amortize: each packed panel
+/// is streamed only `m / MR` times before being rebuilt.
+const PACK_MIN_M: usize = 32;
+/// Minimum multiply-add count before a kernel fans out on the worker
+/// pool; below this the pool overhead dwarfs the work.
+const PARALLEL_MIN_FLOPS: usize = 1 << 18;
+
+/// Serial blocked GEMM: register-tiled microkernel, packing `b` into
+/// L1-resident panels when it is large. Per output element the `k`
+/// products accumulate in ascending order from `+0.0`, matching the
+/// reference kernel bit-for-bit on finite inputs.
+///
+/// Outputs narrower than one `NR` tile never fill a register tile, so
+/// they dispatch to the reference row kernel instead — bit-identical
+/// (the reference zero-skip can never flip an accumulator bit on
+/// finite inputs, because an accumulator seeded at `+0.0` can never
+/// become `-0.0`), and faster than the tile remainder path.
+fn blocked_gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if n < NR {
+        reference_gemm(a, b, out, m, k, n);
+    } else if k * n <= PACK_B_ABOVE || m < PACK_MIN_M {
+        blocked_gemm_direct(a, b, out, m, k, n);
+    } else {
+        blocked_gemm_packed(a, b, out, m, k, n);
+    }
+}
+
+/// Direct microkernel: `MR × NR` register tiles over the full `k`
+/// extent, reading `b` rows in place.
+fn blocked_gemm_direct(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let brow = &b[kk * n + j..kk * n + j + NR];
+                for r in 0..MR {
+                    let av = a[(i + r) * k + kk];
+                    let accr = &mut acc[r];
+                    for c in 0..NR {
+                        accr[c] += av * brow[c];
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+        if j < n {
+            let w = n - j;
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let brow = &b[kk * n + j..kk * n + j + w];
+                for r in 0..MR {
+                    let av = a[(i + r) * k + kk];
+                    for (c, &bv) in brow.iter().enumerate() {
+                        acc[r][c] += av * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + n].copy_from_slice(&accr[..w]);
+            }
+        }
+        i += MR;
+    }
+    for r in i..m {
+        blocked_row_times_matrix(&a[r * k..(r + 1) * k], b, &mut out[r * n..(r + 1) * n], n);
+    }
+}
+
+/// One output row: `orow = arow · b`, `NR`-tiled.
+fn blocked_row_times_matrix(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize) {
+    let mut j = 0;
+    while j < n {
+        let w = NR.min(n - j);
+        let mut acc = [0.0f32; NR];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n + j..kk * n + j + w];
+            for (c, &bv) in brow.iter().enumerate() {
+                acc[c] += av * bv;
+            }
+        }
+        orow[j..j + w].copy_from_slice(&acc[..w]);
+        j += NR;
+    }
+}
+
+/// Packed-panel GEMM for large `b`: each `k × NR` column panel of `b`
+/// is copied contiguous once, then streamed through the register
+/// microkernel for every row block — turning the strided `b` accesses
+/// of the direct kernel into sequential L1 reads.
+fn blocked_gemm_packed(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut panel = vec![0.0f32; k * NR];
+    let mut j = 0;
+    while j < n {
+        let w = NR.min(n - j);
+        for kk in 0..k {
+            panel[kk * NR..kk * NR + w].copy_from_slice(&b[kk * n + j..kk * n + j + w]);
+            panel[kk * NR + w..(kk + 1) * NR].fill(0.0);
+        }
+        let mut i = 0;
+        while i + MR <= m {
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let bv = &panel[kk * NR..(kk + 1) * NR];
+                for r in 0..MR {
+                    let av = a[(i + r) * k + kk];
+                    let accr = &mut acc[r];
+                    for c in 0..NR {
+                        accr[c] += av * bv[c];
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + w].copy_from_slice(&accr[..w]);
+            }
+            i += MR;
+        }
+        for r in i..m {
+            let mut acc = [0.0f32; NR];
+            for kk in 0..k {
+                let av = a[r * k + kk];
+                let bv = &panel[kk * NR..(kk + 1) * NR];
+                for c in 0..NR {
+                    acc[c] += av * bv[c];
+                }
+            }
+            out[r * n + j..r * n + j + w].copy_from_slice(&acc[..w]);
+        }
+        j += NR;
+    }
+}
+
+/// `out = a[m,k] · b[n,k]ᵀ`: packs `bᵀ` into a scratch buffer, then
+/// runs the dispatching GEMM core. A strided no-copy tile kernel was
+/// tried first and lost on every training shape — reading `b` with
+/// stride `k` defeats vectorization, while the transpose costs one
+/// linear pass. Accumulation stays ascending-`kk`, so the result is
+/// bit-identical to the reference transpose-then-GEMM.
+fn blocked_gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut bt = vec![0.0f32; k * n];
+    for j in 0..n {
+        for (kk, &v) in b[j * k..(j + 1) * k].iter().enumerate() {
+            bt[kk * n + j] = v;
+        }
+    }
+    blocked_gemm_serial(a, &bt, out, m, k, n);
+}
+
+/// `out = a[k,m]ᵀ · b[k,n]`: packs `aᵀ` into a scratch buffer, then
+/// runs the dispatching GEMM core (same rationale and bit-identity
+/// argument as [`blocked_gemm_abt`]).
+fn blocked_gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut at = vec![0.0f32; m * k];
+    for kk in 0..k {
+        for (i, &v) in a[kk * m..(kk + 1) * m].iter().enumerate() {
+            at[i * k + kk] = v;
+        }
+    }
+    blocked_gemm_serial(&at, b, out, m, k, n);
+}
+
+impl Backend for Blocked {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn gemm(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let row_blocks = m.div_ceil(MR);
+        if 2 * m * k * n >= PARALLEL_MIN_FLOPS && mlperf_pool::workers_for(row_blocks) > 1 {
+            // Fan row blocks out on the pool: each worker computes a
+            // disjoint band of output rows, so results are identical
+            // to the serial kernel.
+            let workers = mlperf_pool::workers_for(row_blocks);
+            let rows_per = m.div_ceil(workers).next_multiple_of(MR);
+            mlperf_pool::parallel_chunks_mut(out, rows_per * n, |blk, chunk| {
+                let i0 = blk * rows_per;
+                let rows = chunk.len() / n;
+                blocked_gemm_serial(&a[i0 * k..(i0 + rows) * k], b, chunk, rows, k, n);
+            });
+        } else {
+            blocked_gemm_serial(a, b, out, m, k, n);
+        }
+    }
+
+    fn gemm_abt(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        blocked_gemm_abt(a, b, out, m, k, n);
+    }
+
+    fn gemm_atb(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        blocked_gemm_atb(a, b, out, m, k, n);
+    }
+
+    fn bmm(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if 2 * batch * m * k * n >= PARALLEL_MIN_FLOPS && mlperf_pool::workers_for(batch) > 1 {
+            mlperf_pool::parallel_chunks_mut(out, m * n, |bi, chunk| {
+                blocked_gemm_serial(
+                    &a[bi * m * k..(bi + 1) * m * k],
+                    &b[bi * k * n..(bi + 1) * k * n],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            for bi in 0..batch {
+                blocked_gemm_serial(
+                    &a[bi * m * k..(bi + 1) * m * k],
+                    &b[bi * k * n..(bi + 1) * k * n],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+    }
+
+    fn bmm_abt(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if 2 * batch * m * k * n >= PARALLEL_MIN_FLOPS && mlperf_pool::workers_for(batch) > 1 {
+            mlperf_pool::parallel_chunks_mut(out, m * n, |bi, chunk| {
+                blocked_gemm_abt(
+                    &a[bi * m * k..(bi + 1) * m * k],
+                    &b[bi * n * k..(bi + 1) * n * k],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            for bi in 0..batch {
+                blocked_gemm_abt(
+                    &a[bi * m * k..(bi + 1) * m * k],
+                    &b[bi * n * k..(bi + 1) * n * k],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+    }
+
+    fn bmm_atb(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        batch: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if 2 * batch * m * k * n >= PARALLEL_MIN_FLOPS && mlperf_pool::workers_for(batch) > 1 {
+            mlperf_pool::parallel_chunks_mut(out, m * n, |bi, chunk| {
+                blocked_gemm_atb(
+                    &a[bi * k * m..(bi + 1) * k * m],
+                    &b[bi * k * n..(bi + 1) * k * n],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            for bi in 0..batch {
+                blocked_gemm_atb(
+                    &a[bi * k * m..(bi + 1) * k * m],
+                    &b[bi * k * n..(bi + 1) * k * n],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+    }
+
+    fn gemm_bias(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.gemm(a, b, out, m, k, n);
+        for i in 0..m {
+            for (o, &bv) in out[i * n..i * n + n].iter_mut().zip(bias.iter()) {
+                *o += bv;
+            }
+        }
+    }
+
+    fn conv2d(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+    ) -> Tensor {
+        let (n, c, h, w) = nchw(input);
+        let ws = weight.shape();
+        assert_eq!(ws.len(), 4, "conv2d weight must be 4-D, got {:?}", ws);
+        let (oc, wc, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        assert_eq!(wc, c, "conv2d channel mismatch: input {c}, weight {wc}");
+        assert_eq!(kh, spec.kernel, "weight kernel height disagrees with spec");
+        assert_eq!(kw, spec.kernel, "weight kernel width disagrees with spec");
+        if let Some(b) = bias {
+            assert_eq!(b.shape(), &[oc], "conv2d bias must be [{oc}]");
+        }
+        let oh = spec.out_extent(h);
+        let ow = spec.out_extent(w);
+        let (ckk, ohow) = (c * kh * kw, oh * ow);
+        let wmat = weight.reshape(&[oc, ckk]);
+        let mut out = vec![0.0f32; n * oc * ohow];
+        // One sample per chunk; each worker reuses one im2col scratch
+        // buffer across all the samples it claims.
+        mlperf_pool::parallel_chunks_mut_with(
+            &mut out,
+            oc * ohow,
+            || vec![0.0f32; ckk * ohow],
+            |cols, ni, chunk| {
+                im2col_into(input, ni, spec, oh, ow, cols);
+                blocked_gemm_serial(wmat.data(), cols, chunk, oc, ckk, ohow);
+                if let Some(b) = bias {
+                    for o in 0..oc {
+                        let bv = b.data()[o];
+                        for v in &mut chunk[o * ohow..(o + 1) * ohow] {
+                            *v += bv;
+                        }
+                    }
+                }
+            },
+        );
+        Tensor::from_vec(out, &[n, oc, oh, ow])
+    }
+
+    fn conv2d_backward(
+        &self,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        spec: Conv2dSpec,
+    ) -> (Tensor, Tensor, Tensor) {
+        let (n, c, h, w) = nchw(input);
+        let ws = weight.shape();
+        let (oc, _, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        let oh = spec.out_extent(h);
+        let ow = spec.out_extent(w);
+        assert_eq!(
+            grad_out.shape(),
+            &[n, oc, oh, ow],
+            "grad_out shape mismatch in conv2d_backward"
+        );
+        let (ckk, ohow) = (c * kh * kw, oh * ow);
+        let wmat = weight.reshape(&[oc, ckk]);
+        let mut grad_w = Tensor::zeros(&[oc, ckk]);
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let mut grad_b = Tensor::zeros(&[oc]);
+        // Serial over samples — the per-sample `grad_w` accumulation
+        // order is part of the numerical contract — but with all four
+        // scratch buffers reused and both transposes fused away.
+        let mut cols = vec![0.0f32; ckk * ohow];
+        let mut gw = vec![0.0f32; oc * ckk];
+        let mut dcols = Tensor::zeros(&[ckk, ohow]);
+        for ni in 0..n {
+            let go = &grad_out.data()[ni * oc * ohow..(ni + 1) * oc * ohow];
+            im2col_into(input, ni, spec, oh, ow, &mut cols);
+            gw.fill(0.0);
+            blocked_gemm_abt(go, &cols, &mut gw, oc, ohow, ckk);
+            for (acc, &g) in grad_w.data_mut().iter_mut().zip(gw.iter()) {
+                *acc += g;
+            }
+            dcols.data_mut().fill(0.0);
+            blocked_gemm_atb(wmat.data(), go, dcols.data_mut(), ckk, oc, ohow);
+            col2im_one(&dcols, &mut grad_in, ni, c, h, w, spec, oh, ow);
+            for o in 0..oc {
+                let s: f32 = go[o * ohow..(o + 1) * ohow].iter().sum();
+                grad_b.data_mut()[o] += s;
+            }
+        }
+        (grad_in, grad_w.reshape(&[oc, c, kh, kw]), grad_b)
+    }
+
+    fn softmax_rows(&self, src: &[f32], out: &mut [f32], rows: usize, inner: usize) {
+        if rows * inner >= PARALLEL_MIN_FLOPS && mlperf_pool::workers_for(rows) > 1 {
+            mlperf_pool::parallel_chunks_mut(out, inner, |r, orow| {
+                softmax_one_row(&src[r * inner..(r + 1) * inner], orow);
+            });
+        } else {
+            for r in 0..rows {
+                softmax_one_row(
+                    &src[r * inner..(r + 1) * inner],
+                    &mut out[r * inner..(r + 1) * inner],
+                );
+            }
+        }
+    }
+
+    fn log_softmax_rows(&self, src: &[f32], out: &mut [f32], rows: usize, inner: usize) {
+        if rows * inner >= PARALLEL_MIN_FLOPS && mlperf_pool::workers_for(rows) > 1 {
+            mlperf_pool::parallel_chunks_mut(out, inner, |r, orow| {
+                log_softmax_one_row(&src[r * inner..(r + 1) * inner], orow);
+            });
+        } else {
+            for r in 0..rows {
+                log_softmax_one_row(
+                    &src[r * inner..(r + 1) * inner],
+                    &mut out[r * inner..(r + 1) * inner],
+                );
+            }
+        }
+    }
+
+    fn sum_axis(&self, src: &[f32], out: &mut [f32], outer: usize, extent: usize, inner: usize) {
+        if outer * extent * inner >= PARALLEL_MIN_FLOPS && mlperf_pool::workers_for(outer) > 1 {
+            mlperf_pool::parallel_chunks_mut(out, inner, |o, chunk| {
+                for e in 0..extent {
+                    let base = (o * extent + e) * inner;
+                    for (slot, &v) in chunk.iter_mut().zip(src[base..base + inner].iter()) {
+                        *slot += v;
+                    }
+                }
+            });
+        } else {
+            Reference.sum_axis(src, out, outer, extent, inner);
+        }
+    }
+}
+
+/// Fused stable softmax of one row (same op order as the reference
+/// row loop: max, exp/accumulate, divide).
+fn softmax_one_row(row: &[f32], out: &mut [f32]) {
+    let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let mut z = 0.0;
+    for (slot, &v) in out.iter_mut().zip(row.iter()) {
+        let e = (v - m).exp();
+        *slot = e;
+        z += e;
+    }
+    for slot in out.iter_mut() {
+        *slot /= z;
+    }
+}
+
+/// Fused stable log-softmax of one row.
+fn log_softmax_one_row(row: &[f32], out: &mut [f32]) {
+    let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+    for (slot, &v) in out.iter_mut().zip(row.iter()) {
+        *slot = v - lse;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::TensorRng;
+
+    /// Deterministic pseudo-random buffer without burning TensorRng
+    /// state (exercises negatives, zeros and magnitude spread).
+    fn buf(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = TensorRng::new(seed);
+        let mut v: Vec<f32> = rng.uniform(&[len.max(1)], -1.5, 1.5).into_vec();
+        // Sprinkle exact zeros so the reference zero-skip path runs.
+        for i in (0..len).step_by(7) {
+            v[i] = 0.0;
+        }
+        v.truncate(len);
+        v
+    }
+
+    fn assert_bits_equal(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} differs: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_bit_identical_across_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 3, 17),
+            (13, 1, 33),
+            (192, 16, 16),
+            (64, 48, 96),
+            (33, 200, 65), // k*n > PACK_B_ABOVE: packed path
+        ] {
+            let a = buf(m * k, 11);
+            let b = buf(k * n, 23);
+            let mut r = vec![0.0f32; m * n];
+            let mut bl = vec![0.0f32; m * n];
+            Reference.gemm(&a, &b, &mut r, m, k, n);
+            Blocked.gemm(&a, &b, &mut bl, m, k, n);
+            assert_bits_equal(&r, &bl, &format!("gemm {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn blocked_transposed_gemms_bit_identical() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 7), (16, 12, 20), (37, 9, 5)] {
+            let a = buf(m * k, 31);
+            let b = buf(n * k, 41);
+            let mut r = vec![0.0f32; m * n];
+            let mut bl = vec![0.0f32; m * n];
+            Reference.gemm_abt(&a, &b, &mut r, m, k, n);
+            Blocked.gemm_abt(&a, &b, &mut bl, m, k, n);
+            assert_bits_equal(&r, &bl, &format!("gemm_abt {m}x{k}x{n}"));
+
+            let a = buf(k * m, 51);
+            let b = buf(k * n, 61);
+            let mut r = vec![0.0f32; m * n];
+            let mut bl = vec![0.0f32; m * n];
+            Reference.gemm_atb(&a, &b, &mut r, m, k, n);
+            Blocked.gemm_atb(&a, &b, &mut bl, m, k, n);
+            assert_bits_equal(&r, &bl, &format!("gemm_atb {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn join_prefers_blocked() {
+        let (r, b) = (BackendKind::Reference, BackendKind::Blocked);
+        assert_eq!(r.join(r), r);
+        assert_eq!(r.join(b), b);
+        assert_eq!(b.join(r), b);
+        assert_eq!(b.join(b), b);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.imp().name(), kind.label());
+        }
+        assert_eq!(BackendKind::parse("gpu"), None);
+    }
+}

@@ -55,37 +55,11 @@ impl Tensor {
     ///
     /// Panics on rank or channel mismatches.
     pub fn conv2d(&self, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
-        let (n, c, h, w) = nchw(self);
-        let ws = weight.shape();
-        assert_eq!(ws.len(), 4, "conv2d weight must be 4-D, got {:?}", ws);
-        let (oc, wc, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
-        assert_eq!(wc, c, "conv2d channel mismatch: input {c}, weight {wc}");
-        assert_eq!(kh, spec.kernel, "weight kernel height disagrees with spec");
-        assert_eq!(kw, spec.kernel, "weight kernel width disagrees with spec");
-        let oh = spec.out_extent(h);
-        let ow = spec.out_extent(w);
-        let wmat = weight.reshape(&[oc, c * kh * kw]);
-        let mut out = Vec::with_capacity(n * oc * oh * ow);
-        for ni in 0..n {
-            let cols = im2col_one(self, ni, spec, oh, ow);
-            let prod = wmat.matmul(&cols); // [oc, oh*ow]
-            out.extend_from_slice(prod.data());
-        }
-        let mut out = Tensor::from_vec(out, &[n, oc, oh, ow]);
-        if let Some(b) = bias {
-            assert_eq!(b.shape(), &[oc], "conv2d bias must be [{oc}]");
-            let data = out.data_mut();
-            for ni in 0..n {
-                for o in 0..oc {
-                    let bv = b.data()[o];
-                    let base = (ni * oc + o) * oh * ow;
-                    for v in &mut data[base..base + oh * ow] {
-                        *v += bv;
-                    }
-                }
-            }
-        }
-        out
+        let kind = self
+            .backend()
+            .join(weight.backend())
+            .join(bias.map_or(self.backend(), |b| b.backend()));
+        kind.imp().conv2d(self, weight, bias, spec).on(kind)
     }
 
     /// Direct (non-im2col) 2-D convolution. Mathematically identical to
@@ -154,29 +128,9 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: Conv2dSpec,
 ) -> (Tensor, Tensor, Tensor) {
-    let (n, c, h, w) = nchw(input);
-    let ws = weight.shape();
-    let (oc, _, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
-    let oh = spec.out_extent(h);
-    let ow = spec.out_extent(w);
-    assert_eq!(grad_out.shape(), &[n, oc, oh, ow], "grad_out shape mismatch in conv2d_backward");
-    let wmat = weight.reshape(&[oc, c * kh * kw]);
-    let wmat_t = wmat.transpose(); // [c*kh*kw, oc]
-    let mut grad_w = Tensor::zeros(&[oc, c * kh * kw]);
-    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-    let mut grad_b = Tensor::zeros(&[oc]);
-    for ni in 0..n {
-        let go = grad_out.narrow(0, ni, 1).reshape(&[oc, oh * ow]);
-        let cols = im2col_one(input, ni, spec, oh, ow); // [c*kh*kw, oh*ow]
-        grad_w.axpy(1.0, &go.matmul(&cols.transpose()).reshape(&[oc, c * kh * kw]));
-        let dcols = wmat_t.matmul(&go); // [c*kh*kw, oh*ow]
-        col2im_one(&dcols, &mut grad_in, ni, c, h, w, spec, oh, ow);
-        for o in 0..oc {
-            let s: f32 = go.data()[o * oh * ow..(o + 1) * oh * ow].iter().sum();
-            grad_b.data_mut()[o] += s;
-        }
-    }
-    (grad_in, grad_w.reshape(&[oc, c, kh, kw]), grad_b)
+    let kind = input.backend().join(weight.backend()).join(grad_out.backend());
+    let (gi, gw, gb) = kind.imp().conv2d_backward(input, weight, grad_out, spec);
+    (gi.on(kind), gw.on(kind), gb.on(kind))
 }
 
 /// Max pooling over square windows. Returns the pooled tensor and, for
@@ -297,18 +251,42 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, input_shape: &[usize], spec: Conv2
     grad_in
 }
 
-fn nchw(t: &Tensor) -> (usize, usize, usize, usize) {
+pub(crate) fn nchw(t: &Tensor) -> (usize, usize, usize, usize) {
     let s = t.shape();
     assert_eq!(s.len(), 4, "expected NCHW 4-D tensor, got {:?}", s);
     (s[0], s[1], s[2], s[3])
 }
 
 /// Lowers one sample to column form: `[c*k*k, oh*ow]`.
-fn im2col_one(input: &Tensor, ni: usize, spec: Conv2dSpec, oh: usize, ow: usize) -> Tensor {
+pub(crate) fn im2col_one(
+    input: &Tensor,
+    ni: usize,
+    spec: Conv2dSpec,
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let (_, c, _, _) = nchw(input);
+    let k = spec.kernel;
+    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    im2col_into(input, ni, spec, oh, ow, &mut cols);
+    Tensor::from_vec(cols, &[c * k * k, oh * ow])
+}
+
+/// [`im2col_one`] into a caller-provided buffer of `c*k*k * oh*ow`
+/// elements, so pooled kernels can reuse one scratch allocation per
+/// worker. Every element is written; the buffer need not be zeroed.
+pub(crate) fn im2col_into(
+    input: &Tensor,
+    ni: usize,
+    spec: Conv2dSpec,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
     let (_, c, h, w) = nchw(input);
     let k = spec.kernel;
     let pad = spec.padding as isize;
-    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    assert_eq!(cols.len(), c * k * k * oh * ow, "im2col_into buffer size mismatch");
     for ci in 0..c {
         for ky in 0..k {
             for kx in 0..k {
@@ -328,13 +306,12 @@ fn im2col_one(input: &Tensor, ni: usize, spec: Conv2dSpec, oh: usize, ow: usize)
             }
         }
     }
-    Tensor::from_vec(cols, &[c * k * k, oh * ow])
 }
 
 /// Adjoint of [`im2col_one`]: accumulates column gradients back into the
 /// padded input positions of sample `ni`.
 #[allow(clippy::too_many_arguments)]
-fn col2im_one(
+pub(crate) fn col2im_one(
     dcols: &Tensor,
     grad_in: &mut Tensor,
     ni: usize,

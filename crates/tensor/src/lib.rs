@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod conv;
 mod init;
 mod matmul;
@@ -34,6 +35,7 @@ mod reduce;
 mod shape;
 mod tensor;
 
+pub use backend::{default_backend, set_default_backend, Backend, BackendKind};
 pub use conv::{
     avg_pool2d, avg_pool2d_backward, conv2d_backward, max_pool2d, max_pool2d_backward, Conv2dSpec,
 };

@@ -1,12 +1,14 @@
-//! Matrix multiplication: 2-D GEMM and batched 3-D matmul.
+//! Matrix multiplication: 2-D GEMM, batched 3-D matmul, and the fused
+//! transposed/bias variants the backward passes and layers use.
+//!
+//! Shape checking and output allocation live here; the inner loops are
+//! dispatched to the [`Backend`](crate::Backend) the operands resolve
+//! to (see [`BackendKind::join`](crate::BackendKind::join)).
 
 use crate::tensor::Tensor;
 
 impl Tensor {
     /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
-    ///
-    /// A cache-friendly i-k-j loop ordering; adequate for the
-    /// miniaturized benchmark models.
     ///
     /// # Panics
     ///
@@ -24,9 +26,97 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
+        let kind = self.backend().join(rhs.backend());
         let mut out = vec![0.0f32; m * n];
-        gemm(self.data(), rhs.data(), &mut out, m, k, n);
-        Tensor::from_vec(out, &[m, n])
+        kind.imp().gemm(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n]).on(kind)
+    }
+
+    /// Fused `self · rhsᵀ`: `[m, c] x [n, c] -> [m, n]` (both operands
+    /// contract over their **last** dimension).
+    ///
+    /// Numerically identical to `self.matmul(&rhs.transpose())` but
+    /// skips materializing the transpose. This is the backward-pass
+    /// form `grad · Bᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the last dimensions
+    /// disagree.
+    pub fn matmul_abt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_abt lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 2, "matmul_abt rhs must be 2-D, got {:?}", rhs.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(
+            k,
+            k2,
+            "matmul_abt contraction mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        let kind = self.backend().join(rhs.backend());
+        let mut out = vec![0.0f32; m * n];
+        kind.imp().gemm_abt(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n]).on(kind)
+    }
+
+    /// Fused `selfᵀ · rhs`: `[c, m] x [c, n] -> [m, n]` (both operands
+    /// contract over their **first** dimension).
+    ///
+    /// Numerically identical to `self.transpose().matmul(rhs)` but
+    /// skips materializing the transpose. This is the backward-pass
+    /// form `Aᵀ · grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the first dimensions
+    /// disagree.
+    pub fn matmul_atb(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_atb lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 2, "matmul_atb rhs must be 2-D, got {:?}", rhs.shape());
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(
+            k,
+            k2,
+            "matmul_atb contraction mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let kind = self.backend().join(rhs.backend());
+        let mut out = vec![0.0f32; m * n];
+        kind.imp().gemm_atb(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n]).on(kind)
+    }
+
+    /// Fused affine map: `self · rhs + bias` with `bias` (`[n]`)
+    /// broadcast over rows — what a dense layer computes, in one pass
+    /// with no intermediate tensor.
+    ///
+    /// Numerically identical to `matmul` followed by a broadcast add.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Tensor::matmul`] conditions or if `bias` is not
+    /// `[n]`.
+    pub fn matmul_bias(&self, rhs: &Tensor, bias: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_bias lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 2, "matmul_bias rhs must be 2-D, got {:?}", rhs.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(
+            k,
+            k2,
+            "matmul_bias inner dimension mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(bias.shape(), &[n], "matmul_bias bias must be [{n}], got {:?}", bias.shape());
+        let kind = self.backend().join(rhs.backend()).join(bias.backend());
+        let mut out = vec![0.0f32; m * n];
+        kind.imp().gemm_bias(self.data(), rhs.data(), bias.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n]).on(kind)
     }
 
     /// Batched matrix product of two 3-D tensors:
@@ -43,18 +133,54 @@ impl Tensor {
         let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
         assert_eq!(b, b2, "bmm batch mismatch: {b} vs {b2}");
         assert_eq!(k, k2, "bmm inner dimension mismatch: {:?} x {:?}", self.shape(), rhs.shape());
+        let kind = self.backend().join(rhs.backend());
         let mut out = vec![0.0f32; b * m * n];
-        for bi in 0..b {
-            gemm(
-                &self.data()[bi * m * k..(bi + 1) * m * k],
-                &rhs.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out[bi * m * n..(bi + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
-        Tensor::from_vec(out, &[b, m, n])
+        kind.imp().bmm(self.data(), rhs.data(), &mut out, b, m, k, n);
+        Tensor::from_vec(out, &[b, m, n]).on(kind)
+    }
+
+    /// Batched fused `self · rhsᵀ`: `[b, m, c] x [b, n, c] -> [b, m, n]`.
+    ///
+    /// Numerically identical to `self.bmm(&rhs.transpose_last2())`
+    /// without the transpose copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 3-D, batch sizes differ, or last
+    /// dimensions disagree.
+    pub fn bmm_abt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm_abt lhs must be 3-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 3, "bmm_abt rhs must be 3-D, got {:?}", rhs.shape());
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, n, k2) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
+        assert_eq!(b, b2, "bmm_abt batch mismatch: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm_abt contraction mismatch: {:?} x {:?}ᵀ", self.shape(), rhs.shape());
+        let kind = self.backend().join(rhs.backend());
+        let mut out = vec![0.0f32; b * m * n];
+        kind.imp().bmm_abt(self.data(), rhs.data(), &mut out, b, m, k, n);
+        Tensor::from_vec(out, &[b, m, n]).on(kind)
+    }
+
+    /// Batched fused `selfᵀ · rhs`: `[b, c, m] x [b, c, n] -> [b, m, n]`.
+    ///
+    /// Numerically identical to `self.transpose_last2().bmm(rhs)`
+    /// without the transpose copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 3-D, batch sizes differ, or
+    /// middle dimensions disagree.
+    pub fn bmm_atb(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm_atb lhs must be 3-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 3, "bmm_atb rhs must be 3-D, got {:?}", rhs.shape());
+        let (b, k, m) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
+        assert_eq!(b, b2, "bmm_atb batch mismatch: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm_atb contraction mismatch: {:?}ᵀ x {:?}", self.shape(), rhs.shape());
+        let kind = self.backend().join(rhs.backend());
+        let mut out = vec![0.0f32; b * m * n];
+        kind.imp().bmm_atb(self.data(), rhs.data(), &mut out, b, m, k, n);
+        Tensor::from_vec(out, &[b, m, n]).on(kind)
     }
 
     /// Transposes the last two dimensions of a 3-D tensor (copying).
@@ -68,28 +194,11 @@ impl Tensor {
     }
 }
 
-/// Accumulating GEMM kernel: `out += a[m,k] * b[k,n]` with `out`
-/// pre-zeroed by the callers above.
-fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..kk * n + n];
-            let orow = &mut out[i * n..i * n + n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::assert_close;
+    use crate::backend::BackendKind;
 
     #[test]
     fn matmul_small() {
@@ -144,5 +253,48 @@ mod tests {
         let t = a.transpose_last2();
         assert_eq!(t.shape(), &[2, 3, 2]);
         assert_eq!(t.at(&[1, 2, 0]), a.at(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn fused_transposed_variants_match_composition() {
+        for kind in BackendKind::ALL {
+            let a = Tensor::arange(12, -2.0, 0.7).reshape(&[3, 4]).on(kind);
+            let b = Tensor::arange(20, 1.0, -0.3).reshape(&[5, 4]).on(kind);
+            assert_eq!(a.matmul_abt(&b), a.matmul(&b.transpose()), "abt on {kind}");
+
+            let a = Tensor::arange(12, -2.0, 0.7).reshape(&[4, 3]).on(kind);
+            let b = Tensor::arange(20, 1.0, -0.3).reshape(&[4, 5]).on(kind);
+            assert_eq!(a.matmul_atb(&b), a.transpose().matmul(&b), "atb on {kind}");
+
+            let a = Tensor::arange(24, -2.0, 0.5).reshape(&[2, 3, 4]).on(kind);
+            let b = Tensor::arange(40, 1.0, -0.2).reshape(&[2, 5, 4]).on(kind);
+            assert_eq!(a.bmm_abt(&b), a.bmm(&b.transpose_last2()), "bmm_abt on {kind}");
+
+            let a = Tensor::arange(24, -2.0, 0.5).reshape(&[2, 4, 3]).on(kind);
+            let b = Tensor::arange(40, 1.0, -0.2).reshape(&[2, 4, 5]).on(kind);
+            assert_eq!(a.bmm_atb(&b), a.transpose_last2().bmm(&b), "bmm_atb on {kind}");
+        }
+    }
+
+    #[test]
+    fn matmul_bias_matches_matmul_plus_bias() {
+        for kind in BackendKind::ALL {
+            let a = Tensor::arange(6, -1.0, 0.5).reshape(&[2, 3]).on(kind);
+            let b = Tensor::arange(12, 0.3, 0.25).reshape(&[3, 4]).on(kind);
+            let bias = Tensor::from_slice(&[0.1, -0.2, 0.3, -0.4]);
+            let fused = a.matmul_bias(&b, &bias);
+            let composed = &a.matmul(&b) + &bias;
+            assert_eq!(fused, composed, "matmul_bias on {kind}");
+            assert_eq!(fused.backend(), kind);
+        }
+    }
+
+    #[test]
+    fn backend_tag_propagates_through_matmul() {
+        let a = Tensor::eye(2).on(BackendKind::Blocked);
+        let b = Tensor::eye(2); // default: reference
+        assert_eq!(a.matmul(&b).backend(), BackendKind::Blocked);
+        assert_eq!(b.matmul(&a).backend(), BackendKind::Blocked);
+        assert_eq!(b.matmul(&b).backend(), BackendKind::Reference);
     }
 }

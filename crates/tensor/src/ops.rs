@@ -1,6 +1,7 @@
 //! Elementwise arithmetic with NumPy-style broadcasting, plus the
 //! nonlinearities used by the benchmark models.
 
+use crate::backend::BackendKind;
 use crate::shape::{broadcast_shapes, Shape};
 use crate::tensor::Tensor;
 use std::ops::{Add, Div, Mul, Neg, Sub};
@@ -12,11 +13,12 @@ impl Tensor {
     ///
     /// Panics if the shapes are not broadcast-compatible.
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let kind = self.backend().join(other.backend());
         if self.shape() == other.shape() {
             // Fast path: identical shapes.
             let data =
                 self.data().iter().zip(other.data().iter()).map(|(&a, &b)| f(a, b)).collect();
-            return Tensor::from_vec(data, self.shape());
+            return Tensor::from_vec(data, self.shape()).on(kind);
         }
         let out_dims = broadcast_shapes(self.shape(), other.shape()).unwrap_or_else(|| {
             panic!("shapes {:?} and {:?} are not broadcast-compatible", self.shape(), other.shape())
@@ -25,18 +27,34 @@ impl Tensor {
         let mut out = vec![0.0; out_shape.len()];
         let a_idx = BroadcastIndexer::new(self.shape(), &out_dims);
         let b_idx = BroadcastIndexer::new(other.shape(), &out_dims);
-        let strides = out_shape.strides();
-        let ndim = out_dims.len();
-        let mut idx = vec![0usize; ndim];
-        for (lin, slot) in out.iter_mut().enumerate() {
-            let mut rem = lin;
-            for i in 0..ndim {
-                idx[i] = rem / strides[i];
-                rem %= strides[i];
+        if kind == BackendKind::Blocked {
+            // Odometer iteration: running source offsets with carry
+            // propagation instead of a div/mod per output element.
+            // Applies the same `f` to the same element pairs as the
+            // reference path, so values are identical.
+            zip_broadcast_odometer(
+                self.data(),
+                other.data(),
+                &mut out,
+                &a_idx.strides,
+                &b_idx.strides,
+                &out_dims,
+                &f,
+            );
+        } else {
+            let strides = out_shape.strides();
+            let ndim = out_dims.len();
+            let mut idx = vec![0usize; ndim];
+            for (lin, slot) in out.iter_mut().enumerate() {
+                let mut rem = lin;
+                for i in 0..ndim {
+                    idx[i] = rem / strides[i];
+                    rem %= strides[i];
+                }
+                *slot = f(self.data()[a_idx.offset(&idx)], other.data()[b_idx.offset(&idx)]);
             }
-            *slot = f(self.data()[a_idx.offset(&idx)], other.data()[b_idx.offset(&idx)]);
         }
-        Tensor::from_vec(out, &out_dims)
+        Tensor::from_vec(out, &out_dims).on(kind)
     }
 
     /// Broadcasts this tensor to `dims`.
@@ -159,6 +177,75 @@ pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
     } else {
         let e = x.exp();
         e / (1.0 + e)
+    }
+}
+
+/// The `Blocked` broadcast walk: keeps running source offsets for both
+/// operands and advances them odometer-style (increment the innermost
+/// non-contracted dimension, carry on overflow), with the innermost
+/// dimension specialized on its `(a, b)` stride pattern. Element pairs
+/// and application order match the reference div/mod walk exactly.
+#[allow(clippy::too_many_arguments)]
+fn zip_broadcast_odometer(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    a_str: &[usize],
+    b_str: &[usize],
+    out_dims: &[usize],
+    f: &impl Fn(f32, f32) -> f32,
+) {
+    let ndim = out_dims.len();
+    if ndim == 0 {
+        out[0] = f(a[0], b[0]);
+        return;
+    }
+    let inner = out_dims[ndim - 1];
+    if inner == 0 || out.is_empty() {
+        return;
+    }
+    let (a_in, b_in) = (a_str[ndim - 1], b_str[ndim - 1]);
+    let outer = out.len() / inner;
+    let mut idx = vec![0usize; ndim.saturating_sub(1)];
+    let (mut a_off, mut b_off) = (0usize, 0usize);
+    for (row, chunk) in out.chunks_mut(inner).enumerate() {
+        match (a_in, b_in) {
+            (1, 1) => {
+                for (c, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(a[a_off + c], b[b_off + c]);
+                }
+            }
+            (1, 0) => {
+                let bv = b[b_off];
+                for (c, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(a[a_off + c], bv);
+                }
+            }
+            (0, 1) => {
+                let av = a[a_off];
+                for (c, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(av, b[b_off + c]);
+                }
+            }
+            _ => {
+                for (c, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(a[a_off + c * a_in], b[b_off + c * b_in]);
+                }
+            }
+        }
+        if row + 1 < outer {
+            for d in (0..ndim - 1).rev() {
+                idx[d] += 1;
+                a_off += a_str[d];
+                b_off += b_str[d];
+                if idx[d] < out_dims[d] {
+                    break;
+                }
+                a_off -= out_dims[d] * a_str[d];
+                b_off -= out_dims[d] * b_str[d];
+                idx[d] = 0;
+            }
+        }
     }
 }
 
@@ -306,6 +393,30 @@ mod tests {
         let g = Tensor::from_slice(&[2.0, 4.0]);
         a.axpy(-0.5, &g);
         assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn blocked_broadcast_matches_reference() {
+        // Every stride specialization of the odometer walk: (1,1) via
+        // distinct shapes, (1,0), (0,1), and the general strided case.
+        let cases: &[(&[usize], &[usize])] = &[
+            (&[2, 3], &[3]),       // row broadcast
+            (&[2, 3], &[2, 1]),    // column broadcast (b inner stride 0)
+            (&[2, 1], &[2, 3]),    // column broadcast (a inner stride 0)
+            (&[4, 1, 3], &[2, 1]), // both operands broadcast
+            (&[1], &[2, 2, 2]),    // scalar-ish expansion
+            (&[3, 1], &[1, 4]),    // outer product pattern
+        ];
+        for (sa, sb) in cases {
+            let la: usize = sa.iter().product();
+            let lb: usize = sb.iter().product();
+            let a = Tensor::arange(la, -1.0, 0.7).reshape(sa);
+            let b = Tensor::arange(lb, 2.0, -0.4).reshape(sb);
+            let reference = a.zip_broadcast(&b, |x, y| x * 2.0 - y);
+            let blocked = a.clone().on(BackendKind::Blocked).zip_broadcast(&b, |x, y| x * 2.0 - y);
+            assert_eq!(reference, blocked, "broadcast {sa:?} vs {sb:?}");
+            assert_eq!(blocked.backend(), BackendKind::Blocked);
+        }
     }
 
     #[test]

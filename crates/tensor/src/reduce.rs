@@ -52,21 +52,14 @@ impl Tensor {
         let extent = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
         let mut out = vec![0.0; outer * inner];
-        for o in 0..outer {
-            for e in 0..extent {
-                let base = (o * extent + e) * inner;
-                for i in 0..inner {
-                    out[o * inner + i] += self.data()[base + i];
-                }
-            }
-        }
+        self.backend().imp().sum_axis(self.data(), &mut out, outer, extent, inner);
         let mut new_dims: Vec<usize> = dims.to_vec();
         if keepdim {
             new_dims[axis] = 1;
         } else {
             new_dims.remove(axis);
         }
-        Tensor::from_vec(out, &new_dims)
+        Tensor::from_vec(out, &new_dims).on(self.backend())
     }
 
     /// Mean along `axis` (see [`Tensor::sum_axis`]).
@@ -101,7 +94,7 @@ impl Tensor {
         } else {
             new_dims.remove(axis);
         }
-        Tensor::from_vec(out, &new_dims)
+        Tensor::from_vec(out, &new_dims).on(self.backend())
     }
 
     /// Index of the maximum along the last axis, one per leading slice.
@@ -136,20 +129,8 @@ impl Tensor {
         let inner = *self.shape().last().expect("softmax of scalar");
         let rows = self.len() / inner;
         let mut out = vec![0.0; self.len()];
-        for r in 0..rows {
-            let row = &self.data()[r * inner..(r + 1) * inner];
-            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let mut z = 0.0;
-            for (i, &v) in row.iter().enumerate() {
-                let e = (v - m).exp();
-                out[r * inner + i] = e;
-                z += e;
-            }
-            for slot in &mut out[r * inner..(r + 1) * inner] {
-                *slot /= z;
-            }
-        }
-        Tensor::from_vec(out, self.shape())
+        self.backend().imp().softmax_rows(self.data(), &mut out, rows, inner);
+        Tensor::from_vec(out, self.shape()).on(self.backend())
     }
 
     /// Log-softmax along the last axis (stable log-sum-exp form).
@@ -157,15 +138,8 @@ impl Tensor {
         let inner = *self.shape().last().expect("log_softmax of scalar");
         let rows = self.len() / inner;
         let mut out = vec![0.0; self.len()];
-        for r in 0..rows {
-            let row = &self.data()[r * inner..(r + 1) * inner];
-            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-            for (i, &v) in row.iter().enumerate() {
-                out[r * inner + i] = v - lse;
-            }
-        }
-        Tensor::from_vec(out, self.shape())
+        self.backend().imp().log_softmax_rows(self.data(), &mut out, rows, inner);
+        Tensor::from_vec(out, self.shape()).on(self.backend())
     }
 
     /// Reduces this tensor (by summation) down to `dims`, inverting a

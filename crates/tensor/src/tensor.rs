@@ -1,6 +1,7 @@
 //! The [`Tensor`] type: a contiguous, row-major, n-dimensional `f32`
 //! array.
 
+use crate::backend::{default_backend, BackendKind};
 use crate::shape::Shape;
 use std::fmt;
 
@@ -9,10 +10,25 @@ use std::fmt;
 /// All layout is contiguous; operations that change layout (transpose,
 /// permute) copy. This keeps gradient code simple and predictable at the
 /// model sizes used by the benchmark suite.
-#[derive(Clone, PartialEq)]
+///
+/// Every tensor carries the [`BackendKind`] its compute-heavy
+/// operations (matmul, convolution, softmax, reductions) dispatch to;
+/// new tensors pick up the process-wide default
+/// ([`crate::set_default_backend`]) and derived tensors inherit from
+/// their operands, so tagging the model weights once is enough to move
+/// a whole training run onto a backend. The tag is execution metadata:
+/// it does not participate in equality.
+#[derive(Clone)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+    backend: BackendKind,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Tensor {
@@ -30,12 +46,25 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let shape = Shape::new(shape);
         let data = vec![value; shape.len()];
-        Tensor { shape, data }
+        Tensor { shape, data, backend: default_backend() }
     }
 
     /// Creates a zero-dimensional (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(&[]), data: vec![value] }
+        Tensor { shape: Shape::new(&[]), data: vec![value], backend: default_backend() }
+    }
+
+    /// The backend this tensor's operations dispatch to.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Retags the tensor onto `kind` (builder style). Data is untouched;
+    /// only where future operations execute changes.
+    #[must_use]
+    pub fn on(mut self, kind: BackendKind) -> Tensor {
+        self.backend = kind;
+        self
     }
 
     /// Creates a tensor from a flat buffer in row-major order.
@@ -54,7 +83,7 @@ impl Tensor {
             shape,
             shape.len()
         );
-        Tensor { shape, data }
+        Tensor { shape, data, backend: default_backend() }
     }
 
     /// Creates a 1-D tensor from a slice.
@@ -159,12 +188,16 @@ impl Tensor {
             "cannot reshape {} elements into shape {new_shape}",
             self.data.len()
         );
-        Tensor { shape: new_shape, data: self.data.clone() }
+        Tensor { shape: new_shape, data: self.data.clone(), backend: self.backend }
     }
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            backend: self.backend,
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -182,7 +215,7 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "transpose requires a 2-D tensor, got {}", self.shape);
         let (m, n) = (self.shape()[0], self.shape()[1]);
-        let mut out = Tensor::zeros(&[n, m]);
+        let mut out = Tensor::zeros(&[n, m]).on(self.backend);
         for i in 0..m {
             for j in 0..n {
                 out.data[j * m + i] = self.data[i * n + j];
@@ -222,7 +255,7 @@ impl Tensor {
             }
             *slot = self.data[src];
         }
-        Tensor { shape: new_shape, data: out }
+        Tensor { shape: new_shape, data: out, backend: self.backend }
     }
 
     /// Extracts `len` slices starting at `start` along dimension `axis`.
@@ -249,7 +282,7 @@ impl Tensor {
             let base = o * dims[axis] * inner + start * inner;
             out.extend_from_slice(&self.data[base..base + len * inner]);
         }
-        Tensor::from_vec(out, &new_dims)
+        Tensor::from_vec(out, &new_dims).on(self.backend)
     }
 
     /// Concatenates tensors along `axis`.
@@ -283,7 +316,8 @@ impl Tensor {
                 out.extend_from_slice(&t.data[base..base + extent * inner]);
             }
         }
-        Tensor::from_vec(out, &new_dims)
+        let kind = tensors.iter().fold(tensors[0].backend, |acc, t| acc.join(t.backend));
+        Tensor::from_vec(out, &new_dims).on(kind)
     }
 
     /// Gathers rows of a 2-D tensor: `out[i] = self[indices[i]]`.
@@ -299,7 +333,7 @@ impl Tensor {
             assert!(i < rows, "row index {i} out of bounds for {rows} rows");
             out.extend_from_slice(&self.data[i * cols..(i + 1) * cols]);
         }
-        Tensor::from_vec(out, &[indices.len(), cols])
+        Tensor::from_vec(out, &[indices.len(), cols]).on(self.backend)
     }
 
     /// Gathers arbitrary flat elements: `out[i] = self.data[indices[i]]`,
@@ -314,7 +348,7 @@ impl Tensor {
             assert!(i < self.data.len(), "flat index {i} out of bounds");
             out.push(self.data[i]);
         }
-        Tensor::from_vec(out, &[indices.len()])
+        Tensor::from_vec(out, &[indices.len()]).on(self.backend)
     }
 
     /// Frobenius (L2) norm of all elements.
