@@ -1,12 +1,22 @@
 //! Scratch profiler: phase breakdown of a BertMini training epoch per
 //! backend. Not part of the shipped CLI surface.
+//!
+//! `--flame FILE` additionally records the run as telemetry spans and
+//! writes a collapsed-stack flamegraph (`stack;frames count`, one line
+//! per unique stack, self-time in microseconds — feed to inferno or
+//! speedscope), and prints each backend's kernel dispatch counters.
 
 use mlperf_autograd::Var;
 use mlperf_data::{epoch_batches, MaskedLmConfig, MaskedSentence, SyntheticMaskedLm};
 use mlperf_models::{BertConfig, BertMini};
 use mlperf_nn::{LayerNorm, Linear, MaskedLmHead, Module, MultiHeadAttention};
 use mlperf_optim::{Adam, Optimizer};
-use mlperf_tensor::{BackendKind, TensorRng};
+use mlperf_telemetry::{write_collapsed, Telemetry};
+use mlperf_tensor::{
+    enable_kernel_stats, kernel_stats, reset_kernel_stats, BackendKind, TensorRng,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 fn time_fwd_bwd(label: &str, iters: u32, f: impl Fn() -> Var) {
@@ -45,10 +55,41 @@ fn components(kind: BackendKind) {
     time_fwd_bwd("mlm head loss [16,12,16]", 200, || head.loss(&x, &masked));
 }
 
-fn main() {
+fn print_kernel_stats(kind: BackendKind) {
+    let k = kernel_stats();
+    println!(
+        "  kernels on {kind}: gemm ref {} / direct {} / packed {} \
+         (packed {} KiB, {} fanouts, width peak {})",
+        k.gemm_reference,
+        k.gemm_direct,
+        k.gemm_packed,
+        k.packed_bytes / 1024,
+        k.gemm_fanouts,
+        k.fanout_width_peak
+    );
+}
+
+fn main() -> ExitCode {
+    let mut flame: Option<PathBuf> = None;
+    let mut cli = std::env::args().skip(1);
+    while let Some(flag) = cli.next() {
+        match (flag.as_str(), cli.next()) {
+            ("--flame", Some(value)) => flame = Some(PathBuf::from(value)),
+            _ => {
+                eprintln!("usage: profile_backend [--flame FILE]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let telemetry = if flame.is_some() { Telemetry::recording() } else { Telemetry::disabled() };
+    enable_kernel_stats();
+
     let data_config = MaskedLmConfig::default();
     let data = SyntheticMaskedLm::generate(data_config, 0x7be2_91a4);
     for kind in BackendKind::ALL {
+        reset_kernel_stats();
+        let mut scope = telemetry.timeline_scope();
+        let backend_span = scope.start("profile", &format!("backend {kind}"));
         let mut rng = TensorRng::new(21).with_backend(kind);
         let model = BertMini::new(
             BertConfig {
@@ -64,24 +105,27 @@ fn main() {
             (Duration::ZERO, Duration::ZERO, Duration::ZERO, Duration::ZERO);
         let epochs = 5;
         let mut steps = 0u32;
-        for _ in 0..epochs {
+        for epoch in 0..epochs {
+            let epoch_span = scope.start("profile", &format!("epoch {epoch}"));
             for batch in epoch_batches(data.train.len(), 16, &mut data_rng).iter() {
                 steps += 1;
                 let t0 = Instant::now();
-                let chunk: Vec<&MaskedSentence> = batch.iter().map(|&i| &data.train[i]).collect();
+                let chunk: Vec<&MaskedSentence> = scope
+                    .record("profile", "batch", || batch.iter().map(|&i| &data.train[i]).collect());
                 let t1 = Instant::now();
                 opt.zero_grad();
-                let loss = model.loss(&chunk);
+                let loss = scope.record("profile", "forward", || model.loss(&chunk));
                 let t2 = Instant::now();
-                loss.backward();
+                scope.record("profile", "backward", || loss.backward());
                 let t3 = Instant::now();
-                opt.step(0.01);
+                scope.record("profile", "optimizer", || opt.step(0.01));
                 let t4 = Instant::now();
                 t_batch += t1 - t0;
                 t_fwd += t2 - t1;
                 t_bwd += t3 - t2;
                 t_opt += t4 - t3;
             }
+            scope.end(epoch_span);
         }
         let per = |d: Duration| d.as_secs_f64() * 1e6 / steps as f64;
         println!(
@@ -92,6 +136,17 @@ fn main() {
             per(t_opt),
             per(t_batch + t_fwd + t_bwd + t_opt)
         );
+        print_kernel_stats(kind);
         components(kind);
+        scope.end(backend_span);
     }
+
+    if let Some(path) = flame {
+        if let Err(e) = write_collapsed(&telemetry.snapshot(), &path) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote flamegraph {}", path.display());
+    }
+    ExitCode::SUCCESS
 }

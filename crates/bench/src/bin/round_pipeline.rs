@@ -42,6 +42,15 @@
 //! per-log span sampling once a round crosses
 //! [`SPAN_SAMPLING_THRESHOLD`] items, keeping traces of huge rounds
 //! small; counters and metrics stay exact.
+//!
+//! `--metrics FILE` writes a Prometheus text-exposition snapshot of
+//! every counter, gauge, histogram, quantile sketch, and windowed
+//! time-series at the end of the run, and turns on tensor kernel
+//! dispatch counters. `--progress` prints live one-line throughput
+//! updates to stderr (bundles/s, logs/s, busy workers) while ingest or
+//! a loadgen sweep runs; both flags install a clock-driven [`Reporter`]
+//! that samples the hot-path counters into ring-buffered time-series.
+//! Every subcommand accepts both flags.
 
 use mlperf_bench::write_json;
 use mlperf_core::benchmarks::NcfBenchmark;
@@ -55,25 +64,32 @@ use mlperf_distsim::Round;
 use mlperf_loadgen::{
     loadgen_bundle, loadgen_reference, loadgen_run_set, simulated_scenario_sweep,
 };
+use mlperf_pool::pool_stats;
 use mlperf_submission::{
     leaderboards, run_round_with, scenario_leaderboards, synthetic_round, synthetic_stress_round,
     ArchiveReplay, Fault, RoundArchive, RoundSubmissions, SyntheticRoundSpec,
 };
-use mlperf_telemetry::{write_trace, SpanSampling, Telemetry};
-use mlperf_tensor::{set_default_backend, BackendKind};
+use mlperf_telemetry::{write_prometheus, write_trace, Reporter, SpanSampling, Telemetry};
+use mlperf_tensor::{enable_kernel_stats, kernel_stats, set_default_backend, BackendKind};
 use serde_json::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Stage size (items) above which `--sample N` starts thinning
 /// per-item spans to 1-in-N.
 const SPAN_SAMPLING_THRESHOLD: u64 = 512;
 
+/// Reporter sampling interval: short enough that even a fast demo run
+/// closes a couple of windows, long enough that progress lines stay
+/// readable on a terminal.
+const REPORT_INTERVAL: Duration = Duration::from_millis(250);
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: round_pipeline [write|ingest|report|demo|loadgen] [--archive DIR] [--rounds N] \
-         [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] [--sample N] \
-         [--log-dir DIR] [--backend reference|blocked]"
+         [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] [--metrics FILE] \
+         [--progress] [--sample N] [--log-dir DIR] [--backend reference|blocked]"
     );
     ExitCode::FAILURE
 }
@@ -93,6 +109,10 @@ struct Args {
     /// Ingest through the bounded-memory streaming reader.
     streaming: bool,
     trace: Option<PathBuf>,
+    /// Write a Prometheus text-exposition snapshot here at exit.
+    metrics: Option<PathBuf>,
+    /// Print live throughput lines to stderr while the run progresses.
+    progress: bool,
     /// 1-in-N span sampling for large rounds.
     sample: Option<u64>,
     /// `loadgen`: also write each scenario's raw `:::MLLOG` log here.
@@ -118,6 +138,8 @@ fn parse_args() -> Option<Args> {
         chips: None,
         streaming: false,
         trace: None,
+        metrics: None,
+        progress: false,
         sample: None,
         log_dir: None,
         backend: None,
@@ -128,6 +150,10 @@ fn parse_args() -> Option<Args> {
             parsed.streaming = true;
             continue;
         }
+        if flag == "--progress" {
+            parsed.progress = true;
+            continue;
+        }
         let value = args.next()?;
         match flag.as_str() {
             "--archive" => parsed.archive = Some(PathBuf::from(value)),
@@ -136,6 +162,7 @@ fn parse_args() -> Option<Args> {
             "--bundles" => parsed.bundles = Some(value.parse().ok()?),
             "--chips" => parsed.chips = Some(value.parse().ok()?),
             "--trace" => parsed.trace = Some(PathBuf::from(value)),
+            "--metrics" => parsed.metrics = Some(PathBuf::from(value)),
             "--sample" => parsed.sample = Some(value.parse().ok()?),
             "--log-dir" => parsed.log_dir = Some(PathBuf::from(value)),
             "--backend" => parsed.backend = Some(BackendKind::parse(&value)?),
@@ -375,6 +402,49 @@ fn run_loadgen(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds and installs the clock-driven [`Reporter`] behind
+/// `--metrics`/`--progress`: the ingest, store, and loadgen hot-path
+/// counters plus live pool gauges, sampled into ring-buffered
+/// time-series every [`REPORT_INTERVAL`].
+fn install_reporter(args: &Args, telemetry: &Telemetry) {
+    let mut reporter = Reporter::new(REPORT_INTERVAL);
+    if args.progress {
+        reporter = reporter.with_progress(&args.command);
+    }
+    reporter.track_counter(
+        telemetry,
+        "ingest.bundles",
+        telemetry.counter("ingest.bundles_reviewed"),
+    );
+    reporter.track_counter(telemetry, "ingest.logs", telemetry.counter("ingest.logs_parsed"));
+    reporter.track_counter(telemetry, "store.bytes_read", telemetry.counter("store.bytes_read"));
+    reporter.track_counter(telemetry, "loadgen.queries", telemetry.counter("loadgen.queries"));
+    reporter.track_counter_fn(telemetry, "pool.items", || pool_stats().items_completed as f64);
+    reporter.track_gauge_fn(telemetry, "pool.workers_busy", || pool_stats().workers_busy as f64);
+    reporter.track_gauge_fn(telemetry, "pool.queue_depth", || pool_stats().queue_depth as f64);
+    telemetry.install_reporter(reporter);
+}
+
+/// Folds the process-global pool and tensor-kernel stats into the
+/// registry so the Prometheus snapshot carries them. Called once at
+/// exit: these are end-of-run totals, not windowed series.
+fn fold_process_stats(telemetry: &Telemetry) {
+    let pool = pool_stats();
+    telemetry.counter("pool.items_completed").add(pool.items_completed);
+    telemetry.counter("pool.fanouts").add(pool.fanouts);
+    // "hwm" (high-water mark), not "_peak": gauge *series* already
+    // export a `_peak` reading, and Prometheus families must be unique.
+    telemetry.gauge("pool.workers_busy_hwm").set(pool.workers_busy_peak);
+    telemetry.gauge("pool.fanout_width_hwm").set(pool.fanout_width_peak);
+    let kernels = kernel_stats();
+    telemetry.counter("tensor.gemm_reference").add(kernels.gemm_reference);
+    telemetry.counter("tensor.gemm_direct").add(kernels.gemm_direct);
+    telemetry.counter("tensor.gemm_packed").add(kernels.gemm_packed);
+    telemetry.counter("tensor.packed_bytes").add(kernels.packed_bytes);
+    telemetry.counter("tensor.gemm_fanouts").add(kernels.gemm_fanouts);
+    telemetry.gauge("tensor.fanout_width_hwm").set(kernels.fanout_width_peak);
+}
+
 /// Writes the Chrome `trace_event` file and prints the plain-text
 /// telemetry summary. No-op without `--trace`.
 fn flush_trace(trace: Option<&PathBuf>, telemetry: &Telemetry) -> Result<(), String> {
@@ -388,15 +458,35 @@ fn flush_trace(trace: Option<&PathBuf>, telemetry: &Telemetry) -> Result<(), Str
     Ok(())
 }
 
+/// Closes the final reporter window, folds process-global stats into
+/// the registry, and writes the Prometheus text-exposition snapshot.
+/// No-op without `--metrics`.
+fn flush_metrics(metrics: Option<&PathBuf>, telemetry: &Telemetry) -> Result<(), String> {
+    let Some(path) = metrics else {
+        return Ok(());
+    };
+    fold_process_stats(telemetry);
+    telemetry.flush_reporter();
+    write_prometheus(&telemetry.snapshot(), path).map_err(|e| e.to_string())?;
+    println!("wrote metrics {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
-    let mut telemetry =
-        if args.trace.is_some() { Telemetry::recording() } else { Telemetry::disabled() };
+    let observing = args.trace.is_some() || args.metrics.is_some() || args.progress;
+    let mut telemetry = if observing { Telemetry::recording() } else { Telemetry::disabled() };
     if let Some(every) = args.sample {
         telemetry = telemetry
             .with_span_sampling(SpanSampling { threshold: SPAN_SAMPLING_THRESHOLD, every });
+    }
+    if args.metrics.is_some() || args.progress {
+        install_reporter(&args, &telemetry);
+    }
+    if args.metrics.is_some() {
+        enable_kernel_stats();
     }
     if let Some(kind) = args.backend {
         set_default_backend(kind);
@@ -470,7 +560,9 @@ fn main() -> ExitCode {
         "loadgen" => run_loadgen(&args, &telemetry),
         _ => return usage(),
     };
-    let result = result.and_then(|()| flush_trace(args.trace.as_ref(), &telemetry));
+    let result = result
+        .and_then(|()| flush_metrics(args.metrics.as_ref(), &telemetry))
+        .and_then(|()| flush_trace(args.trace.as_ref(), &telemetry));
 
     match result {
         Ok(()) => ExitCode::SUCCESS,

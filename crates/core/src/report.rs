@@ -299,6 +299,37 @@ pub fn render_telemetry_report(snapshot: &TelemetrySnapshot) -> String {
             writeln!(out, "inf:{}", h.counts.last().copied().unwrap_or(0)).unwrap();
         }
     }
+    if !snapshot.sketches.is_empty() {
+        writeln!(out, "sketches").unwrap();
+        for s in &snapshot.sketches {
+            let q = |p: f64| s.quantile(p).map_or_else(|| "-".to_string(), |v| format!("{v:.2}"));
+            writeln!(
+                out,
+                "  {:<40} count {:>6}  p50 {:>8}  p90 {:>8}  p99 {:>8}",
+                s.name,
+                s.count,
+                q(0.5),
+                q(0.9),
+                q(0.99)
+            )
+            .unwrap();
+        }
+    }
+    if !snapshot.series.is_empty() {
+        writeln!(out, "series").unwrap();
+        for s in &snapshot.series {
+            let last = s.last().map_or_else(|| "-".to_string(), |v| format!("{:.0}", v.value));
+            let rate =
+                s.mean_rate_per_sec().map_or_else(|| "-".to_string(), |r| format!("{r:.1}/s"));
+            writeln!(
+                out,
+                "  {:<40} samples {:>4}  last {last:>10}  mean {rate:>12}",
+                s.name,
+                s.samples.len()
+            )
+            .unwrap();
+        }
+    }
     out
 }
 

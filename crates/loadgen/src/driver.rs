@@ -24,12 +24,12 @@
 //! given seed).
 
 use crate::model::{splitmix64, unit_f64, ServeModel, SimulatedModel};
-use crate::percentile::{latency_percentiles, percentile};
+use crate::percentile::LatencyPercentiles;
 use mlperf_core::mllog::{keys, MlLogger};
 use mlperf_core::rules::Scenario;
 use mlperf_core::suite::BenchmarkId;
 use mlperf_core::timing::{Clock, SimClock};
-use mlperf_telemetry::{arg, Telemetry};
+use mlperf_telemetry::{arg, QuantileSketch, Telemetry};
 use serde_json::{json, Map};
 use std::time::Duration;
 
@@ -153,16 +153,33 @@ pub struct ScenarioResult {
     pub log: String,
 }
 
-/// What one measurement loop observed.
+/// What one measurement loop observed. Latencies aggregate into a
+/// fixed-memory [`QuantileSketch`] (default `α = 1%` relative error,
+/// see the sketch's module docs) instead of a retained sample vector,
+/// so an arbitrarily long query stream costs constant memory. The
+/// exact sorted `percentile()` stays in `crate::percentile` as the
+/// oracle the differential tests compare against. Both the reported
+/// percentiles and the SLO pass/fail decisions read the same sketch,
+/// so a reported `p99 <= slo` holds by construction.
 struct Measurement {
     queries: u64,
     duration: Duration,
-    latencies_ms: Vec<f64>,
+    latency: QuantileSketch,
 }
 
 impl Measurement {
     fn qps(&self) -> f64 {
         self.queries as f64 / self.duration.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// The sketched `p`-th percentile (`p` in `[0, 100]`), 0 when no
+    /// queries ran.
+    fn pct(&self, p: f64) -> f64 {
+        self.latency.quantile(p / 100.0).unwrap_or(0.0)
+    }
+
+    fn percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles { p50: self.pct(50.0), p90: self.pct(90.0), p99: self.pct(99.0) }
     }
 }
 
@@ -210,7 +227,7 @@ impl<'a> LoadGenDriver<'a> {
         let (measurement, slo_ms, slo_satisfied) = match scenario {
             Scenario::SingleStream => {
                 let m = self.single_stream(model, &mut scope);
-                let ok = percentile(&m.latencies_ms, 90.0) <= config.slo_ms;
+                let ok = m.pct(90.0) <= config.slo_ms;
                 (m, Some(config.slo_ms), Some(ok))
             }
             Scenario::Server => {
@@ -220,7 +237,7 @@ impl<'a> LoadGenDriver<'a> {
             Scenario::Offline => (self.offline(model, config, &mut scope), None, None),
         };
 
-        let pct = latency_percentiles(&measurement.latencies_ms);
+        let pct = measurement.percentiles();
         let qps = measurement.qps();
 
         log.set_time_ms(self.now_ms());
@@ -245,7 +262,6 @@ impl<'a> LoadGenDriver<'a> {
                 arg("qps", json!(qps)),
             ])
         });
-        self.telemetry.counter("loadgen.queries").add(measurement.queries);
 
         ScenarioResult {
             benchmark,
@@ -280,28 +296,33 @@ impl<'a> LoadGenDriver<'a> {
         let rules = Scenario::SingleStream.rules();
         let min_duration = Duration::from_millis(rules.min_duration_ms);
         let hist = self.telemetry.histogram("loadgen.single_stream.latency_ms", &LATENCY_BOUNDS);
+        let sketch = self.telemetry.sketch("loadgen.latency_ms");
+        let query_counter = self.telemetry.counter("loadgen.queries");
         let stride = self.telemetry.span_stride(rules.min_query_count);
         let started = self.clock.now();
-        let mut latencies_ms = Vec::new();
+        let mut latency = QuantileSketch::default();
         let mut queries = 0u64;
         loop {
             let issued = self.clock.now();
             model.serve(queries);
             let latency_ms = ms(self.clock.now() - issued);
             hist.observe(latency_ms);
+            sketch.observe(latency_ms);
             if queries.is_multiple_of(stride) {
                 scope.event_with("loadgen", "query", || {
                     Map::from([arg("query", json!(queries)), arg("latency_ms", json!(latency_ms))])
                 });
             }
-            latencies_ms.push(latency_ms);
+            latency.observe(latency_ms);
             queries += 1;
+            query_counter.incr();
+            self.telemetry.pulse();
             let elapsed = self.clock.now() - started;
             if queries >= rules.min_query_count && (elapsed >= min_duration || elapsed.is_zero()) {
                 break;
             }
         }
-        Measurement { queries, duration: self.clock.now() - started, latencies_ms }
+        Measurement { queries, duration: self.clock.now() - started, latency }
     }
 
     /// One Server probe at a fixed arrival rate: seeded exponential
@@ -318,9 +339,11 @@ impl<'a> LoadGenDriver<'a> {
         let rules = Scenario::Server.rules();
         let min_duration = Duration::from_millis(rules.min_duration_ms);
         let mut state = splitmix64(config.seed ^ splitmix64(probe ^ 0x5e21));
+        let sketch = self.telemetry.sketch("loadgen.latency_ms");
+        let query_counter = self.telemetry.counter("loadgen.queries");
         let started = self.clock.now();
         let mut arrival = started;
-        let mut latencies_ms = Vec::with_capacity(rules.min_query_count as usize);
+        let mut latency = QuantileSketch::default();
         let mut queries = 0u64;
         loop {
             state = splitmix64(state);
@@ -328,14 +351,18 @@ impl<'a> LoadGenDriver<'a> {
             arrival += Duration::from_secs_f64(gap_s);
             self.pacer.wait_until(self.clock, arrival);
             model.serve(queries);
-            latencies_ms.push(ms(self.clock.now().saturating_sub(arrival)));
+            let latency_ms = ms(self.clock.now().saturating_sub(arrival));
+            latency.observe(latency_ms);
+            sketch.observe(latency_ms);
             queries += 1;
+            query_counter.incr();
+            self.telemetry.pulse();
             let elapsed = self.clock.now() - started;
             if queries >= rules.min_query_count && (elapsed >= min_duration || elapsed.is_zero()) {
                 break;
             }
         }
-        Measurement { queries, duration: self.clock.now() - started, latencies_ms }
+        Measurement { queries, duration: self.clock.now() - started, latency }
     }
 
     /// The Server scenario: finds the maximum sustainable arrival rate
@@ -350,7 +377,7 @@ impl<'a> LoadGenDriver<'a> {
         scope: &mut mlperf_telemetry::SpanScope<'_>,
     ) -> (Measurement, bool) {
         let hist = self.telemetry.histogram("loadgen.server.latency_ms", &LATENCY_BOUNDS);
-        let passes = |m: &Measurement| percentile(&m.latencies_ms, 99.0) <= config.slo_ms;
+        let passes = |m: &Measurement| m.pct(99.0) <= config.slo_ms;
         let mut probe_index = 0u64;
         let mut probe = |rate: f64, scope: &mut mlperf_telemetry::SpanScope<'_>| {
             let span = scope.start_with("loadgen", "server_probe", || {
@@ -358,7 +385,7 @@ impl<'a> LoadGenDriver<'a> {
             });
             let m = self.server_probe(model, config, rate, probe_index);
             probe_index += 1;
-            let p99 = percentile(&m.latencies_ms, 99.0);
+            let p99 = m.pct(99.0);
             hist.observe(p99);
             scope.end_with(span, || {
                 Map::from([arg("p99_ms", json!(p99)), arg("queries", json!(m.queries))])
@@ -411,16 +438,21 @@ impl<'a> LoadGenDriver<'a> {
         let rules = Scenario::Offline.rules();
         let min_duration = Duration::from_millis(rules.min_duration_ms);
         let started = self.clock.now();
-        let mut latencies_ms = Vec::new();
+        let sketch = self.telemetry.sketch("loadgen.latency_ms");
+        let query_counter = self.telemetry.counter("loadgen.queries");
+        let mut latency = QuantileSketch::default();
         let mut queries = 0u64;
         let mut batches = 0u64;
         loop {
             let batch = config.offline_batch.max(1);
             model.serve_batch(queries, batch);
             let done_ms = ms(self.clock.now() - started);
-            latencies_ms.resize(latencies_ms.len() + batch as usize, done_ms);
+            latency.observe_n(done_ms, batch);
+            sketch.observe_n(done_ms, batch);
             queries += batch;
             batches += 1;
+            query_counter.add(batch);
+            self.telemetry.pulse();
             let elapsed = self.clock.now() - started;
             if queries >= rules.min_query_count && (elapsed >= min_duration || elapsed.is_zero()) {
                 break;
@@ -429,7 +461,7 @@ impl<'a> LoadGenDriver<'a> {
         scope.event_with("loadgen", "offline_batches", || {
             Map::from([arg("batches", json!(batches)), arg("batch", json!(config.offline_batch))])
         });
-        Measurement { queries, duration: self.clock.now() - started, latencies_ms }
+        Measurement { queries, duration: self.clock.now() - started, latency }
     }
 }
 

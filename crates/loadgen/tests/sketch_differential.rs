@@ -1,0 +1,127 @@
+//! Differential test: the mergeable quantile sketch vs the exact
+//! nearest-rank oracle in `mlperf_loadgen::percentile`.
+//!
+//! The drivers report latency percentiles from a `QuantileSketch`
+//! (bounded memory) instead of retaining every sample. The sketch's
+//! documented guarantee is a *relative* error of at most `alpha` on the
+//! value returned for any quantile — for the default `alpha = 0.01`,
+//! the sketch's p99 is within 1% of the exact nearest-rank p99. This
+//! suite pins that bound against seeded sample sets with deliberately
+//! different shapes (uniform, lognormal, bimodal), since log-spaced
+//! buckets behave differently on tight vs heavy-tailed distributions.
+
+use mlperf_loadgen::percentile;
+use mlperf_telemetry::{QuantileSketch, DEFAULT_SKETCH_ALPHA};
+
+/// SplitMix64: a tiny seeded generator so the sample sets are fixed
+/// across runs without depending on an external RNG crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `(0, 1)` — open at both ends so `ln` is finite.
+fn unit(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Standard normal via Box–Muller (only the cosine branch; one draw
+/// per call keeps the stream simple and deterministic).
+fn standard_normal(state: &mut u64) -> f64 {
+    let u1 = unit(state);
+    let u2 = unit(state);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn uniform_samples(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..n).map(|_| 0.5 + 99.5 * unit(&mut state)).collect()
+}
+
+fn lognormal_samples(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed;
+    // mu = ln(10), sigma = 0.75: a latency-like heavy tail around 10ms.
+    (0..n).map(|_| (10.0f64.ln() + 0.75 * standard_normal(&mut state)).exp()).collect()
+}
+
+fn bimodal_samples(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            // 90% fast path near 2ms, 10% slow path near 80ms — the shape
+            // where tail quantiles and the median live in different modes.
+            if unit(&mut state) < 0.9 {
+                2.0 + 0.5 * unit(&mut state)
+            } else {
+                80.0 + 20.0 * unit(&mut state)
+            }
+        })
+        .collect()
+}
+
+/// Asserts the sketch quantile is within the documented relative-error
+/// bound of the exact nearest-rank percentile for every probed `q`.
+fn assert_within_alpha(samples: &[f64], label: &str) {
+    let mut sketch = QuantileSketch::default();
+    for &s in samples {
+        sketch.observe(s);
+    }
+    for &p in &[1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+        let exact = percentile(samples, p);
+        let approx = sketch.quantile(p / 100.0).expect("sketch observed samples");
+        let bound = DEFAULT_SKETCH_ALPHA * exact.abs();
+        assert!(
+            (approx - exact).abs() <= bound,
+            "{label} p{p}: sketch {approx} vs exact {exact} exceeds alpha bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn sketch_tracks_exact_percentiles_on_uniform_samples() {
+    for seed in [1u64, 7, 42] {
+        assert_within_alpha(&uniform_samples(seed, 20_000), "uniform");
+    }
+}
+
+#[test]
+fn sketch_tracks_exact_percentiles_on_lognormal_samples() {
+    for seed in [3u64, 11, 2026] {
+        assert_within_alpha(&lognormal_samples(seed, 20_000), "lognormal");
+    }
+}
+
+#[test]
+fn sketch_tracks_exact_percentiles_on_bimodal_samples() {
+    for seed in [5u64, 13, 99] {
+        assert_within_alpha(&bimodal_samples(seed, 20_000), "bimodal");
+    }
+}
+
+#[test]
+fn merged_shards_match_a_single_sketch_within_alpha() {
+    // Per-worker shards merged at snapshot time must agree with the
+    // exact oracle just as a single sketch does: merge is bucket-wise
+    // exact, so the bound carries over unchanged.
+    let samples = lognormal_samples(17, 30_000);
+    let mut merged = QuantileSketch::default();
+    for chunk in samples.chunks(7_500) {
+        let mut shard = QuantileSketch::default();
+        for &s in chunk {
+            shard.observe(s);
+        }
+        merged.merge(&shard);
+    }
+    assert_eq!(merged.count(), samples.len() as u64);
+    for &p in &[50.0, 90.0, 99.0] {
+        let exact = percentile(&samples, p);
+        let approx = merged.quantile(p / 100.0).expect("merged sketch is non-empty");
+        assert!(
+            (approx - exact).abs() <= DEFAULT_SKETCH_ALPHA * exact.abs(),
+            "merged p{p}: {approx} vs {exact}"
+        );
+    }
+}

@@ -28,7 +28,7 @@
 //! are spawned, so using the pool never costs anything when there is no
 //! parallelism to be had.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
@@ -36,6 +36,107 @@ use std::thread;
 /// core, capped at the item count, and at least one.
 pub fn workers_for(items: usize) -> usize {
     thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1).min(items).max(1)
+}
+
+// Process-global pool statistics. This crate sits at the bottom of the
+// dependency graph and cannot know what telemetry is, so it exposes
+// plain atomics that `mlperf-telemetry`'s `Reporter` samples through
+// closure sources. Every entry point — including the inline serial
+// degradations — updates them, so a single-core CI host still records
+// a busy-worker peak of at least one.
+static WORKERS_BUSY: AtomicU64 = AtomicU64::new(0);
+static WORKERS_BUSY_PEAK: AtomicU64 = AtomicU64::new(0);
+static QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+static ACTIVE_POOLS: AtomicU64 = AtomicU64::new(0);
+static ITEMS_COMPLETED: AtomicU64 = AtomicU64::new(0);
+static FANOUTS: AtomicU64 = AtomicU64::new(0);
+static FANOUT_WIDTH_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-global pool statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Workers currently inside a work loop (serial degradations count
+    /// as one busy worker).
+    pub workers_busy: u64,
+    /// High-water mark of `workers_busy` since process start.
+    pub workers_busy_peak: u64,
+    /// Items (or chunks) claimed by no worker yet.
+    pub queue_depth: u64,
+    /// Pool invocations currently in flight.
+    pub active_pools: u64,
+    /// Items (or chunks) completed since process start.
+    pub items_completed: u64,
+    /// Pool invocations since process start.
+    pub fanouts: u64,
+    /// Widest fan-out (worker count of one invocation) since process
+    /// start.
+    pub fanout_width_peak: u64,
+}
+
+/// Reads the process-global pool statistics (monotone fields keep
+/// growing for the life of the process; gauges are instantaneous).
+pub fn pool_stats() -> PoolSnapshot {
+    PoolSnapshot {
+        workers_busy: WORKERS_BUSY.load(Ordering::Relaxed),
+        workers_busy_peak: WORKERS_BUSY_PEAK.load(Ordering::Relaxed),
+        queue_depth: QUEUE_DEPTH.load(Ordering::Relaxed),
+        active_pools: ACTIVE_POOLS.load(Ordering::Relaxed),
+        items_completed: ITEMS_COMPLETED.load(Ordering::Relaxed),
+        fanouts: FANOUTS.load(Ordering::Relaxed),
+        fanout_width_peak: FANOUT_WIDTH_PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// Scope guard for one pool invocation: enqueues the work on entry,
+/// drops the pool-active count (and any unconsumed queue) on exit,
+/// even on panic unwind. Workers report completions through it, so it
+/// is shared by reference across the scoped threads.
+struct PoolScope {
+    queued: AtomicU64,
+}
+
+impl PoolScope {
+    fn enter(width: usize, queued: usize) -> PoolScope {
+        ACTIVE_POOLS.fetch_add(1, Ordering::Relaxed);
+        FANOUTS.fetch_add(1, Ordering::Relaxed);
+        FANOUT_WIDTH_PEAK.fetch_max(width as u64, Ordering::Relaxed);
+        QUEUE_DEPTH.fetch_add(queued as u64, Ordering::Relaxed);
+        PoolScope { queued: AtomicU64::new(queued as u64) }
+    }
+
+    /// Marks `n` items complete: off the queue, onto the completed
+    /// total.
+    fn items_done(&self, n: u64) {
+        self.queued.fetch_sub(n, Ordering::Relaxed);
+        QUEUE_DEPTH.fetch_sub(n, Ordering::Relaxed);
+        ITEMS_COMPLETED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl Drop for PoolScope {
+    fn drop(&mut self) {
+        ACTIVE_POOLS.fetch_sub(1, Ordering::Relaxed);
+        // Anything still queued did not complete (panic unwind);
+        // release it so the gauge does not leak upward forever.
+        QUEUE_DEPTH.fetch_sub(self.queued.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Scope guard for one busy worker (serial loops count as one).
+struct BusyWorker;
+
+impl BusyWorker {
+    fn enter() -> BusyWorker {
+        let busy = WORKERS_BUSY.fetch_add(1, Ordering::Relaxed) + 1;
+        WORKERS_BUSY_PEAK.fetch_max(busy, Ordering::Relaxed);
+        BusyWorker
+    }
+}
+
+impl Drop for BusyWorker {
+    fn drop(&mut self) {
+        WORKERS_BUSY.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Applies `f` to every item on the pool and returns the results in
@@ -81,10 +182,13 @@ where
         return Vec::new();
     }
     let workers = workers_for(items.len());
+    let pool = PoolScope::enter(workers, items.len());
     if workers == 1 {
+        let _busy = BusyWorker::enter();
         let mut state = init();
         let out = items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
         done(state, items.len() as u64);
+        pool.items_done(items.len() as u64);
         return out;
     }
     let next = AtomicUsize::new(0);
@@ -92,7 +196,9 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let (next, init, f, done) = (&next, &init, &f, &done);
+                let pool = &pool;
                 scope.spawn(move || {
+                    let _busy = BusyWorker::enter();
                     let mut state = init();
                     let mut out = Vec::new();
                     let mut claimed = 0u64;
@@ -103,6 +209,7 @@ where
                         }
                         claimed += 1;
                         out.push((i, f(&mut state, i, &items[i])));
+                        pool.items_done(1);
                     }
                     done(state, claimed);
                     out
@@ -149,11 +256,14 @@ where
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
     let workers = workers_for(n_chunks);
+    let pool = PoolScope::enter(workers, n_chunks);
     if workers == 1 {
+        let _busy = BusyWorker::enter();
         let mut state = init();
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(&mut state, i, chunk);
         }
+        pool.items_done(n_chunks as u64);
         return;
     }
     // Hand each chunk to exactly one worker through a take-once slot;
@@ -165,7 +275,9 @@ where
     thread::scope(|scope| {
         for _ in 0..workers {
             let (next, chunks, init, f) = (&next, &chunks, &init, &f);
+            let pool = &pool;
             scope.spawn(move || {
+                let _busy = BusyWorker::enter();
                 let mut state = init();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -178,6 +290,7 @@ where
                         .take()
                         .expect("chunk claimed twice");
                     f(&mut state, i, chunk);
+                    pool.items_done(1);
                 }
             });
         }
@@ -265,5 +378,48 @@ mod tests {
         assert_eq!(workers_for(0), 1);
         assert_eq!(workers_for(1), 1);
         assert!(workers_for(1_000_000) >= 1);
+    }
+
+    // The stats are process-global and other tests run concurrently,
+    // so these assert monotone deltas and invariants, never absolute
+    // values.
+
+    #[test]
+    fn stats_count_completed_items_and_fanouts() {
+        let before = pool_stats();
+        let items: Vec<usize> = (0..321).collect();
+        parallel_map(&items, |i| i + 1);
+        let mut data = vec![0u8; 100];
+        parallel_chunks_mut(&mut data, 10, |_, chunk| chunk.fill(1));
+        let after = pool_stats();
+        assert!(after.items_completed >= before.items_completed + 321 + 10);
+        assert!(after.fanouts >= before.fanouts + 2);
+        assert!(after.workers_busy_peak >= 1, "even a serial loop counts as one busy worker");
+        assert!(after.fanout_width_peak >= 1);
+    }
+
+    #[test]
+    fn stats_gauges_return_to_idle() {
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(&items, |i| *i);
+        // Our own work is done; other tests may still be running, so
+        // the gauges are bounded, not zero.
+        let stats = pool_stats();
+        assert!(stats.queue_depth < 1_000_000, "no leaked queue depth");
+        assert!(stats.active_pools < 1_000, "no leaked active pools");
+        assert!(stats.workers_busy <= stats.workers_busy_peak);
+    }
+
+    #[test]
+    fn stats_observe_busy_workers_mid_flight() {
+        let before = pool_stats();
+        let items: Vec<usize> = (0..workers_for(usize::MAX).max(2) * 4).collect();
+        parallel_map(&items, |i| {
+            let seen = pool_stats();
+            assert!(seen.workers_busy >= 1, "the observing worker itself is busy");
+            assert!(seen.active_pools >= 1);
+            *i
+        });
+        assert!(pool_stats().workers_busy_peak >= before.workers_busy_peak.max(1));
     }
 }

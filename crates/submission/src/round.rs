@@ -502,6 +502,9 @@ impl StreamingReview {
             scope.end(span);
         }
         self.results.push(((index, arrival), entries, scenarios, report));
+        // Give an installed reporter a chance to close a window: bundle
+        // arrival is the streaming path's natural heartbeat.
+        self.telemetry.pulse();
     }
 
     /// Bundles reviewed so far.

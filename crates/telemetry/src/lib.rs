@@ -19,18 +19,46 @@
 //! still reads as one coherent run.
 //!
 //! Exporters: [`trace::write_trace`] emits Chrome `trace_event`
-//! JSON-lines (loadable in `chrome://tracing` / Perfetto), and
-//! `mlperf-core`'s `report::render_telemetry_report` renders the same
-//! snapshot as a plain-text summary.
+//! JSON-lines (loadable in `chrome://tracing` / Perfetto),
+//! [`prometheus::render_prometheus`] renders the registry — counters,
+//! gauges, histograms, sketch quantiles, and time-series rates — in
+//! Prometheus text exposition format, [`flame::write_collapsed`] folds
+//! completed span trees into a collapsed-stack profile (the format
+//! `inferno` / `flamegraph.pl` consume), and `mlperf-core`'s
+//! `report::render_telemetry_report` renders the same snapshot as a
+//! plain-text summary.
+//!
+//! Beyond point-in-time snapshots, the sink can carry an installed
+//! [`Reporter`] that samples counters and gauges into windowed
+//! [`TimeSeries`] rings — instrumented loops call
+//! [`Telemetry::pulse`] per item and the reporter turns that into
+//! interval-spaced rate windows and optional live progress lines (see
+//! the `series` module docs). Tail latencies aggregate into mergeable
+//! [`QuantileSketch`]es with fixed memory instead of retained sample
+//! vectors (see the `sketch` module docs for the error bound).
 
 mod clock;
+pub mod flame;
 mod metrics;
+pub mod prometheus;
+mod series;
+mod sketch;
 mod snapshot;
 mod span;
 pub mod trace;
 
 pub use clock::{Clock, MonotonicClock};
+pub use flame::{render_collapsed, write_collapsed};
 pub use metrics::{Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot};
+pub use prometheus::{render_prometheus, write_prometheus};
+pub use series::{
+    Reporter, SeriesKind, SeriesSample, TimeSeries, TimeSeriesSnapshot, Window,
+    DEFAULT_SERIES_CAPACITY,
+};
+pub use sketch::{
+    QuantileSketch, Sketch, SketchShard, SketchSnapshot, DEFAULT_SKETCH_ALPHA,
+    DEFAULT_SKETCH_MAX_BUCKETS,
+};
 pub use snapshot::TelemetrySnapshot;
 pub use span::{arg, EventRecord, SpanHandle, SpanId, SpanRecord, SpanScope};
 pub use trace::{render_trace, trace_events, write_trace, TraceWriteError};
@@ -51,6 +79,8 @@ struct Inner {
     /// Next scope track (trace viewer lane).
     next_track: AtomicU64,
     metrics: Registry,
+    /// The installed reporter, ticked by [`Telemetry::pulse`].
+    reporter: Mutex<Option<Reporter>>,
 }
 
 /// 1-in-N per-item span sampling for very large workloads. Metrics
@@ -92,6 +122,7 @@ impl Telemetry {
                 next_span: AtomicU64::new(1),
                 next_track: AtomicU64::new(1),
                 metrics: Registry::default(),
+                reporter: Mutex::new(None),
             })),
             sampling: None,
         }
@@ -187,6 +218,75 @@ impl Telemetry {
             .map_or_else(Histogram::disabled, |inner| inner.metrics.histogram(name, bounds))
     }
 
+    /// The named quantile sketch at the default relative-error bound
+    /// ([`DEFAULT_SKETCH_ALPHA`]). A disabled handle returns an inert
+    /// sketch.
+    pub fn sketch(&self, name: &str) -> Sketch {
+        self.sketch_with_alpha(name, DEFAULT_SKETCH_ALPHA)
+    }
+
+    /// The named quantile sketch. The first registration fixes
+    /// `alpha`.
+    pub fn sketch_with_alpha(&self, name: &str, alpha: f64) -> Sketch {
+        self.inner.as_ref().map_or_else(Sketch::disabled, |inner| inner.metrics.sketch(name, alpha))
+    }
+
+    /// The named time-series with the default ring capacity. The first
+    /// registration fixes the kind.
+    pub fn time_series(&self, name: &str, kind: SeriesKind) -> TimeSeries {
+        self.time_series_with_capacity(name, kind, DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// [`Telemetry::time_series`] with an explicit ring capacity
+    /// (fixed by the first registration).
+    pub fn time_series_with_capacity(
+        &self,
+        name: &str,
+        kind: SeriesKind,
+        capacity: usize,
+    ) -> TimeSeries {
+        self.inner.as_ref().map_or_else(TimeSeries::disabled, |inner| {
+            inner.metrics.time_series(name, kind, capacity)
+        })
+    }
+
+    /// Installs `reporter` into the sink; subsequent
+    /// [`Telemetry::pulse`] calls (from any clone, any thread) tick it
+    /// on the sink's monotonic clock. Replaces any previous reporter.
+    /// No-op on a disabled handle.
+    pub fn install_reporter(&self, reporter: Reporter) {
+        if let Some(inner) = &self.inner {
+            *inner.reporter.lock().expect("reporter slot poisoned") = Some(reporter);
+        }
+    }
+
+    /// Gives the installed reporter a chance to sample, at the sink
+    /// clock's current time. Cheap when no reporter is installed or
+    /// the interval has not elapsed; instrumented loops call this once
+    /// per processed item.
+    pub fn pulse(&self) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut slot = inner.reporter.lock().expect("reporter slot poisoned");
+        if let Some(reporter) = slot.as_mut() {
+            reporter.maybe_tick(inner.clock.now());
+        }
+    }
+
+    /// Forces the installed reporter to take a final sample now, so
+    /// even a run shorter than the sampling interval closes at least
+    /// one window before a snapshot is taken.
+    pub fn flush_reporter(&self) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut slot = inner.reporter.lock().expect("reporter slot poisoned");
+        if let Some(reporter) = slot.as_mut() {
+            reporter.tick(inner.clock.now());
+        }
+    }
+
     /// A copy of everything recorded so far. Spans come back sorted by
     /// `(start_us, id)` regardless of completion order.
     pub fn snapshot(&self) -> TelemetrySnapshot {
@@ -203,6 +303,8 @@ impl Telemetry {
             counters: inner.metrics.counter_snapshots(),
             gauges: inner.metrics.gauge_snapshots(),
             histograms: inner.metrics.histogram_snapshots(),
+            sketches: inner.metrics.sketch_snapshots(),
+            series: inner.metrics.series_snapshots(),
         }
     }
 
@@ -301,6 +403,55 @@ mod tests {
         let snapshot = telemetry.snapshot();
         assert_eq!(snapshot.layers(), vec!["harness", "ingest"]);
         assert_eq!(snapshot.spans_in("harness").count(), 2);
+    }
+
+    #[test]
+    fn installed_reporter_samples_through_pulse_and_flush() {
+        let telemetry = Telemetry::recording();
+        let counter = telemetry.counter("items");
+        let mut reporter = Reporter::new(std::time::Duration::ZERO);
+        reporter.track_counter(&telemetry, "items", counter.clone());
+        telemetry.install_reporter(reporter);
+        telemetry.pulse(); // baseline sample
+        counter.add(7);
+        telemetry.flush_reporter();
+        let snapshot = telemetry.snapshot();
+        let series = snapshot.series.iter().find(|s| s.name == "items").unwrap();
+        assert!(series.samples.len() >= 2);
+        assert_eq!(series.last().unwrap().value, 7.0);
+        let deltas: f64 = series.windows().iter().map(|w| w.delta).sum();
+        assert_eq!(deltas as u64, counter.value());
+    }
+
+    #[test]
+    fn disabled_handles_mint_inert_sketches_and_series() {
+        let telemetry = Telemetry::disabled();
+        telemetry.sketch("s").observe(1.0);
+        telemetry.time_series("t", SeriesKind::Counter).push(std::time::Duration::ZERO, 1.0);
+        telemetry.install_reporter(Reporter::new(std::time::Duration::ZERO));
+        telemetry.pulse();
+        telemetry.flush_reporter();
+        assert!(telemetry.snapshot().is_empty());
+    }
+
+    #[test]
+    fn sketches_and_series_land_in_the_snapshot() {
+        let telemetry = Telemetry::recording();
+        let sketch = telemetry.sketch("latency");
+        for i in 1..=100 {
+            sketch.observe(i as f64);
+        }
+        telemetry
+            .time_series("depth", SeriesKind::Gauge)
+            .push(std::time::Duration::from_secs(1), 3.0);
+        let snapshot = telemetry.snapshot();
+        assert!(!snapshot.is_empty());
+        assert_eq!(snapshot.sketches.len(), 1);
+        assert_eq!(snapshot.sketches[0].count, 100);
+        let p50 = snapshot.sketches[0].quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() <= 0.5 + 1e-9, "p50 within 1%: {p50}");
+        assert_eq!(snapshot.series.len(), 1);
+        assert_eq!(snapshot.series[0].last().unwrap().value, 3.0);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! disabled [`crate::Telemetry`] carry no storage at all; their hot
 //! path is a no-op branch.
 
+use crate::series::{SeriesKind, TimeSeries, TimeSeriesCore, TimeSeriesSnapshot};
+use crate::sketch::{Sketch, SketchCore, SketchSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -149,6 +151,8 @@ pub(crate) struct Registry {
     counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
     gauges: Mutex<Vec<(String, Arc<AtomicU64>)>>,
     histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
+    sketches: Mutex<Vec<(String, Arc<SketchCore>)>>,
+    series: Mutex<Vec<(String, Arc<TimeSeriesCore>)>>,
 }
 
 fn intern<T>(slots: &Mutex<Vec<(String, Arc<T>)>>, name: &str, make: impl FnOnce() -> T) -> Arc<T> {
@@ -175,6 +179,18 @@ impl Registry {
     /// regardless of the bounds they pass.
     pub(crate) fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
         Histogram(Some(intern(&self.histograms, name, || HistogramCore::new(bounds))))
+    }
+
+    /// Registers (or re-fetches) a quantile sketch. The first
+    /// registration fixes `alpha`.
+    pub(crate) fn sketch(&self, name: &str, alpha: f64) -> Sketch {
+        Sketch(Some(intern(&self.sketches, name, || SketchCore::new(alpha))))
+    }
+
+    /// Registers (or re-fetches) a time-series. The first registration
+    /// fixes the kind and ring capacity.
+    pub(crate) fn time_series(&self, name: &str, kind: SeriesKind, capacity: usize) -> TimeSeries {
+        TimeSeries(Some(intern(&self.series, name, || TimeSeriesCore::new(kind, capacity))))
     }
 
     pub(crate) fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
@@ -216,6 +232,27 @@ impl Registry {
             })
             .collect()
     }
+
+    pub(crate) fn sketch_snapshots(&self) -> Vec<SketchSnapshot> {
+        let slots = self.sketches.lock().expect("metrics registry poisoned");
+        slots
+            .iter()
+            .map(|(name, core)| {
+                let sketch = core.sketch.lock().expect("sketch poisoned").clone();
+                SketchSnapshot {
+                    name: name.clone(),
+                    count: sketch.count(),
+                    sum: sketch.sum(),
+                    sketch,
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn series_snapshots(&self) -> Vec<TimeSeriesSnapshot> {
+        let slots = self.series.lock().expect("metrics registry poisoned");
+        slots.iter().map(|(name, core)| core.snapshot(name)).collect()
+    }
 }
 
 /// A counter's name and value at snapshot time.
@@ -255,6 +292,41 @@ impl HistogramSnapshot {
     /// Mean observation, `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Bucket-interpolated `q`-quantile (`q` in `[0, 1]`), `None` when
+    /// empty.
+    ///
+    /// Uses the nearest-rank rule (`rank = ceil(q·count)` clamped to
+    /// `[1, count]`), finds the bucket holding that rank, and
+    /// interpolates linearly through it. The first bucket interpolates
+    /// from `min(0, bounds[0])` (observations *under* the first bound
+    /// have no recorded lower edge); ranks landing in the overflow
+    /// bucket clamp to the last bound, the largest value the histogram
+    /// can attest to. Fixed-bucket quantiles are coarse — the quantile
+    /// sketch is the precise tool — but they let existing histograms
+    /// report approximate percentiles in text reports.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &bucket_count) in self.counts.iter().enumerate() {
+            let before = cum;
+            cum += bucket_count;
+            if cum < rank {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Overflow bucket: no upper edge to interpolate toward.
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 { upper.min(0.0) } else { self.bounds[i - 1] };
+            let frac = (rank - before) as f64 / bucket_count as f64;
+            return Some(lower + frac * (upper - lower));
+        }
+        self.bounds.last().copied()
     }
 }
 
@@ -343,5 +415,46 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_are_rejected() {
         HistogramCore::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_buckets() {
+        let registry = Registry::default();
+        let h = registry.histogram("latency", &[10.0, 20.0, 40.0]);
+        // 10 observations in (10, 20]; ranks 1..=10 spread evenly.
+        for i in 0..10 {
+            h.observe(11.0 + i as f64);
+        }
+        let snap = registry.histogram_snapshots().remove(0);
+        // rank = ceil(0.5 * 10) = 5 → 5/10 through (10, 20].
+        assert_eq!(snap.quantile(0.5), Some(15.0));
+        assert_eq!(snap.quantile(1.0), Some(20.0));
+        // rank clamps to 1 → 1/10 through the bucket.
+        assert_eq!(snap.quantile(0.0), Some(11.0));
+    }
+
+    #[test]
+    fn histogram_quantile_handles_under_and_overflow_buckets() {
+        let registry = Registry::default();
+        let h = registry.histogram("latency", &[10.0, 20.0]);
+        h.observe(2.0); // under the first bound
+        h.observe(15.0);
+        h.observe(99.0); // overflow
+        h.observe(99.0); // overflow
+        let snap = registry.histogram_snapshots().remove(0);
+        // rank 1 lands in the first bucket, which interpolates from 0.
+        assert_eq!(snap.quantile(0.25), Some(10.0));
+        // rank 2 → fully through (10, 20].
+        assert_eq!(snap.quantile(0.5), Some(20.0));
+        // Overflow ranks clamp to the last bound.
+        assert_eq!(snap.quantile(0.99), Some(20.0));
+        assert_eq!(snap.quantile(1.0), Some(20.0));
+    }
+
+    #[test]
+    fn histogram_quantile_is_none_when_empty() {
+        let registry = Registry::default();
+        registry.histogram("empty", &[1.0]);
+        assert_eq!(registry.histogram_snapshots().remove(0).quantile(0.5), None);
     }
 }

@@ -3,6 +3,8 @@
 //! renderers work on stable data.
 
 use crate::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
+use crate::series::TimeSeriesSnapshot;
+use crate::sketch::SketchSnapshot;
 use crate::span::{EventRecord, SpanRecord};
 
 /// Everything recorded so far: completed spans (sorted by start time,
@@ -20,6 +22,10 @@ pub struct TelemetrySnapshot {
     pub gauges: Vec<GaugeSnapshot>,
     /// Histograms in registration order.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Quantile sketches in registration order.
+    pub sketches: Vec<SketchSnapshot>,
+    /// Time-series in registration order.
+    pub series: Vec<TimeSeriesSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -30,6 +36,8 @@ impl TelemetrySnapshot {
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
+            && self.sketches.is_empty()
+            && self.series.is_empty()
     }
 
     /// The instant events emitted by one instrumented layer.

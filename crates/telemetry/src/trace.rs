@@ -30,11 +30,52 @@ impl fmt::Display for TraceWriteError {
 
 impl std::error::Error for TraceWriteError {}
 
-/// The Chrome `trace_event` objects for a snapshot: one complete-span
-/// event per span (chronological), one instant (`"ph": "i"`) event per
-/// recorded [`crate::EventRecord`], then one counter event per metric.
+/// The Chrome `trace_event` objects for a snapshot: metadata
+/// (`"ph": "M"`) events naming the process and every span track, then
+/// one complete-span event per span (chronological), one instant
+/// (`"ph": "i"`) event per recorded [`crate::EventRecord`], then one
+/// counter event per metric. The metadata makes `chrome://tracing` /
+/// Perfetto label lanes with the emitting layer instead of bare track
+/// ids.
 pub fn trace_events(snapshot: &TelemetrySnapshot) -> Vec<Value> {
     let mut events = Vec::new();
+    if !snapshot.is_empty() {
+        events.push(json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "mlperf-suite"},
+        }));
+        // One thread_name per track, labeled with the first layer seen
+        // there (snapshot order = start order, so "first" is stable).
+        let mut tracks: std::collections::BTreeMap<u64, &str> = std::collections::BTreeMap::new();
+        for span in &snapshot.spans {
+            tracks.entry(span.track).or_insert(&span.layer);
+        }
+        for event in &snapshot.events {
+            tracks.entry(event.track).or_insert(&event.layer);
+        }
+        let has_metrics = !snapshot.counters.is_empty()
+            || !snapshot.gauges.is_empty()
+            || !snapshot.histograms.is_empty();
+        if has_metrics {
+            tracks.entry(0).or_insert("metrics");
+        }
+        for (track, layer) in tracks {
+            let label =
+                if track == 0 { layer.to_string() } else { format!("{layer} (track {track})") };
+            events.push(json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": track,
+                "ts": 0,
+                "args": {"name": label},
+            }));
+        }
+    }
     let last_ts = snapshot
         .spans
         .iter()
@@ -175,19 +216,41 @@ mod tests {
     #[test]
     fn events_carry_chrome_trace_fields() {
         let events = trace_events(&sample_snapshot());
-        assert_eq!(events.len(), 2 + 3);
+        // process_name + span-track thread_name + metrics thread_name,
+        // then two spans and three metrics.
+        assert_eq!(events.len(), 3 + 2 + 3);
         for event in &events {
             assert!(event.get("name").is_some());
             assert!(event.get("ph").is_some());
             assert!(event.get("ts").is_some());
             assert_eq!(event["pid"], json!(1));
         }
-        let span = &events[0];
-        assert_eq!(span["ph"], json!("X"));
+        let span = events.iter().find(|e| e["ph"] == json!("X")).unwrap();
         assert!(span.get("dur").is_some());
         let counter = events.iter().find(|e| e["name"] == json!("events")).unwrap();
         assert_eq!(counter["ph"], json!("C"));
         assert_eq!(counter["args"]["value"], json!(2));
+    }
+
+    #[test]
+    fn metadata_events_label_process_and_tracks() {
+        let events = trace_events(&sample_snapshot());
+        assert_eq!(events[0]["name"], json!("process_name"));
+        assert_eq!(events[0]["ph"], json!("M"));
+        assert_eq!(events[0]["args"]["name"], json!("mlperf-suite"));
+        let span = events.iter().find(|e| e["ph"] == json!("X")).unwrap();
+        let lane = events
+            .iter()
+            .find(|e| e["name"] == json!("thread_name") && e["tid"] == span["tid"])
+            .expect("the span's track is labeled");
+        assert_eq!(lane["ph"], json!("M"));
+        let label = lane["args"]["name"].as_str().unwrap();
+        assert!(label.starts_with("test"), "lane named after the layer: {label}");
+        let metrics_lane = events
+            .iter()
+            .find(|e| e["name"] == json!("thread_name") && e["tid"] == json!(0))
+            .expect("the metrics lane is labeled");
+        assert_eq!(metrics_lane["args"]["name"], json!("metrics"));
     }
 
     #[test]
@@ -213,7 +276,7 @@ mod tests {
         let text = render_trace(&sample_snapshot());
         assert!(text.ends_with('\n'));
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 8, "3 metadata + 2 spans + 3 metrics");
         for line in lines {
             let value: Value = serde_json::from_str(line).expect("every line parses alone");
             assert!(value.as_object().is_some());

@@ -45,7 +45,7 @@
 
 use crate::conv::{col2im_one, im2col_into, im2col_one, nchw, Conv2dSpec};
 use crate::tensor::Tensor;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 /// Which execution backend a tensor's kernels run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -524,6 +524,84 @@ const PACK_MIN_M: usize = 32;
 /// pool; below this the pool overhead dwarfs the work.
 const PARALLEL_MIN_FLOPS: usize = 1 << 18;
 
+// ---------------------------------------------------------------------
+// Optional kernel dispatch counters.
+//
+// Process-global and off by default: the GEMM hot path pays exactly one
+// relaxed bool load until `enable_kernel_stats()` flips them on (the
+// profiler and `round_pipeline --metrics` do). They answer the tuning
+// questions the dispatch constants above raise — which path did real
+// workloads actually take, how much packing did they pay for, how wide
+// did the pool fan-out go.
+// ---------------------------------------------------------------------
+
+static KERNEL_STATS_ON: AtomicBool = AtomicBool::new(false);
+static GEMM_REFERENCE: AtomicU64 = AtomicU64::new(0);
+static GEMM_DIRECT: AtomicU64 = AtomicU64::new(0);
+static GEMM_PACKED: AtomicU64 = AtomicU64::new(0);
+static PACKED_BYTES: AtomicU64 = AtomicU64::new(0);
+static GEMM_FANOUTS: AtomicU64 = AtomicU64::new(0);
+static FANOUT_WIDTH_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the `Blocked` backend's dispatch
+/// counters (all zero until [`enable_kernel_stats`] is called).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Serial GEMM calls that took the reference row kernel
+    /// (`n < NR`).
+    pub gemm_reference: u64,
+    /// Serial GEMM calls that took the direct register-tile kernel.
+    pub gemm_direct: u64,
+    /// Serial GEMM calls that took the packed-panel kernel.
+    pub gemm_packed: u64,
+    /// Bytes copied into packed `b` panels.
+    pub packed_bytes: u64,
+    /// GEMM calls that fanned out on the worker pool.
+    pub gemm_fanouts: u64,
+    /// Widest pool fan-out (bands) of any single GEMM.
+    pub fanout_width_peak: u64,
+}
+
+/// Turns the kernel dispatch counters on (they stay on for the life of
+/// the process).
+pub fn enable_kernel_stats() {
+    KERNEL_STATS_ON.store(true, Ordering::Relaxed);
+}
+
+/// Reads the kernel dispatch counters.
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        gemm_reference: GEMM_REFERENCE.load(Ordering::Relaxed),
+        gemm_direct: GEMM_DIRECT.load(Ordering::Relaxed),
+        gemm_packed: GEMM_PACKED.load(Ordering::Relaxed),
+        packed_bytes: PACKED_BYTES.load(Ordering::Relaxed),
+        gemm_fanouts: GEMM_FANOUTS.load(Ordering::Relaxed),
+        fanout_width_peak: FANOUT_WIDTH_PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the kernel dispatch counters (the profiler resets between
+/// backends to attribute counts per run).
+pub fn reset_kernel_stats() {
+    for cell in [
+        &GEMM_REFERENCE,
+        &GEMM_DIRECT,
+        &GEMM_PACKED,
+        &PACKED_BYTES,
+        &GEMM_FANOUTS,
+        &FANOUT_WIDTH_PEAK,
+    ] {
+        cell.store(0, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn bump(cell: &AtomicU64, n: u64) {
+    if KERNEL_STATS_ON.load(Ordering::Relaxed) {
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// Serial blocked GEMM: register-tiled microkernel, packing `b` into
 /// L1-resident panels when it is large. Per output element the `k`
 /// products accumulate in ascending order from `+0.0`, matching the
@@ -536,10 +614,13 @@ const PARALLEL_MIN_FLOPS: usize = 1 << 18;
 /// become `-0.0`), and faster than the tile remainder path.
 fn blocked_gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     if n < NR {
+        bump(&GEMM_REFERENCE, 1);
         reference_gemm(a, b, out, m, k, n);
     } else if k * n <= PACK_B_ABOVE || m < PACK_MIN_M {
+        bump(&GEMM_DIRECT, 1);
         blocked_gemm_direct(a, b, out, m, k, n);
     } else {
+        bump(&GEMM_PACKED, 1);
         blocked_gemm_packed(a, b, out, m, k, n);
     }
 }
@@ -613,6 +694,8 @@ fn blocked_row_times_matrix(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize)
 /// of the direct kernel into sequential L1 reads.
 fn blocked_gemm_packed(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let mut panel = vec![0.0f32; k * NR];
+    // All of `b` is copied into panels exactly once.
+    bump(&PACKED_BYTES, (k * n * std::mem::size_of::<f32>()) as u64);
     let mut j = 0;
     while j < n {
         let w = NR.min(n - j);
@@ -695,6 +778,11 @@ impl Backend for Blocked {
             // to the serial kernel.
             let workers = mlperf_pool::workers_for(row_blocks);
             let rows_per = m.div_ceil(workers).next_multiple_of(MR);
+            bump(&GEMM_FANOUTS, 1);
+            if KERNEL_STATS_ON.load(Ordering::Relaxed) {
+                let bands = (m * n).div_ceil(rows_per * n) as u64;
+                FANOUT_WIDTH_PEAK.fetch_max(bands, Ordering::Relaxed);
+            }
             mlperf_pool::parallel_chunks_mut(out, rows_per * n, |blk, chunk| {
                 let i0 = blk * rows_per;
                 let rows = chunk.len() / n;
@@ -1020,6 +1108,37 @@ mod tests {
         for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
             assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} differs: {x} vs {y}");
         }
+    }
+
+    #[test]
+    fn kernel_stats_count_dispatch_paths() {
+        // The counters are process-global and sticky-on, and other
+        // tests exercise GEMMs concurrently, so assert deltas with >=.
+        enable_kernel_stats();
+        let before = kernel_stats();
+
+        // n < NR: reference row kernel.
+        let (a, b) = (buf(4 * 8, 3), buf(8 * 4, 5));
+        let mut out = vec![0.0f32; 4 * 4];
+        blocked_gemm_serial(&a, &b, &mut out, 4, 8, 4);
+
+        // Small k*n, n >= NR: direct kernel.
+        let (a, b) = (buf(8 * 8, 7), buf(8 * 16, 11));
+        let mut out = vec![0.0f32; 8 * 16];
+        blocked_gemm_serial(&a, &b, &mut out, 8, 8, 16);
+
+        // k*n > PACK_B_ABOVE and m >= PACK_MIN_M: packed kernel.
+        let (m, k, n) = (33, 200, 65);
+        let (a, b) = (buf(m * k, 13), buf(k * n, 17));
+        let mut out = vec![0.0f32; m * n];
+        blocked_gemm_serial(&a, &b, &mut out, m, k, n);
+
+        let after = kernel_stats();
+        assert!(after.gemm_reference >= before.gemm_reference + 1);
+        assert!(after.gemm_direct >= before.gemm_direct + 1);
+        assert!(after.gemm_packed >= before.gemm_packed + 1);
+        let pack = (k * n * std::mem::size_of::<f32>()) as u64;
+        assert!(after.packed_bytes >= before.packed_bytes + pack, "all of b is packed once");
     }
 
     #[test]

@@ -33,10 +33,14 @@
 //!   Server, and Offline traffic over trained (or simulated) models,
 //!   deterministic under a simulated clock, feeding the same review
 //!   pipeline.
+//! - [`pool`] — the shared scoped worker pool behind every parallel
+//!   stage, with process-wide busy/queue instrumentation.
 //! - [`telemetry`] — zero-dependency instrumentation shared by the
 //!   harness, ingest, and archive layers: hierarchical spans on
-//!   explicit clocks, counters/gauges/histograms, and a Chrome
-//!   `trace_event` exporter.
+//!   explicit clocks, counters/gauges/histograms, quantile sketches,
+//!   windowed time-series with a clock-driven reporter, and Chrome
+//!   `trace_event`, Prometheus text, and collapsed-stack flamegraph
+//!   exporters.
 
 #![warn(missing_docs)]
 
@@ -49,6 +53,7 @@ pub use mlperf_loadgen as loadgen;
 pub use mlperf_models as models;
 pub use mlperf_nn as nn;
 pub use mlperf_optim as optim;
+pub use mlperf_pool as pool;
 pub use mlperf_submission as submission;
 pub use mlperf_telemetry as telemetry;
 pub use mlperf_tensor as tensor;

@@ -1,13 +1,17 @@
 //! Integration tests for the telemetry layer at the umbrella level:
 //! concurrent span emission still yields a valid tree, histogram
 //! bucket boundaries are inclusive, a disabled handle records nothing,
-//! and the Chrome `trace_event` file round-trips through `serde_json`.
+//! the Chrome `trace_event` file round-trips through `serde_json`, and
+//! a clock-driven reporter sampling counters fed by real pool workers
+//! yields time-series whose window deltas telescope to the counter.
 
-use mlperf_suite::telemetry::{arg, write_trace, Telemetry};
+use mlperf_suite::pool::parallel_map;
+use mlperf_suite::telemetry::{arg, write_trace, Reporter, Telemetry};
 use serde_json::{json, Map};
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn temp_trace(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("mlperf-telemetry-it-{tag}-{}.jsonl", std::process::id()))
@@ -133,7 +137,27 @@ fn trace_file_round_trips_through_serde_json() {
         .lines()
         .map(|line| serde_json::from_str(line).expect("every line is standalone JSON"))
         .collect();
-    assert_eq!(lines.len(), 3, "two spans plus one counter");
+    assert_eq!(
+        lines.len(),
+        6,
+        "process_name + thread_name for the span track and the metrics lane, \
+         two spans, one counter"
+    );
+
+    let metadata: Vec<_> =
+        lines.iter().filter(|v| v.get("ph").and_then(|p| p.as_str()) == Some("M")).collect();
+    assert_eq!(metadata.len(), 3);
+    assert!(metadata
+        .iter()
+        .any(|v| v.get("name").and_then(|n| n.as_str()) == Some("process_name")));
+    assert_eq!(
+        metadata
+            .iter()
+            .filter(|v| v.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .count(),
+        2,
+        "one label per track: the span track and the tid-0 metrics lane"
+    );
 
     let spans: Vec<_> =
         lines.iter().filter(|v| v.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
@@ -155,4 +179,48 @@ fn trace_file_round_trips_through_serde_json() {
     let args = counters[0].get("args").and_then(|v| v.as_object()).unwrap();
     assert_eq!(args.get("value").and_then(|v| v.as_u64()), Some(42));
     fs::remove_file(&path).unwrap();
+}
+
+/// A reporter ticking on synthetic timestamps while real pool workers
+/// bump the tracked counter: because counter series store cumulative
+/// readings, the per-window deltas must telescope to exactly the final
+/// counter value — no work is lost between windows, whatever the
+/// thread interleaving.
+#[test]
+fn reporter_windows_telescope_to_pool_counter_totals() {
+    let telemetry = Telemetry::recording();
+    let mut reporter = Reporter::new(Duration::from_millis(10));
+    reporter.track_counter(&telemetry, "work.items", telemetry.counter("work.items"));
+    // Baseline sample before any work, so the first window opens at 0.
+    assert!(reporter.maybe_tick(Duration::ZERO));
+
+    let items: Vec<u64> = (0..64).collect();
+    let rounds = 5u64;
+    for round in 1..=rounds {
+        // Fan the batch out across the worker pool; each worker bumps
+        // the shared counter once per item, racing the next tick.
+        let results = parallel_map(&items, |&i| {
+            telemetry.counter("work.items").incr();
+            i + 1
+        });
+        assert_eq!(results.len(), items.len());
+        // The driving thread owns the reporter; workers only touch the
+        // counter. One tick per completed batch closes one window.
+        reporter.tick(Duration::from_millis(10 * round));
+    }
+
+    let snapshot = telemetry.snapshot();
+    let series = snapshot
+        .series
+        .iter()
+        .find(|s| s.name == "work.items")
+        .expect("tracked counter has a time-series");
+    assert_eq!(series.dropped, 0, "nothing fell out of the ring");
+    assert_eq!(series.samples.first().map(|s| s.value), Some(0.0), "baseline sampled before work");
+
+    let total: f64 = series.windows().iter().map(|w| w.delta).sum();
+    let expected = (rounds * items.len() as u64) as f64;
+    assert_eq!(total, expected, "window deltas telescope to the counter total");
+    let counter = snapshot.counters.iter().find(|c| c.name == "work.items").unwrap();
+    assert_eq!(counter.value as f64, total);
 }
