@@ -7,6 +7,8 @@
 //! round_pipeline report --archive DIR [--chips N] [--streaming]
 //! round_pipeline demo [--trace FILE]  # all three against a temp archive
 //! round_pipeline loadgen [--seed N] [--archive DIR] [--log-dir DIR] [--trace FILE]
+//! round_pipeline serve [--addr HOST:PORT] [--archive DIR] [--round vX.Y]
+//! round_pipeline storm [--clients N] [--bundles N] [--round vX.Y] [--seed N]
 //! ```
 //!
 //! Every subcommand accepts `--backend reference|blocked` to pin the
@@ -43,6 +45,19 @@
 //! [`SPAN_SAMPLING_THRESHOLD`] items, keeping traces of huge rounds
 //! small; counters and metrics stay exact.
 //!
+//! `serve` runs the live submission service (`mlperf-service`): an
+//! HTTP server that keeps rounds open, reviews bundles as submitters
+//! upload them, and answers leaderboard/status/metrics queries
+//! mid-round. `--round vX.Y` opens a round immediately; otherwise
+//! clients open rounds themselves with `POST /rounds/{round}/open`.
+//! The server runs until `POST /shutdown`. `storm` is the seeded
+//! load driver: it starts an in-process server on an ephemeral port,
+//! races `--clients` concurrent submitters (default 8) uploading a
+//! `--bundles`-bundle stress round (default 240) over real TCP with
+//! leaderboard and status polls interleaved throughout, then closes
+//! the round and verifies the published outcome is identical to batch
+//! ingest of the same bundles.
+//!
 //! `--metrics FILE` writes a Prometheus text-exposition snapshot of
 //! every counter, gauge, histogram, quantile sketch, and windowed
 //! time-series at the end of the run, and turns on tensor kernel
@@ -65,15 +80,19 @@ use mlperf_loadgen::{
     loadgen_bundle, loadgen_reference, loadgen_run_set, simulated_scenario_sweep,
 };
 use mlperf_pool::pool_stats;
+use mlperf_service::{http_get, http_post, HttpServer, ServiceCore};
 use mlperf_submission::{
-    leaderboards, run_round_with, scenario_leaderboards, synthetic_round, synthetic_stress_round,
-    ArchiveReplay, Fault, RoundArchive, RoundSubmissions, SyntheticRoundSpec,
+    leaderboards, round_references, run_round_with, scenario_leaderboards, synthetic_round,
+    synthetic_stress_round, ArchiveReplay, Fault, RoundArchive, RoundSubmissions,
+    SyntheticRoundSpec,
 };
 use mlperf_telemetry::{write_prometheus, write_trace, Reporter, SpanSampling, Telemetry};
 use mlperf_tensor::{enable_kernel_stats, kernel_stats, set_default_backend, BackendKind};
 use serde_json::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Stage size (items) above which `--sample N` starts thinning
@@ -87,9 +106,10 @@ const REPORT_INTERVAL: Duration = Duration::from_millis(250);
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: round_pipeline [write|ingest|report|demo|loadgen] [--archive DIR] [--rounds N] \
-         [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] [--metrics FILE] \
-         [--progress] [--sample N] [--log-dir DIR] [--backend reference|blocked]"
+        "usage: round_pipeline [write|ingest|report|demo|loadgen|serve|storm] [--archive DIR] \
+         [--rounds N] [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] \
+         [--metrics FILE] [--progress] [--sample N] [--log-dir DIR] \
+         [--backend reference|blocked] [--addr HOST:PORT] [--clients N] [--round vX.Y]"
     );
     ExitCode::FAILURE
 }
@@ -119,6 +139,13 @@ struct Args {
     log_dir: Option<PathBuf>,
     /// Tensor backend the run executes on (process default when unset).
     backend: Option<BackendKind>,
+    /// `serve`: listen address (default 127.0.0.1:8090).
+    addr: Option<String>,
+    /// `storm`: concurrent submitting clients.
+    clients: usize,
+    /// `serve`: open this round at startup; `storm`: the round to
+    /// drive (default v0.6).
+    round: Option<Round>,
 }
 
 fn parse_args() -> Option<Args> {
@@ -143,6 +170,9 @@ fn parse_args() -> Option<Args> {
         sample: None,
         log_dir: None,
         backend: None,
+        addr: None,
+        clients: 8,
+        round: None,
     };
     while let Some(flag) = args.next() {
         // Boolean flags take no value.
@@ -166,6 +196,15 @@ fn parse_args() -> Option<Args> {
             "--sample" => parsed.sample = Some(value.parse().ok()?),
             "--log-dir" => parsed.log_dir = Some(PathBuf::from(value)),
             "--backend" => parsed.backend = Some(BackendKind::parse(&value)?),
+            "--addr" => parsed.addr = Some(value),
+            "--clients" => parsed.clients = value.parse().ok()?,
+            "--round" => match value.parse::<Round>() {
+                Ok(round) => parsed.round = Some(round),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return None;
+                }
+            },
             _ => return None,
         }
     }
@@ -173,8 +212,8 @@ fn parse_args() -> Option<Args> {
         eprintln!("--rounds must be 1..={}", Round::ALL.len());
         return None;
     }
-    if parsed.bundles == Some(0) || parsed.sample == Some(0) {
-        eprintln!("--bundles and --sample must be positive");
+    if parsed.bundles == Some(0) || parsed.sample == Some(0) || parsed.clients == 0 {
+        eprintln!("--bundles, --sample, and --clients must be positive");
         return None;
     }
     Some(parsed)
@@ -402,10 +441,183 @@ fn run_loadgen(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
+/// The `serve` subcommand: the live submission service on a real
+/// socket, until `POST /shutdown`.
+fn run_serve(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
+    let dir = args
+        .archive
+        .clone()
+        .unwrap_or_else(|| mlperf_bench::experiments_dir().join("service_archive"));
+    let archive =
+        RoundArchive::create(&dir).map_err(|e| e.to_string())?.with_telemetry(telemetry.clone());
+    let core = Arc::new(ServiceCore::new(archive, telemetry.clone()));
+    if let Some(round) = args.round {
+        core.open_round(round, round_references(round)).map_err(|e| e.to_string())?;
+        println!("opened round {round} for submissions");
+    }
+    let addr = args.addr.as_deref().unwrap_or("127.0.0.1:8090");
+    let server = HttpServer::bind(core, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let addr = server.local_addr();
+    println!("serving on http://{addr} (archive: {})", dir.display());
+    println!("  POST /rounds/{{round}}/open         open a round (v0.5, v0.6, v0.7)");
+    println!("  POST /rounds/{{round}}/bundles      submit a bundle (JSON body)");
+    println!("  GET  /rounds/{{round}}/leaderboard  live leaderboards");
+    println!("  GET  /rounds/{{round}}/status       round status");
+    println!("  POST /rounds/{{round}}/close        close and publish");
+    println!("  GET  /metrics                     Prometheus metrics");
+    println!("  POST /shutdown                    stop the server");
+    server.serve();
+    println!("shutdown requested; server stopped");
+    Ok(())
+}
+
+/// The `storm` subcommand: a seeded multi-client load test proving the
+/// service's core contract — many submitters racing uploads over real
+/// TCP, with leaderboard reads hammering the round mid-fill, must
+/// publish exactly the outcome batch ingest computes from the same
+/// bundles.
+fn run_storm(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
+    let round = args.round.unwrap_or(Round::V06);
+    let bundles = args.bundles.unwrap_or(240);
+    let clients = args.clients;
+    let dir = args
+        .archive
+        .clone()
+        .unwrap_or_else(|| mlperf_bench::experiments_dir().join("storm_archive"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let submissions = synthetic_stress_round(round, bundles, args.seed);
+
+    let archive =
+        RoundArchive::create(&dir).map_err(|e| e.to_string())?.with_telemetry(telemetry.clone());
+    let core = Arc::new(ServiceCore::new(archive, telemetry.clone()));
+    core.open_round(round, round_references(round)).map_err(|e| e.to_string())?;
+    let server = HttpServer::bind(Arc::clone(&core), args.addr.as_deref().unwrap_or("127.0.0.1:0"))
+        .map_err(|e| e.to_string())?;
+    let handle = server.serve_background().map_err(|e| e.to_string())?;
+    let addr = handle.addr().to_string();
+    println!(
+        "storm: {clients} clients submitting {bundles} bundles to round {round} on http://{addr}"
+    );
+
+    let stop = AtomicBool::new(false);
+    let polls = AtomicUsize::new(0);
+    let receipts: Vec<(u64, usize)> = std::thread::scope(|scope| {
+        // A dedicated poller keeps read pressure on the leaderboard
+        // for the whole fill, independent of submission pacing.
+        {
+            let addr = &addr;
+            let stop = &stop;
+            let polls = &polls;
+            scope.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let path = format!("/rounds/{round}/leaderboard");
+                    let board = http_get(addr, &path).expect("leaderboard poll");
+                    assert_eq!(board.status, 200, "mid-round leaderboard read failed");
+                    polls.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        let mut workers = Vec::new();
+        for client in 0..clients {
+            let addr = &addr;
+            let submissions = &submissions;
+            let polls = &polls;
+            workers.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                for (position, bundle) in
+                    submissions.bundles.iter().enumerate().skip(client).step_by(clients)
+                {
+                    let body = serde_json::to_string(bundle).expect("serialize bundle");
+                    let path = format!("/rounds/{round}/bundles");
+                    let reply = http_post(addr, &path, Some(&body)).expect("submit");
+                    assert_eq!(reply.status, 200, "submit failed: {}", reply.body);
+                    let receipt: serde_json::Value =
+                        serde_json::from_str(&reply.body).expect("receipt json");
+                    let index =
+                        receipt["index"].as_u64().expect("receipt carries the assigned index");
+                    got.push((index, position));
+                    // Interleave the clients' own status reads with
+                    // their uploads.
+                    if position % 16 == client % 16 {
+                        let path = format!("/rounds/{round}/status");
+                        let status = http_get(addr, &path).expect("status poll");
+                        assert_eq!(status.status, 200);
+                        polls.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                got
+            }));
+        }
+        let receipts = workers.into_iter().flat_map(|w| w.join().expect("client thread")).collect();
+        stop.store(true, Ordering::SeqCst);
+        receipts
+    });
+    println!(
+        "all {} uploads accepted; {} mid-round leaderboard/status reads served",
+        receipts.len(),
+        polls.load(Ordering::SeqCst)
+    );
+
+    let metrics = http_get(&addr, "/metrics").map_err(|e| e.to_string())?;
+    if !metrics.body.contains(&format!("service_bundles_submitted_total {bundles}")) {
+        return Err("metrics endpoint did not report the submitted bundle count".to_string());
+    }
+
+    // The equivalence check: close the live round, then batch-ingest
+    // the same bundles in service index order.
+    let outcome = core.close_round(round).map_err(|e| e.to_string())?;
+    let mut ordered = receipts;
+    ordered.sort_unstable();
+    let batch = RoundSubmissions {
+        round,
+        references: round_references(round),
+        bundles: ordered
+            .iter()
+            .map(|&(_, position)| submissions.bundles[position].clone())
+            .collect(),
+    };
+    let batch_outcome = run_round_with(&batch, &Telemetry::disabled());
+    if outcome != batch_outcome {
+        return Err(format!(
+            "STORM DIVERGENCE: live round published {} accepted / {} quarantined, batch ingest \
+             computed {} / {}",
+            outcome.accepted.len(),
+            outcome.quarantined.len(),
+            batch_outcome.accepted.len(),
+            batch_outcome.quarantined.len()
+        ));
+    }
+    println!(
+        "round {round} outcome identical to batch ingest: {} accepted entries, {} scenario \
+         entries, {} quarantined",
+        outcome.accepted.len(),
+        outcome.scenarios.len(),
+        outcome.quarantined.len()
+    );
+    handle.shutdown();
+
+    let summary = json!({
+        "round": round.label(),
+        "clients": clients,
+        "bundles": bundles,
+        "seed": args.seed,
+        "mid_round_reads": polls.load(Ordering::SeqCst),
+        "accepted_entries": outcome.accepted.len(),
+        "quarantined": outcome.quarantined.len(),
+        "identical_to_batch": true,
+        "archive": dir.display().to_string(),
+    });
+    let path = write_json("storm", &summary);
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 /// Builds and installs the clock-driven [`Reporter`] behind
-/// `--metrics`/`--progress`: the ingest, store, and loadgen hot-path
-/// counters plus live pool gauges, sampled into ring-buffered
-/// time-series every [`REPORT_INTERVAL`].
+/// `--metrics`/`--progress` (and always behind `serve`/`storm`, whose
+/// `/metrics` endpoint exports the windowed series as `*_per_sec`
+/// gauges — the live ingest throughput): the ingest, store, service,
+/// and loadgen hot-path counters plus live pool gauges, sampled into
+/// ring-buffered time-series every [`REPORT_INTERVAL`].
 fn install_reporter(args: &Args, telemetry: &Telemetry) {
     let mut reporter = Reporter::new(REPORT_INTERVAL);
     if args.progress {
@@ -417,6 +629,16 @@ fn install_reporter(args: &Args, telemetry: &Telemetry) {
         telemetry.counter("ingest.bundles_reviewed"),
     );
     reporter.track_counter(telemetry, "ingest.logs", telemetry.counter("ingest.logs_parsed"));
+    reporter.track_counter(
+        telemetry,
+        "service.bundles",
+        telemetry.counter("service.bundles_submitted"),
+    );
+    reporter.track_counter(
+        telemetry,
+        "service.entries",
+        telemetry.counter("service.entries_accepted"),
+    );
     reporter.track_counter(telemetry, "store.bytes_read", telemetry.counter("store.bytes_read"));
     reporter.track_counter(telemetry, "loadgen.queries", telemetry.counter("loadgen.queries"));
     reporter.track_counter_fn(telemetry, "pool.items", || pool_stats().items_completed as f64);
@@ -476,13 +698,17 @@ fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
-    let observing = args.trace.is_some() || args.metrics.is_some() || args.progress;
+    // serve/storm always record: their /metrics endpoint is the whole
+    // point, and the reporter's windowed series are its live
+    // throughput readings.
+    let service = matches!(args.command.as_str(), "serve" | "storm");
+    let observing = service || args.trace.is_some() || args.metrics.is_some() || args.progress;
     let mut telemetry = if observing { Telemetry::recording() } else { Telemetry::disabled() };
     if let Some(every) = args.sample {
         telemetry = telemetry
             .with_span_sampling(SpanSampling { threshold: SPAN_SAMPLING_THRESHOLD, every });
     }
-    if args.metrics.is_some() || args.progress {
+    if service || args.metrics.is_some() || args.progress {
         install_reporter(&args, &telemetry);
     }
     if args.metrics.is_some() {
@@ -558,6 +784,8 @@ fn main() -> ExitCode {
             )
         }
         "loadgen" => run_loadgen(&args, &telemetry),
+        "serve" => run_serve(&args, &telemetry),
+        "storm" => run_storm(&args, &telemetry),
         _ => return usage(),
     };
     let result = result

@@ -9,6 +9,7 @@
 use crate::mllog::{keys, LogEntry};
 use crate::rules::Scenario;
 use crate::suite::BenchmarkId;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a run set could not be aggregated.
@@ -90,7 +91,7 @@ pub fn aggregate_runs(id: BenchmarkId, runs: &[RunSummary]) -> Result<f64, Aggre
 /// its scenario-tagged run log. The inference-side analogue of
 /// [`RunSummary`]: review collects one per scenario log and publishes
 /// them on accepted entries instead of a time-to-train score.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSummary {
     /// Which scenario produced the measurement.
     pub scenario: Scenario,

@@ -46,12 +46,14 @@ pub use leaderboard::{
 };
 pub use review::{review_bundle, BenchmarkReview, Diagnostic, ReviewReport};
 pub use round::{
-    run_round, run_round_with, AcceptedEntry, RoundOutcome, RoundSubmissions, ScenarioEntry,
-    StreamingReview,
+    run_round, run_round_with, AcceptedEntry, ReviewedBundle, RoundOutcome, RoundSubmissions,
+    ScenarioEntry, StreamingReview,
 };
 pub use store::{
-    ArchiveReplay, FaultReason, RoundArchive, RoundIngest, RoundStream, StoreError, StoreFault,
-    StreamedBundle, MANIFEST_SCHEMA,
+    ArchiveReplay, FaultReason, OpenRoundWriter, RoundArchive, RoundIngest, RoundStream,
+    StoreError, StoreFault, StreamedBundle, MANIFEST_SCHEMA,
 };
-pub use synthetic::{synthetic_round, synthetic_stress_round, Fault, SyntheticRoundSpec};
+pub use synthetic::{
+    round_references, synthetic_round, synthetic_stress_round, Fault, SyntheticRoundSpec,
+};
 pub use tables::{RoundHistory, RoundTable};

@@ -17,8 +17,10 @@ use mlperf_core::rules::{Division, Scenario};
 use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
 use mlperf_telemetry::{arg, Gauge, Histogram, SpanId, SpanScope, Telemetry};
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Map};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// Everything a round ingests: the round label, the per-benchmark
 /// references review validates against, and the submitted bundles.
@@ -391,10 +393,132 @@ fn emit_quarantine_events(scope: &mut SpanScope<'_>, report: &ReviewReport) {
     }
 }
 
+/// One bundle's review results, produced by
+/// [`StreamingReview::review_bundle`] and handed back via
+/// [`StreamingReview::push_reviewed`]. Splitting review (read-only,
+/// heavy) from publication (mutating, cheap) is what lets a live
+/// service review many uploads concurrently under a shared read lock.
+#[derive(Debug, Clone)]
+pub struct ReviewedBundle {
+    entries: Vec<AcceptedEntry>,
+    scenarios: Vec<ScenarioEntry>,
+    report: ReviewReport,
+}
+
+impl ReviewedBundle {
+    /// Whether review raised no diagnostics.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+
+    /// The submitting organization.
+    pub fn org(&self) -> &str {
+        &self.report.org
+    }
+
+    /// Accepted time-to-train entries this bundle contributes.
+    pub fn accepted_entries(&self) -> &[AcceptedEntry] {
+        &self.entries
+    }
+
+    /// Published scenario entries this bundle contributes.
+    pub fn scenario_entries(&self) -> &[ScenarioEntry] {
+        &self.scenarios
+    }
+
+    /// Every diagnostic, rendered `benchmark: fault`.
+    pub fn diagnostic_lines(&self) -> Vec<String> {
+        self.report.diagnostics().map(|(benchmark, d)| format!("{benchmark}: {d}")).collect()
+    }
+}
+
+/// How a per-bundle report is held between arrival and
+/// [`StreamingReview::finish`]: resident in memory, or spilled to disk
+/// with just enough metadata kept to reconstruct a stand-in if the
+/// spill file is lost.
+#[derive(Debug)]
+enum StoredReport {
+    Resident(ReviewReport),
+    Spilled { path: PathBuf, org: String, division: Division },
+}
+
+/// A clean report's serializable shape for spilling. Diagnostics are
+/// omitted by construction — only clean (diagnostic-free) reports
+/// spill, which is what makes the round trip lossless: compliance
+/// diagnostics hold interned `&'static str` keys that cannot
+/// deserialize.
+#[derive(Debug, Serialize, Deserialize)]
+struct SpilledReport {
+    org: String,
+    division: Division,
+    benchmarks: Vec<SpilledBenchmark>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SpilledBenchmark {
+    benchmark: BenchmarkId,
+    minutes: Option<f64>,
+    runs: usize,
+    scenarios: Vec<ScenarioSummary>,
+}
+
+/// Writes one clean report to `dir` atomically (tmp + rename), keyed
+/// by the bundle's feed key so concurrent rounds never collide.
+fn spill_report(
+    dir: &Path,
+    index: u64,
+    arrival: usize,
+    report: &ReviewReport,
+) -> Result<PathBuf, String> {
+    let spilled = SpilledReport {
+        org: report.org.clone(),
+        division: report.division,
+        benchmarks: report
+            .benchmarks
+            .iter()
+            .map(|b| SpilledBenchmark {
+                benchmark: b.benchmark,
+                minutes: b.minutes,
+                runs: b.runs,
+                scenarios: b.scenarios.clone(),
+            })
+            .collect(),
+    };
+    let text = serde_json::to_string(&spilled).map_err(|e| e.to_string())?;
+    let path = dir.join(format!("report-{index}-{arrival}.json"));
+    let tmp = dir.join(format!(".report-{index}-{arrival}.json.tmp"));
+    std::fs::write(&tmp, text).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+/// Reads a spilled report back; the reconstructed report has no
+/// diagnostics, which is exactly what was true when it spilled.
+fn unspill_report(path: &Path) -> Result<ReviewReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let spilled: SpilledReport = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    Ok(ReviewReport {
+        org: spilled.org,
+        division: spilled.division,
+        benchmarks: spilled
+            .benchmarks
+            .into_iter()
+            .map(|b| BenchmarkReview {
+                benchmark: b.benchmark,
+                diagnostics: Vec::new(),
+                minutes: b.minutes,
+                runs: b.runs,
+                scenarios: b.scenarios,
+            })
+            .collect(),
+    })
+}
+
 /// One reviewed bundle held by [`StreamingReview`]: the caller's
 /// `(index, arrival)` ordering key, the accepted time-to-train
-/// entries, the published scenario entries, and the review report.
-type StreamedResult = ((u64, usize), Vec<AcceptedEntry>, Vec<ScenarioEntry>, ReviewReport);
+/// entries, the published scenario entries, and the review report
+/// (resident or spilled).
+type StreamedResult = ((u64, usize), Vec<AcceptedEntry>, Vec<ScenarioEntry>, StoredReport);
 
 /// Incremental round review for streaming ingest: bundles are fed one
 /// at a time — each parsed and reviewed on the scoped worker pool, its
@@ -414,6 +538,9 @@ pub struct StreamingReview {
     parent: Option<SpanId>,
     /// Per-bundle results keyed by the caller's ordering key.
     results: Vec<StreamedResult>,
+    /// When set, clean per-bundle reports spill here instead of
+    /// staying resident (see [`StreamingReview::with_spill`]).
+    spill: Option<PathBuf>,
 }
 
 impl StreamingReview {
@@ -437,7 +564,25 @@ impl StreamingReview {
             telemetry: telemetry.clone(),
             parent,
             results: Vec::new(),
+            spill: None,
         }
+    }
+
+    /// Bounds resident memory for long-lived rounds: clean per-bundle
+    /// reports are written to `dir` (atomically, tmp + rename) as they
+    /// arrive and re-read only when [`StreamingReview::finish`] renders
+    /// the outcome. Quarantined reports stay resident — their
+    /// diagnostics carry interned keys that do not round-trip through
+    /// JSON — as do clean reports whose spill write failed, so a broken
+    /// spill directory degrades memory use, never results. A spill file
+    /// lost *after* a successful write is counted on
+    /// `ingest.spill_read_errors` and that bundle's report comes back
+    /// with an empty benchmark list; its accepted entries and
+    /// leaderboard rows are resident and unaffected.
+    pub fn with_spill(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        self.spill = std::fs::create_dir_all(&dir).is_ok().then_some(dir);
+        self
     }
 
     /// Parses and reviews one bundle now. `index` is the bundle's
@@ -445,6 +590,20 @@ impl StreamingReview {
     /// order; together they decide where the bundle's results land in
     /// the finished outcome, so feeding order never changes it.
     pub fn add_bundle(&mut self, index: u64, arrival: usize, bundle: &SubmissionBundle) {
+        let reviewed = self.review_with_hint(arrival, bundle);
+        self.push_reviewed(index, arrival, reviewed);
+    }
+
+    /// The read-only half of [`StreamingReview::add_bundle`]: parses
+    /// and reviews `bundle` on the worker pool without touching the
+    /// accumulated results, so many callers may review concurrently
+    /// (e.g. under a shared read lock) and serialize only the cheap
+    /// [`StreamingReview::push_reviewed`].
+    pub fn review_bundle(&self, bundle: &SubmissionBundle) -> ReviewedBundle {
+        self.review_with_hint(self.results.len(), bundle)
+    }
+
+    fn review_with_hint(&self, arrival: usize, bundle: &SubmissionBundle) -> ReviewedBundle {
         // Streaming span sampling works on the *cumulative* bundle
         // count (each per-bundle stage is tiny on its own): once the
         // stream passes the armed threshold, only every Nth bundle
@@ -455,7 +614,7 @@ impl StreamingReview {
         let mut scope = self.telemetry.timeline_scope_under(self.parent);
         let span = recorded.then(|| {
             scope.start_with("ingest", "stream_bundle", || {
-                Map::from([arg("org", json!(bundle.org)), arg("index", json!(index))])
+                Map::from([arg("org", json!(bundle.org)), arg("arrival", json!(arrival))])
             })
         });
 
@@ -501,7 +660,25 @@ impl StreamingReview {
         if let Some(span) = span {
             scope.end(span);
         }
-        self.results.push(((index, arrival), entries, scenarios, report));
+        ReviewedBundle { entries, scenarios, report }
+    }
+
+    /// Publishes one reviewed bundle under its `(index, arrival)` feed
+    /// key — the mutating half of [`StreamingReview::add_bundle`].
+    /// Cheap: a push (and, with [`StreamingReview::with_spill`], one
+    /// small report write) rather than a full review.
+    pub fn push_reviewed(&mut self, index: u64, arrival: usize, reviewed: ReviewedBundle) {
+        let ReviewedBundle { entries, scenarios, report } = reviewed;
+        let stored = match &self.spill {
+            Some(dir) if report.is_clean() => match spill_report(dir, index, arrival, &report) {
+                Ok(path) => {
+                    StoredReport::Spilled { path, org: report.org, division: report.division }
+                }
+                Err(_) => StoredReport::Resident(report),
+            },
+            _ => StoredReport::Resident(report),
+        };
+        self.results.push(((index, arrival), entries, scenarios, stored));
         // Give an installed reporter a chance to close a window: bundle
         // arrival is the streaming path's natural heartbeat.
         self.telemetry.pulse();
@@ -512,17 +689,62 @@ impl StreamingReview {
         self.results.len()
     }
 
+    /// The round under review.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Accepted entries so far, ordered by feed key — the mid-round
+    /// view a live leaderboard renders from.
+    pub fn accepted_so_far(&self) -> Vec<AcceptedEntry> {
+        let mut keyed: Vec<(&(u64, usize), &Vec<AcceptedEntry>)> =
+            self.results.iter().map(|(key, entries, _, _)| (key, entries)).collect();
+        keyed.sort_by_key(|(key, _)| **key);
+        keyed.into_iter().flat_map(|(_, entries)| entries.iter().cloned()).collect()
+    }
+
+    /// Scenario entries so far, ordered by feed key.
+    pub fn scenarios_so_far(&self) -> Vec<ScenarioEntry> {
+        let mut keyed: Vec<(&(u64, usize), &Vec<ScenarioEntry>)> =
+            self.results.iter().map(|(key, _, scenarios, _)| (key, scenarios)).collect();
+        keyed.sort_by_key(|(key, _)| **key);
+        keyed.into_iter().flat_map(|(_, scenarios)| scenarios.iter().cloned()).collect()
+    }
+
+    /// Bundles quarantined so far. Spilled reports are clean by
+    /// construction, so only resident reports are consulted.
+    pub fn quarantined_so_far(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|(_, _, _, stored)| match stored {
+                StoredReport::Resident(report) => !report.is_clean(),
+                StoredReport::Spilled { .. } => false,
+            })
+            .count()
+    }
+
     /// Publishes the outcome: results are ordered by their feed keys,
-    /// exactly as the materialized path orders bundles.
+    /// exactly as the materialized path orders bundles. Spilled reports
+    /// are re-read here.
     pub fn finish(mut self) -> RoundOutcome {
         self.results.sort_by_key(|(order, _, _, _)| *order);
         let mut accepted = Vec::new();
         let mut scenarios = Vec::new();
         let mut quarantined = Vec::new();
         let mut reports = Vec::with_capacity(self.results.len());
-        for (_, entries, scenario_entries, report) in self.results {
+        for (_, entries, scenario_entries, stored) in self.results {
             accepted.extend(entries);
             scenarios.extend(scenario_entries);
+            let report = match stored {
+                StoredReport::Resident(report) => report,
+                StoredReport::Spilled { path, org, division } => match unspill_report(&path) {
+                    Ok(report) => report,
+                    Err(_) => {
+                        self.telemetry.counter("ingest.spill_read_errors").incr();
+                        ReviewReport { org, division, benchmarks: Vec::new() }
+                    }
+                },
+            };
             if !report.is_clean() {
                 quarantined.push(report.clone());
             }
@@ -751,6 +973,55 @@ mod tests {
             .map(|c| c.value)
             .unwrap_or(0);
         assert_eq!(reviewed as usize, subs.bundles.len());
+    }
+
+    fn temp_spill_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mlperf-spill-test-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn spilled_reports_round_trip_identically() {
+        let subs = synthetic_round(
+            &SyntheticRoundSpec::new(Round::V06, 12)
+                .with_fault(Fault::GarbageLine { org: "Aurora".into() }),
+        );
+        let batch = run_round(&subs);
+        let dir = temp_spill_dir("roundtrip");
+        let mut review = StreamingReview::new(subs.round, subs.references.clone()).with_spill(&dir);
+        for (i, bundle) in subs.bundles.iter().enumerate() {
+            review.add_bundle(i as u64, i, bundle);
+        }
+        // Clean reports actually left memory: one spill file each.
+        let spilled = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(spilled, subs.bundles.len() - 1, "all but the quarantined bundle spill");
+        assert_eq!(review.quarantined_so_far(), 1);
+        assert_eq!(review.finish(), batch, "spilling must not change the outcome");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn split_review_and_push_match_add_bundle() {
+        let subs = synthetic_round(
+            &SyntheticRoundSpec::new(Round::V05, 9)
+                .with_fault(Fault::MissingRunStop { org: "Borealis".into() }),
+        );
+        let batch = run_round(&subs);
+        let mut review = StreamingReview::new(subs.round, subs.references.clone());
+        for (i, bundle) in subs.bundles.iter().enumerate() {
+            let reviewed = review.review_bundle(bundle);
+            assert_eq!(reviewed.org(), bundle.org);
+            review.push_reviewed(i as u64, i, reviewed);
+        }
+        // The mid-round views agree with the final published outcome.
+        let accepted = review.accepted_so_far();
+        let scenarios = review.scenarios_so_far();
+        let outcome = review.finish();
+        assert_eq!(outcome, batch);
+        assert_eq!(accepted, outcome.accepted);
+        assert_eq!(scenarios, outcome.scenarios);
     }
 
     #[test]

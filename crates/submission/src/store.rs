@@ -43,10 +43,12 @@ use mlperf_telemetry::{arg, Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Map};
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Mutex};
+use std::thread;
 
 /// The manifest schema this build reads and writes. Bumped when the
 /// on-disk shape changes; readers refuse *newer* schemas.
@@ -357,58 +359,56 @@ impl RoundArchive {
     }
 
     fn write_round_inner(&self, submissions: &RoundSubmissions) -> Result<(), StoreError> {
-        let round_dir = self.round_dir(submissions.round);
+        let writer = self.open_round(submissions.round, submissions.references.clone())?;
+        // Directory names are assigned serially in submission order so
+        // slug-collision disambiguation lands on the same names the
+        // serial writer chose; the (independent) per-bundle directory
+        // writes then fan out across the worker pool.
+        let work: Vec<(PathBuf, u64, &SubmissionBundle)> = submissions
+            .bundles
+            .iter()
+            .enumerate()
+            .map(|(index, bundle)| (writer.assign_dir(index as u64, bundle), index as u64, bundle))
+            .collect();
+        let results = mlperf_pool::parallel_map(&work, |(dir, index, bundle)| {
+            writer.write_bundle_to(dir, *index, bundle)
+        });
+        for result in results {
+            result?;
+        }
+        writer.finalize()
+    }
+
+    /// Opens a round for incremental writing, replacing any existing
+    /// copy of the same round: bundles land one at a time via
+    /// [`OpenRoundWriter::write_bundle`] (safe to call from many
+    /// threads), and `round.json` only appears once
+    /// [`OpenRoundWriter::finalize`] runs — until then the directory is
+    /// recognizably an open, incomplete round and
+    /// [`RoundArchive::rounds`] skips it. This is the persistence path
+    /// behind the live submission service; [`RoundArchive::write_round`]
+    /// is the same writer driven to completion in one call.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the round directory cannot be reset.
+    pub fn open_round(
+        &self,
+        round: Round,
+        references: Vec<BenchmarkReference>,
+    ) -> Result<OpenRoundWriter, StoreError> {
+        let round_dir = self.round_dir(round);
         if round_dir.exists() {
             fs::remove_dir_all(&round_dir).map_err(|e| io_error(&round_dir, &e))?;
         }
         fs::create_dir_all(&round_dir).map_err(|e| io_error(&round_dir, &e))?;
-
-        for (index, bundle) in submissions.bundles.iter().enumerate() {
-            let org_dir = round_dir.join(slug(&bundle.org));
-            let mut bundle_dir = org_dir.join(slug(&bundle.system.system_name));
-            if bundle_dir.exists() {
-                // Two systems slugged to the same name; disambiguate.
-                bundle_dir = org_dir.join(format!("{}-{index}", slug(&bundle.system.system_name)));
-            }
-            fs::create_dir_all(&bundle_dir).map_err(|e| io_error(&bundle_dir, &e))?;
-
-            let mut run_sets = Vec::new();
-            for rs in &bundle.run_sets {
-                let bench_dir = bundle_dir.join(rs.benchmark.slug());
-                fs::create_dir_all(&bench_dir).map_err(|e| io_error(&bench_dir, &e))?;
-                let mut logs = Vec::new();
-                for (run, text) in rs.logs.iter().enumerate() {
-                    let rel = format!("{}/run_{run}.log", rs.benchmark.slug());
-                    self.write_file(&bundle_dir.join(&rel), text)?;
-                    logs.push(rel);
-                }
-                run_sets.push(RunSetManifest {
-                    benchmark: rs.benchmark,
-                    dataset: rs.dataset.clone(),
-                    hyperparameters: rs.hyperparameters.clone(),
-                    signature: rs.signature.clone(),
-                    logs,
-                });
-            }
-            let manifest = BundleManifest {
-                schema: MANIFEST_SCHEMA,
-                index: index as u64,
-                org: bundle.org.clone(),
-                system: bundle.system.clone(),
-                division: bundle.division,
-                category: bundle.category,
-                system_type: bundle.system_type,
-                run_sets,
-            };
-            self.write_file(&bundle_dir.join("bundle.json"), &pretty(&manifest))?;
-        }
-
-        let manifest = RoundManifest {
-            schema: MANIFEST_SCHEMA,
-            round: submissions.round,
-            references: submissions.references.clone(),
-        };
-        self.write_file(&round_dir.join("round.json"), &pretty(&manifest))
+        Ok(OpenRoundWriter {
+            round_dir,
+            round,
+            references,
+            telemetry: self.telemetry.clone(),
+            assigned: Mutex::new(BTreeSet::new()),
+        })
     }
 
     /// [`write_atomic`] plus the `store.bytes_written` counter.
@@ -570,16 +570,18 @@ impl RoundArchive {
     /// Opens one round for streaming ingest: the round manifest is read
     /// and validated up front (the same fatal errors as
     /// [`RoundArchive::read_round`]), then
-    /// [`RoundStream::next_bundle`] reads bundles one directory at a
-    /// time in name order — bounded memory no matter how many bundles
-    /// the round holds. Bundle-level damage accumulates as faults on
-    /// the stream, exactly as the materialized read reports it.
+    /// [`RoundStream::next_bundle`] yields bundles in directory name
+    /// order — bounded memory no matter how many bundles the round
+    /// holds. Disk I/O overlaps parse/review: a read-ahead worker keeps
+    /// up to [`READ_AHEAD`] bundles decoded while the caller is busy
+    /// with the previous one. Bundle-level damage accumulates as faults
+    /// on the stream, exactly as the materialized read reports it.
     ///
     /// # Errors
     ///
     /// Fatal only for round-level damage: an unreadable round directory
     /// or a missing/corrupt/newer-schema `round.json`.
-    pub fn stream_round(&self, round: Round) -> Result<RoundStream<'_>, StoreError> {
+    pub fn stream_round(&self, round: Round) -> Result<RoundStream, StoreError> {
         let bytes_read = self.telemetry.counter("store.bytes_read");
         let round_dir = self.round_dir(round);
         let manifest_path = round_dir.join("round.json");
@@ -598,18 +600,15 @@ impl RoundArchive {
         }
 
         let mut faults = Vec::new();
-        let org_dirs = sorted_subdirs(&round_dir, &mut faults).into_iter();
+        let org_dirs = sorted_subdirs(&round_dir, &mut faults);
         Ok(RoundStream {
-            archive: self,
             round,
             references: manifest.references,
-            org_dirs,
-            current: Vec::new().into_iter(),
+            source: spawn_prefetcher(org_dirs, bytes_read),
             seen: BTreeSet::new(),
             seen_indices: BTreeMap::new(),
             faults,
             arrivals: 0,
-            bytes_read,
         })
     }
 
@@ -666,121 +665,235 @@ impl RoundArchive {
         Ok((outcome, faults))
     }
 
-    /// Reads one bundle directory; quarantines instead of failing.
-    fn read_bundle(
-        &self,
-        dir: &Path,
-        faults: &mut Vec<StoreFault>,
-        bytes_read: &Counter,
-    ) -> Option<(u64, SubmissionBundle)> {
-        let manifest_path = dir.join("bundle.json");
-        let text = match fs::read_to_string(&manifest_path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                faults.push(StoreFault {
-                    path: dir.to_path_buf(),
-                    reason: FaultReason::MissingManifest,
-                });
-                return None;
-            }
-            Err(e) => {
-                faults.push(StoreFault {
-                    path: manifest_path,
-                    reason: FaultReason::Io(e.to_string()),
-                });
-                return None;
-            }
-        };
-        bytes_read.add(text.len() as u64);
-        let manifest: BundleManifest = match serde_json::from_str(&text) {
-            Ok(m) => m,
-            Err(e) => {
-                faults.push(StoreFault {
-                    path: manifest_path,
-                    reason: FaultReason::MalformedManifest(e.to_string()),
-                });
-                return None;
-            }
-        };
-        if manifest.schema > MANIFEST_SCHEMA {
-            faults.push(StoreFault {
-                path: manifest_path,
-                reason: FaultReason::UnsupportedSchema(manifest.schema),
-            });
-            return None;
-        }
+    fn round_dir(&self, round: Round) -> PathBuf {
+        self.root.join(round.label())
+    }
+}
 
+/// A round held open for incremental, concurrent persistence — the
+/// writer half of [`RoundArchive::open_round`]. Directory-name
+/// assignment is the only serialized step (a mutex over the set of
+/// names already claimed); the file writes themselves run without any
+/// lock, so many submitting threads persist bundles in parallel.
+#[derive(Debug)]
+pub struct OpenRoundWriter {
+    round_dir: PathBuf,
+    round: Round,
+    references: Vec<BenchmarkReference>,
+    telemetry: Telemetry,
+    /// Bundle directories already claimed, for slug-collision
+    /// disambiguation under concurrent writers.
+    assigned: Mutex<BTreeSet<PathBuf>>,
+}
+
+impl OpenRoundWriter {
+    /// The round being written.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The round's directory inside the archive.
+    pub fn round_dir(&self) -> &Path {
+        &self.round_dir
+    }
+
+    /// Claims a directory for bundle `index`: `<org>/<system>` slugs,
+    /// disambiguated with `-<index>` when another bundle already took
+    /// the name. Indices are unique, so claimed names are too.
+    fn assign_dir(&self, index: u64, bundle: &SubmissionBundle) -> PathBuf {
+        let org_dir = self.round_dir.join(slug(&bundle.org));
+        let mut assigned = self.assigned.lock().expect("writer name set poisoned");
+        let mut dir = org_dir.join(slug(&bundle.system.system_name));
+        if assigned.contains(&dir) || dir.exists() {
+            // Two systems slugged to the same name; disambiguate.
+            dir = org_dir.join(format!("{}-{index}", slug(&bundle.system.system_name)));
+        }
+        assigned.insert(dir.clone());
+        dir
+    }
+
+    /// Persists one bundle — manifest plus every log file — under a
+    /// freshly assigned directory. Thread-safe; bundles may land in any
+    /// order because readers sort by the manifest `index`, not by
+    /// directory name.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when any file cannot be written.
+    pub fn write_bundle(&self, index: u64, bundle: &SubmissionBundle) -> Result<(), StoreError> {
+        let dir = self.assign_dir(index, bundle);
+        self.write_bundle_to(&dir, index, bundle)
+    }
+
+    fn write_bundle_to(
+        &self,
+        bundle_dir: &Path,
+        index: u64,
+        bundle: &SubmissionBundle,
+    ) -> Result<(), StoreError> {
+        fs::create_dir_all(bundle_dir).map_err(|e| io_error(bundle_dir, &e))?;
         let mut run_sets = Vec::new();
-        let mut benchmarks: BTreeSet<String> = BTreeSet::new();
-        for rs in manifest.run_sets {
-            if !benchmarks.insert(rs.benchmark.slug().to_string()) {
-                faults.push(StoreFault {
-                    path: manifest_path.clone(),
-                    reason: FaultReason::DuplicateBenchmark(rs.benchmark.slug().to_string()),
-                });
-                continue;
-            }
+        for rs in &bundle.run_sets {
+            let bench_dir = bundle_dir.join(rs.benchmark.slug());
+            fs::create_dir_all(&bench_dir).map_err(|e| io_error(&bench_dir, &e))?;
             let mut logs = Vec::new();
-            for rel in &rs.logs {
-                let rel_path = Path::new(rel);
-                if rel_path.is_absolute()
-                    || rel_path.components().any(|c| matches!(c, std::path::Component::ParentDir))
-                {
-                    faults.push(StoreFault {
-                        path: manifest_path.clone(),
-                        reason: FaultReason::EscapingLogPath(rel.clone()),
-                    });
-                    continue;
-                }
-                let path = dir.join(rel_path);
-                match fs::read_to_string(&path) {
-                    Err(e) => {
-                        faults.push(StoreFault {
-                            path,
-                            reason: FaultReason::MissingLog(e.to_string()),
-                        });
-                    }
-                    Ok(text) => {
-                        bytes_read.add(text.len() as u64);
-                        // Flag damaged text here with the precise path;
-                        // still hand it to review, which quarantines the
-                        // run set with its own parse diagnostic. A lone
-                        // truncated final line is classified apart from
-                        // general corruption (crashed writer, not rot).
-                        if let Err(e) = MlLogger::parse(&text) {
-                            let reason = if e.truncated_tail_only() {
-                                FaultReason::TruncatedLog(e.to_string())
-                            } else {
-                                FaultReason::MalformedLog(e.to_string())
-                            };
-                            faults.push(StoreFault { path, reason });
-                        }
-                        logs.push(text);
-                    }
-                }
+            for (run, text) in rs.logs.iter().enumerate() {
+                let rel = format!("{}/run_{run}.log", rs.benchmark.slug());
+                self.write_file(&bundle_dir.join(&rel), text)?;
+                logs.push(rel);
             }
-            run_sets.push(RunSet {
+            run_sets.push(RunSetManifest {
                 benchmark: rs.benchmark,
-                dataset: rs.dataset,
-                hyperparameters: rs.hyperparameters,
-                signature: rs.signature,
+                dataset: rs.dataset.clone(),
+                hyperparameters: rs.hyperparameters.clone(),
+                signature: rs.signature.clone(),
                 logs,
             });
         }
-
-        Some((
-            manifest.index,
-            SubmissionBundle {
-                org: manifest.org,
-                system: manifest.system,
-                division: manifest.division,
-                category: manifest.category,
-                system_type: manifest.system_type,
-                run_sets,
-            },
-        ))
+        let manifest = BundleManifest {
+            schema: MANIFEST_SCHEMA,
+            index,
+            org: bundle.org.clone(),
+            system: bundle.system.clone(),
+            division: bundle.division,
+            category: bundle.category,
+            system_type: bundle.system_type,
+            run_sets,
+        };
+        self.write_file(&bundle_dir.join("bundle.json"), &pretty(&manifest))
     }
 
+    /// Seals the round: writes `round.json`, after which readers treat
+    /// the directory as a complete round. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the manifest cannot be written.
+    pub fn finalize(&self) -> Result<(), StoreError> {
+        let manifest = RoundManifest {
+            schema: MANIFEST_SCHEMA,
+            round: self.round,
+            references: self.references.clone(),
+        };
+        self.write_file(&self.round_dir.join("round.json"), &pretty(&manifest))
+    }
+
+    /// [`write_atomic`] plus the `store.bytes_written` counter.
+    fn write_file(&self, path: &Path, contents: &str) -> Result<(), StoreError> {
+        write_atomic(path, contents)?;
+        self.telemetry.counter("store.bytes_written").add(contents.len() as u64);
+        Ok(())
+    }
+}
+
+/// Reads one bundle directory; quarantines instead of failing.
+fn read_bundle_dir(
+    dir: &Path,
+    faults: &mut Vec<StoreFault>,
+    bytes_read: &Counter,
+) -> Option<(u64, SubmissionBundle)> {
+    let manifest_path = dir.join("bundle.json");
+    let text = match fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            faults
+                .push(StoreFault { path: dir.to_path_buf(), reason: FaultReason::MissingManifest });
+            return None;
+        }
+        Err(e) => {
+            faults.push(StoreFault { path: manifest_path, reason: FaultReason::Io(e.to_string()) });
+            return None;
+        }
+    };
+    bytes_read.add(text.len() as u64);
+    let manifest: BundleManifest = match serde_json::from_str(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            faults.push(StoreFault {
+                path: manifest_path,
+                reason: FaultReason::MalformedManifest(e.to_string()),
+            });
+            return None;
+        }
+    };
+    if manifest.schema > MANIFEST_SCHEMA {
+        faults.push(StoreFault {
+            path: manifest_path,
+            reason: FaultReason::UnsupportedSchema(manifest.schema),
+        });
+        return None;
+    }
+
+    let mut run_sets = Vec::new();
+    let mut benchmarks: BTreeSet<String> = BTreeSet::new();
+    for rs in manifest.run_sets {
+        if !benchmarks.insert(rs.benchmark.slug().to_string()) {
+            faults.push(StoreFault {
+                path: manifest_path.clone(),
+                reason: FaultReason::DuplicateBenchmark(rs.benchmark.slug().to_string()),
+            });
+            continue;
+        }
+        let mut logs = Vec::new();
+        for rel in &rs.logs {
+            let rel_path = Path::new(rel);
+            if rel_path.is_absolute()
+                || rel_path.components().any(|c| matches!(c, std::path::Component::ParentDir))
+            {
+                faults.push(StoreFault {
+                    path: manifest_path.clone(),
+                    reason: FaultReason::EscapingLogPath(rel.clone()),
+                });
+                continue;
+            }
+            let path = dir.join(rel_path);
+            match fs::read_to_string(&path) {
+                Err(e) => {
+                    faults
+                        .push(StoreFault { path, reason: FaultReason::MissingLog(e.to_string()) });
+                }
+                Ok(text) => {
+                    bytes_read.add(text.len() as u64);
+                    // Flag damaged text here with the precise path;
+                    // still hand it to review, which quarantines the
+                    // run set with its own parse diagnostic. A lone
+                    // truncated final line is classified apart from
+                    // general corruption (crashed writer, not rot).
+                    if let Err(e) = MlLogger::parse(&text) {
+                        let reason = if e.truncated_tail_only() {
+                            FaultReason::TruncatedLog(e.to_string())
+                        } else {
+                            FaultReason::MalformedLog(e.to_string())
+                        };
+                        faults.push(StoreFault { path, reason });
+                    }
+                    logs.push(text);
+                }
+            }
+        }
+        run_sets.push(RunSet {
+            benchmark: rs.benchmark,
+            dataset: rs.dataset,
+            hyperparameters: rs.hyperparameters,
+            signature: rs.signature,
+            logs,
+        });
+    }
+
+    Some((
+        manifest.index,
+        SubmissionBundle {
+            org: manifest.org,
+            system: manifest.system,
+            division: manifest.division,
+            category: manifest.category,
+            system_type: manifest.system_type,
+            run_sets,
+        },
+    ))
+}
+
+impl RoundArchive {
     /// Ingests every round in the archive and replays review over each,
     /// producing the cross-round [`RoundHistory`] the Figure 4/5 tables
     /// render from. A round too damaged to ingest becomes an
@@ -850,10 +963,6 @@ impl RoundArchive {
         scope.end_with(span, || Map::from([arg("rounds", json!(rounds))]));
         Ok(ArchiveReplay { history, faults })
     }
-
-    fn round_dir(&self, round: Round) -> PathBuf {
-        self.root.join(round.label())
-    }
 }
 
 /// One bundle yielded by [`RoundStream`]: the manifest's submission
@@ -871,21 +980,105 @@ pub struct StreamedBundle {
     pub bundle: SubmissionBundle,
 }
 
+/// How many decoded bundles the read-ahead worker may hold while the
+/// consumer is busy reviewing the previous one. Small on purpose:
+/// resident memory stays bounded at `READ_AHEAD + 1` bundles while
+/// disk I/O still overlaps parse/review.
+const READ_AHEAD: usize = 2;
+
+/// One step of the read-ahead walk: faults recorded while listing or
+/// reading, plus the bundle if the directory loaded.
+#[derive(Debug)]
+struct PrefetchItem {
+    faults: Vec<StoreFault>,
+    loaded: Option<(PathBuf, u64, SubmissionBundle)>,
+}
+
+/// Where [`RoundStream`] pulls prefetched bundles from: a bounded
+/// channel fed by a reader thread, or (when no thread could be
+/// spawned) a queue filled eagerly in-line.
+#[derive(Debug)]
+enum PrefetchSource {
+    Worker {
+        /// `None` once the stream is dropped — closing the channel is
+        /// what tells the reader thread to stop.
+        items: Option<mpsc::Receiver<PrefetchItem>>,
+        reader: Option<thread::JoinHandle<()>>,
+    },
+    Eager(VecDeque<PrefetchItem>),
+}
+
+impl PrefetchSource {
+    fn next(&mut self) -> Option<PrefetchItem> {
+        match self {
+            PrefetchSource::Worker { items, .. } => items.as_ref()?.recv().ok(),
+            PrefetchSource::Eager(queue) => queue.pop_front(),
+        }
+    }
+}
+
+/// Starts the read-ahead worker over `org_dirs`. Falls back to reading
+/// the whole round eagerly (unbounded memory, same results) in the
+/// rare case the OS refuses a thread.
+fn spawn_prefetcher(org_dirs: Vec<PathBuf>, bytes_read: Counter) -> PrefetchSource {
+    let (sender, receiver) = mpsc::sync_channel(READ_AHEAD);
+    let spawned = thread::Builder::new().name("round-read-ahead".to_string()).spawn({
+        let org_dirs = org_dirs.clone();
+        let bytes_read = bytes_read.clone();
+        move || walk_bundle_dirs(org_dirs, &bytes_read, |item| sender.send(item).is_ok())
+    });
+    match spawned {
+        Ok(handle) => PrefetchSource::Worker { items: Some(receiver), reader: Some(handle) },
+        Err(_) => {
+            let mut queue = VecDeque::new();
+            walk_bundle_dirs(org_dirs, &bytes_read, |item| {
+                queue.push_back(item);
+                true
+            });
+            PrefetchSource::Eager(queue)
+        }
+    }
+}
+
+/// Visits every bundle directory in name order, emitting one
+/// [`PrefetchItem`] per directory (listing faults ride with the next
+/// item so fault order matches the old serial walk). Stops early when
+/// `emit` returns false — how a dropped stream cancels its reader.
+fn walk_bundle_dirs(
+    org_dirs: Vec<PathBuf>,
+    bytes_read: &Counter,
+    mut emit: impl FnMut(PrefetchItem) -> bool,
+) {
+    for org_dir in org_dirs {
+        let mut pending = Vec::new();
+        let bundle_dirs = sorted_subdirs(&org_dir, &mut pending);
+        for dir in bundle_dirs {
+            let mut faults = std::mem::take(&mut pending);
+            let loaded = read_bundle_dir(&dir, &mut faults, bytes_read)
+                .map(|(index, bundle)| (dir, index, bundle));
+            if !emit(PrefetchItem { faults, loaded }) {
+                return;
+            }
+        }
+        if !pending.is_empty() && !emit(PrefetchItem { faults: pending, loaded: None }) {
+            return;
+        }
+    }
+}
+
 /// A round being read one bundle directory at a time — the
 /// bounded-memory ingest path behind
 /// [`RoundArchive::review_round_streaming`], also drained by the
 /// materialized [`RoundArchive::read_round`] so both paths share one
-/// reader. Faults accumulate on the stream in the same order the
-/// materialized read reports them.
+/// reader. A background worker keeps up to [`READ_AHEAD`] bundles
+/// decoded ahead of the consumer so disk I/O overlaps parse/review.
+/// Faults accumulate on the stream in the same order the serial walk
+/// reported them.
 #[derive(Debug)]
-pub struct RoundStream<'a> {
-    archive: &'a RoundArchive,
+pub struct RoundStream {
     round: Round,
     references: Vec<BenchmarkReference>,
-    /// Org directories not yet visited, in name order.
-    org_dirs: std::vec::IntoIter<PathBuf>,
-    /// Bundle directories of the org currently being visited.
-    current: std::vec::IntoIter<PathBuf>,
+    source: PrefetchSource,
     /// (org, system) pairs already yielded, for duplicate detection.
     seen: BTreeSet<(String, String)>,
     /// Manifest `index` values already yielded and the directory that
@@ -893,10 +1086,9 @@ pub struct RoundStream<'a> {
     seen_indices: BTreeMap<u64, PathBuf>,
     faults: Vec<StoreFault>,
     arrivals: usize,
-    bytes_read: Counter,
 }
 
-impl RoundStream<'_> {
+impl RoundStream {
     /// Which round is streaming.
     pub fn round(&self) -> Round {
         self.round
@@ -913,22 +1105,15 @@ impl RoundStream<'_> {
         &self.faults
     }
 
-    /// Reads the next bundle off disk, skipping quarantined directories
-    /// (each recorded as a fault) until one loads or the round is
-    /// exhausted. Only the returned bundle is resident; previous ones
-    /// are whatever the caller kept.
+    /// Yields the next bundle, skipping quarantined directories (each
+    /// recorded as a fault) until one loads or the round is exhausted.
+    /// Only the returned bundle (plus the bounded read-ahead) is
+    /// resident; previous ones are whatever the caller kept.
     pub fn next_bundle(&mut self) -> Option<StreamedBundle> {
         loop {
-            let dir = loop {
-                if let Some(dir) = self.current.next() {
-                    break dir;
-                }
-                let org_dir = self.org_dirs.next()?;
-                self.current = sorted_subdirs(&org_dir, &mut self.faults).into_iter();
-            };
-            let Some((index, bundle)) =
-                self.archive.read_bundle(&dir, &mut self.faults, &self.bytes_read)
-            else {
+            let item = self.source.next()?;
+            self.faults.extend(item.faults);
+            let Some((dir, index, bundle)) = item.loaded else {
                 continue;
             };
             let key = (bundle.org.clone(), bundle.system.system_name.clone());
@@ -962,7 +1147,20 @@ impl RoundStream<'_> {
         // Drain remaining directories so the fault list is complete
         // even when the caller stopped early.
         while self.next_bundle().is_some() {}
-        (self.references, self.faults)
+        (std::mem::take(&mut self.references), std::mem::take(&mut self.faults))
+    }
+}
+
+impl Drop for RoundStream {
+    fn drop(&mut self) {
+        if let PrefetchSource::Worker { items, reader } = &mut self.source {
+            // Closing the receiver makes the reader's next send fail,
+            // which stops the walk; then reap the thread.
+            drop(items.take());
+            if let Some(handle) = reader.take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -1267,6 +1465,42 @@ mod tests {
             reason_for(&log)
         );
         assert!(matches!(reason_for(&other), FaultReason::MalformedLog(_)));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_round_writer_persists_incrementally_from_many_threads() {
+        let root = temp_dir("open-round");
+        let archive = RoundArchive::create(&root).unwrap();
+        let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 13));
+        let writer = archive.open_round(Round::V05, subs.references.clone()).unwrap();
+        thread::scope(|scope| {
+            for (index, bundle) in subs.bundles.iter().enumerate() {
+                let writer = &writer;
+                scope.spawn(move || writer.write_bundle(index as u64, bundle).unwrap());
+            }
+        });
+        // Until finalize lands round.json the round is recognizably
+        // incomplete and invisible to readers.
+        assert_eq!(archive.rounds().unwrap(), Vec::<Round>::new());
+        writer.finalize().unwrap();
+        assert_eq!(archive.rounds().unwrap(), vec![Round::V05]);
+        let ingest = archive.read_round(Round::V05).unwrap();
+        assert!(ingest.faults.is_empty(), "{:?}", ingest.faults);
+        assert_eq!(ingest.submissions, subs, "arrival order never reorders the round");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dropping_a_stream_early_reaps_the_read_ahead_worker() {
+        let root = temp_dir("early-drop");
+        let archive = RoundArchive::create(&root).unwrap();
+        archive.write_round(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 11))).unwrap();
+        let mut stream = archive.stream_round(Round::V05).unwrap();
+        assert!(stream.next_bundle().is_some());
+        // Dropping mid-round must cancel and join the reader thread,
+        // not hang or leak it.
+        drop(stream);
         fs::remove_dir_all(&root).unwrap();
     }
 

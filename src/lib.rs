@@ -33,6 +33,10 @@
 //!   Server, and Offline traffic over trained (or simulated) models,
 //!   deterministic under a simulated clock, feeding the same review
 //!   pipeline.
+//! - [`service`] — the live submission service: a long-running
+//!   concurrent ingest server keeping a round open, reviewing bundles
+//!   on arrival, serving cached leaderboards and Prometheus metrics
+//!   over a hand-rolled HTTP/1.1 layer.
 //! - [`pool`] — the shared scoped worker pool behind every parallel
 //!   stage, with process-wide busy/queue instrumentation.
 //! - [`telemetry`] — zero-dependency instrumentation shared by the
@@ -54,6 +58,7 @@ pub use mlperf_models as models;
 pub use mlperf_nn as nn;
 pub use mlperf_optim as optim;
 pub use mlperf_pool as pool;
+pub use mlperf_service as service;
 pub use mlperf_submission as submission;
 pub use mlperf_telemetry as telemetry;
 pub use mlperf_tensor as tensor;
