@@ -2,8 +2,9 @@
 //! over a persistent, disk-backed round archive.
 //!
 //! ```sh
-//! round_pipeline write  --archive DIR [--rounds N] [--seed N] [--bundles N]
+//! round_pipeline write  --archive DIR [--rounds N] [--seed N] [--bundles N] [--schema N]
 //! round_pipeline ingest --archive DIR [--streaming] [--trace FILE] [--sample N]
+//! round_pipeline migrate --archive DIR
 //! round_pipeline report --archive DIR [--chips N] [--streaming]
 //! round_pipeline demo [--trace FILE]  # all three against a temp archive
 //! round_pipeline loadgen [--seed N] [--archive DIR] [--log-dir DIR] [--trace FILE]
@@ -18,7 +19,12 @@
 //! deliberately corrupted bundle, so ingest has something to
 //! quarantine) and persists them as real `:::MLLOG` log files plus
 //! JSON manifests; `--bundles N` writes stress rounds of N small
-//! single-benchmark bundles instead, for scale runs. `ingest` reads
+//! single-benchmark bundles instead, for scale runs, and `--schema N`
+//! pins an older manifest schema (for migration fixtures and
+//! compatibility tests). `migrate` rewrites every manifest in an
+//! archive to the current `MANIFEST_SCHEMA` in place — atomically, per
+//! manifest, skipping manifests that are already current and
+//! quarantining unreadable ones as storage faults. `ingest` reads
 //! the archive back, replays review over every round, and reports what
 //! was accepted, quarantined, or damaged on disk — with `--streaming`
 //! it ingests bundles one directory at a time in bounded memory.
@@ -84,7 +90,7 @@ use mlperf_service::{http_get, http_post, HttpServer, ServiceCore};
 use mlperf_submission::{
     leaderboards, round_references, run_round_with, scenario_leaderboards, synthetic_round,
     synthetic_stress_round, ArchiveReplay, Fault, RoundArchive, RoundSubmissions,
-    SyntheticRoundSpec,
+    SyntheticRoundSpec, MANIFEST_SCHEMA,
 };
 use mlperf_telemetry::{write_prometheus, write_trace, Reporter, SpanSampling, Telemetry};
 use mlperf_tensor::{enable_kernel_stats, kernel_stats, set_default_backend, BackendKind};
@@ -106,10 +112,11 @@ const REPORT_INTERVAL: Duration = Duration::from_millis(250);
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: round_pipeline [write|ingest|report|demo|loadgen|serve|storm] [--archive DIR] \
-         [--rounds N] [--seed N] [--bundles N] [--chips N] [--streaming] [--trace FILE] \
-         [--metrics FILE] [--progress] [--sample N] [--log-dir DIR] \
-         [--backend reference|blocked] [--addr HOST:PORT] [--clients N] [--round vX.Y]"
+        "usage: round_pipeline [write|ingest|report|migrate|demo|loadgen|serve|storm] \
+         [--archive DIR] [--rounds N] [--seed N] [--bundles N] [--chips N] [--schema N] \
+         [--streaming] [--trace FILE] [--metrics FILE] [--progress] [--sample N] \
+         [--log-dir DIR] [--backend reference|blocked] [--addr HOST:PORT] [--clients N] \
+         [--round vX.Y]"
     );
     ExitCode::FAILURE
 }
@@ -126,6 +133,9 @@ struct Args {
     /// Figure 4 anchor; `None` means the history's data-driven
     /// common scale.
     chips: Option<usize>,
+    /// `write`: pin this manifest schema instead of the current one
+    /// (migration fixtures, compatibility tests).
+    schema: Option<u64>,
     /// Ingest through the bounded-memory streaming reader.
     streaming: bool,
     trace: Option<PathBuf>,
@@ -163,6 +173,7 @@ fn parse_args() -> Option<Args> {
         seed: 21,
         bundles: None,
         chips: None,
+        schema: None,
         streaming: false,
         trace: None,
         metrics: None,
@@ -191,6 +202,7 @@ fn parse_args() -> Option<Args> {
             "--seed" => parsed.seed = value.parse().ok()?,
             "--bundles" => parsed.bundles = Some(value.parse().ok()?),
             "--chips" => parsed.chips = Some(value.parse().ok()?),
+            "--schema" => parsed.schema = Some(value.parse().ok()?),
             "--trace" => parsed.trace = Some(PathBuf::from(value)),
             "--metrics" => parsed.metrics = Some(PathBuf::from(value)),
             "--sample" => parsed.sample = Some(value.parse().ok()?),
@@ -216,6 +228,10 @@ fn parse_args() -> Option<Args> {
         eprintln!("--bundles, --sample, and --clients must be positive");
         return None;
     }
+    if parsed.schema.is_some_and(|s| !(1..=MANIFEST_SCHEMA).contains(&s)) {
+        eprintln!("--schema must be 1..={MANIFEST_SCHEMA}");
+        return None;
+    }
     Some(parsed)
 }
 
@@ -237,10 +253,16 @@ fn write_archive(
     rounds: usize,
     seed: u64,
     bundles: Option<usize>,
+    schema: Option<u64>,
     telemetry: &Telemetry,
 ) -> Result<RoundArchive, String> {
-    let archive =
-        RoundArchive::create(dir).map_err(|e| e.to_string())?.with_telemetry(telemetry.clone());
+    let schema = schema.unwrap_or(MANIFEST_SCHEMA);
+    let archive = RoundArchive::create_pinned(dir, schema)
+        .map_err(|e| e.to_string())?
+        .with_telemetry(telemetry.clone());
+    if schema != MANIFEST_SCHEMA {
+        println!("pinning manifest schema {schema} (current is {MANIFEST_SCHEMA})");
+    }
     for (i, round) in Round::ALL.into_iter().take(rounds).enumerate() {
         let subs = match bundles {
             Some(n) => synthetic_stress_round(round, n, seed + i as u64),
@@ -248,7 +270,7 @@ fn write_archive(
         };
         let logs: usize =
             subs.bundles.iter().flat_map(|b| &b.run_sets).map(|rs| rs.logs.len()).sum();
-        archive.write_round(&subs).map_err(|e| e.to_string())?;
+        archive.write_round_pinned(&subs, schema).map_err(|e| e.to_string())?;
         println!(
             "wrote round {round}: {} bundles, {logs} log files -> {}",
             subs.bundles.len(),
@@ -726,13 +748,25 @@ fn main() -> ExitCode {
                 eprintln!("write requires --archive DIR");
                 return ExitCode::FAILURE;
             };
-            write_archive(dir, args.rounds, args.seed, args.bundles, &telemetry).map(|_| ())
+            write_archive(dir, args.rounds, args.seed, args.bundles, args.schema, &telemetry)
+                .map(|_| ())
         }
         "ingest" => RoundArchive::open(args.archive.clone().unwrap_or_else(|| PathBuf::from(".")))
             .map_err(|e| e.to_string())
             .and_then(|archive| {
                 ingest_archive(&archive.with_telemetry(telemetry.clone()), args.streaming)
                     .map(|_| ())
+            }),
+        "migrate" => RoundArchive::open(args.archive.clone().unwrap_or_else(|| PathBuf::from(".")))
+            .map_err(|e| e.to_string())
+            .and_then(|archive| {
+                let archive = archive.with_telemetry(telemetry.clone());
+                let report = archive.migrate().map_err(|e| e.to_string())?;
+                for fault in &report.faults {
+                    println!("storage fault: {fault}");
+                }
+                println!("{report}");
+                Ok(())
             }),
         "report" => RoundArchive::open(args.archive.clone().unwrap_or_else(|| PathBuf::from(".")))
             .map_err(|e| e.to_string())
@@ -747,8 +781,8 @@ fn main() -> ExitCode {
                 .archive
                 .clone()
                 .unwrap_or_else(|| mlperf_bench::experiments_dir().join("round_archive"));
-            write_archive(&dir, args.rounds, args.seed, args.bundles, &telemetry).and_then(
-                |archive| {
+            write_archive(&dir, args.rounds, args.seed, args.bundles, args.schema, &telemetry)
+                .and_then(|archive| {
                     println!();
                     if telemetry.is_enabled() {
                         demo_harness_run(&telemetry);
@@ -780,8 +814,7 @@ fn main() -> ExitCode {
                     let path = write_json("round_pipeline", &summary);
                     println!("wrote {}", path.display());
                     Ok(())
-                },
-            )
+                })
         }
         "loadgen" => run_loadgen(&args, &telemetry),
         "serve" => run_serve(&args, &telemetry),

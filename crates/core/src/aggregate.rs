@@ -29,6 +29,36 @@ pub enum AggregateError {
     },
 }
 
+impl Serialize for AggregateError {
+    fn to_value(&self) -> serde_json::Value {
+        match self {
+            AggregateError::NotEnoughRuns { got, required } => {
+                serde_json::json!({"NotEnoughRuns": {"got": got, "required": required}})
+            }
+            AggregateError::FailedRun { index } => {
+                serde_json::json!({"FailedRun": {"index": index}})
+            }
+        }
+    }
+}
+
+impl Deserialize for AggregateError {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::de::Error> {
+        use crate::compliance::{variant_field, variant_parts};
+        let (tag, body) = variant_parts(v)?;
+        match tag {
+            "NotEnoughRuns" => Ok(AggregateError::NotEnoughRuns {
+                got: variant_field(body, "got")?,
+                required: variant_field(body, "required")?,
+            }),
+            "FailedRun" => Ok(AggregateError::FailedRun { index: variant_field(body, "index")? }),
+            other => {
+                Err(serde::de::Error::custom(format!("unknown AggregateError variant `{other}`")))
+            }
+        }
+    }
+}
+
 impl fmt::Display for AggregateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

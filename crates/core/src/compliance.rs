@@ -2,27 +2,32 @@
 //! (§4.1): verifies that a run log contains the required structured
 //! events in a legal order before results are published.
 
-use crate::mllog::{keys, LogEntry};
+use crate::mllog::{keys, LogEntry, LogKey};
 use crate::rules::Scenario;
-use serde_json::Value;
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 use std::fmt;
 
 /// A compliance problem found in a submission log. Positional issues
 /// carry the zero-based index of the offending entry, which is also its
 /// line number in the rendered `:::MLLOG` text (entries map to lines
 /// one-to-one), so review diagnostics can point at the exact line.
+/// Issues serialize to JSON (externally tagged, like real serde renders
+/// enums) so quarantined review reports can spill to disk and round-trip
+/// with their diagnostics intact; key payloads are [`LogKey`]s, whose
+/// serde re-interns on the way back in.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ComplianceIssue {
     /// A required key never appears.
-    MissingKey(&'static str),
+    MissingKey(LogKey),
     /// Events appear out of lifecycle order.
     OutOfOrder {
         /// The key that appeared too early.
-        early: &'static str,
+        early: LogKey,
         /// Index of the too-early entry.
         early_entry: usize,
         /// The key it must follow.
-        late: &'static str,
+        late: LogKey,
         /// Index of the entry it should have followed.
         late_entry: usize,
     },
@@ -127,6 +132,108 @@ impl fmt::Display for ComplianceIssue {
     }
 }
 
+impl Serialize for ComplianceIssue {
+    fn to_value(&self) -> Value {
+        match self {
+            ComplianceIssue::MissingKey(key) => json!({"MissingKey": key}),
+            ComplianceIssue::OutOfOrder { early, early_entry, late, late_entry } => json!({
+                "OutOfOrder": {
+                    "early": early,
+                    "early_entry": early_entry,
+                    "late": late,
+                    "late_entry": late_entry,
+                }
+            }),
+            ComplianceIssue::RunStopWithoutStatus { entry } => {
+                json!({"RunStopWithoutStatus": {"entry": entry}})
+            }
+            ComplianceIssue::NonMonotonicTimestamps { entry } => {
+                json!({"NonMonotonicTimestamps": {"entry": entry}})
+            }
+            ComplianceIssue::NoEvaluations => json!("NoEvaluations"),
+            ComplianceIssue::UnknownScenario { entry } => {
+                json!({"UnknownScenario": {"entry": entry}})
+            }
+            ComplianceIssue::TooFewQueries { entry, issued, required } => {
+                json!({"TooFewQueries": {"entry": entry, "issued": issued, "required": required}})
+            }
+            ComplianceIssue::ScenarioTooShort { entry, duration_ms, required_ms } => json!({
+                "ScenarioTooShort": {
+                    "entry": entry,
+                    "duration_ms": duration_ms,
+                    "required_ms": required_ms,
+                }
+            }),
+            ComplianceIssue::SloViolated { entry } => json!({"SloViolated": {"entry": entry}}),
+        }
+    }
+}
+
+/// Pulls one named field out of an externally tagged variant body.
+/// Shared by the hand-written serde impls the review spill files use
+/// (issue enums with payload variants, which the vendored derive
+/// cannot handle).
+pub fn variant_field<T: Deserialize>(body: &Value, name: &str) -> Result<T, serde::de::Error> {
+    let value = body
+        .get(name)
+        .ok_or_else(|| serde::de::Error::custom(format!("missing field `{name}`")))?;
+    T::from_value(value).map_err(|e| serde::de::Error::in_field(name, e))
+}
+
+/// Splits an externally tagged enum rendering into its tag and body: a
+/// bare string is a unit variant, a single-entry object a payload one.
+pub fn variant_parts(v: &Value) -> Result<(&str, &Value), serde::de::Error> {
+    static NULL: Value = Value::Null;
+    if let Some(tag) = v.as_str() {
+        return Ok((tag, &NULL));
+    }
+    match v.as_object().map(|map| (map.len(), map.iter().next())) {
+        Some((1, Some((tag, body)))) => Ok((tag.as_str(), body)),
+        _ => Err(serde::de::Error::custom("expected a variant tag")),
+    }
+}
+
+impl Deserialize for ComplianceIssue {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        let (tag, body) = variant_parts(v)?;
+        match tag {
+            "MissingKey" => Ok(ComplianceIssue::MissingKey(LogKey::from_value(body)?)),
+            "OutOfOrder" => Ok(ComplianceIssue::OutOfOrder {
+                early: variant_field(body, "early")?,
+                early_entry: variant_field(body, "early_entry")?,
+                late: variant_field(body, "late")?,
+                late_entry: variant_field(body, "late_entry")?,
+            }),
+            "RunStopWithoutStatus" => {
+                Ok(ComplianceIssue::RunStopWithoutStatus { entry: variant_field(body, "entry")? })
+            }
+            "NonMonotonicTimestamps" => {
+                Ok(ComplianceIssue::NonMonotonicTimestamps { entry: variant_field(body, "entry")? })
+            }
+            "NoEvaluations" => Ok(ComplianceIssue::NoEvaluations),
+            "UnknownScenario" => {
+                Ok(ComplianceIssue::UnknownScenario { entry: variant_field(body, "entry")? })
+            }
+            "TooFewQueries" => Ok(ComplianceIssue::TooFewQueries {
+                entry: variant_field(body, "entry")?,
+                issued: variant_field(body, "issued")?,
+                required: variant_field(body, "required")?,
+            }),
+            "ScenarioTooShort" => Ok(ComplianceIssue::ScenarioTooShort {
+                entry: variant_field(body, "entry")?,
+                duration_ms: variant_field(body, "duration_ms")?,
+                required_ms: variant_field(body, "required_ms")?,
+            }),
+            "SloViolated" => {
+                Ok(ComplianceIssue::SloViolated { entry: variant_field(body, "entry")? })
+            }
+            other => {
+                Err(serde::de::Error::custom(format!("unknown ComplianceIssue variant `{other}`")))
+            }
+        }
+    }
+}
+
 /// Checks a run log for rule compliance; returns all problems found
 /// (empty = compliant).
 pub fn check_log(entries: &[LogEntry]) -> Vec<ComplianceIssue> {
@@ -141,7 +248,7 @@ pub fn check_log(entries: &[LogEntry]) -> Vec<ComplianceIssue> {
         keys::RUN_STOP,
     ] {
         if pos(required).is_none() {
-            issues.push(ComplianceIssue::MissingKey(required));
+            issues.push(ComplianceIssue::MissingKey(required.into()));
         }
     }
 
@@ -156,9 +263,9 @@ pub fn check_log(entries: &[LogEntry]) -> Vec<ComplianceIssue> {
         if let (Some(a), Some(b)) = (pos(first), pos(second)) {
             if a > b {
                 issues.push(ComplianceIssue::OutOfOrder {
-                    early: second,
+                    early: second.into(),
                     early_entry: b,
-                    late: first,
+                    late: first.into(),
                     late_entry: a,
                 });
             }
@@ -214,7 +321,7 @@ fn check_loadgen(entries: &[LogEntry], scenario_at: usize, issues: &mut Vec<Comp
         keys::LOADGEN_QPS,
     ] {
         if pos(required).is_none() {
-            issues.push(ComplianceIssue::MissingKey(required));
+            issues.push(ComplianceIssue::MissingKey(required.into()));
         }
     }
 
@@ -250,7 +357,7 @@ fn check_loadgen(entries: &[LogEntry], scenario_at: usize, issues: &mut Vec<Comp
 
     if rules.latency_percentile.is_some() {
         match pos(keys::LOADGEN_SLO_SATISFIED) {
-            None => issues.push(ComplianceIssue::MissingKey(keys::LOADGEN_SLO_SATISFIED)),
+            None => issues.push(ComplianceIssue::MissingKey(keys::LOADGEN_SLO_SATISFIED.into())),
             Some(i) => {
                 if entries[i].value.as_bool() != Some(true) {
                     issues.push(ComplianceIssue::SloViolated { entry: i });
@@ -295,7 +402,7 @@ mod tests {
     fn missing_seed_flagged() {
         let log: Vec<LogEntry> =
             minimal_valid().into_iter().filter(|e| e.key != keys::SEED).collect();
-        assert!(check_log(&log).contains(&ComplianceIssue::MissingKey(keys::SEED)));
+        assert!(check_log(&log).contains(&ComplianceIssue::MissingKey(keys::SEED.into())));
     }
 
     #[test]
@@ -304,9 +411,9 @@ mod tests {
         log.swap(3, 4); // run_start before init_start
         let issues = check_log(&log);
         assert!(issues.contains(&ComplianceIssue::OutOfOrder {
-            early: keys::RUN_START,
+            early: keys::RUN_START.into(),
             early_entry: 3,
-            late: keys::INIT_START,
+            late: keys::INIT_START.into(),
             late_entry: 4,
         }));
     }
@@ -379,7 +486,7 @@ mod tests {
     fn loadgen_log_missing_result_keys_flagged() {
         let log: Vec<LogEntry> =
             minimal_loadgen("server").into_iter().filter(|e| e.key != keys::LOADGEN_QPS).collect();
-        assert!(check_log(&log).contains(&ComplianceIssue::MissingKey(keys::LOADGEN_QPS)));
+        assert!(check_log(&log).contains(&ComplianceIssue::MissingKey(keys::LOADGEN_QPS.into())));
     }
 
     #[test]
@@ -422,6 +529,38 @@ mod tests {
             .filter(|e| e.key != keys::LOADGEN_SLO_MS && e.key != keys::LOADGEN_SLO_SATISFIED)
             .collect();
         assert!(check_log(&log).is_empty());
+    }
+
+    /// Every issue shape survives a JSON round-trip — the property the
+    /// review spill files depend on — and interned keys come back as
+    /// the same interned pointer.
+    #[test]
+    fn issues_round_trip_through_json() {
+        let issues = vec![
+            ComplianceIssue::MissingKey(keys::SEED.into()),
+            ComplianceIssue::OutOfOrder {
+                early: keys::RUN_START.into(),
+                early_entry: 3,
+                late: keys::INIT_START.into(),
+                late_entry: 4,
+            },
+            ComplianceIssue::RunStopWithoutStatus { entry: 8 },
+            ComplianceIssue::NonMonotonicTimestamps { entry: 6 },
+            ComplianceIssue::NoEvaluations,
+            ComplianceIssue::UnknownScenario { entry: 5 },
+            ComplianceIssue::TooFewQueries { entry: 6, issued: 17, required: 128 },
+            ComplianceIssue::ScenarioTooShort { entry: 7, duration_ms: 40, required_ms: 1000 },
+            ComplianceIssue::SloViolated { entry: 13 },
+        ];
+        for issue in issues {
+            let text = serde_json::to_string(&issue).unwrap();
+            let back: ComplianceIssue = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, issue, "{text}");
+        }
+        let text = serde_json::to_string(&ComplianceIssue::MissingKey(keys::SEED.into())).unwrap();
+        let back: ComplianceIssue = serde_json::from_str(&text).unwrap();
+        let ComplianceIssue::MissingKey(key) = back else { panic!("wrong variant") };
+        assert!(key.is_standard(), "deserialized well-known key must re-intern");
     }
 
     /// The harness's own logs must pass the compliance checker — the

@@ -363,6 +363,184 @@ impl MlLogger {
             Err(ParseError { faults })
         }
     }
+
+    /// Validates a rendered log without building any entries: the
+    /// verdict of [`MlLogger::parse`] at a fraction of its cost.
+    /// Archive ingest checks every stored log file this way (review
+    /// re-parses the text later, on the worker pool), so the check must
+    /// not allocate a `Value` tree per line. Each line is scanned by an
+    /// accept-only validator that recognizes canonical rendered output;
+    /// the first line it cannot vouch for sends the whole text through
+    /// [`MlLogger::parse`], whose structured [`ParseError`] — naming
+    /// every malformed line — is returned as-is. Verdict and error are
+    /// therefore always identical to the full parse.
+    ///
+    /// # Errors
+    ///
+    /// Exactly when [`MlLogger::parse`] fails, with the same
+    /// [`ParseError`].
+    pub fn validate(text: &str) -> Result<(), ParseError> {
+        for line in text.lines() {
+            if !line_is_valid(line) {
+                return MlLogger::parse(text).map(|_| ());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Accept-only per-line check behind [`MlLogger::validate`]: true only
+/// when [`parse_mllog_line`] is certain to accept the line. The fast
+/// scan covers canonical rendered lines; anything else is decided by
+/// the serde parser (discarding the entry it builds — that price is
+/// paid only for non-canonical lines).
+fn line_is_valid(line: &str) -> bool {
+    match line.strip_prefix(":::MLLOG ") {
+        Some(body) => validate_body_fast(body) || serde_json::from_str::<LogEntry>(body).is_ok(),
+        None => line.trim().is_empty(),
+    }
+}
+
+/// Allocation-free scan of the canonical body shape
+/// `{"key":"…","time_ms":N,"value":V}`. One-sided like
+/// [`parse_body_fast`]: true only when the serde parser would accept
+/// the body too; any deviation — escapes, whitespace, exotic numbers —
+/// returns false and the caller consults serde.
+fn validate_body_fast(body: &str) -> bool {
+    fn scan(body: &str) -> Option<()> {
+        let rest = body.strip_prefix("{\"key\":\"")?;
+        let key_end = rest.bytes().position(|b| b == b'"' || b == b'\\' || b < 0x20)?;
+        if rest.as_bytes()[key_end] != b'"' {
+            return None;
+        }
+        let rest = rest[key_end..].strip_prefix("\",\"time_ms\":")?;
+        let digits = rest.bytes().take_while(|b| b.is_ascii_digit()).count();
+        let (num, rest) = rest.split_at(digits);
+        // Parsed, not just counted: 20 digits can overflow u64, which
+        // the serde path rejects for a u64 field.
+        num.parse::<u64>().ok()?;
+        let rest = rest.strip_prefix(",\"value\":")?;
+        let value = rest.strip_suffix('}')?;
+        let bytes = value.as_bytes();
+        let mut pos = 0;
+        skip_value(bytes, &mut pos)?;
+        (pos == bytes.len()).then_some(())
+    }
+    scan(body).is_some()
+}
+
+/// Skips one JSON value in canonical (whitespace-free) form, accepting
+/// only constructs the serde parser is guaranteed to accept.
+fn skip_value(bytes: &[u8], pos: &mut usize) -> Option<()> {
+    match bytes.get(*pos)? {
+        b'n' => skip_lit(bytes, pos, "null"),
+        b't' => skip_lit(bytes, pos, "true"),
+        b'f' => skip_lit(bytes, pos, "false"),
+        b'"' => skip_string(bytes, pos),
+        b'-' | b'0'..=b'9' => skip_number(bytes, pos),
+        b'[' => {
+            *pos += 1;
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(());
+            }
+            loop {
+                skip_value(bytes, pos)?;
+                match bytes.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(());
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(());
+            }
+            loop {
+                skip_string(bytes, pos)?;
+                if bytes.get(*pos)? != &b':' {
+                    return None;
+                }
+                *pos += 1;
+                skip_value(bytes, pos)?;
+                match bytes.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(());
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Consumes `lit` exactly at `pos`.
+fn skip_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+/// Consumes a string literal with no escapes; `\` or a control byte
+/// defers to serde.
+fn skip_string(bytes: &[u8], pos: &mut usize) -> Option<()> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(());
+            }
+            b'\\' | 0x00..=0x1f => return None,
+            _ => *pos += 1,
+        }
+    }
+}
+
+/// Consumes a conservative number: `-?d{1,19}(.d{1,19})?`, which the
+/// serde grammar always accepts as a finite number (overflowing
+/// integers fall to finite floats at these lengths). Exponents or any
+/// further number-charset byte defer to serde.
+fn skip_number(bytes: &[u8], pos: &mut usize) -> Option<()> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    digit_run(bytes, pos)?;
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        digit_run(bytes, pos)?;
+    }
+    if bytes.get(*pos).is_some_and(|b| matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        return None;
+    }
+    Some(())
+}
+
+/// Consumes 1–19 digits (19 digits of fraction or integer can never
+/// overflow `f64` to infinity, and the caller re-checks `u64` ranges
+/// where they matter).
+fn digit_run(bytes: &[u8], pos: &mut usize) -> Option<()> {
+    let start = *pos;
+    while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+        *pos += 1;
+    }
+    (1..=19).contains(&(*pos - start)).then_some(())
 }
 
 /// Parses one `:::MLLOG` line into an entry. Blank lines yield
@@ -611,6 +789,45 @@ mod tests {
             assert_eq!(fast.is_ok(), serde.is_ok(), "verdicts differ for {line}");
             if let (Ok(a), Ok(b)) = (&fast, &serde) {
                 assert_eq!(a, b, "parses differ for {line}");
+            }
+            // The allocation-free validator must agree with both.
+            assert_eq!(
+                MlLogger::validate(&format!("{line}\n")).is_ok(),
+                MlLogger::parse(&format!("{line}\n")).is_ok(),
+                "validate verdict differs for {line}"
+            );
+        }
+    }
+
+    /// `validate` is a pure accept/reject oracle for `parse`: same
+    /// verdict on every text, and on rejection the same structured
+    /// error, fault lines and all.
+    #[test]
+    fn validate_agrees_with_parse() {
+        let mut logger = MlLogger::new();
+        logger.log(keys::SUBMISSION_BENCHMARK, json!("ncf"));
+        logger.log(keys::SEED, json!(7));
+        logger.set_time_ms(10);
+        logger.log(keys::EVAL_ACCURACY, json!(0.62));
+        logger.log(keys::RUN_STOP, json!({"status": "success"}));
+        logger.log("custom_key", json!([1, 2.5, "s", null, {"nested": true}]));
+        let clean = logger.render();
+        assert!(MlLogger::validate(&clean).is_ok());
+
+        let texts = [
+            clean.clone(),
+            format!("\n{clean}\n\n"),
+            clean.replace(":::MLLOG {\"key\":\"seed\"", "garbage line"),
+            format!("{clean}:::MLLOG {{\"key\":\"k\",\"time_ms\":1,\"value\":"),
+            format!("{clean}:::MLLOG {{\"key\":\"k\",\"time_ms\":9e9,\"value\":null}}\n"),
+            String::new(),
+        ];
+        for text in texts {
+            let validated = MlLogger::validate(&text);
+            let parsed = MlLogger::parse(&text);
+            assert_eq!(validated.is_ok(), parsed.is_ok(), "verdicts differ for {text:?}");
+            if let (Err(a), Err(b)) = (validated, parsed) {
+                assert_eq!(a, b, "errors differ for {text:?}");
             }
         }
     }

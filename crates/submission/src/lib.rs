@@ -34,6 +34,7 @@
 
 pub mod bundle;
 pub mod leaderboard;
+pub mod manifest;
 pub mod review;
 pub mod round;
 pub mod store;
@@ -50,8 +51,8 @@ pub use round::{
     ScenarioEntry, StreamingReview,
 };
 pub use store::{
-    ArchiveReplay, FaultReason, OpenRoundWriter, RoundArchive, RoundIngest, RoundStream,
-    StoreError, StoreFault, StreamedBundle, MANIFEST_SCHEMA,
+    ArchiveReplay, FaultReason, MigrationReport, OpenRoundWriter, RoundArchive, RoundIngest,
+    RoundStream, StoreError, StoreFault, StreamedBundle, MANIFEST_SCHEMA,
 };
 pub use synthetic::{
     round_references, synthetic_round, synthetic_stress_round, Fault, SyntheticRoundSpec,

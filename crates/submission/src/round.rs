@@ -17,7 +17,6 @@ use mlperf_core::rules::{Division, Scenario};
 use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
 use mlperf_telemetry::{arg, Gauge, Histogram, SpanId, SpanScope, Telemetry};
-use serde::{Deserialize, Serialize};
 use serde_json::{json, Map};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -434,57 +433,28 @@ impl ReviewedBundle {
 
 /// How a per-bundle report is held between arrival and
 /// [`StreamingReview::finish`]: resident in memory, or spilled to disk
-/// with just enough metadata kept to reconstruct a stand-in if the
-/// spill file is lost.
+/// with just enough metadata kept — including whether the report was
+/// clean, which the mid-round quarantine count needs — to reconstruct
+/// a stand-in if the spill file is lost.
 #[derive(Debug)]
 enum StoredReport {
     Resident(ReviewReport),
-    Spilled { path: PathBuf, org: String, division: Division },
+    Spilled { path: PathBuf, org: String, division: Division, clean: bool },
 }
 
-/// A clean report's serializable shape for spilling. Diagnostics are
-/// omitted by construction — only clean (diagnostic-free) reports
-/// spill, which is what makes the round trip lossless: compliance
-/// diagnostics hold interned `&'static str` keys that cannot
-/// deserialize.
-#[derive(Debug, Serialize, Deserialize)]
-struct SpilledReport {
-    org: String,
-    division: Division,
-    benchmarks: Vec<SpilledBenchmark>,
-}
-
-#[derive(Debug, Serialize, Deserialize)]
-struct SpilledBenchmark {
-    benchmark: BenchmarkId,
-    minutes: Option<f64>,
-    runs: usize,
-    scenarios: Vec<ScenarioSummary>,
-}
-
-/// Writes one clean report to `dir` atomically (tmp + rename), keyed
-/// by the bundle's feed key so concurrent rounds never collide.
+/// Writes one report to `dir` atomically (tmp + rename), keyed by the
+/// bundle's feed key so concurrent rounds never collide. The whole
+/// [`ReviewReport`] serializes — diagnostics included — so quarantined
+/// reports spill exactly like clean ones and round-trip with their
+/// diagnostics intact ([`mlperf_core::mllog::LogKey`] serde re-interns
+/// the standard keys on the way back in).
 fn spill_report(
     dir: &Path,
     index: u64,
     arrival: usize,
     report: &ReviewReport,
 ) -> Result<PathBuf, String> {
-    let spilled = SpilledReport {
-        org: report.org.clone(),
-        division: report.division,
-        benchmarks: report
-            .benchmarks
-            .iter()
-            .map(|b| SpilledBenchmark {
-                benchmark: b.benchmark,
-                minutes: b.minutes,
-                runs: b.runs,
-                scenarios: b.scenarios.clone(),
-            })
-            .collect(),
-    };
-    let text = serde_json::to_string(&spilled).map_err(|e| e.to_string())?;
+    let text = serde_json::to_string(report).map_err(|e| e.to_string())?;
     let path = dir.join(format!("report-{index}-{arrival}.json"));
     let tmp = dir.join(format!(".report-{index}-{arrival}.json.tmp"));
     std::fs::write(&tmp, text).map_err(|e| e.to_string())?;
@@ -492,26 +462,10 @@ fn spill_report(
     Ok(path)
 }
 
-/// Reads a spilled report back; the reconstructed report has no
-/// diagnostics, which is exactly what was true when it spilled.
+/// Reads a spilled report back, diagnostics and all.
 fn unspill_report(path: &Path) -> Result<ReviewReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let spilled: SpilledReport = serde_json::from_str(&text).map_err(|e| e.to_string())?;
-    Ok(ReviewReport {
-        org: spilled.org,
-        division: spilled.division,
-        benchmarks: spilled
-            .benchmarks
-            .into_iter()
-            .map(|b| BenchmarkReview {
-                benchmark: b.benchmark,
-                diagnostics: Vec::new(),
-                minutes: b.minutes,
-                runs: b.runs,
-                scenarios: b.scenarios,
-            })
-            .collect(),
-    })
+    serde_json::from_str(&text).map_err(|e| e.to_string())
 }
 
 /// One reviewed bundle held by [`StreamingReview`]: the caller's
@@ -568,12 +522,11 @@ impl StreamingReview {
         }
     }
 
-    /// Bounds resident memory for long-lived rounds: clean per-bundle
-    /// reports are written to `dir` (atomically, tmp + rename) as they
-    /// arrive and re-read only when [`StreamingReview::finish`] renders
-    /// the outcome. Quarantined reports stay resident — their
-    /// diagnostics carry interned keys that do not round-trip through
-    /// JSON — as do clean reports whose spill write failed, so a broken
+    /// Bounds resident memory for long-lived rounds: per-bundle reports
+    /// — quarantined ones included, diagnostics and all — are written
+    /// to `dir` (atomically, tmp + rename) as they arrive and re-read
+    /// only when [`StreamingReview::finish`] renders the outcome.
+    /// Reports whose spill write failed stay resident, so a broken
     /// spill directory degrades memory use, never results. A spill file
     /// lost *after* a successful write is counted on
     /// `ingest.spill_read_errors` and that bundle's report comes back
@@ -669,14 +622,18 @@ impl StreamingReview {
     /// small report write) rather than a full review.
     pub fn push_reviewed(&mut self, index: u64, arrival: usize, reviewed: ReviewedBundle) {
         let ReviewedBundle { entries, scenarios, report } = reviewed;
+        let clean = report.is_clean();
         let stored = match &self.spill {
-            Some(dir) if report.is_clean() => match spill_report(dir, index, arrival, &report) {
-                Ok(path) => {
-                    StoredReport::Spilled { path, org: report.org, division: report.division }
-                }
+            Some(dir) => match spill_report(dir, index, arrival, &report) {
+                Ok(path) => StoredReport::Spilled {
+                    path,
+                    org: report.org,
+                    division: report.division,
+                    clean,
+                },
                 Err(_) => StoredReport::Resident(report),
             },
-            _ => StoredReport::Resident(report),
+            None => StoredReport::Resident(report),
         };
         self.results.push(((index, arrival), entries, scenarios, stored));
         // Give an installed reporter a chance to close a window: bundle
@@ -711,14 +668,14 @@ impl StreamingReview {
         keyed.into_iter().flat_map(|(_, scenarios)| scenarios.iter().cloned()).collect()
     }
 
-    /// Bundles quarantined so far. Spilled reports are clean by
-    /// construction, so only resident reports are consulted.
+    /// Bundles quarantined so far. Spilled reports recorded their
+    /// verdict when they left memory, so no spill file is re-read.
     pub fn quarantined_so_far(&self) -> usize {
         self.results
             .iter()
             .filter(|(_, _, _, stored)| match stored {
                 StoredReport::Resident(report) => !report.is_clean(),
-                StoredReport::Spilled { .. } => false,
+                StoredReport::Spilled { clean, .. } => !clean,
             })
             .count()
     }
@@ -737,7 +694,7 @@ impl StreamingReview {
             scenarios.extend(scenario_entries);
             let report = match stored {
                 StoredReport::Resident(report) => report,
-                StoredReport::Spilled { path, org, division } => match unspill_report(&path) {
+                StoredReport::Spilled { path, org, division, .. } => match unspill_report(&path) {
                     Ok(report) => report,
                     Err(_) => {
                         self.telemetry.counter("ingest.spill_read_errors").incr();
@@ -994,11 +951,64 @@ mod tests {
         for (i, bundle) in subs.bundles.iter().enumerate() {
             review.add_bundle(i as u64, i, bundle);
         }
-        // Clean reports actually left memory: one spill file each.
+        // Every report actually left memory: one spill file each,
+        // quarantined bundle included.
         let spilled = std::fs::read_dir(&dir).unwrap().count();
-        assert_eq!(spilled, subs.bundles.len() - 1, "all but the quarantined bundle spill");
+        assert_eq!(spilled, subs.bundles.len(), "every report spills, quarantined or not");
         assert_eq!(review.quarantined_so_far(), 1);
         assert_eq!(review.finish(), batch, "spilling must not change the outcome");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression test for the old spill gap: quarantined reports used
+    /// to stay resident because their diagnostics carried interned
+    /// `&'static str` keys with no JSON round-trip. Now they spill like
+    /// any other report and come back bit-identical — diagnostics
+    /// intact, standard keys re-interned.
+    #[test]
+    fn spilled_quarantined_report_round_trips_with_diagnostics() {
+        let subs = synthetic_round(
+            &SyntheticRoundSpec::new(Round::V05, 31)
+                .with_fault(Fault::MissingRunStop { org: "Borealis".into() }),
+        );
+        let batch = run_round(&subs);
+        let quarantined: Vec<&ReviewReport> =
+            batch.reports.iter().filter(|r| !r.is_clean()).collect();
+        assert_eq!(quarantined.len(), 1, "fixture must quarantine exactly one bundle");
+        assert!(
+            quarantined[0].diagnostics().any(|(_, d)| matches!(
+                d,
+                Diagnostic::Compliance {
+                    issue: mlperf_core::compliance::ComplianceIssue::MissingKey(_),
+                    ..
+                }
+            )),
+            "fixture diagnostics must carry an interned key"
+        );
+
+        let dir = temp_spill_dir("quarantined");
+        let mut review = StreamingReview::new(subs.round, subs.references.clone()).with_spill(&dir);
+        for (i, bundle) in subs.bundles.iter().enumerate() {
+            review.add_bundle(i as u64, i, bundle);
+        }
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            subs.bundles.len(),
+            "the quarantined report must spill too"
+        );
+        assert_eq!(review.quarantined_so_far(), 1, "verdict survives without re-reading spills");
+        let outcome = review.finish();
+        assert_eq!(outcome, batch, "spilled quarantined report must round-trip identically");
+        let report = &outcome.quarantined[0];
+        assert_eq!(report, quarantined[0], "diagnostics intact after the disk round-trip");
+        let keys_interned = report.diagnostics().all(|(_, d)| match d {
+            Diagnostic::Compliance {
+                issue: mlperf_core::compliance::ComplianceIssue::MissingKey(k),
+                ..
+            } => k.is_standard(),
+            _ => true,
+        });
+        assert!(keys_interned, "standard keys must come back interned");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

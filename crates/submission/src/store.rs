@@ -21,26 +21,28 @@
 //! system — and each bundle spans many benchmarks.
 //!
 //! All manifests carry a `schema` field ([`MANIFEST_SCHEMA`]); readers
-//! reject newer schemas instead of misreading them. Writes are atomic
-//! (tmp file + rename) so a crashed writer never leaves a
-//! half-written manifest behind. Reads are fault-tolerant in the same
-//! spirit as review: a missing manifest, malformed log, or duplicated
-//! bundle becomes a [`StoreFault`] naming the offending path, the rest
-//! of the round still loads, and nothing panics. Only damage that
-//! makes the archive itself unreadable (no marker, unreadable root,
-//! corrupt `round.json`) is a fatal [`StoreError`].
+//! reject newer schemas instead of misreading them. Since schema 2,
+//! manifests are written in the canonical single-line sorted-key form
+//! of [`crate::manifest`], which readers scan with a zero-copy fast
+//! path; schema-1 archives (pretty-printed manifests) still read via
+//! the serde fallback, and [`RoundArchive::migrate`] rewrites them in
+//! place. Writes are atomic (tmp file + rename) so a crashed writer
+//! never leaves a half-written manifest behind. Reads are
+//! fault-tolerant in the same spirit as review: a missing manifest,
+//! malformed log, or duplicated bundle becomes a [`StoreFault`] naming
+//! the offending path, the rest of the round still loads, and nothing
+//! panics. Only damage that makes the archive itself unreadable (no
+//! marker, unreadable root, corrupt `round.json`) is a fatal
+//! [`StoreError`].
 
 use crate::bundle::{BenchmarkReference, RunSet, SubmissionBundle};
+use crate::manifest::{self, ArchiveManifest, BundleManifest, RoundManifest, RunSetManifest};
 use crate::round::{run_round_under, RoundOutcome, RoundSubmissions, StreamingReview};
 use crate::tables::RoundHistory;
-use mlperf_core::equivalence::ModelSignature;
 use mlperf_core::mllog::MlLogger;
-use mlperf_core::report::SystemDescription;
-use mlperf_core::rules::{Category, Division, SystemType};
-use mlperf_core::suite::BenchmarkId;
 use mlperf_distsim::Round;
 use mlperf_telemetry::{arg, Counter, Telemetry};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use serde_json::{json, Map};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -51,8 +53,10 @@ use std::sync::{mpsc, Mutex};
 use std::thread;
 
 /// The manifest schema this build reads and writes. Bumped when the
-/// on-disk shape changes; readers refuse *newer* schemas.
-pub const MANIFEST_SCHEMA: u64 = 1;
+/// on-disk shape changes; readers refuse *newer* schemas. Schema 2
+/// switched manifests from pretty-printed to canonical compact JSON
+/// (see [`crate::manifest`]).
+pub const MANIFEST_SCHEMA: u64 = 2;
 
 /// Marker string in `archive.json` distinguishing a round archive from
 /// an arbitrary directory.
@@ -218,46 +222,31 @@ pub struct ArchiveReplay {
     pub faults: Vec<StoreFault>,
 }
 
-/// `archive.json`: marks the directory as an archive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ArchiveManifest {
-    schema: u64,
-    kind: String,
+/// The outcome of one [`RoundArchive::migrate`] pass: how many
+/// manifests were rewritten, how many were already current, and every
+/// manifest quarantined instead of migrated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// Manifests rewritten to [`MANIFEST_SCHEMA`] canonical form.
+    pub migrated: usize,
+    /// Manifests already byte-identical to their canonical rendering —
+    /// a second `migrate` run skips everything.
+    pub skipped: usize,
+    /// Manifests that could not be read or parsed; each is left
+    /// untouched on disk and named here.
+    pub faults: Vec<StoreFault>,
 }
 
-/// `<round>/round.json`: the round label and review references.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct RoundManifest {
-    schema: u64,
-    round: Round,
-    references: Vec<BenchmarkReference>,
-}
-
-/// `<round>/<org>/<system>/bundle.json`: everything about a bundle
-/// except the log text, which lives in the referenced `.log` files.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct BundleManifest {
-    schema: u64,
-    /// Position in the round's original submission order; readers sort
-    /// by it so directory iteration order never reorders bundles.
-    index: u64,
-    org: String,
-    system: SystemDescription,
-    division: Division,
-    category: Category,
-    system_type: SystemType,
-    run_sets: Vec<RunSetManifest>,
-}
-
-/// One run set inside a bundle manifest; `logs` are paths relative to
-/// the bundle directory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct RunSetManifest {
-    benchmark: BenchmarkId,
-    dataset: String,
-    hyperparameters: BTreeMap<String, f64>,
-    signature: ModelSignature,
-    logs: Vec<String>,
+impl fmt::Display for MigrationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "migrated {} manifest(s), {} already current, {} fault(s)",
+            self.migrated,
+            self.skipped,
+            self.faults.len()
+        )
+    }
 }
 
 /// A persistent, disk-backed archive of submission rounds.
@@ -287,14 +276,31 @@ impl RoundArchive {
     /// written; [`StoreError::NotAnArchive`] / schema errors when
     /// `root` already holds a foreign or newer-schema marker.
     pub fn create(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        RoundArchive::create_pinned(root, MANIFEST_SCHEMA)
+    }
+
+    /// [`RoundArchive::create`] with the marker pinned to an older
+    /// `schema` — how tests and the CI migration smoke lay down a
+    /// genuine schema-1 archive for [`RoundArchive::migrate`] to
+    /// upgrade. Production callers use [`RoundArchive::create`].
+    ///
+    /// # Errors
+    ///
+    /// The same cases as [`RoundArchive::create`].
+    ///
+    /// # Panics
+    ///
+    /// When `schema` is zero or newer than [`MANIFEST_SCHEMA`].
+    pub fn create_pinned(root: impl Into<PathBuf>, schema: u64) -> Result<Self, StoreError> {
+        check_pinned(schema);
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| io_error(&root, &e))?;
         let marker = root.join("archive.json");
         if marker.exists() {
             return RoundArchive::open(root);
         }
-        let manifest = ArchiveManifest { schema: MANIFEST_SCHEMA, kind: ARCHIVE_KIND.to_string() };
-        write_atomic(&marker, &pretty(&manifest))?;
+        let manifest = ArchiveManifest { schema, kind: ARCHIVE_KIND.to_string() };
+        write_atomic(&marker, &render_manifest(schema, &manifest))?;
         Ok(RoundArchive { root, telemetry: Telemetry::disabled() })
     }
 
@@ -315,7 +321,8 @@ impl RoundArchive {
             }
             Err(e) => return Err(io_error(&marker, &e)),
         };
-        let manifest: ArchiveManifest = parse_manifest(&marker, &text)?;
+        let manifest = ArchiveManifest::parse(&text)
+            .map_err(|error| StoreError::Malformed { path: marker.clone(), error })?;
         if manifest.kind != ARCHIVE_KIND {
             return Err(StoreError::NotAnArchive { path: root });
         }
@@ -346,6 +353,26 @@ impl RoundArchive {
     ///
     /// [`StoreError::Io`] when any file cannot be written.
     pub fn write_round(&self, submissions: &RoundSubmissions) -> Result<(), StoreError> {
+        self.write_round_pinned(submissions, MANIFEST_SCHEMA)
+    }
+
+    /// [`RoundArchive::write_round`] with the round's manifests pinned
+    /// to an older `schema` — the fixture writer behind the migration
+    /// tests and the CI migration smoke. Production callers use
+    /// [`RoundArchive::write_round`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when any file cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// When `schema` is zero or newer than [`MANIFEST_SCHEMA`].
+    pub fn write_round_pinned(
+        &self,
+        submissions: &RoundSubmissions,
+        schema: u64,
+    ) -> Result<(), StoreError> {
         let mut scope = self.telemetry.timeline_scope();
         let span = scope.start_with("store", "write_round", || {
             Map::from([
@@ -353,13 +380,18 @@ impl RoundArchive {
                 arg("bundles", json!(submissions.bundles.len())),
             ])
         });
-        let result = self.write_round_inner(submissions);
+        let result = self.write_round_inner(submissions, schema);
         scope.end(span);
         result
     }
 
-    fn write_round_inner(&self, submissions: &RoundSubmissions) -> Result<(), StoreError> {
-        let writer = self.open_round(submissions.round, submissions.references.clone())?;
+    fn write_round_inner(
+        &self,
+        submissions: &RoundSubmissions,
+        schema: u64,
+    ) -> Result<(), StoreError> {
+        let writer =
+            self.open_round_pinned(submissions.round, submissions.references.clone(), schema)?;
         // Directory names are assigned serially in submission order so
         // slug-collision disambiguation lands on the same names the
         // serial writer chose; the (independent) per-bundle directory
@@ -397,6 +429,26 @@ impl RoundArchive {
         round: Round,
         references: Vec<BenchmarkReference>,
     ) -> Result<OpenRoundWriter, StoreError> {
+        self.open_round_pinned(round, references, MANIFEST_SCHEMA)
+    }
+
+    /// [`RoundArchive::open_round`] with the writer's manifests pinned
+    /// to an older `schema` (see [`RoundArchive::write_round_pinned`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the round directory cannot be reset.
+    ///
+    /// # Panics
+    ///
+    /// When `schema` is zero or newer than [`MANIFEST_SCHEMA`].
+    pub fn open_round_pinned(
+        &self,
+        round: Round,
+        references: Vec<BenchmarkReference>,
+        schema: u64,
+    ) -> Result<OpenRoundWriter, StoreError> {
+        check_pinned(schema);
         let round_dir = self.round_dir(round);
         if round_dir.exists() {
             fs::remove_dir_all(&round_dir).map_err(|e| io_error(&round_dir, &e))?;
@@ -406,6 +458,7 @@ impl RoundArchive {
             round_dir,
             round,
             references,
+            schema,
             telemetry: self.telemetry.clone(),
             assigned: Mutex::new(BTreeSet::new()),
         })
@@ -501,7 +554,9 @@ impl RoundArchive {
         let entries = fs::read_dir(&self.root).map_err(|e| io_error(&self.root, &e))?;
         for entry in entries {
             let entry = entry.map_err(|e| io_error(&self.root, &e))?;
-            if !entry.path().is_dir() {
+            // One batched type check per entry (from the directory
+            // read itself) instead of a fresh stat per path.
+            if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
                 continue;
             }
             if let Ok(round) = entry.file_name().to_string_lossy().parse::<Round>() {
@@ -587,7 +642,8 @@ impl RoundArchive {
         let manifest_path = round_dir.join("round.json");
         let text = fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
         bytes_read.add(text.len() as u64);
-        let manifest: RoundManifest = parse_manifest(&manifest_path, &text)?;
+        let manifest = RoundManifest::parse(&text)
+            .map_err(|error| StoreError::Malformed { path: manifest_path.clone(), error })?;
         check_schema(&manifest_path, manifest.schema)?;
         if manifest.round != round {
             return Err(StoreError::Malformed {
@@ -668,6 +724,168 @@ impl RoundArchive {
     fn round_dir(&self, round: Round) -> PathBuf {
         self.root.join(round.label())
     }
+
+    /// Rewrites every manifest in the archive to [`MANIFEST_SCHEMA`]
+    /// canonical form — the `1 → 2` migration. Each manifest is
+    /// rewritten atomically (tmp + rename) and only when its bytes
+    /// differ from the canonical rendering, so a second run is a
+    /// no-op. Fault-tolerant per round: an unreadable or malformed
+    /// manifest becomes a [`StoreFault`] in the report and is left
+    /// untouched, and a round whose `round.json` declares a *newer*
+    /// schema is skipped whole — `migrate` never half-migrates a
+    /// round. Within a round, bundle manifests are rewritten before
+    /// `round.json`, and the `archive.json` marker goes last, so a
+    /// crash at any point leaves an archive every reader (schema 1 or
+    /// 2) still accepts. Logs and `outcome.json` are never touched.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the archive cannot be listed or a
+    /// rewrite fails mid-write; damage to individual manifests is a
+    /// fault, not an error.
+    pub fn migrate(&self) -> Result<MigrationReport, StoreError> {
+        let mut scope = self.telemetry.timeline_scope();
+        let span = scope.start("store", "migrate");
+        let mut report = MigrationReport { migrated: 0, skipped: 0, faults: Vec::new() };
+        for round in self.rounds()? {
+            self.migrate_round(round, &mut report)?;
+        }
+        self.migrate_marker(&mut report)?;
+        self.telemetry.counter("store.faults").add(report.faults.len() as u64);
+        let (migrated, skipped, faults) = (report.migrated, report.skipped, report.faults.len());
+        scope.end_with(span, || {
+            Map::from([
+                arg("migrated", json!(migrated)),
+                arg("skipped", json!(skipped)),
+                arg("faults", json!(faults)),
+            ])
+        });
+        Ok(report)
+    }
+
+    /// Migrates one round: bundle manifests first, `round.json` last.
+    fn migrate_round(&self, round: Round, report: &mut MigrationReport) -> Result<(), StoreError> {
+        let round_dir = self.round_dir(round);
+        let manifest_path = round_dir.join("round.json");
+        let text = match fs::read_to_string(&manifest_path) {
+            Ok(text) => text,
+            Err(e) => {
+                report.faults.push(StoreFault {
+                    path: manifest_path,
+                    reason: FaultReason::Io(e.to_string()),
+                });
+                return Ok(());
+            }
+        };
+        let mut round_manifest = match RoundManifest::parse(&text) {
+            Ok(manifest) => manifest,
+            Err(e) => {
+                report.faults.push(StoreFault {
+                    path: manifest_path,
+                    reason: FaultReason::MalformedManifest(e),
+                });
+                return Ok(());
+            }
+        };
+        if round_manifest.schema > MANIFEST_SCHEMA {
+            // A round from a newer build is refused outright — its
+            // bundles are not touched either, so the round is never
+            // left half-downgraded.
+            report.faults.push(StoreFault {
+                path: manifest_path,
+                reason: FaultReason::UnsupportedSchema(round_manifest.schema),
+            });
+            return Ok(());
+        }
+        let mut list_faults = Vec::new();
+        for org_dir in sorted_subdirs(&round_dir, &mut list_faults) {
+            for bundle_dir in sorted_subdirs(&org_dir, &mut list_faults) {
+                self.migrate_bundle(&bundle_dir, report)?;
+            }
+        }
+        report.faults.extend(list_faults);
+        round_manifest.schema = MANIFEST_SCHEMA;
+        self.rewrite(&manifest_path, &text, &manifest::canonical(&round_manifest), report)
+    }
+
+    /// Migrates one bundle manifest; unreadable or malformed ones are
+    /// quarantined and left as they are.
+    fn migrate_bundle(&self, dir: &Path, report: &mut MigrationReport) -> Result<(), StoreError> {
+        let manifest_path = dir.join("bundle.json");
+        let text = match fs::read_to_string(&manifest_path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                report.faults.push(StoreFault {
+                    path: dir.to_path_buf(),
+                    reason: FaultReason::MissingManifest,
+                });
+                return Ok(());
+            }
+            Err(e) => {
+                report.faults.push(StoreFault {
+                    path: manifest_path,
+                    reason: FaultReason::Io(e.to_string()),
+                });
+                return Ok(());
+            }
+        };
+        let mut bundle_manifest = match BundleManifest::parse(&text) {
+            Ok(manifest) => manifest,
+            Err(e) => {
+                report.faults.push(StoreFault {
+                    path: manifest_path,
+                    reason: FaultReason::MalformedManifest(e),
+                });
+                return Ok(());
+            }
+        };
+        if bundle_manifest.schema > MANIFEST_SCHEMA {
+            report.faults.push(StoreFault {
+                path: manifest_path,
+                reason: FaultReason::UnsupportedSchema(bundle_manifest.schema),
+            });
+            return Ok(());
+        }
+        bundle_manifest.schema = MANIFEST_SCHEMA;
+        self.rewrite(&manifest_path, &text, &manifest::canonical(&bundle_manifest), report)
+    }
+
+    /// Migrates the `archive.json` marker — last, so an interrupted
+    /// migration leaves the marker at its old (still accepted) schema.
+    /// Marker damage is fatal here only in the same way it is for
+    /// [`RoundArchive::open`], which already vetted it.
+    fn migrate_marker(&self, report: &mut MigrationReport) -> Result<(), StoreError> {
+        let marker = self.root.join("archive.json");
+        let text = fs::read_to_string(&marker).map_err(|e| io_error(&marker, &e))?;
+        let mut archive_manifest = ArchiveManifest::parse(&text)
+            .map_err(|error| StoreError::Malformed { path: marker.clone(), error })?;
+        if archive_manifest.schema > MANIFEST_SCHEMA {
+            return Err(StoreError::UnsupportedSchema {
+                path: marker,
+                found: archive_manifest.schema,
+            });
+        }
+        archive_manifest.schema = MANIFEST_SCHEMA;
+        self.rewrite(&marker, &text, &manifest::canonical(&archive_manifest), report)
+    }
+
+    /// Replaces `path` atomically when its bytes are not already the
+    /// canonical rendering; counts the manifest either way.
+    fn rewrite(
+        &self,
+        path: &Path,
+        old: &str,
+        new: &str,
+        report: &mut MigrationReport,
+    ) -> Result<(), StoreError> {
+        if old == new {
+            report.skipped += 1;
+            return Ok(());
+        }
+        self.write_file(path, new)?;
+        report.migrated += 1;
+        Ok(())
+    }
 }
 
 /// A round held open for incremental, concurrent persistence — the
@@ -680,6 +898,10 @@ pub struct OpenRoundWriter {
     round_dir: PathBuf,
     round: Round,
     references: Vec<BenchmarkReference>,
+    /// The manifest schema this writer emits: [`MANIFEST_SCHEMA`]
+    /// normally, older when pinned via
+    /// [`RoundArchive::open_round_pinned`].
+    schema: u64,
     telemetry: Telemetry,
     /// Bundle directories already claimed, for slug-collision
     /// disambiguation under concurrent writers.
@@ -751,7 +973,7 @@ impl OpenRoundWriter {
             });
         }
         let manifest = BundleManifest {
-            schema: MANIFEST_SCHEMA,
+            schema: self.schema,
             index,
             org: bundle.org.clone(),
             system: bundle.system.clone(),
@@ -760,7 +982,7 @@ impl OpenRoundWriter {
             system_type: bundle.system_type,
             run_sets,
         };
-        self.write_file(&bundle_dir.join("bundle.json"), &pretty(&manifest))
+        self.write_file(&bundle_dir.join("bundle.json"), &render_manifest(self.schema, &manifest))
     }
 
     /// Seals the round: writes `round.json`, after which readers treat
@@ -771,11 +993,14 @@ impl OpenRoundWriter {
     /// [`StoreError::Io`] when the manifest cannot be written.
     pub fn finalize(&self) -> Result<(), StoreError> {
         let manifest = RoundManifest {
-            schema: MANIFEST_SCHEMA,
+            schema: self.schema,
             round: self.round,
             references: self.references.clone(),
         };
-        self.write_file(&self.round_dir.join("round.json"), &pretty(&manifest))
+        self.write_file(
+            &self.round_dir.join("round.json"),
+            &render_manifest(self.schema, &manifest),
+        )
     }
 
     /// [`write_atomic`] plus the `store.bytes_written` counter.
@@ -806,12 +1031,12 @@ fn read_bundle_dir(
         }
     };
     bytes_read.add(text.len() as u64);
-    let manifest: BundleManifest = match serde_json::from_str(&text) {
+    let manifest = match BundleManifest::parse(&text) {
         Ok(m) => m,
         Err(e) => {
             faults.push(StoreFault {
                 path: manifest_path,
-                reason: FaultReason::MalformedManifest(e.to_string()),
+                reason: FaultReason::MalformedManifest(e),
             });
             return None;
         }
@@ -859,7 +1084,10 @@ fn read_bundle_dir(
                     // run set with its own parse diagnostic. A lone
                     // truncated final line is classified apart from
                     // general corruption (crashed writer, not rot).
-                    if let Err(e) = MlLogger::parse(&text) {
+                    // `validate` is the allocation-free accept-only
+                    // scan; it re-parses in full only to produce the
+                    // structured error for a damaged log.
+                    if let Err(e) = MlLogger::validate(&text) {
                         let reason = if e.truncated_tail_only() {
                             FaultReason::TruncatedLog(e.to_string())
                         } else {
@@ -1177,8 +1405,13 @@ fn sorted_subdirs(dir: &Path, faults: &mut Vec<StoreFault>) -> Vec<PathBuf> {
             return Vec::new();
         }
     };
-    let mut dirs: Vec<PathBuf> =
-        entries.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    // The entry's own type field (one batched directory read) instead
+    // of a fresh stat per path.
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false))
+        .map(|e| e.path())
+        .collect();
     dirs.sort();
     dirs
 }
@@ -1200,11 +1433,6 @@ fn io_error(path: &Path, e: &std::io::Error) -> StoreError {
     StoreError::Io { path: path.to_path_buf(), error: e.to_string() }
 }
 
-fn parse_manifest<T: Deserialize>(path: &Path, text: &str) -> Result<T, StoreError> {
-    serde_json::from_str(text)
-        .map_err(|e| StoreError::Malformed { path: path.to_path_buf(), error: e.to_string() })
-}
-
 fn check_schema(path: &Path, found: u64) -> Result<(), StoreError> {
     if found > MANIFEST_SCHEMA {
         return Err(StoreError::UnsupportedSchema { path: path.to_path_buf(), found });
@@ -1212,8 +1440,24 @@ fn check_schema(path: &Path, found: u64) -> Result<(), StoreError> {
     Ok(())
 }
 
-fn pretty<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("manifests serialize")
+/// Renders a manifest at `schema`: canonical single-line form from
+/// schema 2 on, the legacy pretty-printed shape for pinned schema-1
+/// writers (so fixtures are byte-faithful to what old builds wrote).
+fn render_manifest<T: Serialize>(schema: u64, manifest: &T) -> String {
+    if schema >= 2 {
+        manifest::canonical(manifest)
+    } else {
+        manifest::pretty(manifest)
+    }
+}
+
+/// Guards the pinned-writer entry points: a pinned schema must be one
+/// this build knows how to write.
+fn check_pinned(schema: u64) {
+    assert!(
+        (1..=MANIFEST_SCHEMA).contains(&schema),
+        "pinned schema {schema} outside supported range 1..={MANIFEST_SCHEMA}"
+    );
 }
 
 /// Filesystem-safe directory name: lowercase alphanumerics with `-`

@@ -7,7 +7,7 @@
 use mlperf_suite::distsim::Round;
 use mlperf_suite::submission::{
     leaderboards, run_round, synthetic_round, synthetic_stress_round, FaultReason,
-    LeaderboardAccumulator, RoundArchive, SyntheticRoundSpec,
+    LeaderboardAccumulator, RoundArchive, StoreError, SyntheticRoundSpec, MANIFEST_SCHEMA,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -231,6 +231,132 @@ fn thousand_bundle_round_streams_to_the_materialized_outcome() {
         acc.add(entry.clone());
     }
     assert_eq!(acc.finish(), leaderboards(&materialized));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Reads a manifest's `schema` field through the serde `Value` tree,
+/// so the tests never assume a particular rendering (pretty schema-1
+/// spacing vs canonical schema-2 compaction).
+fn manifest_schema(text: &str) -> u64 {
+    let value: serde_json::Value = serde_json::from_str(text).unwrap();
+    value.get("schema").and_then(|s| s.as_u64()).expect("manifest has a numeric schema")
+}
+
+/// Rewrites a manifest's `schema` field in place, preserving the
+/// file's rendering style as pretty JSON (which both readers accept).
+fn bump_manifest_schema(path: &PathBuf, schema: u64) {
+    let text = fs::read_to_string(path).unwrap();
+    let mut value: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let serde_json::Value::Object(map) = &mut value else { panic!("manifest is an object") };
+    map.insert("schema".to_string(), serde_json::json!(schema));
+    fs::write(path, serde_json::to_string_pretty(&value).unwrap()).unwrap();
+}
+
+/// The migration acceptance property: a pretty-printed schema-1
+/// archive rewritten by `migrate` re-ingests to a bitwise-identical
+/// `RoundOutcome`, and a second `migrate` run is a no-op.
+#[test]
+fn migrated_schema_one_archive_replays_identically() {
+    let dir = temp_archive("migrate");
+    let archive = RoundArchive::create_pinned(&dir, 1).unwrap();
+    let subs = synthetic_round(&SyntheticRoundSpec::new(Round::V05, 7));
+    archive.write_round_pinned(&subs, 1).unwrap();
+
+    let bundle_manifest = dir.join("v0.5/aurora/a900x16/bundle.json");
+    let legacy = fs::read_to_string(&bundle_manifest).unwrap();
+    assert!(legacy.trim_end().contains('\n'), "pinned writer emits the pretty legacy shape");
+    assert_eq!(manifest_schema(&legacy), 1);
+
+    let before = archive.read_round(Round::V05).unwrap();
+    assert!(before.faults.is_empty(), "{:?}", before.faults);
+    let outcome_before = run_round(&before.submissions);
+
+    let report = archive.migrate().unwrap();
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+    // Every bundle manifest, plus round.json and the archive marker.
+    assert_eq!(report.migrated, before.submissions.bundles.len() + 2);
+    assert_eq!(report.skipped, 0);
+
+    let canonical = fs::read_to_string(&bundle_manifest).unwrap();
+    assert!(!canonical.trim_end().contains('\n'), "canonical manifests are single-line");
+    assert_eq!(manifest_schema(&canonical), MANIFEST_SCHEMA);
+
+    let after = archive.read_round(Round::V05).unwrap();
+    assert!(after.faults.is_empty(), "{:?}", after.faults);
+    assert_eq!(after.submissions, subs, "submissions identical after migration");
+    assert_eq!(
+        run_round(&after.submissions),
+        outcome_before,
+        "outcome bitwise-identical after migration"
+    );
+
+    let second = archive.migrate().unwrap();
+    assert!(second.faults.is_empty(), "{:?}", second.faults);
+    assert_eq!(second.migrated, 0, "second migrate run is a no-op");
+    assert_eq!(second.skipped, report.migrated, "everything already canonical");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A newer-schema archive marker is refused by reader and migrator
+/// alike, each with the structured error naming the file.
+#[test]
+fn newer_schema_marker_is_refused_by_reader_and_migrator() {
+    let (dir, archive) = seeded_archive("newer-marker");
+    let marker = dir.join("archive.json");
+    bump_manifest_schema(&marker, MANIFEST_SCHEMA + 1);
+
+    let err = RoundArchive::open(&dir).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(&err, StoreError::UnsupportedSchema { path, found }
+            if *path == marker && *found == MANIFEST_SCHEMA + 1),
+        "reader: {err}"
+    );
+    let err = archive.migrate().unwrap_err();
+    assert!(
+        matches!(&err, StoreError::UnsupportedSchema { path, found }
+            if *path == marker && *found == MANIFEST_SCHEMA + 1),
+        "migrator: {err}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A round whose `round.json` declares a newer schema is refused by
+/// the reader and skipped whole by the migrator: its bundle manifests
+/// stay byte-identical — a round is never half-migrated.
+#[test]
+fn newer_schema_round_is_skipped_whole_by_the_migrator() {
+    let dir = temp_archive("newer-round");
+    let archive = RoundArchive::create_pinned(&dir, 1).unwrap();
+    archive
+        .write_round_pinned(&synthetic_round(&SyntheticRoundSpec::new(Round::V05, 7)), 1)
+        .unwrap();
+    let round_manifest = dir.join("v0.5/round.json");
+    bump_manifest_schema(&round_manifest, MANIFEST_SCHEMA + 1);
+    let bundle_manifest = dir.join("v0.5/aurora/a900x16/bundle.json");
+    let bundle_before = fs::read_to_string(&bundle_manifest).unwrap();
+
+    let err = archive.read_round(Round::V05).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(&err, StoreError::UnsupportedSchema { path, found }
+            if *path == round_manifest && *found == MANIFEST_SCHEMA + 1),
+        "reader: {err}"
+    );
+
+    let report = archive.migrate().unwrap();
+    assert_eq!(report.faults.len(), 1, "{:?}", report.faults);
+    assert_eq!(report.faults[0].path, round_manifest);
+    assert!(
+        matches!(report.faults[0].reason, FaultReason::UnsupportedSchema(f)
+            if f == MANIFEST_SCHEMA + 1),
+        "{}",
+        report.faults[0]
+    );
+    assert_eq!(report.migrated, 1, "only the archive marker migrates");
+    assert_eq!(
+        fs::read_to_string(&bundle_manifest).unwrap(),
+        bundle_before,
+        "bundle manifests of a refused round are untouched"
+    );
     fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -3,12 +3,19 @@
 
 use mlperf_suite::core::aggregate::olympic_mean;
 use mlperf_suite::core::compliance::check_log;
+use mlperf_suite::core::equivalence::ModelSignature;
 use mlperf_suite::core::metrics::bleu;
 use mlperf_suite::core::mllog::{parse_mllog_line, parse_mllog_line_serde, LogEntry, MlLogger};
 use mlperf_suite::core::recommend::recommend;
+use mlperf_suite::core::report::SystemDescription;
+use mlperf_suite::core::rules::{Category, Division, SystemType};
 use mlperf_suite::core::suite::{BenchmarkId, SuiteVersion};
-use mlperf_suite::distsim::ConvergenceModel;
+use mlperf_suite::distsim::{ConvergenceModel, Round};
 use mlperf_suite::gomini::{Board, Player, RandomPlayer};
+use mlperf_suite::submission::manifest::{
+    canonical, pretty, ArchiveManifest, BundleManifest, RoundManifest, RunSetManifest,
+};
+use mlperf_suite::submission::BenchmarkReference;
 use mlperf_suite::tensor::{broadcast_shapes, Precision, TensorRng};
 use proptest::prelude::*;
 
@@ -223,6 +230,103 @@ proptest! {
             relogger.log(&e.key, e.value);
         }
         prop_assert_eq!(relogger.render(), first);
+    }
+
+    /// The schema-2 differential property: on every rendered manifest
+    /// — canonical or legacy pretty, benign or escape-laden strings,
+    /// arbitrary floats, plus a truncated-canonical hostile case — the
+    /// zero-copy fast path either declines or agrees exactly with the
+    /// serde reference parser, and the public `parse` entry point
+    /// always matches the serde result.
+    #[test]
+    fn manifest_fast_path_agrees_with_serde(
+        (org, dataset) in ("[a-z0-9 _.-]{0,12}", "[a-z0-9/_-]{0,10}"),
+        (hostile, index, accelerators, schema) in
+            (0usize..5, 0u64..u64::MAX, 0usize..100_000, 1u64..4),
+        hp_keys in proptest::collection::vec("[a-z_]{1,8}", 0..4),
+        hp_vals in proptest::collection::vec(-1e9f64..1e9, 4..8),
+        (shapes, logs) in (
+            proptest::collection::vec(
+                proptest::collection::vec(1usize..2048, 0..3), 0..3),
+            proptest::collection::vec("[a-z0-9_/.]{1,16}", 0..4)),
+        (div, cat, sys, round_i) in (0usize..2, 0usize..3, 0usize..2, 0usize..3),
+    ) {
+        // Strings that force JSON escaping (so the fast path must
+        // decline to the serde parser) ride on a sampled suffix.
+        let suffix = ["", "\"", "\\", "line\nbreak", "uni\u{9}code\u{e9}"][hostile];
+        let org = format!("{org}{suffix}");
+        let hp: std::collections::BTreeMap<String, f64> =
+            hp_keys.into_iter().zip(hp_vals.iter().copied()).collect();
+        let fielded = BenchmarkId::in_version(SuiteVersion::V07);
+        let run_set = RunSetManifest {
+            benchmark: fielded[index as usize % fielded.len()],
+            dataset: dataset.clone(),
+            hyperparameters: hp.clone(),
+            signature: ModelSignature::from_shapes(shapes.clone()),
+            logs: logs.clone(),
+        };
+        let bundle = BundleManifest {
+            schema,
+            index,
+            org: org.clone(),
+            system: SystemDescription {
+                submitter: org.clone(),
+                system_name: dataset.clone(),
+                accelerators,
+                accelerator_model: org.clone(),
+                host_processors: accelerators / 8,
+                software: dataset.clone(),
+            },
+            division: [Division::Closed, Division::Open][div],
+            category: [Category::Available, Category::Preview, Category::Research][cat],
+            system_type: [SystemType::OnPremise, SystemType::Cloud][sys],
+            run_sets: vec![run_set.clone()],
+        };
+        let round = RoundManifest {
+            schema,
+            round: [Round::V05, Round::V06, Round::V07][round_i],
+            references: vec![BenchmarkReference {
+                benchmark: run_set.benchmark,
+                dataset: dataset.clone(),
+                quality_target: hp.values().next().copied().unwrap_or(0.749),
+                hyperparameters: hp.clone(),
+                signature: ModelSignature::from_shapes(shapes),
+            }],
+        };
+        let archive = ArchiveManifest { schema, kind: org.clone() };
+
+        for text in [canonical(&archive), pretty(&archive)] {
+            let reference = ArchiveManifest::parse_serde(&text);
+            if let Some(fast) = ArchiveManifest::parse_fast(&text) {
+                prop_assert_eq!(Ok(&fast), reference.as_ref());
+            }
+            prop_assert_eq!(ArchiveManifest::parse(&text), reference);
+        }
+        for text in [canonical(&round), pretty(&round)] {
+            let reference = RoundManifest::parse_serde(&text);
+            if let Some(fast) = RoundManifest::parse_fast(&text) {
+                prop_assert_eq!(Ok(&fast), reference.as_ref());
+            }
+            prop_assert_eq!(RoundManifest::parse(&text), reference);
+        }
+        for text in [canonical(&bundle), pretty(&bundle)] {
+            let reference = BundleManifest::parse_serde(&text);
+            if let Some(fast) = BundleManifest::parse_fast(&text) {
+                prop_assert_eq!(Ok(&fast), reference.as_ref());
+            }
+            prop_assert_eq!(BundleManifest::parse(&text), reference);
+        }
+        // Hostile case: a canonical text cut anywhere must never be
+        // accepted by the fast path unless serde accepts it too.
+        let mut damaged = canonical(&bundle);
+        let mut cut = (index as usize) % (damaged.len() + 1);
+        while !damaged.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        damaged.truncate(cut);
+        if let Some(fast) = BundleManifest::parse_fast(&damaged) {
+            prop_assert_eq!(Ok(fast), BundleManifest::parse_serde(&damaged));
+        }
     }
 
     /// Go engine invariant: after any sequence of (engine-chosen) legal
